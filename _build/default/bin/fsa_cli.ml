@@ -1,0 +1,733 @@
+(* Command-line driver for functional security analysis.
+
+   Mirrors the workflow of the SH verification tool as used in the paper:
+   load a specification, compute the reachability graph, identify minima
+   and maxima, test functional dependence by abstraction and derive
+   authenticity requirements — plus the manual path over functional
+   models, and the built-in scenarios of the paper. *)
+
+open Cmdliner
+
+module Action = Fsa_term.Action
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+module Analysis = Fsa_core.Analysis
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  let doc = "Enable verbose logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let spec_arg =
+  let doc = "Specification file (.fsa)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
+
+let load_spec path =
+  try Ok (Fsa_spec.Parser.parse_file path) with
+  | Fsa_spec.Loc.Error (loc, msg) ->
+    Error (Fmt.str "%s: %a: %s" path Fsa_spec.Loc.pp loc msg)
+  | Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Fmt.epr "fsa: %s@." msg;
+    exit 1
+
+let write_or_print ~out content =
+  match out with
+  | None -> print_string content
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    Fmt.pr "wrote %s@." path
+
+(* --------------------------------------------------------------- *)
+(* fsa reach                                                        *)
+(* --------------------------------------------------------------- *)
+
+let reach_cmd =
+  let run verbose spec_path max_states dot_out =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let apa =
+      try Fsa_spec.Elaborate.apa_of_spec spec with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+    in
+    let lts = Lts.explore ~max_states apa in
+    Fmt.pr "%a@." Lts.pp_stats (Lts.stats lts);
+    Fmt.pr "%a@." Lts.pp_min_max lts;
+    Option.iter (fun path -> write_or_print ~out:(Some path) (Lts.dot lts)) dot_out
+  in
+  let max_states =
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State bound.")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Write the reachability graph as DOT.")
+  in
+  Cmd.v
+    (Cmd.info "reach" ~doc:"Compute the reachability graph of a specification's APA model.")
+    Term.(const run $ verbose_arg $ spec_arg $ max_states $ dot_out)
+
+(* --------------------------------------------------------------- *)
+(* fsa requirements                                                 *)
+(* --------------------------------------------------------------- *)
+
+let meth_conv =
+  let parse = function
+    | "direct" -> Ok Analysis.Direct
+    | "abstract" -> Ok Analysis.Abstract
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S (direct|abstract)" s))
+  in
+  let print ppf = function
+    | Analysis.Direct -> Fmt.string ppf "direct"
+    | Analysis.Abstract -> Fmt.string ppf "abstract"
+  in
+  Arg.conv (parse, print)
+
+let requirements_cmd =
+  let run verbose spec_path meth max_states =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let apa =
+      try Fsa_spec.Elaborate.apa_of_spec spec with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+    in
+    let report =
+      Analysis.tool ~meth ~max_states
+        ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
+    in
+    Fmt.pr "%a@." Analysis.pp_tool_report report
+  in
+  let meth =
+    Arg.(value & opt meth_conv Analysis.Abstract
+         & info [ "method" ] ~doc:"Dependence test: direct or abstract.")
+  in
+  let max_states =
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State bound.")
+  in
+  Cmd.v
+    (Cmd.info "requirements"
+       ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
+    Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states)
+
+(* --------------------------------------------------------------- *)
+(* fsa analyze (manual path over sos declarations)                  *)
+(* --------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run verbose spec_path sos_name =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let soses =
+      try
+        match sos_name with
+        | Some name -> [ Fsa_spec.Elaborate.sos_of_spec spec name ]
+        | None -> Fsa_spec.Elaborate.sos_list spec
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    if soses = [] then or_die (Error "the specification declares no sos");
+    List.iter
+      (fun sos -> Fmt.pr "%a@." Analysis.pp_manual_report (Analysis.manual sos))
+      soses
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"Analyse only the named sos declaration.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Derive authenticity requirements from functional models (manual path).")
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name)
+
+(* --------------------------------------------------------------- *)
+(* fsa abstract                                                     *)
+(* --------------------------------------------------------------- *)
+
+let abstract_cmd =
+  let run verbose spec_path keep dot_out =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let apa =
+      try Fsa_spec.Elaborate.apa_of_spec spec with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+    in
+    let lts = Lts.explore apa in
+    let actions = List.map Action.make keep in
+    let h = Hom.preserve actions in
+    let dfa = Hom.minimal_automaton h lts in
+    Fmt.pr "minimal automaton: %s@." (Hom.describe_dfa dfa);
+    Fmt.pr "homomorphism simple on this behaviour: %b@." (Hom.is_simple h lts);
+    (match actions with
+    | [ mn; mx ] ->
+      Fmt.pr "functional dependence %a -> %a: %b@." Action.pp mn Action.pp mx
+        (Hom.depends_abstract lts ~min_action:mn ~max_action:mx)
+    | _ -> ());
+    Option.iter
+      (fun path -> write_or_print ~out:(Some path) (Hom.A.Dfa.dot dfa))
+      dot_out
+  in
+  let keep =
+    Arg.(non_empty & opt (list string) []
+         & info [ "keep" ] ~docv:"ACTIONS"
+             ~doc:"Comma-separated transition names the homomorphism preserves.")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Write the minimal automaton as DOT.")
+  in
+  Cmd.v
+    (Cmd.info "abstract"
+       ~doc:"Compute the minimal automaton of a homomorphic image (Sect. 5.5).")
+    Term.(const run $ verbose_arg $ spec_arg $ keep $ dot_out)
+
+(* --------------------------------------------------------------- *)
+(* fsa scenario                                                     *)
+(* --------------------------------------------------------------- *)
+
+let scenario_cmd =
+  let run verbose name =
+    setup_logs verbose;
+    match name with
+    | "two-vehicles" ->
+      let report =
+        Analysis.tool ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder
+          (Fsa_vanet.Vehicle_apa.two_vehicles ())
+      in
+      Fmt.pr "%a@." Analysis.pp_tool_report report
+    | "four-vehicles" ->
+      let report =
+        Analysis.tool ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder
+          (Fsa_vanet.Vehicle_apa.four_vehicles ())
+      in
+      Fmt.pr "%a@." Analysis.pp_tool_report report
+    | "rsu" ->
+      Fmt.pr "%a@." Analysis.pp_manual_report
+        (Analysis.manual Fsa_vanet.Scenario.rsu_and_vehicle)
+    | "fig3" ->
+      Fmt.pr "%a@." Analysis.pp_manual_report
+        (Analysis.manual Fsa_vanet.Scenario.two_vehicles)
+    | "fig4" ->
+      Fmt.pr "%a@." Analysis.pp_manual_report
+        (Analysis.manual Fsa_vanet.Scenario.three_vehicles)
+    | "evita" ->
+      Fmt.pr "paper:    %a@." Fsa_vanet.Evita.pp_profile
+        Fsa_vanet.Evita.paper_profile;
+      Fmt.pr "measured: %a@." Fsa_vanet.Evita.pp_profile
+        (Fsa_vanet.Evita.measured_profile ())
+    | "grid" ->
+      let report =
+        Analysis.tool ~stakeholder:Fsa_grid.Grid_apa.stakeholder
+          (Fsa_grid.Grid_apa.demand_response ())
+      in
+      Fmt.pr "%a@." Analysis.pp_tool_report report
+    | "platoon" ->
+      Fmt.pr "%a@." Analysis.pp_manual_report
+        (Analysis.manual ~stakeholder:Fsa_vanet.Platoon.stakeholder
+           (Fsa_vanet.Platoon.round ()))
+    | s ->
+      Fmt.epr
+        "fsa: unknown scenario %S \
+         (two-vehicles|four-vehicles|rsu|fig3|fig4|evita|grid|platoon)@."
+        s;
+      exit 1
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"Built-in scenario: two-vehicles, four-vehicles, rsu, fig3, \
+                   fig4, evita, grid or platoon.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a built-in scenario from the paper.")
+    Term.(const run $ verbose_arg $ name_arg)
+
+(* --------------------------------------------------------------- *)
+(* fsa dot                                                          *)
+(* --------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run verbose spec_path sos_name out =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let sos =
+      try
+        match sos_name with
+        | Some name -> Fsa_spec.Elaborate.sos_of_spec spec name
+        | None -> (
+          match Fsa_spec.Elaborate.sos_list spec with
+          | [ sos ] -> sos
+          | [] -> or_die (Error "the specification declares no sos")
+          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    write_or_print ~out (Fsa_model.Sos.dot sos)
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"The sos declaration to render.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a functional flow graph as DOT.")
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ out)
+
+(* --------------------------------------------------------------- *)
+(* fsa conf                                                         *)
+(* --------------------------------------------------------------- *)
+
+let conf_cmd =
+  let run verbose spec_path sos_name confidential =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let soses =
+      try
+        match sos_name with
+        | Some name -> [ Fsa_spec.Elaborate.sos_of_spec spec name ]
+        | None -> Fsa_spec.Elaborate.sos_list spec
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    if soses = [] then or_die (Error "the specification declares no sos");
+    let module Conf = Fsa_requirements.Confidentiality in
+    let labelling =
+      match confidential with
+      | [] -> Conf.default_labelling
+      | labels ->
+        { Conf.default_labelling with
+          Conf.source_level =
+            (fun a ->
+              if List.mem (Action.label a) labels then Conf.Confidential
+              else Conf.Public) }
+    in
+    let threshold =
+      match confidential with [] -> Conf.Internal | _ :: _ -> Conf.Confidential
+    in
+    List.iter
+      (fun sos ->
+        Fmt.pr "== confidentiality analysis: %s ==@." (Fsa_model.Sos.name sos);
+        Fmt.pr "%a@." Conf.pp_set (Conf.derive ~labelling ~threshold sos);
+        match Conf.violations ~labelling sos with
+        | [] -> Fmt.pr "no clearance violations@."
+        | vs -> List.iter (fun v -> Fmt.pr "violation: %a@." Conf.pp_violation v) vs)
+      soses
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"Analyse only the named sos declaration.")
+  in
+  let confidential =
+    Arg.(value & opt (list string) []
+         & info [ "confidential" ] ~docv:"ACTIONS"
+             ~doc:"Comma-separated input action labels classified confidential.")
+  in
+  Cmd.v
+    (Cmd.info "conf"
+       ~doc:"Derive confidentiality requirements (forward information-flow analysis).")
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ confidential)
+
+(* --------------------------------------------------------------- *)
+(* fsa simulate                                                     *)
+(* --------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run verbose spec_path seed monitor =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let apa =
+      try Fsa_spec.Elaborate.apa_of_spec spec with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+    in
+    let sim = Fsa_sim.Sim.create ~seed apa in
+    if monitor then begin
+      let report =
+        Analysis.tool ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
+      in
+      Fsa_sim.Sim.attach_monitor sim report.Analysis.t_requirements
+    end;
+    Fmt.pr "fsa simulator — %d transitions enabled, 'help' for commands@."
+      (List.length (Fsa_sim.Sim.enabled sim));
+    let rec loop () =
+      Fmt.pr "> %!";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line -> (
+        match Fsa_sim.Sim.parse_command line with
+        | Error msg ->
+          Fmt.pr "error: %s@." msg;
+          loop ()
+        | Ok cmd -> (
+          match Fsa_sim.Sim.execute sim cmd with
+          | `Output s ->
+            Fmt.pr "%s@." s;
+            loop ()
+          | `Quit -> ()))
+    in
+    loop ()
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random-walk seed.")
+  in
+  let monitor =
+    Arg.(value & flag
+         & info [ "monitor" ]
+             ~doc:"Attach runtime monitors for the derived requirements.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Interactively execute a specification's APA model (reads commands from stdin).")
+    Term.(const run $ verbose_arg $ spec_arg $ seed $ monitor)
+
+(* --------------------------------------------------------------- *)
+(* fsa export                                                       *)
+(* --------------------------------------------------------------- *)
+
+let export_cmd =
+  let run verbose spec_path sos_name format out =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let sos =
+      try
+        match sos_name with
+        | Some name -> Fsa_spec.Elaborate.sos_of_spec spec name
+        | None -> (
+          match Fsa_spec.Elaborate.sos_list spec with
+          | [ sos ] -> sos
+          | [] -> or_die (Error "the specification declares no sos")
+          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    let reqs = Fsa_requirements.Derive.of_sos sos in
+    let classify = Fsa_requirements.Classify.classify sos in
+    let content =
+      match format with
+      | "json" -> Fsa_requirements.Export.to_json ~classify reqs
+      | "csv" -> Fsa_requirements.Export.to_csv ~classify reqs
+      | "md" | "markdown" -> Fsa_requirements.Export.to_markdown ~classify reqs
+      | f -> or_die (Error (Printf.sprintf "unknown format %S (json|csv|md)" f))
+    in
+    write_or_print ~out content
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"The sos declaration to export.")
+  in
+  let format =
+    Arg.(value & opt string "json"
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: json, csv or md.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export derived requirements as JSON, CSV or Markdown.")
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ format $ out)
+
+(* --------------------------------------------------------------- *)
+(* fsa refine                                                       *)
+(* --------------------------------------------------------------- *)
+
+let refine_cmd =
+  let run verbose spec_path sos_name cause effect threat =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let sos =
+      try
+        match sos_name with
+        | Some name -> Fsa_spec.Elaborate.sos_of_spec spec name
+        | None -> (
+          match Fsa_spec.Elaborate.sos_list spec with
+          | [ sos ] -> sos
+          | [] -> or_die (Error "the specification declares no sos")
+          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    let reqs = Fsa_requirements.Derive.of_sos sos in
+    let selected =
+      List.filter
+        (fun r ->
+          (match cause with
+          | Some c -> Action.label (Fsa_requirements.Auth.cause r) = c
+          | None -> true)
+          &&
+          match effect with
+          | Some e -> Action.label (Fsa_requirements.Auth.effect r) = e
+          | None -> true)
+        reqs
+    in
+    if selected = [] then or_die (Error "no requirement matches the filter");
+    List.iter
+      (fun req ->
+        Fmt.pr "%a@.@." Fsa_refine.Refine.pp_plan
+          (Fsa_refine.Refine.plan sos req);
+        if threat then
+          Fmt.pr "%a@." Fsa_refine.Threat.pp_tree
+            (Fsa_refine.Threat.of_requirement sos req))
+      selected
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"The sos declaration to refine against.")
+  in
+  let cause =
+    Arg.(value & opt (some string) None
+         & info [ "cause" ] ~docv:"LABEL" ~doc:"Only requirements with this cause label.")
+  in
+  let effect =
+    Arg.(value & opt (some string) None
+         & info [ "effect" ] ~docv:"LABEL" ~doc:"Only requirements with this effect label.")
+  in
+  let threat =
+    Arg.(value & flag
+         & info [ "threat" ] ~doc:"Also print the generated threat trees.")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Compute protection options (paths, attack surface, minimum cut) per requirement.")
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ cause $ effect $ threat)
+
+(* --------------------------------------------------------------- *)
+(* fsa check                                                        *)
+(* --------------------------------------------------------------- *)
+
+let check_cmd =
+  let run verbose spec_path =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let patterns =
+      try Fsa_spec.Elaborate.patterns_of_spec spec with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+    in
+    if patterns = [] then
+      or_die (Error "the specification declares no check");
+    let apa =
+      try Fsa_spec.Elaborate.apa_of_spec spec with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+    in
+    let lts = Lts.explore apa in
+    let failures = ref 0 in
+    List.iter
+      (fun (description, pattern) ->
+        let result = Fsa_mc.Pattern.check lts pattern in
+        if not result.Fsa_mc.Pattern.holds_ then incr failures;
+        Fmt.pr "%-50s %a@." description Fsa_mc.Pattern.pp_result result)
+      patterns;
+    if !failures > 0 then begin
+      Fmt.epr "fsa: %d check(s) failed@." !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Evaluate a specification's check declarations against its behaviour.")
+    Term.(const run $ verbose_arg $ spec_arg)
+
+(* --------------------------------------------------------------- *)
+(* fsa monitor                                                      *)
+(* --------------------------------------------------------------- *)
+
+let monitor_cmd =
+  let run verbose spec_path trace_path =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let apa =
+      try Fsa_spec.Elaborate.apa_of_spec spec with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+    in
+    let report =
+      Analysis.tool ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
+    in
+    let read_lines ic =
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some line ->
+          let line = String.trim line in
+          go (if line = "" || line.[0] = '#' then acc else line :: acc)
+        | None -> List.rev acc
+      in
+      go []
+    in
+    let lines =
+      match trace_path with
+      | Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_lines ic)
+      | None -> read_lines stdin
+    in
+    let trace = List.map Action.make lines in
+    let m = Fsa_mc.Monitor.of_requirements report.Analysis.t_requirements in
+    List.iter (Fsa_mc.Monitor.step m) trace;
+    Fmt.pr "%a@." Fsa_mc.Monitor.pp_report m;
+    if not (Fsa_mc.Monitor.all_satisfied m) then exit 1
+  in
+  let trace_path =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Trace file, one transition name per line (stdin by default; \
+                   blank lines and # comments ignored).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Verify a recorded trace against the derived authenticity requirements.")
+    Term.(const run $ verbose_arg $ spec_arg $ trace_path)
+
+(* --------------------------------------------------------------- *)
+(* fsa report                                                       *)
+(* --------------------------------------------------------------- *)
+
+let report_cmd =
+  let run verbose spec_path sos_name out =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let sos =
+      try
+        match sos_name with
+        | Some name -> Fsa_spec.Elaborate.sos_of_spec spec name
+        | None -> (
+          match Fsa_spec.Elaborate.sos_list spec with
+          | [ sos ] -> sos
+          | [] -> or_die (Error "the specification declares no sos")
+          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    write_or_print ~out (Fsa_core.Report.markdown sos)
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"The sos declaration to report on.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Generate a complete Markdown analysis report for a functional model.")
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ out)
+
+(* --------------------------------------------------------------- *)
+(* fsa lint                                                         *)
+(* --------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run verbose spec_path sos_name =
+    setup_logs verbose;
+    let spec = or_die (load_spec spec_path) in
+    let soses =
+      try
+        match sos_name with
+        | Some name -> [ Fsa_spec.Elaborate.sos_of_spec spec name ]
+        | None -> Fsa_spec.Elaborate.sos_list spec
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    if soses = [] then or_die (Error "the specification declares no sos");
+    let had_errors = ref false in
+    List.iter
+      (fun sos ->
+        let findings = Fsa_model.Lint.check sos in
+        Fmt.pr "== lint: %s ==@.%a@." (Fsa_model.Sos.name sos)
+          Fsa_model.Lint.pp_report findings;
+        if List.exists (fun w -> Fsa_model.Lint.severity w = `Error) findings
+        then had_errors := true)
+      soses;
+    if !had_errors then exit 1
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"Lint only the named sos declaration.")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Check a functional model for modelling smells.")
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name)
+
+(* --------------------------------------------------------------- *)
+(* fsa diff                                                         *)
+(* --------------------------------------------------------------- *)
+
+let diff_cmd =
+  let run verbose before_path after_path sos_name =
+    setup_logs verbose;
+    let load path =
+      let spec = or_die (load_spec path) in
+      try
+        match sos_name with
+        | Some name -> Fsa_spec.Elaborate.sos_of_spec spec name
+        | None -> (
+          match Fsa_spec.Elaborate.sos_list spec with
+          | [ sos ] -> sos
+          | [] -> or_die (Error (path ^ ": the specification declares no sos"))
+          | _ ->
+            or_die
+              (Error (path ^ ": several sos declarations; pick one with --sos")))
+      with
+      | Fsa_spec.Loc.Error (loc, msg) ->
+        or_die (Error (Fmt.str "%s: %a: %s" path Fsa_spec.Loc.pp loc msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    let before = load before_path and after = load after_path in
+    let d = Fsa_requirements.Diff.compare_models ~before ~after () in
+    Fmt.pr "%a@." Fsa_requirements.Diff.pp d;
+    if not (Fsa_requirements.Diff.is_neutral d) then exit 1
+  in
+  let before_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE" ~doc:"Old specification.")
+  in
+  let after_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER" ~doc:"New specification.")
+  in
+  let sos_name =
+    Arg.(value & opt (some string) None
+         & info [ "sos" ] ~docv:"NAME" ~doc:"The sos declaration to compare.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Change-impact analysis: requirement differences between two model versions.")
+    Term.(const run $ verbose_arg $ before_arg $ after_arg $ sos_name)
+
+let main_cmd =
+  let doc = "functional security analysis for systems of systems" in
+  let info = Cmd.info "fsa" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ reach_cmd; requirements_cmd; analyze_cmd; abstract_cmd; scenario_cmd;
+      dot_cmd; conf_cmd; simulate_cmd; export_cmd; refine_cmd; check_cmd;
+      monitor_cmd; report_cmd; lint_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_spec.ml: Array Fmt Fsa_core Fsa_lts Fsa_model Fsa_requirements Fsa_spec Fsa_term List String Sys

@@ -1,0 +1,1 @@
+examples/evita_audit.ml: Fmt Fsa_core Fsa_model Fsa_requirements Fsa_term Fsa_vanet List

@@ -1,0 +1,1 @@
+examples/evita_audit.mli:

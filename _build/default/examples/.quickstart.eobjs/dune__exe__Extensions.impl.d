@@ -1,0 +1,1 @@
+examples/extensions.ml: Fmt Fsa_lts Fsa_mc Fsa_param Fsa_requirements Fsa_term Fsa_vanet List

@@ -1,0 +1,1 @@
+examples/icy_road.ml: Fmt Fsa_core Fsa_model Fsa_requirements Fsa_term Fsa_vanet List

@@ -1,0 +1,1 @@
+examples/icy_road.mli:

@@ -1,0 +1,1 @@
+examples/platoon.ml: Fmt Fsa_lts Fsa_mc Fsa_requirements Fsa_term Fsa_vanet List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Fsa_model Fsa_requirements Fsa_term List

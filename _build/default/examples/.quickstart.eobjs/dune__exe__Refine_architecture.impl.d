@@ -1,0 +1,1 @@
+examples/refine_architecture.ml: Fmt Fsa_refine Fsa_requirements Fsa_term Fsa_vanet List

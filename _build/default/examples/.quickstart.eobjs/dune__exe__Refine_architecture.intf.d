@@ -1,0 +1,1 @@
+examples/refine_architecture.mli:

@@ -1,0 +1,1 @@
+examples/smart_grid.ml: Fmt Fsa_core Fsa_grid Fsa_refine Fsa_requirements Fsa_term List

@@ -1,0 +1,1 @@
+examples/tool_assisted.ml: Fmt Fsa_apa Fsa_core Fsa_hom Fsa_lts Fsa_mc Fsa_requirements Fsa_vanet

@@ -1,0 +1,55 @@
+(* Quickstart: define a two-component system of systems, derive its
+   authenticity requirements, and print them.
+
+   The system: a weather station broadcasts road-condition reports; a
+   variable speed-limit sign displays a limit computed from the received
+   report and its own calibration.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+let () =
+  (* 1. Name the atomic actions of each component. *)
+  let measure = Action.make ~actor:(Agent.unindexed "SENSOR") "measure" in
+  let report = Action.make ~actor:(Agent.unindexed "STATION") "report" in
+  let calibrate = Action.make ~actor:(Agent.unindexed "SIGN") "calibrate" in
+  let receive = Action.make ~actor:(Agent.unindexed "SIGN") "receive" in
+  let display = Action.make ~actor:(Agent.unindexed "SIGN") "display" in
+
+  (* 2. Describe each component's internal functional flow. *)
+  let station =
+    Component.make "WeatherStation"
+      ~actions:[ measure; report ]
+      ~flows:[ Flow.internal measure report ]
+  in
+  let sign =
+    Component.make "SpeedSign"
+      ~actions:[ calibrate; receive; display ]
+      ~flows:[ Flow.internal receive display; Flow.internal calibrate display ]
+  in
+
+  (* 3. Compose the system of systems: the report transmission is an
+     external flow between the two components. *)
+  let sos =
+    Sos.make "variable_speed_limit"
+      ~components:[ station; sign ]
+      ~links:[ Flow.external_ report receive ]
+  in
+
+  (* 4. Derive the authenticity requirements: every pair of the relation
+     chi = zeta* restricted to (minima x maxima) is one requirement. *)
+  let stakeholder _ = Agent.unindexed "DRIVER" in
+  let requirements = Fsa_requirements.Derive.of_sos ~stakeholder sos in
+
+  Fmt.pr "System: %a@.@." Sos.pp_stats (Sos.stats sos);
+  Fmt.pr "Authenticity requirements:@.%a@.@."
+    Fsa_requirements.Auth.pp_set requirements;
+  List.iter
+    (fun r -> Fmt.pr "%a@." Fsa_requirements.Auth.pp_prose r)
+    requirements

@@ -1,0 +1,73 @@
+(* From elicited requirements to architectural protection options.
+
+   The derived authenticity requirements are deliberately independent of
+   security mechanisms and of the structure by which they are realised
+   (hop-by-hop versus end-to-end).  This example performs the follow-up
+   engineering step on the EVITA-scale architecture: for selected
+   requirements it computes
+
+     - every flow on a cause-to-effect path (the attack surface),
+     - a minimum set of flows whose protection covers every path,
+     - the hop-by-hop decomposition along each path, and
+     - the end-to-end alternative.
+
+   Run with: dune exec examples/refine_architecture.exe *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Auth = Fsa_requirements.Auth
+module Refine = Fsa_refine.Refine
+module Evita = Fsa_vanet.Evita
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+let () =
+  let requirements =
+    Fsa_requirements.Derive.of_sos ~stakeholder:Evita.stakeholder Evita.model
+  in
+  Fmt.pr "The EVITA-scale model elicits %d authenticity requirements.@."
+    (List.length requirements);
+
+  section "Refinement plans for the brake actuation requirements";
+  let brake_reqs =
+    List.filter
+      (fun r -> Action.label (Auth.effect r) = "brake_actuate")
+      requirements
+  in
+  List.iter
+    (fun req -> Fmt.pr "%a@.@." Refine.pp_plan (Refine.plan Evita.model req))
+    brake_reqs;
+
+  section "Protection-cost overview (minimum cut per requirement)";
+  Fmt.pr "  %-60s %6s %8s %5s@." "requirement" "paths" "surface" "cut";
+  List.iter
+    (fun req ->
+      let plan = Refine.plan Evita.model req in
+      Fmt.pr "  %-60s %6d %8d %5d@."
+        (Auth.to_string req)
+        (List.length plan.Refine.p_paths)
+        (List.length plan.Refine.p_surface)
+        (List.length plan.Refine.p_min_cut))
+    requirements;
+
+  section "Hop-by-hop vs end-to-end for one V2X requirement";
+  let v2x_req =
+    List.find
+      (fun r ->
+        Action.label (Auth.cause r) = "esp_sense"
+        && Action.label (Auth.effect r) = "v2x_send")
+      requirements
+  in
+  let paths =
+    Refine.simple_paths Evita.model (Auth.cause v2x_req) (Auth.effect v2x_req)
+  in
+  Fmt.pr "hop-by-hop along the first path:@.";
+  List.iter
+    (fun o -> Fmt.pr "  - %a@." Refine.pp_obligation o)
+    (Refine.hop_by_hop Evita.model v2x_req (List.hd paths));
+  Fmt.pr "end-to-end alternative:@.  - %a@." Refine.pp_obligation
+    (Refine.end_to_end v2x_req);
+  Fmt.pr
+    "@.The choice between the two is exactly the architectural decision \
+     the elicitation method postpones: both realise the same elicited \
+     requirement.@."

@@ -1,0 +1,1 @@
+lib/apa/apa.ml: Fmt Fsa_term Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/apa/apa.mli: Fmt Fsa_term Map

@@ -1,0 +1,344 @@
+(* Asynchronous Product Automata (Definition 2 of the paper).
+
+   An APA consists of a family of state components (sets of data terms), a
+   family of elementary automata communicating via shared state components,
+   and a neighbourhood relation assigning to each elementary automaton the
+   state components it may read and write.
+
+   Elementary automata are specified as rules in a guarded
+   consume/read/produce style (the style of the paper's state transition
+   relations, e.g. Delta_send): a rule pattern-matches elements of its
+   neighbourhood components, binds variables, checks a guard and produces
+   new elements.  For each interpretation (variable binding) the rule
+   defines one state transition; the transition label is the corresponding
+   action. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Smap = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* States                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module State = struct
+  (* A global state maps each state component name to its current set of
+     data terms.  The map always contains every declared component. *)
+  type t = Term.Set.t Smap.t
+
+  let empty = Smap.empty
+
+  let get name s =
+    match Smap.find_opt name s with Some set -> set | None -> Term.Set.empty
+
+  let set name v s = Smap.add name v s
+
+  let add_elt name e s = set name (Term.Set.add e (get name s)) s
+  let remove_elt name e s = set name (Term.Set.remove e (get name s)) s
+  let mem_elt name e s = Term.Set.mem e (get name s)
+
+  let compare = Smap.compare Term.Set.compare
+  let equal a b = compare a b = 0
+
+  (* Hash consistent with [equal]: folded over components and elements. *)
+  let hash s =
+    Smap.fold
+      (fun name set acc ->
+        let h =
+          Term.Set.fold (fun t acc -> acc + Term.hash t) set
+            (Hashtbl.hash name)
+        in
+        ((acc * 31) + h) land max_int)
+      s 17
+
+  let components s = List.map fst (Smap.bindings s)
+
+  let pp ppf s =
+    let pp_comp ppf (name, set) =
+      Fmt.pf ppf "%s = {%a}" name
+        Fmt.(list ~sep:comma Term.pp)
+        (Term.Set.elements set)
+    in
+    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_comp) (Smap.bindings s)
+
+    let to_string s = Fmt.str "%a" pp s
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rules (elementary automata)                                         *)
+(* ------------------------------------------------------------------ *)
+
+type take = {
+  t_component : string;
+  t_pattern : Term.t;
+  t_consume : bool;  (* false: read without removing *)
+}
+
+type put = { p_component : string; p_template : Term.t }
+
+type rule = {
+  r_name : string;
+  r_takes : take list;
+  r_guard : Term.Subst.t -> bool;
+  r_puts : put list;
+  r_label : Term.Subst.t -> Action.t;
+}
+
+let take ?(consume = true) component pattern =
+  { t_component = component; t_pattern = pattern; t_consume = consume }
+
+let read component pattern = take ~consume:false component pattern
+
+let put component template = { p_component = component; p_template = template }
+
+let rule ?guard ?label ~takes ~puts name =
+  let r_guard = match guard with Some g -> g | None -> fun _ -> true in
+  let r_label =
+    match label with Some l -> l | None -> fun _ -> Action.make name
+  in
+  { r_name = name; r_takes = takes; r_guard; r_puts = puts; r_label = r_label }
+
+let rule_name r = r.r_name
+
+(* The neighbourhood N(t) of a rule: every state component it reads or
+   writes. *)
+let neighbourhood r =
+  List.map (fun t -> t.t_component) r.r_takes
+  @ List.map (fun p -> p.p_component) r.r_puts
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* APA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  name : string;
+  components : (string * Term.Set.t) list;  (* declared, with initial sets *)
+  rules : rule list;
+}
+
+type error =
+  | Unknown_component of string * string  (* rule name, component *)
+  | Unbound_put_variable of string * string  (* rule name, variable *)
+  | Nonground_initial of string * Term.t
+  | Duplicate_rule of string
+  | Duplicate_component of string
+
+let pp_error ppf = function
+  | Unknown_component (r, c) ->
+    Fmt.pf ppf "rule %s references undeclared state component %s" r c
+  | Unbound_put_variable (r, v) ->
+    Fmt.pf ppf "rule %s produces a term with unbound variable %s" r v
+  | Nonground_initial (c, t) ->
+    Fmt.pf ppf "initial content %a of component %s is not ground" Term.pp t c
+  | Duplicate_rule r -> Fmt.pf ppf "rule %s is declared twice" r
+  | Duplicate_component c -> Fmt.pf ppf "state component %s is declared twice" c
+
+let validate t =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  let declared c = List.mem_assoc c t.components in
+  let rec dup_comp = function
+    | [] -> ()
+    | (c, _) :: rest ->
+      if List.mem_assoc c rest then err (Duplicate_component c);
+      dup_comp rest
+  in
+  dup_comp t.components;
+  let rec dup_rule = function
+    | [] -> ()
+    | r :: rest ->
+      if List.exists (fun r' -> String.equal r.r_name r'.r_name) rest then
+        err (Duplicate_rule r.r_name);
+      dup_rule rest
+  in
+  dup_rule t.rules;
+  List.iter
+    (fun (c, init) ->
+      Term.Set.iter
+        (fun e -> if not (Term.is_ground e) then err (Nonground_initial (c, e)))
+        init)
+    t.components;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun tk ->
+          if not (declared tk.t_component) then
+            err (Unknown_component (r.r_name, tk.t_component)))
+        r.r_takes;
+      List.iter
+        (fun p ->
+          if not (declared p.p_component) then
+            err (Unknown_component (r.r_name, p.p_component)))
+        r.r_puts;
+      (* Static scope check: every variable of a produced template must be
+         bound by some take pattern. *)
+      let bound =
+        List.fold_left
+          (fun acc tk -> Term.String_set.union acc (Term.vars tk.t_pattern))
+          Term.String_set.empty r.r_takes
+      in
+      List.iter
+        (fun p ->
+          Term.String_set.iter
+            (fun v ->
+              if not (Term.String_set.mem v bound) then
+                err (Unbound_put_variable (r.r_name, v)))
+            (Term.vars p.p_template))
+        r.r_puts)
+    t.rules;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let make ~components ~rules name =
+  let t = { name; components; rules } in
+  match validate t with
+  | Ok () -> t
+  | Error (e :: _) -> invalid_arg (Fmt.str "Apa.make %s: %a" name pp_error e)
+  | Error [] -> assert false
+
+let name t = t.name
+let components t = t.components
+let rules t = t.rules
+
+let initial_state t =
+  List.fold_left
+    (fun s (c, init) -> State.set c init s)
+    State.empty t.components
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* All interpretations of a rule in a state: enumerate, take by take, the
+   possible bindings.  Distinct consuming takes of the same component must
+   match distinct elements (set semantics: both elements are removed). *)
+type binding = { subst : Term.Subst.t; consumed : (string * Term.t) list }
+
+let match_takes state takes =
+  let step acc tk =
+    List.concat_map
+      (fun b ->
+        (* extensions of [b] by one matched element of this take *)
+        let available = State.get tk.t_component state in
+        Term.Set.fold
+          (fun elt acc' ->
+            let already_consumed =
+              List.exists
+                (fun (c, e) ->
+                  String.equal c tk.t_component && Term.equal e elt)
+                b.consumed
+            in
+            if tk.t_consume && already_consumed then acc'
+            else
+              match Term.match_ ~pattern:tk.t_pattern ~target:elt with
+              | None -> acc'
+              | Some s -> (
+                match Term.Subst.merge b.subst s with
+                | None -> acc'
+                | Some subst ->
+                  let consumed =
+                    if tk.t_consume then (tk.t_component, elt) :: b.consumed
+                    else b.consumed
+                  in
+                  { subst; consumed } :: acc'))
+          available [])
+      acc
+  in
+  List.fold_left step [ { subst = Term.Subst.empty; consumed = [] } ] takes
+
+let interpretations rule state =
+  match_takes state rule.r_takes |> List.filter (fun b -> rule.r_guard b.subst)
+
+let apply_binding rule state b =
+  let state =
+    List.fold_left
+      (fun s (c, e) -> State.remove_elt c e s)
+      state b.consumed
+  in
+  List.fold_left
+    (fun s p -> State.add_elt p.p_component (Term.Subst.apply b.subst p.p_template) s)
+    state rule.r_puts
+
+(* All transitions enabled in [state]: (rule, action label, successor). *)
+let step t state =
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun b -> (r, r.r_label b.subst, apply_binding r state b))
+        (interpretations r state))
+    t.rules
+
+let enabled_rules t state =
+  List.filter (fun r -> interpretations r state <> []) t.rules
+
+let is_deadlocked t state = step t state = []
+
+(* ------------------------------------------------------------------ *)
+(* Composition                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Glue APAs together by identifying equally-named state components (the
+   paper's shared [net] component): initial sets are unioned, rules are
+   concatenated.  Rule names must remain unique. *)
+let compose ~name parts =
+  let components =
+    List.fold_left
+      (fun acc part ->
+        List.fold_left
+          (fun acc (c, init) ->
+            match List.assoc_opt c acc with
+            | None -> (c, init) :: acc
+            | Some prev -> (c, Term.Set.union prev init) :: List.remove_assoc c acc)
+          acc part.components)
+      [] parts
+    |> List.rev
+  in
+  let rules = List.concat_map (fun p -> p.rules) parts in
+  make ~components ~rules name
+
+(* Prefix every component name and rule name: turns a component template
+   into a distinctly-named instance before composition.  Shared components
+   (e.g. [net]) are listed in [keep] and left unrenamed. *)
+let prefix ?(keep = []) ~prefix:pfx t =
+  let ren c = if List.mem c keep then c else pfx ^ c in
+  let components = List.map (fun (c, init) -> (ren c, init)) t.components in
+  let rules =
+    List.map
+      (fun r ->
+        { r with
+          r_name = pfx ^ r.r_name;
+          r_takes =
+            List.map (fun tk -> { tk with t_component = ren tk.t_component }) r.r_takes;
+          r_puts =
+            List.map (fun p -> { p with p_component = ren p.p_component }) r.r_puts })
+      t.rules
+  in
+  { name = pfx ^ t.name; components; rules }
+
+let with_initial component init t =
+  if not (List.mem_assoc component t.components) then
+    invalid_arg
+      (Printf.sprintf "Apa.with_initial: unknown state component %s" component);
+  { t with
+    components =
+      List.map
+        (fun (c, old) -> if String.equal c component then (c, init) else (c, old))
+        t.components }
+
+let pp ppf t =
+  let pp_comp ppf (c, init) =
+    Fmt.pf ppf "%s = {%a}" c
+      Fmt.(list ~sep:comma Term.pp)
+      (Term.Set.elements init)
+  in
+  let pp_rule ppf r =
+    Fmt.pf ppf "%s : N = {%a}" r.r_name
+      Fmt.(list ~sep:comma string)
+      (neighbourhood r)
+  in
+  Fmt.pf ppf "@[<v2>APA %s:@,state components:@,%a@,elementary automata:@,%a@]"
+    t.name
+    Fmt.(list ~sep:cut pp_comp)
+    t.components
+    Fmt.(list ~sep:cut pp_rule)
+    t.rules

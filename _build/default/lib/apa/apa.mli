@@ -1,0 +1,102 @@
+(** Asynchronous Product Automata (Definition 2 of the paper).
+
+    An APA is a family of state components (sets of data terms) and a
+    family of elementary automata (rules) communicating via shared state
+    components.  Rules are specified in a guarded consume/read/produce
+    style matching the paper's state transition relations; each variable
+    binding of a rule is one interpretation and yields one labelled state
+    transition. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Smap : Map.S with type key = string
+
+(** Global states: one set of ground terms per state component. *)
+module State : sig
+  type t = Term.Set.t Smap.t
+
+  val empty : t
+  val get : string -> t -> Term.Set.t
+  val set : string -> Term.Set.t -> t -> t
+  val add_elt : string -> Term.t -> t -> t
+  val remove_elt : string -> Term.t -> t -> t
+  val mem_elt : string -> Term.t -> t -> bool
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+  (** Consistent with [equal]. *)
+
+  val components : t -> string list
+  val pp : t Fmt.t
+  val to_string : t -> string
+end
+
+type take = { t_component : string; t_pattern : Term.t; t_consume : bool }
+type put = { p_component : string; p_template : Term.t }
+
+type rule = {
+  r_name : string;
+  r_takes : take list;
+  r_guard : Term.Subst.t -> bool;
+  r_puts : put list;
+  r_label : Term.Subst.t -> Action.t;
+}
+
+val take : ?consume:bool -> string -> Term.t -> take
+val read : string -> Term.t -> take
+(** [read c p] matches [p] in component [c] without removing it. *)
+
+val put : string -> Term.t -> put
+
+val rule :
+  ?guard:(Term.Subst.t -> bool) ->
+  ?label:(Term.Subst.t -> Action.t) ->
+  takes:take list ->
+  puts:put list ->
+  string ->
+  rule
+
+val rule_name : rule -> string
+
+val neighbourhood : rule -> string list
+(** N(t): the state components the elementary automaton reads or writes. *)
+
+type t
+
+type error =
+  | Unknown_component of string * string
+  | Unbound_put_variable of string * string
+  | Nonground_initial of string * Term.t
+  | Duplicate_rule of string
+  | Duplicate_component of string
+
+val pp_error : error Fmt.t
+val validate : t -> (unit, error list) result
+
+val make : components:(string * Term.Set.t) list -> rules:rule list -> string -> t
+(** @raise Invalid_argument on an ill-formed APA. *)
+
+val name : t -> string
+val components : t -> (string * Term.Set.t) list
+val rules : t -> rule list
+val initial_state : t -> State.t
+
+val step : t -> State.t -> (rule * Action.t * State.t) list
+(** All enabled transitions of all elementary automata in a state. *)
+
+val enabled_rules : t -> State.t -> rule list
+val is_deadlocked : t -> State.t -> bool
+
+val compose : name:string -> t list -> t
+(** Glue APAs by identifying equally-named state components (shared
+    memory); initial sets are unioned. *)
+
+val prefix : ?keep:string list -> prefix:string -> t -> t
+(** Rename all components and rules with a prefix, except the shared
+    components listed in [keep]. *)
+
+val with_initial : string -> Term.Set.t -> t -> t
+(** Replace the initial content of one state component. *)
+
+val pp : t Fmt.t

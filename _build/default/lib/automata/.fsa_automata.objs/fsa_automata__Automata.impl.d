@@ -1,0 +1,1 @@
+lib/automata/automata.ml: Array Fmt Fsa_graph Fun Int List Map Printf Queue Set Stdlib

@@ -1,0 +1,1 @@
+lib/automata/automata.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Fmt Fsa_hom Fsa_lts Fsa_model Fsa_requirements Fsa_term List

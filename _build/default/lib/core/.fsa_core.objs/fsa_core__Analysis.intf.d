@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Fmt Fsa_apa Fsa_lts Fsa_model Fsa_requirements Fsa_term

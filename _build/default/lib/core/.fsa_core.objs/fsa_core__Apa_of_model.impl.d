@@ -1,0 +1,1 @@
+lib/core/apa_of_model.ml: Analysis Fmt Fsa_apa Fsa_model Fsa_requirements Fsa_term List

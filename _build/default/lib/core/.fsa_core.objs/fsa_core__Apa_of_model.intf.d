@@ -1,0 +1,1 @@
+lib/core/apa_of_model.mli: Analysis Fsa_apa Fsa_model Fsa_term

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Fmt Fsa_model Fsa_refine Fsa_requirements Fsa_term List String

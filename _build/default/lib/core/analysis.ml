@@ -1,0 +1,184 @@
+(* The functional security analysis methodology — the paper's primary
+   contribution, as a library facade over the substrates.
+
+   Two analysis paths produce the set of authenticity requirements of a
+   system of systems:
+
+   - the *manual* path (Sect. 4): functional model -> partial order zeta*
+     -> restriction chi to (minima x maxima) -> auth(x, y, stakeholder(y));
+
+   - the *tool* path (Sect. 5): APA model -> reachability graph ->
+     minima/maxima identification -> per-pair functional dependence test
+     (directly on the graph, or by abstraction with an alphabetic
+     homomorphism and inspection of the minimal automaton).
+
+   Both paths are implemented and can be cross-validated against each
+   other via a label correspondence. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Sos = Fsa_model.Sos
+module Auth = Fsa_requirements.Auth
+module Derive = Fsa_requirements.Derive
+module Classify = Fsa_requirements.Classify
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+
+(* ------------------------------------------------------------------ *)
+(* Manual path                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type manual_report = {
+  m_sos : Sos.t;
+  m_stats : Sos.stats;
+  m_boundary : Sos.boundary;
+  m_chi : (Action.t * Action.t) list;
+  m_requirements : Auth.t list;
+  m_classified : (Auth.t * Classify.class_) list;
+}
+
+let manual ?(stakeholder = Derive.default_stakeholder) sos =
+  let poset = Sos.poset sos in
+  let requirements = Derive.of_sos ~stakeholder sos in
+  { m_sos = sos;
+    m_stats = Sos.stats sos;
+    m_boundary = Sos.boundary sos;
+    m_chi = Fsa_model.Action_graph.P.chi poset;
+    m_requirements = requirements;
+    m_classified = Classify.classify_all sos requirements }
+
+let pp_manual_report ppf r =
+  Fmt.pf ppf
+    "@[<v>== manual functional security analysis: %s ==@,\
+     model: %a@,\
+     incoming boundary actions: @[%a@]@,\
+     outgoing boundary actions: @[%a@]@,\
+     requirements:@,%a@]"
+    (Sos.name r.m_sos) Sos.pp_stats r.m_stats
+    Fmt.(list ~sep:comma Action.pp)
+    r.m_boundary.Sos.incoming
+    Fmt.(list ~sep:comma Action.pp)
+    r.m_boundary.Sos.outgoing
+    Fmt.(list ~sep:cut (fun ppf rc -> Fmt.pf ppf "- %a" Classify.pp_classified rc))
+    r.m_classified
+
+(* ------------------------------------------------------------------ *)
+(* Tool path                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type dependence_method =
+  | Direct  (* BFS on the reachability graph *)
+  | Abstract  (* homomorphism + minimal automaton, as in Sect. 5.5 *)
+
+type tool_report = {
+  t_lts : Lts.t;
+  t_stats : Lts.stats;
+  t_minima : Action.t list;
+  t_maxima : Action.t list;
+  t_matrix : (Action.t * (Action.t * bool) list) list;
+  t_requirements : Auth.t list;
+}
+
+let dependence ~meth lts ~min_action ~max_action =
+  match meth with
+  | Direct -> Lts.depends_on lts ~max_action ~min_action
+  | Abstract -> Hom.depends_abstract lts ~min_action ~max_action
+
+let tool ?(meth = Abstract) ?(max_states = 1_000_000) ~stakeholder apa =
+  let lts = Lts.explore ~max_states apa in
+  let minima = Action.Set.elements (Lts.minima lts) in
+  let maxima = Action.Set.elements (Lts.maxima lts) in
+  let matrix =
+    List.map
+      (fun mx ->
+        (mx,
+         List.map
+           (fun mn -> (mn, dependence ~meth lts ~min_action:mn ~max_action:mx))
+           minima))
+      maxima
+  in
+  let requirements =
+    List.concat_map
+      (fun (mx, row) ->
+        List.filter_map
+          (fun (mn, dep) ->
+            if dep then
+              Some (Auth.make ~cause:mn ~effect:mx ~stakeholder:(stakeholder mx))
+            else None)
+          row)
+      matrix
+    |> Auth.normalise
+  in
+  { t_lts = lts;
+    t_stats = Lts.stats lts;
+    t_minima = minima;
+    t_maxima = maxima;
+    t_matrix = matrix;
+    t_requirements = requirements }
+
+let pp_tool_report ppf r =
+  let pp_row ppf (mx, row) =
+    Fmt.pf ppf "%a depends on: @[%a@]" Action.pp mx
+      Fmt.(list ~sep:comma Action.pp)
+      (List.filter_map (fun (mn, d) -> if d then Some mn else None) row)
+  in
+  Fmt.pf ppf
+    "@[<v>== tool-assisted analysis: %s ==@,\
+     reachability graph: %a@,\
+     minima: @[%a@]@,\
+     maxima: @[%a@]@,\
+     dependence:@,%a@,\
+     requirements:@,%a@]"
+    (Lts.name r.t_lts) Lts.pp_stats r.t_stats
+    Fmt.(list ~sep:comma Action.pp)
+    r.t_minima
+    Fmt.(list ~sep:comma Action.pp)
+    r.t_maxima
+    Fmt.(list ~sep:cut pp_row)
+    r.t_matrix Auth.pp_set r.t_requirements
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation of the two paths                                   *)
+(* ------------------------------------------------------------------ *)
+
+type crosscheck = {
+  c_agree : bool;
+  c_manual_only : Auth.t list;
+  c_tool_only : Auth.t list;
+  c_unmapped : Action.t list;  (* tool actions without a manual image *)
+}
+
+(* Translate the tool path's requirements into the manual action
+   vocabulary via [map] (e.g. V1_sense -> sense(ESP_1, sW)) and compare
+   requirement sets.  Stakeholders are compared as well, so [map] must be
+   paired with consistent stakeholder assignments on both sides. *)
+let crosscheck ~map ~manual_requirements ~tool_requirements =
+  let unmapped = ref [] in
+  let translate r =
+    match map (Auth.cause r), map (Auth.effect r) with
+    | Some cause, Some effect ->
+      Some (Auth.make ~cause ~effect ~stakeholder:(Auth.stakeholder r))
+    | None, _ ->
+      unmapped := Auth.cause r :: !unmapped;
+      None
+    | _, None ->
+      unmapped := Auth.effect r :: !unmapped;
+      None
+  in
+  let tool_translated = List.filter_map translate tool_requirements in
+  let manual_only = Auth.diff manual_requirements tool_translated in
+  let tool_only = Auth.diff tool_translated manual_requirements in
+  { c_agree = manual_only = [] && tool_only = [] && !unmapped = [];
+    c_manual_only = manual_only;
+    c_tool_only = tool_only;
+    c_unmapped = List.sort_uniq Action.compare !unmapped }
+
+let pp_crosscheck ppf c =
+  if c.c_agree then Fmt.pf ppf "both analysis paths agree"
+  else
+    Fmt.pf ppf
+      "@[<v>analysis paths disagree:@,manual only: %a@,tool only: %a@,\
+       unmapped tool actions: @[%a@]@]"
+      Auth.pp_set c.c_manual_only Auth.pp_set c.c_tool_only
+      Fmt.(list ~sep:comma Action.pp)
+      c.c_unmapped

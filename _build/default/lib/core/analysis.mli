@@ -1,0 +1,77 @@
+(** Functional security analysis — the paper's methodology as a façade.
+
+    The {e manual} path (Sect. 4) derives requirements from a functional
+    model via the partial order ζ* and its restriction χ; the {e tool}
+    path (Sect. 5) derives them from an APA model via its reachability
+    graph, identifying minima and maxima and testing each pair for
+    functional dependence.  [crosscheck] validates the two paths against
+    each other through a label correspondence. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Sos = Fsa_model.Sos
+module Auth = Fsa_requirements.Auth
+module Classify = Fsa_requirements.Classify
+module Lts = Fsa_lts.Lts
+
+(** {1 Manual path} *)
+
+type manual_report = {
+  m_sos : Sos.t;
+  m_stats : Sos.stats;
+  m_boundary : Sos.boundary;
+  m_chi : (Action.t * Action.t) list;
+  m_requirements : Auth.t list;
+  m_classified : (Auth.t * Classify.class_) list;
+}
+
+val manual : ?stakeholder:(Action.t -> Agent.t) -> Sos.t -> manual_report
+val pp_manual_report : manual_report Fmt.t
+
+(** {1 Tool path} *)
+
+type dependence_method =
+  | Direct  (** BFS on the reachability graph *)
+  | Abstract  (** homomorphism + minimal automaton (Sect. 5.5) *)
+
+type tool_report = {
+  t_lts : Lts.t;
+  t_stats : Lts.stats;
+  t_minima : Action.t list;
+  t_maxima : Action.t list;
+  t_matrix : (Action.t * (Action.t * bool) list) list;
+  t_requirements : Auth.t list;
+}
+
+val dependence :
+  meth:dependence_method ->
+  Lts.t ->
+  min_action:Action.t ->
+  max_action:Action.t ->
+  bool
+
+val tool :
+  ?meth:dependence_method ->
+  ?max_states:int ->
+  stakeholder:(Action.t -> Agent.t) ->
+  Fsa_apa.Apa.t ->
+  tool_report
+
+val pp_tool_report : tool_report Fmt.t
+
+(** {1 Cross-validation} *)
+
+type crosscheck = {
+  c_agree : bool;
+  c_manual_only : Auth.t list;
+  c_tool_only : Auth.t list;
+  c_unmapped : Action.t list;
+}
+
+val crosscheck :
+  map:(Action.t -> Action.t option) ->
+  manual_requirements:Auth.t list ->
+  tool_requirements:Auth.t list ->
+  crosscheck
+
+val pp_crosscheck : crosscheck Fmt.t

@@ -1,0 +1,113 @@
+(* A complete Markdown analysis report for a system of systems: model
+   statistics, boundary actions, authenticity requirements with
+   classification, confidentiality duals, and per-requirement refinement
+   summaries.  One document a requirements review can work from. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Sos = Fsa_model.Sos
+module Auth = Fsa_requirements.Auth
+module Derive = Fsa_requirements.Derive
+module Classify = Fsa_requirements.Classify
+module Conf = Fsa_requirements.Confidentiality
+module Export = Fsa_requirements.Export
+
+type options = {
+  with_confidentiality : bool;
+  with_refinement : bool;
+  stakeholder : Action.t -> Agent.t;
+}
+
+let default_options =
+  { with_confidentiality = true;
+    with_refinement = true;
+    stakeholder = Derive.default_stakeholder }
+
+let add buf fmt = Fmt.kstr (fun s -> Buffer.add_string buf s) fmt
+
+let markdown ?(options = default_options) sos =
+  let buf = Buffer.create 4096 in
+  let stats = Sos.stats sos in
+  let boundary = Sos.boundary sos in
+  let reqs = Derive.of_sos ~stakeholder:options.stakeholder sos in
+
+  add buf "# Functional security analysis: %s\n\n" (Sos.name sos);
+
+  add buf "## Model\n\n";
+  add buf "- components: %d\n- actions: %d\n- flows: %d\n" stats.Sos.nb_components
+    stats.Sos.nb_actions stats.Sos.nb_flows;
+  add buf "- component boundary actions: %d\n" stats.Sos.nb_component_boundary;
+  add buf "- system boundary actions: %d (%d maximal, %d minimal)\n\n"
+    stats.Sos.nb_system_boundary stats.Sos.nb_maximal stats.Sos.nb_minimal;
+
+  add buf "### System inputs (minimal elements)\n\n";
+  List.iter
+    (fun a -> add buf "- `%s`\n" (Action.to_string a))
+    boundary.Sos.incoming;
+  add buf "\n### System outputs (maximal elements)\n\n";
+  List.iter
+    (fun a -> add buf "- `%s`\n" (Action.to_string a))
+    boundary.Sos.outgoing;
+
+  add buf "\n## Authenticity requirements (%d)\n\n" (List.length reqs);
+  Buffer.add_string buf
+    (Export.to_markdown ~classify:(Classify.classify sos) reqs);
+
+  let policies = Classify.policies_of sos in
+  if policies <> [] then begin
+    add buf "\nPolicies present in the model: %s.\n"
+      (String.concat ", " policies);
+    let availability =
+      List.filter
+        (fun r ->
+          not
+            (Classify.equal_class (Classify.classify sos r)
+               Classify.Safety_critical))
+        reqs
+    in
+    add buf
+      "%d requirement(s) exist only because of these policies and are \
+       availability concerns rather than safety-critical.\n"
+      (List.length availability)
+  end;
+
+  if options.with_confidentiality then begin
+    add buf "\n## Confidentiality (forward information flow)\n\n";
+    let levels = Conf.inferred_levels sos in
+    add buf "| Output | Inferred level |\n|---|---|\n";
+    List.iter
+      (fun (a, l) ->
+        add buf "| `%s` | %s |\n" (Action.to_string a)
+          (Fmt.str "%a" Conf.pp_level l))
+      levels
+  end;
+
+  add buf "\n## Prioritised work list\n\n";
+  add buf "| Rank | Requirement | Class | Impact | Exposure | Reach | Score |\n";
+  add buf "|---|---|---|---|---|---|---|\n";
+  List.iteri
+    (fun i s ->
+      add buf "| %d | %s | %s | %d | %d | %d | %d |\n" (i + 1)
+        (Auth.to_string s.Fsa_requirements.Prioritise.s_requirement)
+        (Export.class_string s.Fsa_requirements.Prioritise.s_class)
+        s.Fsa_requirements.Prioritise.s_impact
+        s.Fsa_requirements.Prioritise.s_exposure
+        s.Fsa_requirements.Prioritise.s_reach
+        s.Fsa_requirements.Prioritise.s_score)
+    (Fsa_requirements.Prioritise.rank sos reqs);
+
+  if options.with_refinement then begin
+    add buf "\n## Protection options per requirement\n\n";
+    add buf "| Requirement | Paths | Attack surface | Min. cut |\n";
+    add buf "|---|---|---|---|\n";
+    List.iter
+      (fun r ->
+        let plan = Fsa_refine.Refine.plan sos r in
+        add buf "| %s | %d | %d | %d |\n" (Auth.to_string r)
+          (List.length plan.Fsa_refine.Refine.p_paths)
+          (List.length plan.Fsa_refine.Refine.p_surface)
+          (List.length plan.Fsa_refine.Refine.p_min_cut))
+      reqs
+  end;
+
+  Buffer.contents buf

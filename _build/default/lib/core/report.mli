@@ -1,0 +1,17 @@
+(** Complete Markdown analysis reports: model statistics, boundary
+    actions, classified authenticity requirements, confidentiality
+    inference and refinement summaries. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Sos = Fsa_model.Sos
+
+type options = {
+  with_confidentiality : bool;
+  with_refinement : bool;
+  stakeholder : Action.t -> Agent.t;
+}
+
+val default_options : options
+
+val markdown : ?options:options -> Sos.t -> string

@@ -1,0 +1,61 @@
+(** Persistent directed graphs and the algorithms used by functional
+    security analysis: reachability, topological order, cycle detection,
+    SCCs, reflexive/transitive closure and reduction, unit-capacity max
+    flow / min cut, and label-preserving isomorphism. *)
+
+module type VERTEX = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module type S = sig
+  type vertex
+  type t
+
+  module Vset : Set.S with type elt = vertex
+  module Vmap : Map.S with type key = vertex
+
+  val compare_vertex : vertex -> vertex -> int
+  val pp_vertex : vertex Fmt.t
+  val empty : t
+  val is_empty : t -> bool
+  val add_vertex : vertex -> t -> t
+  val add_edge : vertex -> vertex -> t -> t
+  val remove_edge : vertex -> vertex -> t -> t
+  val remove_vertex : vertex -> t -> t
+  val of_edges : ?vertices:vertex list -> (vertex * vertex) list -> t
+  val mem_vertex : vertex -> t -> bool
+  val mem_edge : vertex -> vertex -> t -> bool
+  val succ : vertex -> t -> Vset.t
+  val pred : vertex -> t -> Vset.t
+  val vertices : t -> Vset.t
+  val edges : t -> (vertex * vertex) list
+  val nb_vertices : t -> int
+  val nb_edges : t -> int
+  val out_degree : vertex -> t -> int
+  val in_degree : vertex -> t -> int
+  val sources : t -> Vset.t
+  val sinks : t -> Vset.t
+  val fold_vertices : (vertex -> 'a -> 'a) -> t -> 'a -> 'a
+  val fold_edges : (vertex -> vertex -> 'a -> 'a) -> t -> 'a -> 'a
+  val map : (vertex -> vertex) -> t -> t
+  val union : t -> t -> t
+  val reverse : t -> t
+  val reachable : vertex -> t -> Vset.t
+  val co_reachable : vertex -> t -> Vset.t
+  val topological_sort : t -> vertex list option
+  val find_cycle : t -> vertex list option
+  val is_acyclic : t -> bool
+  val sccs : t -> vertex list list
+  val transitive_closure : ?reflexive:bool -> t -> t
+  val transitive_closure_dense : ?reflexive:bool -> t -> t
+  val transitive_reduction : t -> t
+  val max_flow_unit : source:vertex -> sink:vertex -> t -> int * (vertex * vertex) list
+  val min_edge_cut : source:vertex -> sink:vertex -> t -> (vertex * vertex) list
+  val isomorphic : ?label:(vertex -> vertex -> bool) -> t -> t -> bool
+  val pp : t Fmt.t
+end
+
+module Make (V : VERTEX) : S with type vertex = V.t

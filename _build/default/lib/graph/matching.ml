@@ -1,0 +1,41 @@
+(* Maximum bipartite matching via Kuhn's augmenting-path algorithm.
+   Used by [Fsa_order] to compute poset width (Dilworth: a minimum chain
+   cover of a poset corresponds to a maximum matching in the split bipartite
+   graph of its strict order relation). *)
+
+type t = {
+  pair_left : int array;  (* pair_left.(u) = matched right vertex or -1 *)
+  pair_right : int array;  (* pair_right.(v) = matched left vertex or -1 *)
+  size : int;
+}
+
+let maximum ~left ~right ~adj =
+  if left < 0 || right < 0 then invalid_arg "Matching.maximum: negative size";
+  let pair_left = Array.make left (-1) in
+  let pair_right = Array.make right (-1) in
+  let visited = Array.make right false in
+  let rec try_kuhn u =
+    List.exists
+      (fun v ->
+        if visited.(v) then false
+        else begin
+          visited.(v) <- true;
+          if pair_right.(v) = -1 || try_kuhn pair_right.(v) then begin
+            pair_left.(u) <- v;
+            pair_right.(v) <- u;
+            true
+          end
+          else false
+        end)
+      (adj u)
+  in
+  let size = ref 0 in
+  for u = 0 to left - 1 do
+    Array.fill visited 0 right false;
+    if try_kuhn u then incr size
+  done;
+  { pair_left; pair_right; size = !size }
+
+let size t = t.size
+let pair_of_left t u = if t.pair_left.(u) >= 0 then Some t.pair_left.(u) else None
+let pair_of_right t v = if t.pair_right.(v) >= 0 then Some t.pair_right.(v) else None

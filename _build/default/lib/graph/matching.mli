@@ -1,0 +1,12 @@
+(** Maximum bipartite matching (Kuhn's algorithm). *)
+
+type t
+
+val maximum : left:int -> right:int -> adj:(int -> int list) -> t
+(** [maximum ~left ~right ~adj] computes a maximum matching of the
+    bipartite graph with left vertices [0..left-1], right vertices
+    [0..right-1] and edges [u -> adj u]. *)
+
+val size : t -> int
+val pair_of_left : t -> int -> int option
+val pair_of_right : t -> int -> int option

@@ -1,0 +1,1 @@
+lib/grid/grid_apa.ml: Fsa_apa Fsa_term List Option Printf Scenario String

@@ -1,0 +1,1 @@
+lib/grid/grid_apa.mli: Fsa_apa Fsa_term

@@ -1,0 +1,1 @@
+lib/grid/scenario.ml: Fsa_model Fsa_term List Printf

@@ -1,0 +1,1 @@
+lib/grid/scenario.mli: Fsa_model Fsa_term

@@ -1,0 +1,197 @@
+(* The operational APA model of the demand-response scenario — the
+   tool-path counterpart of {!Scenario}.
+
+   Unlike the vehicular model, this one exercises joins and fan-out:
+
+   - the concentrator's [aggregate] consumes one reading per meter (an
+     n-way join on the collect buffer);
+   - the head-end's [ingest] produces two tokens (the aggregate for the
+     decision and a copy for billing);
+   - [dispatch] produces one command token per breaker (fan-out over the
+     field network). *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+
+let label name = Action.make name
+
+let meter_id i = Term.sym (Printf.sprintf "M%d" i)
+let breaker_id i = Term.sym (Printf.sprintf "B%d" i)
+
+let var = Term.var
+let reading m x = Term.app "reading" [ m; x ]
+let cmd b = Term.app "cmd" [ b ]
+
+(* One meter: measure the pending sample, then report it on the
+   power-line carrier medium. *)
+let meter i =
+  Apa.make
+    ~components:
+      [ (Printf.sprintf "m_in%d" i,
+         Term.Set.of_list [ Term.sym (Printf.sprintf "sample%d" i) ]);
+        (Printf.sprintf "mbus%d" i, Term.Set.empty);
+        ("plc", Term.Set.empty) ]
+    ~rules:
+      [ Apa.rule
+          (Printf.sprintf "M%d_measure" i)
+          ~takes:[ Apa.take (Printf.sprintf "m_in%d" i) (var "x") ]
+          ~puts:[ Apa.put (Printf.sprintf "mbus%d" i) (var "x") ]
+          ~label:(fun _ -> label (Printf.sprintf "M%d_measure" i));
+        Apa.rule
+          (Printf.sprintf "M%d_report" i)
+          ~takes:[ Apa.take (Printf.sprintf "mbus%d" i) (var "x") ]
+          ~puts:[ Apa.put "plc" (reading (meter_id i) (var "x")) ]
+          ~label:(fun _ -> label (Printf.sprintf "M%d_report" i)) ]
+    (Printf.sprintf "Meter%d" i)
+
+(* The concentrator for [n] meters: collect each reading, aggregate all
+   of them at once (n-way join), upload over the WAN. *)
+let concentrator n =
+  let collect =
+    Apa.rule "C_collect"
+      ~takes:[ Apa.take "plc" (reading (var "m") (var "x")) ]
+      ~puts:[ Apa.put "cbuf" (reading (var "m") (var "x")) ]
+      ~label:(fun _ -> label "C_collect")
+  in
+  let aggregate =
+    let takes =
+      List.init n (fun k ->
+          Apa.take "cbuf" (reading (meter_id (k + 1)) (var (Printf.sprintf "x%d" (k + 1)))))
+    in
+    let agg =
+      Term.app "agg" (List.init n (fun k -> var (Printf.sprintf "x%d" (k + 1))))
+    in
+    Apa.rule "C_aggregate" ~takes ~puts:[ Apa.put "cagg" agg ]
+      ~label:(fun _ -> label "C_aggregate")
+  in
+  let upload =
+    Apa.rule "C_upload"
+      ~takes:[ Apa.take "cagg" (var "a") ]
+      ~puts:[ Apa.put "wan" (var "a") ]
+      ~label:(fun _ -> label "C_upload")
+  in
+  Apa.make
+    ~components:
+      [ ("plc", Term.Set.empty); ("cbuf", Term.Set.empty);
+        ("cagg", Term.Set.empty); ("wan", Term.Set.empty) ]
+    ~rules:[ collect; aggregate; upload ]
+    "Concentrator"
+
+let market =
+  Apa.make
+    ~components:
+      [ ("mk_in", Term.Set.of_list [ Term.sym "price" ]);
+        ("feed", Term.Set.empty) ]
+    ~rules:
+      [ Apa.rule "MK_quote"
+          ~takes:[ Apa.take "mk_in" (var "p") ]
+          ~puts:[ Apa.put "feed" (var "p") ]
+          ~label:(fun _ -> label "MK_quote") ]
+    "Market"
+
+(* The head-end for [n] breakers: ingest duplicates the aggregate for the
+   decision and for billing; dispatch fans a command out per breaker. *)
+let head_end n =
+  let ingest =
+    Apa.rule "HE_ingest"
+      ~takes:[ Apa.take "wan" (var "a") ]
+      ~puts:[ Apa.put "hbus" (var "a"); Apa.put "billbuf" (var "a") ]
+      ~label:(fun _ -> label "HE_ingest")
+  in
+  let price =
+    Apa.rule "HE_price"
+      ~takes:[ Apa.take "feed" (var "p") ]
+      ~puts:[ Apa.put "hbus" (Term.app "price" [ var "p" ]) ]
+      ~label:(fun _ -> label "HE_price")
+  in
+  let decide =
+    Apa.rule "HE_decide"
+      ~takes:
+        [ Apa.take "hbus" (Term.app "agg" (List.init n (fun k -> var (Printf.sprintf "x%d" (k + 1)))));
+          Apa.take "hbus" (Term.app "price" [ var "p" ]) ]
+      ~puts:[ Apa.put "dbus" (Term.sym "plan") ]
+      ~label:(fun _ -> label "HE_decide")
+  in
+  let dispatch =
+    Apa.rule "HE_dispatch"
+      ~takes:[ Apa.take "dbus" (var "d") ]
+      ~puts:(List.init n (fun k -> Apa.put "fieldnet" (cmd (breaker_id (k + 1)))))
+      ~label:(fun _ -> label "HE_dispatch")
+  in
+  let bill =
+    Apa.rule "HE_bill"
+      ~takes:[ Apa.take "billbuf" (var "a") ]
+      ~puts:[ Apa.put "ledger" (Term.app "invoice" [ var "a" ]) ]
+      ~label:(fun _ -> label "HE_bill")
+  in
+  Apa.make
+    ~components:
+      [ ("wan", Term.Set.empty); ("feed", Term.Set.empty);
+        ("hbus", Term.Set.empty); ("billbuf", Term.Set.empty);
+        ("dbus", Term.Set.empty); ("fieldnet", Term.Set.empty);
+        ("ledger", Term.Set.empty) ]
+    ~rules:[ ingest; price; decide; dispatch; bill ]
+    "HeadEnd"
+
+let breaker i =
+  Apa.make
+    ~components:
+      [ ("fieldnet", Term.Set.empty);
+        (Printf.sprintf "bbus%d" i, Term.Set.empty);
+        (Printf.sprintf "bstate%d" i, Term.Set.empty) ]
+    ~rules:
+      [ Apa.rule
+          (Printf.sprintf "B%d_command" i)
+          ~takes:[ Apa.take "fieldnet" (cmd (breaker_id i)) ]
+          ~puts:[ Apa.put (Printf.sprintf "bbus%d" i) (Term.sym "go") ]
+          ~label:(fun _ -> label (Printf.sprintf "B%d_command" i));
+        Apa.rule
+          (Printf.sprintf "B%d_switch" i)
+          ~takes:[ Apa.take (Printf.sprintf "bbus%d" i) (var "g") ]
+          ~puts:[ Apa.put (Printf.sprintf "bstate%d" i) (Term.sym "off") ]
+          ~label:(fun _ -> label (Printf.sprintf "B%d_switch" i)) ]
+    (Printf.sprintf "Breaker%d" i)
+
+(* The complete APA for [households] meter/breaker pairs. *)
+let demand_response ?(households = 2) () =
+  if households < 1 then invalid_arg "Grid_apa.demand_response";
+  let hh = List.init households (fun k -> k + 1) in
+  Apa.compose ~name:"grid_demand_response"
+    (List.map meter hh
+     @ [ concentrator households; market; head_end households ]
+     @ List.map breaker hh)
+
+(* Correspondence to the manual-path actions, for cross-validation. *)
+let manual_action_of_label action =
+  let s = Action.label action in
+  match String.index_opt s '_' with
+  | None -> None
+  | Some i -> (
+    let prefix = String.sub s 0 i in
+    let verb = String.sub s (i + 1) (String.length s - i - 1) in
+    let idx_of p =
+      int_of_string_opt (String.sub p 1 (String.length p - 1))
+    in
+    match prefix, verb with
+    | "C", "collect" -> Some Scenario.collect
+    | "C", "aggregate" -> Some Scenario.aggregate
+    | "C", "upload" -> Some Scenario.upload
+    | "MK", "quote" -> Some Scenario.quote
+    | "HE", "ingest" -> Some Scenario.ingest
+    | "HE", "price" -> Some Scenario.price_in
+    | "HE", "decide" -> Some Scenario.decide
+    | "HE", "dispatch" -> Some Scenario.dispatch
+    | "HE", "bill" -> Some Scenario.bill
+    | p, "measure" when p.[0] = 'M' ->
+      Option.map Scenario.measure (idx_of p)
+    | p, "report" when p.[0] = 'M' -> Option.map Scenario.report (idx_of p)
+    | p, "command" when p.[0] = 'B' -> Option.map Scenario.command (idx_of p)
+    | p, "switch" when p.[0] = 'B' -> Option.map Scenario.switch (idx_of p)
+    | _, _ -> None)
+
+(* Tool-path stakeholders matching the manual assignment. *)
+let stakeholder action =
+  match manual_action_of_label action with
+  | Some manual -> Scenario.stakeholder manual
+  | None -> Fsa_term.Agent.unindexed "SYS"

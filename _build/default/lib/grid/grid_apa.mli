@@ -1,0 +1,21 @@
+(** The operational APA model of the demand-response scenario (tool
+    path).  Exercises joins (the n-way aggregate), token duplication (the
+    ingest) and fan-out (the dispatch). *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+
+val meter : int -> Apa.t
+val concentrator : int -> Apa.t
+val market : Apa.t
+val head_end : int -> Apa.t
+val breaker : int -> Apa.t
+
+val demand_response : ?households:int -> unit -> Apa.t
+
+val manual_action_of_label : Action.t -> Action.t option
+(** Map tool-path labels ([M1_measure]) to the manual-path actions
+    ([measure(METER_1)]). *)
+
+val stakeholder : Action.t -> Fsa_term.Agent.t

@@ -1,0 +1,91 @@
+(* A second application domain: smart-grid demand response.
+
+   Households carry smart meters; a neighbourhood concentrator aggregates
+   readings; the utility head-end combines the aggregate with a market
+   price signal into a demand-response decision that actuates household
+   breakers; the ingested readings also feed billing (a settlement
+   policy, not safety-relevant for the switching decision).
+
+   The functional models below are the manual-path representation; the
+   operational APA models live in {!Grid_apa}. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+let settlement_policy = "settlement"
+
+let act role label = Action.make ~actor:(Agent.unindexed role) label
+let acti role i label = Action.make ~actor:(Agent.concrete role i) label
+
+(* Action constructors *)
+let measure i = acti "METER" i "measure"
+let report i = acti "METER" i "report"
+let collect = act "CONC" "collect"
+let aggregate = act "CONC" "aggregate"
+let upload = act "CONC" "upload"
+let quote = act "MARKET" "quote"
+let ingest = act "HE" "ingest"
+let price_in = act "HE" "price_in"
+let decide = act "HE" "decide"
+let dispatch = act "HE" "dispatch"
+let bill = act "HE" "bill"
+let command i = acti "BRK" i "command"
+let switch i = acti "BRK" i "switch"
+
+(* Functional component models *)
+let meter i =
+  Component.make
+    (Printf.sprintf "Meter_%d" i)
+    ~actions:[ measure i; report i ]
+    ~flows:[ Flow.internal (measure i) (report i) ]
+
+let breaker i =
+  Component.make
+    (Printf.sprintf "Breaker_%d" i)
+    ~actions:[ command i; switch i ]
+    ~flows:[ Flow.internal (command i) (switch i) ]
+
+let concentrator =
+  Component.make "Concentrator"
+    ~actions:[ collect; aggregate; upload ]
+    ~flows:[ Flow.internal collect aggregate; Flow.internal aggregate upload ]
+
+let market = Component.make "Market" ~actions:[ quote ] ~flows:[]
+
+let head_end =
+  Component.make "HeadEnd"
+    ~actions:[ ingest; price_in; decide; dispatch; bill ]
+    ~flows:
+      [ Flow.internal ingest decide;
+        Flow.internal price_in decide;
+        Flow.internal decide dispatch;
+        Flow.internal ~policy:settlement_policy ingest bill ]
+
+(* The demand-response SoS with [n] households (each a meter and a
+   breaker). *)
+let demand_response ?(households = 2) () =
+  if households < 1 then invalid_arg "Grid.Scenario.demand_response";
+  let hh = List.init households (fun k -> k + 1) in
+  Sos.make "demand_response"
+    ~components:
+      (List.map meter hh
+       @ [ concentrator; market; head_end ]
+       @ List.map breaker hh)
+    ~links:
+      (List.map (fun i -> Flow.external_ (report i) collect) hh
+       @ [ Flow.external_ upload ingest; Flow.external_ quote price_in ]
+       @ List.map (fun i -> Flow.external_ dispatch (command i)) hh)
+
+(* Stakeholders: the affected household for its breaker, the utility for
+   billing, the acting component otherwise. *)
+let stakeholder action =
+  match Action.actor action with
+  | Some a when Agent.role a = "BRK" ->
+    Agent.make ~index:(Agent.index a) "Household"
+  | Some a when Agent.role a = "HE" -> Agent.unindexed "Utility"
+  | Some a -> a
+  | None -> Agent.unindexed "ENV"

@@ -1,0 +1,40 @@
+(** Smart-grid demand response — a second application domain for the
+    method, in manual-path (functional model) form. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Sos = Fsa_model.Sos
+
+val settlement_policy : string
+
+(** {1 Actions} *)
+
+val measure : int -> Action.t
+val report : int -> Action.t
+val collect : Action.t
+val aggregate : Action.t
+val upload : Action.t
+val quote : Action.t
+val ingest : Action.t
+val price_in : Action.t
+val decide : Action.t
+val dispatch : Action.t
+val bill : Action.t
+val command : int -> Action.t
+val switch : int -> Action.t
+
+(** {1 Components and the SoS} *)
+
+val meter : int -> Component.t
+val breaker : int -> Component.t
+val concentrator : Component.t
+val market : Component.t
+val head_end : Component.t
+
+val demand_response : ?households:int -> unit -> Sos.t
+(** The demand-response SoS with [households] meter/breaker pairs
+    (default 2). *)
+
+val stakeholder : Action.t -> Agent.t

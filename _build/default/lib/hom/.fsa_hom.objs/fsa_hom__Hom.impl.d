@@ -1,0 +1,1 @@
+lib/hom/hom.ml: Array Fmt Fsa_automata Fsa_lts Fsa_term Fun List Option Queue Set Stdlib

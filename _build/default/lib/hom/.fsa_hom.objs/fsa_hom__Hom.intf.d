@@ -1,0 +1,1 @@
+lib/hom/hom.mli: Fsa_automata Fsa_lts Fsa_term

@@ -1,0 +1,209 @@
+(* Alphabetic language homomorphisms and abstraction-based analysis
+   (Sect. 5.5 of the paper).
+
+   Behaviour abstraction of an APA is formalised by alphabetic language
+   homomorphisms h : Sigma* -> Sigma'*: certain transitions are ignored
+   (mapped to the empty word) and others are renamed.  Applying h to a
+   reachability graph yields an NFA with epsilon transitions whose
+   determinised, minimised form is the "minimal automaton for the
+   homomorphic image" that the SH verification tool computes and displays
+   (Figs. 10 and 11). *)
+
+module Action = Fsa_term.Action
+module Lts = Fsa_lts.Lts
+
+module Action_label = struct
+  type t = Action.t
+
+  let compare = Action.compare
+  let pp = Action.pp
+end
+
+module A = Fsa_automata.Automata.Make (Action_label)
+
+(* An alphabetic homomorphism: [None] maps the action to the empty word. *)
+type t = Action.t -> Action.t option
+
+let identity : t = fun a -> Some a
+
+(* Preserve exactly the listed actions, erase everything else — the
+   homomorphism used in the paper to focus on one (minimum, maximum)
+   pair. *)
+let preserve actions : t =
+ fun a -> if List.exists (Action.equal a) actions then Some a else None
+
+let rename assoc : t =
+ fun a ->
+  match List.find_opt (fun (x, _) -> Action.equal a x) assoc with
+  | Some (_, y) -> Some y
+  | None -> Some a
+
+let compose (h2 : t) (h1 : t) : t = fun a -> Option.bind (h1 a) h2
+
+(* ------------------------------------------------------------------ *)
+(* Application to behaviours                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The homomorphic image of a reachability graph, as an NFA with epsilon
+   transitions.  The behaviour of an APA is prefix closed, hence every
+   state accepts. *)
+let image_nfa (h : t) lts =
+  let n = Lts.nb_states lts in
+  let edges =
+    List.map
+      (fun tr ->
+        (tr.Lts.t_src, h tr.Lts.t_label, tr.Lts.t_dst))
+      (Lts.transitions lts)
+  in
+  let all = List.init n Fun.id |> Fsa_automata.Automata.Int_set.of_list in
+  A.Nfa.create ~nb_states:n
+    ~start:(Fsa_automata.Automata.Int_set.singleton (Lts.initial lts))
+    ~finals:all ~edges
+
+(* The minimal deterministic automaton of the homomorphic image. *)
+let minimal_automaton (h : t) lts = A.Dfa.minimize (A.Dfa.determinize (image_nfa h lts))
+
+(* ------------------------------------------------------------------ *)
+(* Functional dependence by abstraction                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Reading functional dependence off the abstract automaton: with the
+   homomorphism preserving only {min, max}, the maximum depends on the
+   minimum iff no accepted word contains [max] before the first [min] —
+   graphically, iff every path of the minimal automaton reaches a
+   [max]-edge only after a [min]-edge (Fig. 10), whereas independence shows
+   as a diamond (Fig. 11). *)
+let dfa_has_target_before_avoid dfa ~avoid ~target =
+  let module IS = Fsa_automata.Automata.Int_set in
+  let rec go visited frontier =
+    match frontier with
+    | [] -> false
+    | s :: rest ->
+      if IS.mem s visited then go visited rest
+      else begin
+        let visited = IS.add s visited in
+        let hit = ref false in
+        let next = ref rest in
+        List.iter
+          (fun (s', l, d) ->
+            if s' = s then
+              if Action.equal l target then hit := true
+              else if not (Action.equal l avoid) then next := d :: !next)
+          (A.Dfa.transitions dfa);
+        !hit || go visited !next
+      end
+  in
+  go IS.empty [ A.Dfa.start dfa ]
+
+let depends_abstract lts ~min_action ~max_action =
+  let dfa = minimal_automaton (preserve [ min_action; max_action ]) lts in
+  not (dfa_has_target_before_avoid dfa ~avoid:min_action ~target:max_action)
+
+(* Testing each maximum against each minimum (Sect. 5.5): the dependence
+   matrix of the behaviour. *)
+let dependence_matrix lts ~minima ~maxima =
+  List.map
+    (fun mx ->
+      (mx,
+       List.map
+         (fun mn -> (mn, depends_abstract lts ~min_action:mn ~max_action:mx))
+         minima))
+    maxima
+
+(* ------------------------------------------------------------------ *)
+(* Simplicity of homomorphisms                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The SH verification tool checks "simplicity" of a homomorphism: a
+   sufficient condition under which satisfaction of properties on the
+   abstract level carries over (approximately) to the concrete level.  We
+   implement the weak continuation-closure check on the product of the
+   concrete behaviour with the minimal automaton of its image:
+
+     for every reachable product state (q, m) and every abstract action x
+     enabled in m, some concrete path from q of erased transitions
+     followed by one transition t with h(t) = x must exist.
+
+   If this holds everywhere, every abstract continuation is realisable
+   from every concrete representative, so the abstraction adds no spurious
+   decisions: h is simple on the given behaviour. *)
+let is_simple (h : t) lts =
+  let dfa = minimal_automaton h lts in
+  let module IS = Fsa_automata.Automata.Int_set in
+  (* concrete transition list indexed by state *)
+  let succ = Array.make (Lts.nb_states lts) [] in
+  List.iter
+    (fun tr -> succ.(tr.Lts.t_src) <- tr :: succ.(tr.Lts.t_src))
+    (Lts.transitions lts);
+  (* abstract letters enabled in a DFA state *)
+  let enabled m =
+    List.filter_map
+      (fun (s, l, _) -> if s = m then Some l else None)
+      (A.Dfa.transitions dfa)
+  in
+  (* can concrete state q produce abstract letter x after erased steps? *)
+  let can_produce q x =
+    let rec go visited = function
+      | [] -> false
+      | s :: rest ->
+        if IS.mem s visited then go visited rest
+        else begin
+          let visited = IS.add s visited in
+          let hit = ref false in
+          let next = ref rest in
+          List.iter
+            (fun tr ->
+              match h tr.Lts.t_label with
+              | Some y when Action.equal y x -> hit := true
+              | Some _ -> ()
+              | None -> next := tr.Lts.t_dst :: !next)
+            succ.(s);
+          !hit || go visited !next
+        end
+    in
+    go IS.empty [ q ]
+  in
+  (* BFS over reachable product states *)
+  let module PS = Set.Make (struct
+    type t = int * int
+
+    let compare = Stdlib.compare
+  end) in
+  let step_abstract m l = A.Dfa.step dfa m l in
+  let ok = ref true in
+  let visited = ref PS.empty in
+  let queue = Queue.create () in
+  Queue.add (Lts.initial lts, A.Dfa.start dfa) queue;
+  while (not (Queue.is_empty queue)) && !ok do
+    let (q, m) as ps = Queue.pop queue in
+    if not (PS.mem ps !visited) then begin
+      visited := PS.add ps !visited;
+      List.iter
+        (fun x -> if not (can_produce q x) then ok := false)
+        (enabled m);
+      List.iter
+        (fun tr ->
+          match h tr.Lts.t_label with
+          | None -> Queue.add (tr.Lts.t_dst, m) queue
+          | Some x -> (
+            match step_abstract m x with
+            | Some m' -> Queue.add (tr.Lts.t_dst, m') queue
+            | None -> ok := false (* image outside abstract language *)))
+        succ.(q)
+    end
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dot ?(name = "minimal_automaton") (h : t) lts =
+  A.Dfa.dot ~name (minimal_automaton h lts)
+
+(* A compact description of the shape of a minimal automaton, used to
+   compare against the figures of the paper. *)
+let describe_dfa dfa =
+  Fmt.str "%d states, %d transitions, %d final" (A.Dfa.nb_states dfa)
+    (A.Dfa.nb_transitions dfa)
+    (Fsa_automata.Automata.Int_set.cardinal (A.Dfa.finals dfa))

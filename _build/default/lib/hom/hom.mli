@@ -1,0 +1,53 @@
+(** Alphabetic language homomorphisms and abstraction-based dependence
+    analysis (Sect. 5.5 of the paper). *)
+
+module Action = Fsa_term.Action
+module Lts = Fsa_lts.Lts
+module Action_label : Fsa_automata.Automata.LABEL with type t = Action.t
+module A : module type of Fsa_automata.Automata.Make (Action_label)
+
+type t = Action.t -> Action.t option
+(** An alphabetic homomorphism on action languages; [None] erases the
+    action (maps it to the empty word). *)
+
+val identity : t
+
+val preserve : Action.t list -> t
+(** Identity on the listed actions, erase everything else. *)
+
+val rename : (Action.t * Action.t) list -> t
+val compose : t -> t -> t
+
+val image_nfa : t -> Lts.t -> A.Nfa.t
+(** The homomorphic image of a (prefix-closed) behaviour, with erased
+    transitions as epsilon edges; every state accepts. *)
+
+val minimal_automaton : t -> Lts.t -> A.Dfa.t
+(** The minimal deterministic automaton of the image — what the SH tool
+    displays in Figs. 10 and 11. *)
+
+val dfa_has_target_before_avoid :
+  A.Dfa.t -> avoid:Action.t -> target:Action.t -> bool
+
+val depends_abstract :
+  Lts.t -> min_action:Action.t -> max_action:Action.t -> bool
+(** Abstraction-based functional dependence: preserve only the pair,
+    minimise, and check that [max_action] cannot occur before
+    [min_action]. *)
+
+val dependence_matrix :
+  Lts.t ->
+  minima:Action.t list ->
+  maxima:Action.t list ->
+  (Action.t * (Action.t * bool) list) list
+(** For each maximum, the dependence verdict against every minimum. *)
+
+val is_simple : t -> Lts.t -> bool
+(** Weak continuation-closure check on the product of the behaviour with
+    the minimal automaton of its image: when it holds, every abstract
+    continuation is realisable from every concrete representative and the
+    homomorphism is simple on this behaviour (the condition the SH tool
+    verifies before transferring abstract results). *)
+
+val dot : ?name:string -> t -> Lts.t -> string
+val describe_dfa : A.Dfa.t -> string

@@ -1,0 +1,1 @@
+lib/lts/lts.ml: Array Fmt Fsa_apa Fsa_graph Fsa_term Hashtbl List Logs Printf Queue Stdlib

@@ -1,0 +1,1 @@
+lib/lts/lts.mli: Fmt Fsa_apa Fsa_term

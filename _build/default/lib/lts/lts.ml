@@ -1,0 +1,305 @@
+(* Reachability graphs (Definition 3 of the paper).
+
+   The behaviour of an APA is the set of all coherent sequences of state
+   transitions starting in the initial state; state transitions are the
+   labelled edges of a directed graph whose nodes are the reachable global
+   states.  States are numbered in breadth-first discovery order starting
+   from 1, and printed M-1, M-2, ... in the style of the SH verification
+   tool. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module State = Fsa_apa.Apa.State
+
+type transition = { t_src : int; t_label : Action.t; t_dst : int }
+
+type t = {
+  apa_name : string;
+  states : State.t array;
+  initial : int;  (* always 0 *)
+  succs : transition list array;  (* outgoing transitions, by source *)
+  preds : transition list array;  (* incoming transitions, by target *)
+}
+
+exception State_space_too_large of int
+
+let log_src = Logs.Src.create "fsa.lts" ~doc:"state-space exploration"
+
+module Log = (val Logs.src_log log_src)
+
+module State_table = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
+let explore ?(max_states = 1_000_000) apa =
+  let initial = Fsa_apa.Apa.initial_state apa in
+  let index = State_table.create 1024 in
+  State_table.replace index initial 0;
+  let states = ref [ initial ] in
+  let nb = ref 1 in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  Queue.add (0, initial) queue;
+  while not (Queue.is_empty queue) do
+    let src_id, src = Queue.pop queue in
+    List.iter
+      (fun (_rule, label, dst) ->
+        let dst_id =
+          match State_table.find_opt index dst with
+          | Some id -> id
+          | None ->
+            let id = !nb in
+            if id >= max_states then raise (State_space_too_large max_states);
+            State_table.replace index dst id;
+            states := dst :: !states;
+            incr nb;
+            Queue.add (id, dst) queue;
+            id
+        in
+        edges := { t_src = src_id; t_label = label; t_dst = dst_id } :: !edges)
+      (Fsa_apa.Apa.step apa src)
+  done;
+  Log.debug (fun m ->
+      m "explored %s: %d states, %d transitions" (Fsa_apa.Apa.name apa) !nb
+        (List.length !edges));
+  let states = Array.of_list (List.rev !states) in
+  let succs = Array.make (Array.length states) [] in
+  let preds = Array.make (Array.length states) [] in
+  List.iter
+    (fun tr ->
+      succs.(tr.t_src) <- tr :: succs.(tr.t_src);
+      preds.(tr.t_dst) <- tr :: preds.(tr.t_dst))
+    !edges;
+  (* Keep transition lists deterministically ordered. *)
+  let order a b =
+    let c = Stdlib.compare a.t_src b.t_src in
+    if c <> 0 then c
+    else
+      let c = Action.compare a.t_label b.t_label in
+      if c <> 0 then c else Stdlib.compare a.t_dst b.t_dst
+  in
+  Array.iteri (fun i l -> succs.(i) <- List.sort order l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.sort order l) preds;
+  { apa_name = Fsa_apa.Apa.name apa; states; initial = 0; succs; preds }
+
+let name t = t.apa_name
+let nb_states t = Array.length t.states
+let nb_transitions t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succs
+let initial t = t.initial
+let state t i = t.states.(i)
+let succ t i = t.succs.(i)
+let pred t i = t.preds.(i)
+
+let transitions t = Array.to_list t.succs |> List.concat
+
+let state_name i = Printf.sprintf "M-%d" (i + 1)
+
+let fold_states f t acc =
+  let acc = ref acc in
+  Array.iteri (fun i _ -> acc := f i !acc) t.states;
+  !acc
+
+let alphabet t =
+  List.fold_left
+    (fun acc tr -> Action.Set.add tr.t_label acc)
+    Action.Set.empty (transitions t)
+
+(* Dead states: no outgoing transition ("+++ dead +++" in the tool). *)
+let deadlocks t =
+  fold_states (fun i acc -> if t.succs.(i) = [] then i :: acc else acc) t []
+  |> List.rev
+
+(* Minima of the partial order of functionally dependent actions: every
+   action leaving the initial state on any trace is a minimum, because it
+   does not depend on any other action having occurred before
+   (Sect. 5.4). *)
+let minima t =
+  List.fold_left
+    (fun acc tr -> Action.Set.add tr.t_label acc)
+    Action.Set.empty t.succs.(t.initial)
+
+(* Maxima: the actions leading into a dead state from any trace — they do
+   not trigger any further action after they have been performed. *)
+let maxima t =
+  List.fold_left
+    (fun acc dead ->
+      List.fold_left
+        (fun acc tr -> Action.Set.add tr.t_label acc)
+        acc t.preds.(dead))
+    Action.Set.empty (deadlocks t)
+
+(* Shortest trace (sequence of labels) from the initial state to state [i]. *)
+let trace_to t i =
+  let n = nb_states t in
+  let prev = Array.make n None in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(t.initial) <- true;
+  Queue.add t.initial queue;
+  (try
+     while not (Queue.is_empty queue) do
+       let s = Queue.pop queue in
+       if s = i then raise Exit;
+       List.iter
+         (fun tr ->
+           if not visited.(tr.t_dst) then begin
+             visited.(tr.t_dst) <- true;
+             prev.(tr.t_dst) <- Some tr;
+             Queue.add tr.t_dst queue
+           end)
+         t.succs.(s)
+     done
+   with Exit -> ());
+  if not visited.(i) then None
+  else begin
+    let rec build acc s =
+      if s = t.initial then acc
+      else
+        match prev.(s) with
+        | None -> acc
+        | Some tr -> build (tr.t_label :: acc) tr.t_src
+    in
+    Some (build [] i)
+  end
+
+(* All words of the (prefix-closed) action language up to length [n] —
+   exponential, for tests and small examples only. *)
+let words ~max_len t =
+  let rec go acc word len s =
+    let acc = List.rev word :: acc in
+    if len = max_len then acc
+    else
+      List.fold_left
+        (fun acc tr -> go acc (tr.t_label :: word) (len + 1) tr.t_dst)
+        acc t.succs.(s)
+  in
+  List.sort_uniq (List.compare Action.compare) (go [] [] 0 t.initial)
+
+(* Does some occurrence of a [target]-labelled transition happen on a path
+   from the initial state that contains no prior [before]-labelled
+   transition?  Used for the direct (non-abstracted) functional dependence
+   test: [target] depends on [before] iff no such path exists. *)
+let reachable_without t ~avoid ~target =
+  let n = nb_states t in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(t.initial) <- true;
+  Queue.add t.initial queue;
+  let found = ref false in
+  while not (Queue.is_empty queue || !found) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun tr ->
+        if target tr.t_label then found := true
+        else if (not (avoid tr.t_label)) && not visited.(tr.t_dst) then begin
+          visited.(tr.t_dst) <- true;
+          Queue.add tr.t_dst queue
+        end)
+      t.succs.(s)
+  done;
+  !found
+
+let depends_on t ~max_action ~min_action =
+  not
+    (reachable_without t
+       ~avoid:(Action.equal min_action)
+       ~target:(Action.equal max_action))
+
+(* The number of complete runs (maximal paths from the initial state to a
+   dead state); [None] when the graph has a cycle.  For the paper's
+   every-action-once scenarios this equals the number of linear
+   extensions of the event poset. *)
+let count_complete_runs t =
+  let n = nb_states t in
+  let colour = Array.make n 0 in
+  let memo = Array.make n (-1) in
+  let exception Cyclic in
+  let rec count s =
+    if memo.(s) >= 0 then memo.(s)
+    else if colour.(s) = 1 then raise Cyclic
+    else begin
+      colour.(s) <- 1;
+      let total =
+        match t.succs.(s) with
+        | [] -> 1
+        | succs -> List.fold_left (fun acc tr -> acc + count tr.t_dst) 0 succs
+      in
+      colour.(s) <- 2;
+      memo.(s) <- total;
+      total
+    end
+  in
+  match count t.initial with total -> Some total | exception Cyclic -> None
+
+(* Classify dead states into complete runs and stuck (incomplete) ones by
+   a caller-supplied completion predicate on states — a modelling-error
+   diagnostic: a stuck deadlock usually indicates a message consumed by a
+   component that could not process it. *)
+type deadlock_report = { dr_complete : int list; dr_stuck : int list }
+
+let classify_deadlocks t ~complete =
+  let complete_l, stuck =
+    List.partition (fun s -> complete t.states.(s)) (deadlocks t)
+  in
+  { dr_complete = complete_l; dr_stuck = stuck }
+
+type stats = {
+  nb_states : int;
+  nb_transitions : int;
+  nb_deadlocks : int;
+  nb_labels : int;
+}
+
+let stats t =
+  { nb_states = nb_states t;
+    nb_transitions = nb_transitions t;
+    nb_deadlocks = List.length (deadlocks t);
+    nb_labels = Action.Set.cardinal (alphabet t) }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "states: %d, transitions: %d, dead states: %d, labels: %d"
+    s.nb_states s.nb_transitions s.nb_deadlocks s.nb_labels
+
+let dot ?(name = "reachability") t =
+  let d = Fsa_graph.Dot.create ~graph_attrs:[ ("rankdir", "TB") ] name in
+  let dead = deadlocks t in
+  Array.iteri
+    (fun i _ ->
+      let attrs =
+        if i = t.initial then [ ("shape", "box"); ("style", "bold") ]
+        else if List.mem i dead then [ ("shape", "doublecircle") ]
+        else []
+      in
+      Fsa_graph.Dot.node ~attrs d (state_name i))
+    t.states;
+  List.iter
+    (fun tr ->
+      Fsa_graph.Dot.edge
+        ~attrs:[ ("label", Action.to_string tr.t_label) ]
+        d (state_name tr.t_src) (state_name tr.t_dst))
+    (transitions t);
+  Fsa_graph.Dot.to_string d
+
+(* The tool's summary of minima and maxima (Example 6): minima with the
+   state reached from M-1 by that action; maxima with the state from which
+   the dead state is entered. *)
+let pp_min_max ppf t =
+  let minima_entries =
+    List.map (fun tr -> (tr.t_label, tr.t_dst)) t.succs.(t.initial)
+  in
+  let maxima_entries =
+    List.concat_map
+      (fun dead -> List.map (fun tr -> (tr.t_label, tr.t_src)) t.preds.(dead))
+      (deadlocks t)
+  in
+  let pp_entry ppf (a, s) =
+    Fmt.pf ppf "%a %s" Action.pp a (state_name s)
+  in
+  Fmt.pf ppf "@[<v>The minima of this analysis:@,%a@,The corresponding maxima:@,%a@]"
+    Fmt.(list ~sep:cut pp_entry)
+    minima_entries
+    Fmt.(list ~sep:cut pp_entry)
+    maxima_entries

@@ -1,0 +1,78 @@
+(** Reachability graphs of APA models (Definition 3 of the paper).
+
+    States are numbered in breadth-first discovery order and printed
+    [M-1], [M-2], ... in the style of the SH verification tool. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module State = Fsa_apa.Apa.State
+
+type transition = { t_src : int; t_label : Action.t; t_dst : int }
+type t
+
+exception State_space_too_large of int
+
+val explore : ?max_states:int -> Fsa_apa.Apa.t -> t
+(** Breadth-first state-space exploration from the initial state.
+    @raise State_space_too_large beyond [max_states] (default 1e6). *)
+
+val name : t -> string
+val nb_states : t -> int
+val nb_transitions : t -> int
+val initial : t -> int
+val state : t -> int -> State.t
+val succ : t -> int -> transition list
+val pred : t -> int -> transition list
+val transitions : t -> transition list
+val state_name : int -> string
+val fold_states : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val alphabet : t -> Action.Set.t
+
+val deadlocks : t -> int list
+(** States without outgoing transitions ("+++ dead +++"). *)
+
+val minima : t -> Action.Set.t
+(** Actions leaving the initial state: the minima of the partial order of
+    functionally dependent actions (Sect. 5.4). *)
+
+val maxima : t -> Action.Set.t
+(** Actions entering a dead state: the maxima. *)
+
+val trace_to : t -> int -> Action.t list option
+val words : max_len:int -> t -> Action.t list list
+
+val reachable_without :
+  t -> avoid:(Action.t -> bool) -> target:(Action.t -> bool) -> bool
+(** Is a [target]-labelled transition reachable along a path containing no
+    [avoid]-labelled transition? *)
+
+val depends_on : t -> max_action:Action.t -> min_action:Action.t -> bool
+(** Direct functional dependence test: [max_action] depends on
+    [min_action] iff every path to an occurrence of [max_action] contains
+    a prior occurrence of [min_action]. *)
+
+val count_complete_runs : t -> int option
+(** Number of maximal paths to dead states; [None] on cyclic graphs.
+    Equals the number of linear extensions of the event poset for
+    every-action-once scenarios. *)
+
+type deadlock_report = { dr_complete : int list; dr_stuck : int list }
+
+val classify_deadlocks : t -> complete:(State.t -> bool) -> deadlock_report
+(** Split dead states by a completion predicate; stuck deadlocks indicate
+    modelling errors (e.g. a message consumed by a component that cannot
+    process it). *)
+
+type stats = {
+  nb_states : int;
+  nb_transitions : int;
+  nb_deadlocks : int;
+  nb_labels : int;
+}
+
+val stats : t -> stats
+val pp_stats : stats Fmt.t
+val dot : ?name:string -> t -> string
+
+val pp_min_max : t Fmt.t
+(** The tool's minima/maxima summary in the format of Example 6. *)

@@ -1,0 +1,1 @@
+lib/mc/ctl.ml: Array Fmt Fsa_hom Fsa_lts Fsa_term List Queue

@@ -1,0 +1,1 @@
+lib/mc/ctl.mli: Fmt Fsa_hom Fsa_lts Fsa_term

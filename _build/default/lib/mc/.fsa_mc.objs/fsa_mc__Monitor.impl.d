@@ -1,0 +1,1 @@
+lib/mc/monitor.ml: Fmt Fsa_requirements Fsa_term List

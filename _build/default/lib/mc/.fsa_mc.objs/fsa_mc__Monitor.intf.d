@@ -1,0 +1,1 @@
+lib/mc/monitor.mli: Fmt Fsa_requirements Fsa_term

@@ -1,0 +1,1 @@
+lib/mc/pattern.ml: Array Fmt Fsa_automata Fsa_hom Fsa_lts Fsa_term Fun List

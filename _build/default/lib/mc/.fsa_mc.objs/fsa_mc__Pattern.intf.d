@@ -1,0 +1,1 @@
+lib/mc/pattern.mli: Fmt Fsa_hom Fsa_lts Fsa_term

@@ -1,0 +1,216 @@
+(* A CTL model checker over finite transition systems — the counterpart of
+   the SH verification tool's temporal logic component.  Formulae are
+   checked on concrete reachability graphs, and — via the same functor —
+   on abstract behaviours (minimal automata of homomorphic images), which
+   is the paper's "checking temporal logic formulae on the abstract
+   behaviour (under a simple homomorphism)". *)
+
+module Action = Fsa_term.Action
+
+(* Any finite transition system with integer states and action-labelled
+   transitions can be model-checked. *)
+module type MODEL = sig
+  type t
+
+  val nb_states : t -> int
+  val initial : t -> int
+  val succ : t -> int -> (Action.t * int) list
+end
+
+type formula =
+  | True
+  | False
+  | Atom of string * atom
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | EX of formula
+  | AX of formula
+  | EF of formula
+  | AF of formula
+  | EG of formula
+  | AG of formula
+  | EU of formula * formula
+  | AU of formula * formula
+
+and atom =
+  | Enabled of (Action.t -> bool)  (* some enabled transition satisfies *)
+  | Deadlock
+  | State_pred of (int -> bool)  (* arbitrary predicate on state ids *)
+
+let atom name a = Atom (name, a)
+let enabled ?(name = "enabled") p = atom name (Enabled p)
+let enabled_action a =
+  atom (Fmt.str "enabled(%a)" Action.pp a) (Enabled (Action.equal a))
+let deadlock = atom "deadlock" Deadlock
+let state_pred name p = atom name (State_pred p)
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom (name, _) -> Fmt.string ppf name
+  | Not f -> Fmt.pf ppf "!(%a)" pp f
+  | And (f, g) -> Fmt.pf ppf "(%a & %a)" pp f pp g
+  | Or (f, g) -> Fmt.pf ppf "(%a | %a)" pp f pp g
+  | Implies (f, g) -> Fmt.pf ppf "(%a => %a)" pp f pp g
+  | EX f -> Fmt.pf ppf "EX %a" pp f
+  | AX f -> Fmt.pf ppf "AX %a" pp f
+  | EF f -> Fmt.pf ppf "EF %a" pp f
+  | AF f -> Fmt.pf ppf "AF %a" pp f
+  | EG f -> Fmt.pf ppf "EG %a" pp f
+  | AG f -> Fmt.pf ppf "AG %a" pp f
+  | EU (f, g) -> Fmt.pf ppf "E[%a U %a]" pp f pp g
+  | AU (f, g) -> Fmt.pf ppf "A[%a U %a]" pp f pp g
+
+module Make (M : MODEL) = struct
+  (* Satisfaction sets as boolean arrays indexed by state. *)
+  let atoms_sat model = function
+    | Enabled p ->
+      Array.init (M.nb_states model) (fun s ->
+          List.exists (fun (l, _) -> p l) (M.succ model s))
+    | Deadlock ->
+      Array.init (M.nb_states model) (fun s -> M.succ model s = [])
+    | State_pred p -> Array.init (M.nb_states model) p
+
+  let preds_of model =
+    let preds = Array.make (M.nb_states model) [] in
+    for s = 0 to M.nb_states model - 1 do
+      List.iter (fun (_, d) -> preds.(d) <- s :: preds.(d)) (M.succ model s)
+    done;
+    preds
+
+  (* EU by backwards least fixpoint: start from states satisfying g, add
+     predecessors satisfying f. *)
+  let eu_sat model f_sat g_sat =
+    let n = M.nb_states model in
+    let preds = preds_of model in
+    let sat = Array.copy g_sat in
+    let queue = Queue.create () in
+    Array.iteri (fun s v -> if v then Queue.add s queue) sat;
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      List.iter
+        (fun p ->
+          if f_sat.(p) && not sat.(p) then begin
+            sat.(p) <- true;
+            Queue.add p queue
+          end)
+        preds.(s)
+    done;
+    ignore n;
+    sat
+
+  (* EG by greatest fixpoint: start from f-states, repeatedly remove
+     states without a successor inside the candidate set — states without
+     successors cannot satisfy EG except through... note: on finite Kripke
+     structures CTL assumes total transition relations; reachability
+     graphs have deadlocks, so we adopt the convention that a maximal
+     finite path that ends in a deadlock state also witnesses EG f (the
+     path cannot be extended).  This matches intuition for behavioural
+     analysis: a dead state satisfying f satisfies EG f. *)
+  let eg_sat model f_sat =
+    let n = M.nb_states model in
+    let sat = Array.copy f_sat in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for s = 0 to n - 1 do
+        if sat.(s) then begin
+          let succs = M.succ model s in
+          let ok =
+            succs = [] || List.exists (fun (_, d) -> sat.(d)) succs
+          in
+          if not ok then begin
+            sat.(s) <- false;
+            changed := true
+          end
+        end
+      done
+    done;
+    sat
+
+  let rec sat_set model = function
+    | True -> Array.make (M.nb_states model) true
+    | False -> Array.make (M.nb_states model) false
+    | Atom (_, a) -> atoms_sat model a
+    | Not f -> Array.map not (sat_set model f)
+    | And (f, g) -> Array.map2 ( && ) (sat_set model f) (sat_set model g)
+    | Or (f, g) -> Array.map2 ( || ) (sat_set model f) (sat_set model g)
+    | Implies (f, g) ->
+      Array.map2 (fun a b -> (not a) || b) (sat_set model f) (sat_set model g)
+    | EX f ->
+      let fs = sat_set model f in
+      Array.init (M.nb_states model) (fun s ->
+          List.exists (fun (_, d) -> fs.(d)) (M.succ model s))
+    | AX f ->
+      let fs = sat_set model f in
+      Array.init (M.nb_states model) (fun s ->
+          List.for_all (fun (_, d) -> fs.(d)) (M.succ model s))
+    | EF f -> eu_sat model (Array.make (M.nb_states model) true) (sat_set model f)
+    | AF f ->
+      (* AF f = not EG (not f) *)
+      Array.map not (eg_sat model (Array.map not (sat_set model f)))
+    | EG f -> eg_sat model (sat_set model f)
+    | AG f ->
+      (* AG f = not EF (not f) *)
+      Array.map not
+        (eu_sat model
+           (Array.make (M.nb_states model) true)
+           (Array.map not (sat_set model f)))
+    | EU (f, g) -> eu_sat model (sat_set model f) (sat_set model g)
+    | AU (f, g) ->
+      (* A[f U g] = not (E[not g U (not f & not g)] | EG not g) *)
+      let nf = Array.map not (sat_set model f) in
+      let ng = Array.map not (sat_set model g) in
+      let both = Array.map2 ( && ) nf ng in
+      let e1 = eu_sat model ng both in
+      let e2 = eg_sat model ng in
+      Array.map2 (fun a b -> not (a || b)) e1 e2
+
+  let check model f = (sat_set model f).(M.initial model)
+
+  let counterexample_states model f =
+    let sat = sat_set model f in
+    let acc = ref [] in
+    Array.iteri (fun s v -> if not v then acc := s :: !acc) sat;
+    List.rev !acc
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instantiations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Lts_model = struct
+  type t = Fsa_lts.Lts.t
+
+  let nb_states = Fsa_lts.Lts.nb_states
+  let initial = Fsa_lts.Lts.initial
+
+  let succ lts s =
+    List.map
+      (fun tr -> (tr.Fsa_lts.Lts.t_label, tr.Fsa_lts.Lts.t_dst))
+      (Fsa_lts.Lts.succ lts s)
+end
+
+module Dfa_model = struct
+  type t = Fsa_hom.Hom.A.Dfa.t
+
+  let nb_states = Fsa_hom.Hom.A.Dfa.nb_states
+  let initial = Fsa_hom.Hom.A.Dfa.start
+
+  let succ dfa s =
+    List.filter_map
+      (fun (s', l, d) -> if s' = s then Some (l, d) else None)
+      (Fsa_hom.Hom.A.Dfa.transitions dfa)
+end
+
+module On_lts = Make (Lts_model)
+module On_dfa = Make (Dfa_model)
+
+(* Approximate satisfaction: check the formula on the abstract behaviour
+   (the minimal automaton of the homomorphic image).  The result is
+   meaningful for the concrete system when the homomorphism is simple
+   (Fsa_hom.Hom.is_simple). *)
+let check_abstract hom lts f =
+  On_dfa.check (Fsa_hom.Hom.minimal_automaton hom lts) f

@@ -1,0 +1,61 @@
+(** CTL model checking over finite behaviours — the counterpart of the SH
+    verification tool's temporal logic component, applicable to concrete
+    reachability graphs and to abstract behaviours under a (simple)
+    homomorphism. *)
+
+module Action = Fsa_term.Action
+
+module type MODEL = sig
+  type t
+
+  val nb_states : t -> int
+  val initial : t -> int
+  val succ : t -> int -> (Action.t * int) list
+end
+
+type formula =
+  | True
+  | False
+  | Atom of string * atom
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | EX of formula
+  | AX of formula
+  | EF of formula
+  | AF of formula
+  | EG of formula
+  | AG of formula
+  | EU of formula * formula
+  | AU of formula * formula
+
+and atom =
+  | Enabled of (Action.t -> bool)
+  | Deadlock
+  | State_pred of (int -> bool)
+
+val atom : string -> atom -> formula
+val enabled : ?name:string -> (Action.t -> bool) -> formula
+val enabled_action : Action.t -> formula
+val deadlock : formula
+val state_pred : string -> (int -> bool) -> formula
+val pp : formula Fmt.t
+
+module Make (M : MODEL) : sig
+  val sat_set : M.t -> formula -> bool array
+  val check : M.t -> formula -> bool
+  (** Satisfaction at the initial state.  Deadlock states witness [EG]
+      (maximal finite paths count as full paths). *)
+
+  val counterexample_states : M.t -> formula -> int list
+end
+
+module Lts_model : MODEL with type t = Fsa_lts.Lts.t
+module Dfa_model : MODEL with type t = Fsa_hom.Hom.A.Dfa.t
+module On_lts : module type of Make (Lts_model)
+module On_dfa : module type of Make (Dfa_model)
+
+val check_abstract : Fsa_hom.Hom.t -> Fsa_lts.Lts.t -> formula -> bool
+(** Approximate satisfaction: check on the minimal automaton of the
+    homomorphic image (meaningful when the homomorphism is simple). *)

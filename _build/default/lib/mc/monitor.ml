@@ -1,0 +1,87 @@
+(* Runtime verification of authenticity requirements.
+
+   The elicited requirements are properties of every run of the deployed
+   system: whenever the effect action happens, the cause action must have
+   happened before.  This module compiles a requirement set into a trace
+   monitor — the runtime complement of the design-time analysis, usable
+   against field logs or simulator traces.
+
+   Monitors are incremental: feed events one by one; verdicts are
+   per-requirement and report the position of the first violation. *)
+
+module Action = Fsa_term.Action
+module Auth = Fsa_requirements.Auth
+
+type verdict =
+  | Satisfied  (* no effect occurrence lacked its cause so far *)
+  | Violated of { position : int; missing : Action.t }
+
+let pp_verdict ppf = function
+  | Satisfied -> Fmt.string ppf "satisfied"
+  | Violated { position; missing } ->
+    Fmt.pf ppf "violated at event %d (no prior %a)" position Action.pp missing
+
+let equal_verdict a b =
+  match a, b with
+  | Satisfied, Satisfied -> true
+  | Violated x, Violated y ->
+    x.position = y.position && Action.equal x.missing y.missing
+  | Satisfied, Violated _ | Violated _, Satisfied -> false
+
+(* Per-requirement monitor state. *)
+type cell = {
+  requirement : Auth.t;
+  mutable cause_seen : bool;
+  mutable verdict : verdict;
+}
+
+type t = { cells : cell list; mutable position : int }
+
+let of_requirements requirements =
+  { cells =
+      List.map
+        (fun r -> { requirement = r; cause_seen = false; verdict = Satisfied })
+        (Auth.normalise requirements);
+    position = 0 }
+
+let step t event =
+  List.iter
+    (fun cell ->
+      if Action.equal event (Auth.cause cell.requirement) then
+        cell.cause_seen <- true;
+      (* the cause may equal the effect only in degenerate models; the
+         cause check above runs first, so a self-pair is satisfied *)
+      if
+        Action.equal event (Auth.effect cell.requirement)
+        && (not cell.cause_seen)
+        && cell.verdict = Satisfied
+      then
+        cell.verdict <-
+          Violated
+            { position = t.position; missing = Auth.cause cell.requirement })
+    t.cells;
+  t.position <- t.position + 1
+
+let run requirements trace =
+  let t = of_requirements requirements in
+  List.iter (step t) trace;
+  List.map (fun c -> (c.requirement, c.verdict)) t.cells
+
+let verdicts t = List.map (fun c -> (c.requirement, c.verdict)) t.cells
+
+let all_satisfied t = List.for_all (fun c -> c.verdict = Satisfied) t.cells
+
+let violations t =
+  List.filter_map
+    (fun c ->
+      match c.verdict with
+      | Satisfied -> None
+      | Violated _ -> Some (c.requirement, c.verdict))
+    t.cells
+
+let pp_report ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (r, v) ->
+          Fmt.pf ppf "- %a: %a" Auth.pp r pp_verdict v))
+    (verdicts t)

@@ -1,0 +1,30 @@
+(** Runtime verification of authenticity requirements against traces.
+
+    The runtime complement of the design-time analysis: whenever the
+    effect action occurs in a trace, the cause must have occurred
+    before. *)
+
+module Action = Fsa_term.Action
+module Auth = Fsa_requirements.Auth
+
+type verdict =
+  | Satisfied
+  | Violated of { position : int; missing : Action.t }
+
+val pp_verdict : verdict Fmt.t
+val equal_verdict : verdict -> verdict -> bool
+
+type t
+
+val of_requirements : Auth.t list -> t
+
+val step : t -> Action.t -> unit
+(** Feed one event. *)
+
+val run : Auth.t list -> Action.t list -> (Auth.t * verdict) list
+(** One-shot: monitor a whole trace. *)
+
+val verdicts : t -> (Auth.t * verdict) list
+val all_satisfied : t -> bool
+val violations : t -> (Auth.t * verdict) list
+val pp_report : t Fmt.t

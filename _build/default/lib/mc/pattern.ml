@@ -1,0 +1,218 @@
+(* Property-specification patterns over action languages.
+
+   The SH verification tool checks temporal-logic formulae on behaviours;
+   in requirements-engineering practice such properties are usually stated
+   through the property-specification patterns of Dwyer et al. (absence,
+   universality, existence, precedence, response) restricted to a scope
+   (globally, before the first occurrence of an action, after it).
+
+   Each pattern/scope combination compiles to a deterministic automaton
+   over the behaviour's concrete alphabet.  Safety patterns are checked by
+   language containment of the (prefix-closed) behaviour; liveness
+   patterns by containment of the maximal-trace language (the runs ending
+   in a dead state — every maximal finite path of the reachability graph).
+   Counterexamples are shortest offending traces. *)
+
+module Action = Fsa_term.Action
+module Lts = Fsa_lts.Lts
+module A = Fsa_hom.Hom.A
+
+type pred = { pred_name : string; holds : Action.t -> bool }
+
+let pred name holds = { pred_name = name; holds }
+let action_is a = pred (Action.to_string a) (Action.equal a)
+
+type body =
+  | Absence of pred  (* no action satisfying p occurs *)
+  | Universality of pred  (* every action satisfies p *)
+  | Existence of pred  (* some action satisfies p (liveness) *)
+  | Precedence of pred * pred
+      (* Precedence (s, p): p occurs only after s has occurred *)
+  | Response of pred * pred
+      (* Response (s, p): every s is eventually followed by p (liveness) *)
+
+type scope =
+  | Globally
+  | Before of pred  (* the segment strictly before the first occurrence *)
+  | After of pred  (* the segment strictly after the first occurrence *)
+
+type t = { body : body; scope : scope }
+
+let make ?(scope = Globally) body = { body; scope }
+
+let is_liveness_body = function
+  | Existence _ | Response _ -> true
+  | Absence _ | Universality _ | Precedence _ -> false
+
+let is_liveness t = is_liveness_body t.body
+
+let pp_body ppf = function
+  | Absence p -> Fmt.pf ppf "absence of %s" p.pred_name
+  | Universality p -> Fmt.pf ppf "universality of %s" p.pred_name
+  | Existence p -> Fmt.pf ppf "existence of %s" p.pred_name
+  | Precedence (s, p) -> Fmt.pf ppf "%s precedes %s" s.pred_name p.pred_name
+  | Response (s, p) -> Fmt.pf ppf "%s responds to %s" p.pred_name s.pred_name
+
+let pp_scope ppf = function
+  | Globally -> Fmt.string ppf "globally"
+  | Before q -> Fmt.pf ppf "before %s" q.pred_name
+  | After q -> Fmt.pf ppf "after %s" q.pred_name
+
+let pp ppf t = Fmt.pf ppf "%a, %a" pp_body t.body pp_scope t.scope
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic property machines                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A small deterministic machine with integer states; [None] on a step
+   means the trace violates the property irrecoverably. *)
+type machine = {
+  nb : int;
+  start : int;
+  step : int -> Action.t -> int option;
+  final : int -> bool;
+}
+
+let body_machine = function
+  | Absence p ->
+    { nb = 1; start = 0;
+      step = (fun _ a -> if p.holds a then None else Some 0);
+      final = (fun _ -> true) }
+  | Universality p ->
+    { nb = 1; start = 0;
+      step = (fun _ a -> if p.holds a then Some 0 else None);
+      final = (fun _ -> true) }
+  | Existence p ->
+    { nb = 2; start = 0;
+      step = (fun s a -> if s = 1 || p.holds a then Some 1 else Some 0);
+      final = (fun s -> s = 1) }
+  | Precedence (s, p) ->
+    (* state 0: s not seen yet — p forbidden; state 1: s seen *)
+    { nb = 2; start = 0;
+      step =
+        (fun st a ->
+          if st = 1 then Some 1
+          else if s.holds a then Some 1
+          else if p.holds a then None
+          else Some 0);
+      final = (fun _ -> true) }
+  | Response (s, p) ->
+    (* state 0: no pending obligation; state 1: response pending *)
+    { nb = 2; start = 0;
+      step =
+        (fun st a ->
+          match st with
+          | 0 -> if s.holds a && not (p.holds a) then Some 1 else Some 0
+          | _ -> if p.holds a then Some 0 else Some 1);
+      final = (fun s -> s = 0) }
+
+(* Scope wrappers.
+
+   [Before q]: the body governs the segment before the first q; from the
+   first q on, everything is allowed (state [nb], accepting).  A liveness
+   obligation must be fulfilled before q or by the end of the trace.
+
+   [After q]: the prefix up to and including the first q is unconstrained
+   (state encodings shifted by one); the body governs the rest.  Traces
+   without q satisfy the property. *)
+let machine_of t =
+  let m = body_machine t.body in
+  match t.scope with
+  | Globally -> m
+  | Before q ->
+    let sink = m.nb in
+    { nb = m.nb + 1;
+      start = m.start;
+      step =
+        (fun s a ->
+          if s = sink then Some sink
+          else if q.holds a then
+            (* entering the don't-care region: liveness obligations must
+               already be fulfilled *)
+            if m.final s then Some sink else None
+          else m.step s a);
+      final = (fun s -> s = sink || m.final s) }
+  | After q ->
+    let pre = m.nb in
+    { nb = m.nb + 1;
+      start = pre;
+      step =
+        (fun s a ->
+          if s = pre then if q.holds a then Some m.start else Some pre
+          else m.step s a);
+      final = (fun s -> s = pre || m.final s) }
+
+(* Materialise the machine as a DFA over a concrete alphabet. *)
+let property_dfa ~alphabet t =
+  let m = machine_of t in
+  let delta = Array.make m.nb A.Lmap.empty in
+  for s = 0 to m.nb - 1 do
+    delta.(s) <-
+      List.fold_left
+        (fun acc a ->
+          match m.step s a with
+          | Some d -> A.Lmap.add a d acc
+          | None -> acc)
+        A.Lmap.empty alphabet
+  done;
+  let finals =
+    List.filter m.final (List.init m.nb Fun.id)
+    |> Fsa_automata.Automata.Int_set.of_list
+  in
+  A.Dfa.create ~nb_states:m.nb ~start:m.start ~finals ~delta
+
+(* ------------------------------------------------------------------ *)
+(* Checking behaviours                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The prefix-closed behaviour (all states accept) and the maximal-trace
+   language (only dead states accept) of a reachability graph. *)
+let behaviour_nfa ~maximal lts =
+  let module IS = Fsa_automata.Automata.Int_set in
+  let edges =
+    List.map
+      (fun tr -> (tr.Lts.t_src, Some tr.Lts.t_label, tr.Lts.t_dst))
+      (Lts.transitions lts)
+  in
+  let finals =
+    if maximal then IS.of_list (Lts.deadlocks lts)
+    else IS.of_list (List.init (Lts.nb_states lts) Fun.id)
+  in
+  A.Nfa.create ~nb_states:(Lts.nb_states lts)
+    ~start:(IS.singleton (Lts.initial lts))
+    ~finals ~edges
+
+(* Safety patterns on the homomorphic image: containment of the abstract
+   (prefix-closed) language in the property automaton.  Liveness patterns
+   need maximal traces, which projections do not preserve in general, so
+   they are rejected here. *)
+let holds_abstract hom lts t =
+  if is_liveness t then
+    invalid_arg "Pattern.holds_abstract: liveness patterns need maximal traces";
+  let behaviour = Fsa_hom.Hom.minimal_automaton hom lts in
+  let alphabet = A.Lset.elements (A.Dfa.alphabet behaviour) in
+  let prop = property_dfa ~alphabet t in
+  A.Dfa.language_subset behaviour prop
+
+type result = { holds_ : bool; counterexample : Action.t list option }
+
+let check lts t =
+  let alphabet = Action.Set.elements (Lts.alphabet lts) in
+  let prop = property_dfa ~alphabet t in
+  let behaviour =
+    A.Dfa.determinize (behaviour_nfa ~maximal:(is_liveness t) lts)
+  in
+  let offending = A.Dfa.difference behaviour prop in
+  match A.Dfa.shortest_accepted (A.Dfa.trim offending) with
+  | None -> { holds_ = true; counterexample = None }
+  | Some word -> { holds_ = false; counterexample = Some word }
+
+let holds lts t = (check lts t).holds_
+
+let pp_result ppf r =
+  match r.counterexample with
+  | None -> Fmt.string ppf "holds"
+  | Some trace ->
+    Fmt.pf ppf "violated, e.g. by the trace %a"
+      Fmt.(list ~sep:(any "; ") Action.pp)
+      trace

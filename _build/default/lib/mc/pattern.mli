@@ -1,0 +1,55 @@
+(** Property-specification patterns (Dwyer et al.) over action languages.
+
+    Safety patterns (absence, universality, precedence) are checked by
+    language containment of the prefix-closed behaviour in the property
+    automaton; liveness patterns (existence, response) by containment of
+    the maximal-trace language (runs ending in a dead state).  Violations
+    come with a shortest counterexample trace. *)
+
+module Action = Fsa_term.Action
+module Lts = Fsa_lts.Lts
+module A = Fsa_hom.Hom.A
+
+type pred = { pred_name : string; holds : Action.t -> bool }
+
+val pred : string -> (Action.t -> bool) -> pred
+val action_is : Action.t -> pred
+
+type body =
+  | Absence of pred
+  | Universality of pred
+  | Existence of pred
+  | Precedence of pred * pred
+      (** [Precedence (s, p)]: p occurs only after s has occurred. *)
+  | Response of pred * pred
+      (** [Response (s, p)]: every s is eventually followed by p. *)
+
+type scope =
+  | Globally
+  | Before of pred
+      (** The segment strictly before the first occurrence; liveness
+          obligations must be fulfilled before it (or by trace end). *)
+  | After of pred  (** The segment strictly after the first occurrence. *)
+
+type t = { body : body; scope : scope }
+
+val make : ?scope:scope -> body -> t
+val is_liveness : t -> bool
+val pp_body : body Fmt.t
+val pp_scope : scope Fmt.t
+val pp : t Fmt.t
+
+val property_dfa : alphabet:Action.t list -> t -> A.Dfa.t
+(** The pattern as a DFA over a concrete alphabet. *)
+
+val behaviour_nfa : maximal:bool -> Lts.t -> A.Nfa.t
+
+val holds_abstract : Fsa_hom.Hom.t -> Lts.t -> t -> bool
+(** Safety patterns on the homomorphic image of a behaviour.
+    @raise Invalid_argument on liveness patterns. *)
+
+type result = { holds_ : bool; counterexample : Action.t list option }
+
+val check : Lts.t -> t -> result
+val holds : Lts.t -> t -> bool
+val pp_result : result Fmt.t

@@ -1,0 +1,1 @@
+lib/model/action_graph.ml: Flow Fsa_graph Fsa_order Fsa_term List

@@ -1,0 +1,1 @@
+lib/model/action_graph.mli: Flow Fsa_graph Fsa_order Fsa_term

@@ -1,0 +1,1 @@
+lib/model/component.ml: Action_graph Flow Fmt Fsa_term List Option Printf String

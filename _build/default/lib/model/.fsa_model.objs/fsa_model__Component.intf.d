@@ -1,0 +1,1 @@
+lib/model/component.mli: Flow Fmt Fsa_term

@@ -1,0 +1,1 @@
+lib/model/enumerate.ml: Action_graph Component Flow Fsa_term List Option Printf Sos String

@@ -1,0 +1,1 @@
+lib/model/enumerate.mli: Component Fsa_term Sos

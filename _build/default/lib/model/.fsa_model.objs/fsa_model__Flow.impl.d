@@ -1,0 +1,1 @@
+lib/model/flow.ml: Fmt Fsa_term Option Stdlib String

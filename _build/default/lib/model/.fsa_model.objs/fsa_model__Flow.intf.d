@@ -1,0 +1,1 @@
+lib/model/flow.mli: Fmt Fsa_term

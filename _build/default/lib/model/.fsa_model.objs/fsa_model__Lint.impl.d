@@ -1,0 +1,1 @@
+lib/model/lint.ml: Action_graph Component Flow Fmt Fsa_term List Option Sos String

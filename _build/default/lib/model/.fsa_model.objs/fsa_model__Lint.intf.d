@@ -1,0 +1,1 @@
+lib/model/lint.mli: Flow Fmt Fsa_term Sos

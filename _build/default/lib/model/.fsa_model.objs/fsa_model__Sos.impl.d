@@ -1,0 +1,1 @@
+lib/model/sos.ml: Action_graph Component Flow Fmt Fsa_term List Option String

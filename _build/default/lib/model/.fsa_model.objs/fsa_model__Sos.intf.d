@@ -1,0 +1,1 @@
+lib/model/sos.mli: Action_graph Component Flow Fmt Fsa_term

@@ -1,0 +1,51 @@
+(* Shared instantiations of the generic graph and poset functors over
+   actions: the functional flow graphs and the partial order zeta* of the
+   paper live here. *)
+
+module V = struct
+  type t = Fsa_term.Action.t
+
+  let compare = Fsa_term.Action.compare
+  let pp = Fsa_term.Action.pp
+end
+
+module G = Fsa_graph.Digraph.Make (V)
+module P = Fsa_order.Poset.Make (G)
+
+let of_flows flows =
+  List.fold_left
+    (fun g f -> G.add_edge (Flow.src f) (Flow.dst f) g)
+    G.empty flows
+
+(* DOT rendering of a functional flow graph; external flows are dashed,
+   policy-induced flows are annotated, mirroring Figs. 2-4 of the paper. *)
+let dot ?(name = "functional_flow") ?(highlight = []) flows =
+  let d = Fsa_graph.Dot.create ~graph_attrs:[ ("rankdir", "LR") ] name in
+  let actions =
+    List.concat_map (fun f -> [ Flow.src f; Flow.dst f ]) flows
+    |> List.sort_uniq Fsa_term.Action.compare
+  in
+  List.iter
+    (fun a ->
+      let id = Fsa_term.Action.to_string a in
+      let attrs =
+        if List.exists (Fsa_term.Action.equal a) highlight then
+          [ ("style", "bold"); ("color", "red") ]
+        else []
+      in
+      Fsa_graph.Dot.node ~attrs d id)
+    actions;
+  List.iter
+    (fun f ->
+      let attrs =
+        (if Flow.is_external f then [ ("style", "dashed") ] else [])
+        @
+        match Flow.policy f with
+        | None -> []
+        | Some p -> [ ("label", "policy: " ^ p) ]
+      in
+      Fsa_graph.Dot.edge ~attrs d
+        (Fsa_term.Action.to_string (Flow.src f))
+        (Fsa_term.Action.to_string (Flow.dst f)))
+    flows;
+  Fsa_graph.Dot.to_string d

@@ -1,0 +1,15 @@
+(** Graphs and partial orders over actions. *)
+
+module V : Fsa_graph.Digraph.VERTEX with type t = Fsa_term.Action.t
+module G : Fsa_graph.Digraph.S with type vertex = Fsa_term.Action.t
+
+module P : sig
+  include module type of Fsa_order.Poset.Make (G)
+end
+
+val of_flows : Flow.t list -> G.t
+(** The functional flow graph spanned by a list of flows. *)
+
+val dot :
+  ?name:string -> ?highlight:Fsa_term.Action.t list -> Flow.t list -> string
+(** DOT rendering: external flows dashed, policy flows annotated. *)

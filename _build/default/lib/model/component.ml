@@ -1,0 +1,152 @@
+(* Functional component models (Sect. 4.1).  A component model describes
+   one system component's behaviour: its atomic actions and the internal
+   functional flow among them, together with the declared interaction
+   points.  A component model is a *template* when its actions carry a
+   symbolic instance index (e.g. vehicle [i]); instantiation replaces the
+   symbolic index by a concrete one. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+type port = {
+  port_action : Action.t;
+  direction : [ `In | `Out ];
+      (* [`In]: the action is triggered by occurrences outside the
+         component; [`Out]: the action involves changes outside. *)
+}
+
+type t = {
+  name : string;  (* e.g. "Vehicle" or "V_1" once instantiated *)
+  param : string option;  (* symbolic instance index of a template *)
+  actions : Action.t list;
+  flows : Flow.t list;  (* internal flows only *)
+  ports : port list;  (* declared interactions with the environment *)
+}
+
+type error =
+  | Unknown_action of string * Action.t  (* context, offending action *)
+  | External_flow_in_component of Flow.t
+  | Duplicate_action of Action.t
+
+let pp_error ppf = function
+  | Unknown_action (ctx, a) ->
+    Fmt.pf ppf "%s mentions undeclared action %a" ctx Action.pp a
+  | External_flow_in_component f ->
+    Fmt.pf ppf "component flow %a is marked external" Flow.pp f
+  | Duplicate_action a -> Fmt.pf ppf "action %a declared twice" Action.pp a
+
+let validate t =
+  let declared a = List.exists (Action.equal a) t.actions in
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  let rec dup_check = function
+    | [] -> ()
+    | a :: rest ->
+      if List.exists (Action.equal a) rest then err (Duplicate_action a);
+      dup_check rest
+  in
+  dup_check t.actions;
+  List.iter
+    (fun f ->
+      if Flow.is_external f then err (External_flow_in_component f);
+      if not (declared (Flow.src f)) then err (Unknown_action ("flow", Flow.src f));
+      if not (declared (Flow.dst f)) then err (Unknown_action ("flow", Flow.dst f)))
+    t.flows;
+  List.iter
+    (fun p ->
+      if not (declared p.port_action) then
+        err (Unknown_action ("port", p.port_action)))
+    t.ports;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let make ?param ?(ports = []) ~actions ~flows name =
+  let t = { name; param; actions; flows; ports } in
+  match validate t with
+  | Ok () -> t
+  | Error (e :: _) -> invalid_arg (Fmt.str "Component.make %s: %a" name pp_error e)
+  | Error [] -> assert false
+
+let name t = t.name
+let actions t = t.actions
+let flows t = t.flows
+let ports t = t.ports
+let is_template t = Option.is_some t.param
+
+(* Component boundary actions: the actions that form the interaction of the
+   component's internals with its outside world — sources and sinks of the
+   internal flow graph, plus declared ports. *)
+let boundary_actions t =
+  let g = Action_graph.of_flows t.flows in
+  let from_graph =
+    List.filter
+      (fun a ->
+        (not (Action_graph.G.mem_vertex a g))
+        || Action_graph.G.in_degree a g = 0
+        || Action_graph.G.out_degree a g = 0)
+      t.actions
+  in
+  let from_ports = List.map (fun p -> p.port_action) t.ports in
+  List.sort_uniq Action.compare (from_graph @ from_ports)
+
+let inputs t =
+  let g = Action_graph.of_flows t.flows in
+  List.filter
+    (fun a ->
+      (not (Action_graph.G.mem_vertex a g)) || Action_graph.G.in_degree a g = 0)
+    t.actions
+
+let outputs t =
+  let g = Action_graph.of_flows t.flows in
+  List.filter
+    (fun a ->
+      (not (Action_graph.G.mem_vertex a g)) || Action_graph.G.out_degree a g = 0)
+    t.actions
+
+(* Instantiate a template: replace the symbolic index [param] by the
+   concrete index [i] in every actor, and name the instance [name_i]
+   (e.g. Vehicle template -> "V_1" when [short_name] is ["V"]). *)
+let instantiate ?short_name t i =
+  match t.param with
+  | None -> invalid_arg (Fmt.str "Component.instantiate: %s is not a template" t.name)
+  | Some p ->
+    let subst = function
+      | Agent.Symbolic x when String.equal x p -> Agent.Concrete i
+      | idx -> idx
+    in
+    let base = match short_name with Some s -> s | None -> t.name in
+    { name = Printf.sprintf "%s_%d" base i;
+      param = None;
+      actions = List.map (Action.reindex subst) t.actions;
+      flows = List.map (Flow.reindex subst) t.flows;
+      ports =
+        List.map
+          (fun pt -> { pt with port_action = Action.reindex subst pt.port_action })
+          t.ports }
+
+(* Rename the symbolic index of a template (alpha-conversion), used when
+   composing several differently-named instances of one template
+   symbolically, e.g. vehicles [1] and [w]. *)
+let with_symbolic_index t x =
+  match t.param with
+  | None -> invalid_arg (Fmt.str "Component.with_symbolic_index: %s is not a template" t.name)
+  | Some p ->
+    let subst = function
+      | Agent.Symbolic y when String.equal y p -> Agent.Symbolic x
+      | idx -> idx
+    in
+    { t with
+      param = Some x;
+      actions = List.map (Action.reindex subst) t.actions;
+      flows = List.map (Flow.reindex subst) t.flows;
+      ports =
+        List.map
+          (fun pt -> { pt with port_action = Action.reindex subst pt.port_action })
+          t.ports }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>component %s%s:@,actions: @[%a@]@,flows:@,%a@]" t.name
+    (match t.param with Some p -> "(" ^ p ^ ")" | None -> "")
+    Fmt.(list ~sep:comma Action.pp)
+    t.actions
+    Fmt.(list ~sep:cut Flow.pp)
+    t.flows

@@ -1,0 +1,57 @@
+(** Functional component models (Sect. 4.1 of the paper).
+
+    A component model describes one system component in isolation: its
+    atomic actions, the internal functional flow among them, and its
+    declared interaction points (ports).  Templates carry a symbolic
+    instance index and can be instantiated any number of times. *)
+
+module Action = Fsa_term.Action
+
+type port = { port_action : Action.t; direction : [ `In | `Out ] }
+
+type t = {
+  name : string;
+  param : string option;
+  actions : Action.t list;
+  flows : Flow.t list;
+  ports : port list;
+}
+
+type error =
+  | Unknown_action of string * Action.t
+  | External_flow_in_component of Flow.t
+  | Duplicate_action of Action.t
+
+val pp_error : error Fmt.t
+val validate : t -> (unit, error list) result
+
+val make :
+  ?param:string ->
+  ?ports:port list ->
+  actions:Action.t list ->
+  flows:Flow.t list ->
+  string ->
+  t
+(** @raise Invalid_argument when the component is ill-formed. *)
+
+val name : t -> string
+val actions : t -> Action.t list
+val flows : t -> Flow.t list
+val ports : t -> port list
+val is_template : t -> bool
+
+val boundary_actions : t -> Action.t list
+(** Sources and sinks of the internal flow graph, plus declared ports: the
+    actions that interact with the component's environment. *)
+
+val inputs : t -> Action.t list
+val outputs : t -> Action.t list
+
+val instantiate : ?short_name:string -> t -> int -> t
+(** [instantiate t i] replaces the template's symbolic index by the
+    concrete index [i]; the instance is named ["<short_name>_<i>"]. *)
+
+val with_symbolic_index : t -> string -> t
+(** Alpha-convert the template's symbolic index (e.g. to [w]). *)
+
+val pp : t Fmt.t

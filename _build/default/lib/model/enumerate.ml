@@ -1,0 +1,137 @@
+(* Enumeration of system-of-systems instances (Sect. 4.2): "all
+   structurally different combinations of component instances shall be
+   considered.  Isomorphic combinations can be neglected."
+
+   Given component templates and connection rules (which output action
+   labels may feed which input action labels), we enumerate the connected,
+   loop-free SoS instances of a given size and discard isomorphic
+   duplicates.  The search is exhaustive and exponential in the number of
+   candidate links — intended for the small instance sizes at which
+   architectural analysis happens (the paper works with 2-4 components). *)
+
+module Action = Fsa_term.Action
+
+type template = {
+  t_name : string;  (* template identifier, e.g. "warner" *)
+  t_build : int -> Component.t;  (* instantiate with a concrete index *)
+  t_outputs : string list;  (* labels of actions that may feed links *)
+  t_inputs : string list;  (* labels of actions that may receive links *)
+}
+
+let template ~name ~build ~outputs ~inputs =
+  { t_name = name; t_build = build; t_outputs = outputs; t_inputs = inputs }
+
+(* Multisets of template choices of a given size (combinations with
+   repetition, order-insensitive to limit duplicate work). *)
+let rec multisets templates size =
+  if size = 0 then [ [] ]
+  else
+    match templates with
+    | [] -> []
+    | t :: rest ->
+      List.map (fun m -> t :: m) (multisets templates (size - 1))
+      @ multisets rest size
+      |> List.filter (fun m -> List.length m = size)
+
+let action_with_label component label =
+  List.find_opt
+    (fun a -> String.equal (Action.label a) label)
+    (Component.actions component)
+
+(* All candidate links between two distinct instantiated components. *)
+let candidate_links connectors components =
+  List.concat_map
+    (fun (i, (ti, ci)) ->
+      List.concat_map
+        (fun (j, (tj, cj)) ->
+          if i = j then []
+          else
+            List.filter_map
+              (fun (out_label, in_label) ->
+                if
+                  List.mem out_label ti.t_outputs
+                  && List.mem in_label tj.t_inputs
+                then
+                  match
+                    (action_with_label ci out_label, action_with_label cj in_label)
+                  with
+                  | Some a, Some b -> Some (Flow.external_ a b)
+                  | _, _ -> None
+                else None)
+              connectors)
+        components)
+    components
+
+(* Weak connectivity of an instance: every component reachable from the
+   first, ignoring edge directions. *)
+let connected sos =
+  match Sos.components sos with
+  | [] -> true
+  | first :: _ as comps ->
+    let g = Sos.dependency_graph sos in
+    let undirected = Action_graph.G.union g (Action_graph.G.reverse g) in
+    let owner a =
+      Option.map Component.name (Sos.owner_of comps a)
+    in
+    let reached =
+      match Component.actions first with
+      | [] -> []
+      | a :: _ ->
+        Action_graph.G.Vset.elements (Action_graph.G.reachable a undirected)
+    in
+    let reached_components =
+      List.filter_map owner reached |> List.sort_uniq String.compare
+    in
+    (* intra-component actions are connected through internal flows; a
+       component with no flows at all still counts through any action *)
+    List.for_all
+      (fun c ->
+        List.mem (Component.name c) reached_components
+        || List.exists
+             (fun a -> List.exists (Action.equal a) (Component.actions c))
+             reached)
+      comps
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = subsets rest in
+    List.map (fun s -> x :: s) without @ without
+
+(* All connected, loop-free instances of exactly [size] components.
+   [max_candidates] caps the link-subset explosion. *)
+let compositions ?(max_candidates = 16) ~templates ~connectors ~size () =
+  if size < 1 then invalid_arg "Enumerate.compositions: size must be positive";
+  List.concat_map
+    (fun multiset ->
+      let components =
+        List.mapi (fun i t -> (i, (t, t.t_build (i + 1)))) multiset
+      in
+      let candidates = candidate_links connectors components in
+      if List.length candidates > max_candidates then
+        invalid_arg
+          (Printf.sprintf
+             "Enumerate.compositions: %d candidate links exceed the bound %d"
+             (List.length candidates) max_candidates);
+      List.filter_map
+        (fun links ->
+          if links = [] && size > 1 then None
+          else
+            let sos =
+              { Sos.name = "enumerated";
+                components = List.map (fun (_, (_, c)) -> c) components;
+                links }
+            in
+            match Sos.validate sos with
+            | Ok () when connected sos -> Some sos
+            | Ok () | Error _ -> None)
+        (subsets candidates))
+    (multisets templates size)
+  |> Sos.dedup_isomorphic
+
+(* Convenience: all instances from size 1 to [max_size]. *)
+let up_to ?max_candidates ~templates ~connectors ~max_size () =
+  List.concat_map
+    (fun size -> compositions ?max_candidates ~templates ~connectors ~size ())
+    (List.init max_size (fun i -> i + 1))
+  |> Sos.dedup_isomorphic

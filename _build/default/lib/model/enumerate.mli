@@ -1,0 +1,42 @@
+(** Enumeration of SoS instances (Sect. 4.2): all structurally different
+    combinations of component instances, isomorphic combinations
+    neglected.
+
+    Exhaustive and exponential in the number of candidate links; intended
+    for the small instance sizes at which architectural analysis happens. *)
+
+module Action = Fsa_term.Action
+
+type template = {
+  t_name : string;
+  t_build : int -> Component.t;
+  t_outputs : string list;
+  t_inputs : string list;
+}
+
+val template :
+  name:string ->
+  build:(int -> Component.t) ->
+  outputs:string list ->
+  inputs:string list ->
+  template
+
+val compositions :
+  ?max_candidates:int ->
+  templates:template list ->
+  connectors:(string * string) list ->
+  size:int ->
+  unit ->
+  Sos.t list
+(** All connected, loop-free instances of exactly [size] components whose
+    links follow the (output label, input label) connector rules.
+    @raise Invalid_argument when the candidate-link count exceeds
+    [max_candidates] (default 16). *)
+
+val up_to :
+  ?max_candidates:int ->
+  templates:template list ->
+  connectors:(string * string) list ->
+  max_size:int ->
+  unit ->
+  Sos.t list

@@ -1,0 +1,68 @@
+(* Functional flows between actions.  The action-oriented approach of the
+   paper (Sect. 4.1) considers possible sequences of actions (control flow)
+   and information flow between interdependent actions; flows crossing a
+   component's boundary are external, flows within one component instance
+   are internal.
+
+   A flow may carry a policy tag recording that the dependency exists only
+   because of a non-safety policy (e.g. the position-based forwarding policy
+   of Sect. 4.4, introduced for performance reasons); requirement
+   classification uses these tags. *)
+
+type kind = Information | Control
+
+type locality = Internal | External
+
+type t = {
+  src : Fsa_term.Action.t;
+  dst : Fsa_term.Action.t;
+  kind : kind;
+  locality : locality;
+  policy : string option;
+}
+
+let make ?(kind = Information) ?(locality = Internal) ?policy src dst =
+  { src; dst; kind; locality; policy }
+
+let internal ?kind ?policy src dst = make ?kind ~locality:Internal ?policy src dst
+let external_ ?kind ?policy src dst = make ?kind ~locality:External ?policy src dst
+
+let src f = f.src
+let dst f = f.dst
+let kind f = f.kind
+let locality f = f.locality
+let policy f = f.policy
+
+let is_external f = f.locality = External
+let is_policy_induced f = Option.is_some f.policy
+
+let compare a b =
+  let c = Fsa_term.Action.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Fsa_term.Action.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.kind b.kind in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.locality b.locality in
+        if c <> 0 then c
+        else Option.compare String.compare a.policy b.policy
+
+let equal a b = compare a b = 0
+
+let pp_kind ppf = function
+  | Information -> Fmt.string ppf "info"
+  | Control -> Fmt.string ppf "ctrl"
+
+let pp ppf f =
+  let ext = if is_external f then " (ext)" else "" in
+  let pol = match f.policy with None -> "" | Some p -> " [policy " ^ p ^ "]" in
+  Fmt.pf ppf "%a -> %a%s%s" Fsa_term.Action.pp f.src Fsa_term.Action.pp f.dst
+    ext pol
+
+let reindex g f =
+  { f with
+    src = Fsa_term.Action.reindex g f.src;
+    dst = Fsa_term.Action.reindex g f.dst }

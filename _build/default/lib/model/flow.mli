@@ -1,0 +1,43 @@
+(** Functional flows between actions (Sect. 4.1 of the paper). *)
+
+type kind = Information | Control
+type locality = Internal | External
+
+type t = {
+  src : Fsa_term.Action.t;
+  dst : Fsa_term.Action.t;
+  kind : kind;
+  locality : locality;
+  policy : string option;
+      (** Policy tag for flows that exist only because of a non-safety
+          policy, e.g. the position-based forwarding policy. *)
+}
+
+val make :
+  ?kind:kind ->
+  ?locality:locality ->
+  ?policy:string ->
+  Fsa_term.Action.t ->
+  Fsa_term.Action.t ->
+  t
+
+val internal :
+  ?kind:kind -> ?policy:string -> Fsa_term.Action.t -> Fsa_term.Action.t -> t
+
+val external_ :
+  ?kind:kind -> ?policy:string -> Fsa_term.Action.t -> Fsa_term.Action.t -> t
+
+val src : t -> Fsa_term.Action.t
+val dst : t -> Fsa_term.Action.t
+val kind : t -> kind
+val locality : t -> locality
+val policy : t -> string option
+val is_external : t -> bool
+val is_policy_induced : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp_kind : kind Fmt.t
+val pp : t Fmt.t
+
+val reindex : (Fsa_term.Agent.index -> Fsa_term.Agent.index) -> t -> t
+(** Rewrite the instance indices of both endpoint actions. *)

@@ -1,0 +1,22 @@
+(** Model linting: inspection warnings over functional SoS models
+    (isolated actions, unconnected components, degenerate boundary
+    actions, singleton policies, uninfluenced outputs, heavy external
+    fan-in). *)
+
+module Action = Fsa_term.Action
+
+type warning =
+  | Isolated_action of Action.t
+  | Unconnected_component of string
+  | Degenerate_boundary_action of Action.t
+  | Singleton_policy of string * Flow.t
+  | Uninfluenced_output of Action.t
+  | External_fan_in of Action.t * int
+
+val pp_warning : warning Fmt.t
+val severity : warning -> [ `Error | `Warning ]
+val pp_severity : [ `Error | `Warning ] Fmt.t
+
+val check : Sos.t -> warning list
+val errors : Sos.t -> warning list
+val pp_report : warning list Fmt.t

@@ -1,0 +1,180 @@
+(* System-of-systems instances (Sect. 4.2).  A SoS instance is built from a
+   number of functional component instances, glued together by external
+   flows between actions of different components (e.g. the transmission of
+   a cooperative awareness message from one vehicle's [send] to another
+   vehicle's [rec]).  The synthesis of internal and external flow yields
+   the global functional dependency graph from which requirements are
+   derived. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+type t = {
+  name : string;
+  components : Component.t list;
+  links : Flow.t list;  (* external flows, between different components *)
+}
+
+type error =
+  | Unknown_component_action of Action.t
+  | Link_within_component of string * Flow.t
+  | Cyclic_flow of Action.t list
+  | Duplicate_component of string
+
+let pp_error ppf = function
+  | Unknown_component_action a ->
+    Fmt.pf ppf "link endpoint %a is not an action of any component" Action.pp a
+  | Link_within_component (c, f) ->
+    Fmt.pf ppf "link %a connects two actions of the same component %s"
+      Flow.pp f c
+  | Cyclic_flow c ->
+    Fmt.pf ppf "functional flow has a cycle: %a"
+      Fmt.(list ~sep:(any " -> ") Action.pp)
+      c
+  | Duplicate_component n -> Fmt.pf ppf "component %s occurs twice" n
+
+let owner_of components a =
+  List.find_opt
+    (fun c -> List.exists (Action.equal a) (Component.actions c))
+    components
+
+let all_flows t =
+  List.concat_map Component.flows t.components @ t.links
+
+let all_actions t =
+  List.concat_map Component.actions t.components
+  |> List.sort_uniq Action.compare
+
+(* Every declared action is a vertex, so actions without any flow are
+   visible to boundary computations (as both minimal and maximal). *)
+let dependency_graph t =
+  List.fold_left
+    (fun g a -> Action_graph.G.add_vertex a g)
+    (Action_graph.of_flows (all_flows t))
+    (all_actions t)
+
+let validate t =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  let rec dup_check = function
+    | [] -> ()
+    | c :: rest ->
+      if List.exists (fun c' -> String.equal (Component.name c) (Component.name c')) rest
+      then err (Duplicate_component (Component.name c));
+      dup_check rest
+  in
+  dup_check t.components;
+  List.iter
+    (fun f ->
+      let check a =
+        if Option.is_none (owner_of t.components a) then
+          err (Unknown_component_action a)
+      in
+      check (Flow.src f);
+      check (Flow.dst f);
+      match owner_of t.components (Flow.src f), owner_of t.components (Flow.dst f) with
+      | Some c1, Some c2 when String.equal (Component.name c1) (Component.name c2) ->
+        err (Link_within_component (Component.name c1, f))
+      | _, _ -> ())
+    t.links;
+  (match Action_graph.G.find_cycle (dependency_graph t) with
+  | Some c -> err (Cyclic_flow c)
+  | None -> ());
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let make ?(links = []) ~components name =
+  (* Links are external by construction. *)
+  let links =
+    List.map
+      (fun f -> Flow.make ~kind:(Flow.kind f) ~locality:Flow.External
+           ?policy:(Flow.policy f) (Flow.src f) (Flow.dst f))
+      links
+  in
+  let t = { name; components; links } in
+  match validate t with
+  | Ok () -> t
+  | Error (e :: _) -> invalid_arg (Fmt.str "Sos.make %s: %a" name pp_error e)
+  | Error [] -> assert false
+
+let name t = t.name
+let components t = t.components
+let links t = t.links
+
+let component_names t = List.map Component.name t.components
+
+(* The partial order zeta* of the instance.  [make] guarantees loop
+   freedom, so this cannot fail for validated instances. *)
+let poset t =
+  match Action_graph.P.of_graph (dependency_graph t) with
+  | Ok p -> p
+  | Error (Action_graph.P.Cycle _) -> assert false
+
+(* System boundary actions: minima (incoming: triggered by the system
+   environment) and maxima (outgoing: influencing the environment) of the
+   functional dependency order. *)
+type boundary = { incoming : Action.t list; outgoing : Action.t list }
+
+let boundary t =
+  let p = poset t in
+  { incoming = Action_graph.P.Eset.elements (Action_graph.P.minima p);
+    outgoing = Action_graph.P.Eset.elements (Action_graph.P.maxima p) }
+
+(* Component boundary actions: the union over all components of the actions
+   at the respective component's boundary. *)
+let component_boundary_actions t =
+  List.concat_map Component.boundary_actions t.components
+  |> List.sort_uniq Action.compare
+
+type stats = {
+  nb_components : int;
+  nb_actions : int;
+  nb_flows : int;
+  nb_component_boundary : int;
+  nb_system_boundary : int;
+  nb_minimal : int;
+  nb_maximal : int;
+}
+
+let stats t =
+  let b = boundary t in
+  let nb_minimal = List.length b.incoming in
+  let nb_maximal = List.length b.outgoing in
+  { nb_components = List.length t.components;
+    nb_actions = List.length (all_actions t);
+    nb_flows = List.length (all_flows t);
+    nb_component_boundary = List.length (component_boundary_actions t);
+    nb_system_boundary = nb_minimal + nb_maximal;
+    nb_minimal;
+    nb_maximal }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "components: %d, actions: %d, flows: %d, component boundary actions: %d, \
+     system boundary actions: %d (%d maximal, %d minimal)"
+    s.nb_components s.nb_actions s.nb_flows s.nb_component_boundary
+    s.nb_system_boundary s.nb_maximal s.nb_minimal
+
+(* Structural comparison of SoS instances: two instances are considered
+   isomorphic when their dependency graphs are isomorphic under a mapping
+   that preserves action shapes (label, acting role and data arguments,
+   forgetting the instance index).  Isomorphic combinations of component
+   instances can be neglected during instance enumeration (Sect. 4.2). *)
+let isomorphic t1 t2 =
+  let label a b = Action.compare_shape (Action.shape a) (Action.shape b) = 0 in
+  Action_graph.G.isomorphic ~label (dependency_graph t1) (dependency_graph t2)
+
+let dedup_isomorphic instances =
+  List.fold_left
+    (fun kept inst ->
+      if List.exists (isomorphic inst) kept then kept else inst :: kept)
+    [] instances
+  |> List.rev
+
+let dot t = Action_graph.dot ~name:t.name (all_flows t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>sos %s:@,%a@,links:@,%a@]" t.name
+    Fmt.(list ~sep:cut Component.pp)
+    t.components
+    Fmt.(list ~sep:cut Flow.pp)
+    t.links

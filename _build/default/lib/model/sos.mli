@@ -1,0 +1,70 @@
+(** System-of-systems instances (Sect. 4.2 of the paper).
+
+    A SoS instance is a set of component instances glued together by
+    external flows.  The synthesis of internal and external flow is the
+    global functional dependency graph; its reflexive transitive closure is
+    the partial order ζ* from which authenticity requirements derive. *)
+
+module Action = Fsa_term.Action
+
+type t = {
+  name : string;
+  components : Component.t list;
+  links : Flow.t list;
+}
+
+type error =
+  | Unknown_component_action of Action.t
+  | Link_within_component of string * Flow.t
+  | Cyclic_flow of Action.t list
+  | Duplicate_component of string
+
+val pp_error : error Fmt.t
+val validate : t -> (unit, error list) result
+
+val make : ?links:Flow.t list -> components:Component.t list -> string -> t
+(** Build and validate an instance.  Links are forced to [External]
+    locality.  @raise Invalid_argument on an ill-formed instance. *)
+
+val name : t -> string
+val components : t -> Component.t list
+val links : t -> Flow.t list
+val component_names : t -> string list
+
+val owner_of : Component.t list -> Action.t -> Component.t option
+val all_flows : t -> Flow.t list
+val all_actions : t -> Action.t list
+val dependency_graph : t -> Action_graph.G.t
+
+val poset : t -> Action_graph.P.t
+(** ζ* of the instance (total by construction for validated instances). *)
+
+type boundary = { incoming : Action.t list; outgoing : Action.t list }
+
+val boundary : t -> boundary
+(** System boundary actions: minima (incoming) and maxima (outgoing) of
+    the functional dependency order. *)
+
+val component_boundary_actions : t -> Action.t list
+
+type stats = {
+  nb_components : int;
+  nb_actions : int;
+  nb_flows : int;
+  nb_component_boundary : int;
+  nb_system_boundary : int;
+  nb_minimal : int;
+  nb_maximal : int;
+}
+
+val stats : t -> stats
+val pp_stats : stats Fmt.t
+
+val isomorphic : t -> t -> bool
+(** Structural isomorphism preserving action shapes; isomorphic instance
+    combinations can be neglected during enumeration. *)
+
+val dedup_isomorphic : t list -> t list
+
+val dot : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/order/poset.ml: Array Fmt Fsa_graph Hashtbl List Printf

@@ -1,0 +1,235 @@
+(* Finite partial orders, constructed from the functional flow relation of a
+   system instance.  Following Sect. 4.4 of the paper: the functional flow
+   among actions is an ordering relation zeta on the action set; its
+   reflexive transitive closure zeta* is a partial order when the flow graph
+   is loop-free; restricting zeta* to pairs of minimal and maximal elements
+   yields the relation chi from which authenticity requirements are read. *)
+
+module Make (G : Fsa_graph.Digraph.S) = struct
+  module Eset = G.Vset
+  module Emap = G.Vmap
+
+  type element = G.vertex
+
+  (* [strict] is the strict order (irreflexive transitive closure) as a
+     digraph; [base] is the original generating relation (zeta). *)
+  type t = { base : G.t; strict : G.t }
+
+  type error = Cycle of element list
+
+  let pp_error ppf (Cycle c) =
+    Fmt.pf ppf "the functional flow relation has a cycle: %a"
+      Fmt.(list ~sep:(any " -> ") G.pp_vertex)
+      c
+
+  let of_graph base =
+    match G.find_cycle base with
+    | Some cycle -> Error (Cycle cycle)
+    | None -> Ok { base; strict = G.transitive_closure ~reflexive:false base }
+
+  let of_relation ?(elements = []) pairs =
+    of_graph (G.of_edges ~vertices:elements pairs)
+
+  let of_graph_exn g =
+    match of_graph g with
+    | Ok t -> t
+    | Error e -> invalid_arg (Fmt.str "Poset.of_graph_exn: %a" pp_error e)
+
+  let of_relation_exn ?elements pairs =
+    match of_relation ?elements pairs with
+    | Ok t -> t
+    | Error e -> invalid_arg (Fmt.str "Poset.of_relation_exn: %a" pp_error e)
+
+  let base t = t.base
+  let strict t = t.strict
+  let elements t = G.vertices t.strict
+  let cardinal t = G.nb_vertices t.strict
+
+  let lt x y t = G.mem_edge x y t.strict
+  let leq x y t = G.compare_vertex x y = 0 || lt x y t
+
+  let comparable x y t = leq x y t || leq y x t
+
+  (* zeta* as an explicit list of pairs, reflexive pairs included — this is
+     exactly the relation displayed in Example 3 of the paper. *)
+  let closure_pairs t =
+    let refl = Eset.fold (fun v acc -> (v, v) :: acc) (elements t) [] in
+    List.rev_append refl (G.edges t.strict)
+    |> List.sort (fun (a, b) (c, d) ->
+           let c1 = G.compare_vertex a c in
+           if c1 <> 0 then c1 else G.compare_vertex b d)
+
+  let minima t = G.sources t.strict
+  let maxima t = G.sinks t.strict
+
+  (* chi = zeta* restricted to minima x maxima (Sect. 4.4).  A minimal
+     element that is also maximal (an isolated action) induces the reflexive
+     pair (x, x); the paper's system instances do not contain such actions,
+     but we keep the reflexive pair for faithfulness to the definition of
+     chi over zeta* (which is reflexive). *)
+  let chi ?(include_isolated = false) t =
+    let mins = minima t and maxs = maxima t in
+    let direct =
+      Eset.fold
+        (fun x acc ->
+          Eset.fold
+            (fun y acc -> if lt x y t then (x, y) :: acc else acc)
+            maxs acc)
+        mins []
+    in
+    let pairs =
+      if include_isolated then
+        Eset.fold
+          (fun x acc -> if Eset.mem x maxs then (x, x) :: acc else acc)
+          mins direct
+      else direct
+    in
+    List.sort
+      (fun (a, b) (c, d) ->
+        let c1 = G.compare_vertex a c in
+        if c1 <> 0 then c1 else G.compare_vertex b d)
+      pairs
+
+  let hasse t = G.transitive_reduction t.strict
+
+  let covers x t = G.succ x (hasse t)
+
+  let downset x t = Eset.add x (G.co_reachable x t.strict)
+  let upset x t = Eset.add x (G.reachable x t.strict)
+
+  (* Height: length (number of elements) of a longest chain. *)
+  let height t =
+    match G.topological_sort t.strict with
+    | None -> assert false (* acyclic by construction *)
+    | Some order ->
+      let depth =
+        List.fold_left
+          (fun depth v ->
+            let best =
+              Eset.fold
+                (fun p acc -> max acc (Emap.find p depth))
+                (G.pred v t.strict) 0
+            in
+            Emap.add v (best + 1) depth)
+          Emap.empty order
+      in
+      Emap.fold (fun _ d acc -> max acc d) depth 0
+
+  (* Width (size of a maximum antichain) via Dilworth's theorem: a minimum
+     chain cover has [n - m] chains where [m] is the size of a maximum
+     matching in the split bipartite graph of the strict order. *)
+  let width t =
+    let elts = Array.of_seq (Eset.to_seq (elements t)) in
+    let n = Array.length elts in
+    if n = 0 then 0
+    else begin
+      let adj u =
+        let rec collect v acc =
+          if v < 0 then acc
+          else
+            collect (v - 1) (if lt elts.(u) elts.(v) t then v :: acc else acc)
+        in
+        collect (n - 1) []
+      in
+      let matching = Fsa_graph.Matching.maximum ~left:n ~right:n ~adj in
+      n - Fsa_graph.Matching.size matching
+    end
+
+  (* --- Order ideals (down-sets) ------------------------------------------
+     The states of the reachability graph of a 1-safe "every action happens
+     once" process are exactly the order ideals of its event poset, which is
+     how the paper's published state counts (13 and 169) are validated. *)
+
+  let check_ideal_size n =
+    if n > 62 then
+      invalid_arg
+        (Printf.sprintf
+           "Poset: ideal enumeration uses bit masks and supports at most 62 \
+            elements (got %d)" n)
+
+  (* Bitmask representation over a fixed element enumeration. *)
+  let ideal_context t =
+    let elts = Array.of_seq (Eset.to_seq (elements t)) in
+    let n = Array.length elts in
+    check_ideal_size n;
+    let idx =
+      snd
+        (Array.fold_left
+           (fun (i, m) v -> (i + 1, Emap.add v i m))
+           (0, Emap.empty) elts)
+    in
+    let pred_mask = Array.make n 0 in
+    Array.iteri
+      (fun i v ->
+        Eset.iter
+          (fun p -> pred_mask.(i) <- pred_mask.(i) lor (1 lsl Emap.find p idx))
+          (G.pred v t.strict))
+      elts;
+    (elts, pred_mask)
+
+  (* Enumerate all ideals as bit masks, by BFS over the ideal lattice:
+     successors of ideal I are I + {e} for each enabled e (all predecessors
+     already in I). *)
+  let ideal_masks t =
+    let elts, pred_mask = ideal_context t in
+    let n = Array.length elts in
+    let seen = Hashtbl.create 256 in
+    let rec go acc = function
+      | [] -> acc
+      | mask :: rest ->
+        if Hashtbl.mem seen mask then go acc rest
+        else begin
+          Hashtbl.replace seen mask ();
+          let next = ref rest in
+          for e = 0 to n - 1 do
+            if mask land (1 lsl e) = 0 && pred_mask.(e) land mask = pred_mask.(e)
+            then next := (mask lor (1 lsl e)) :: !next
+          done;
+          go (mask :: acc) !next
+        end
+    in
+    (elts, go [] [ 0 ])
+
+  let count_ideals t =
+    let _, masks = ideal_masks t in
+    List.length masks
+
+  let ideals t =
+    let elts, masks = ideal_masks t in
+    let n = Array.length elts in
+    List.rev_map
+      (fun mask ->
+        let rec collect i acc =
+          if i < 0 then acc
+          else collect (i - 1) (if mask land (1 lsl i) <> 0 then elts.(i) :: acc else acc)
+        in
+        collect (n - 1) [])
+      masks
+
+  (* Number of linear extensions = number of maximal paths in the ideal
+     lattice from the empty ideal to the full set, computed by memoised
+     recursion on ideals. *)
+  let count_linear_extensions t =
+    let elts, pred_mask = ideal_context t in
+    let n = Array.length elts in
+    let full = (1 lsl n) - 1 in
+    let memo = Hashtbl.create 256 in
+    let rec paths mask =
+      if mask = full then 1
+      else
+        match Hashtbl.find_opt memo mask with
+        | Some v -> v
+        | None ->
+          let total = ref 0 in
+          for e = 0 to n - 1 do
+            if mask land (1 lsl e) = 0 && pred_mask.(e) land mask = pred_mask.(e)
+            then total := !total + paths (mask lor (1 lsl e))
+          done;
+          Hashtbl.replace memo mask !total;
+          !total
+    in
+    paths 0
+
+  let pp ppf t =
+    Fmt.pf ppf "@[<v>poset (%d elements)@,%a@]" (cardinal t) G.pp (hasse t)
+end

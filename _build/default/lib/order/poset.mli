@@ -1,0 +1,76 @@
+(** Finite partial orders over the action set of a system instance.
+
+    Implements the formalisation of Sect. 4.4 of the paper: the functional
+    flow is a relation ζ on actions; its reflexive transitive closure ζ* is
+    a partial order when the flow graph is loop-free; the restriction χ of
+    ζ* to pairs of minimal and maximal elements yields the authenticity
+    requirements.  Also provides order-theoretic analytics (height, width,
+    order ideals, linear-extension counts) used to validate reachability
+    graphs against the event poset of a scenario. *)
+
+module Make (G : Fsa_graph.Digraph.S) : sig
+  module Eset : Set.S with type elt = G.vertex and type t = G.Vset.t
+  module Emap : Map.S with type key = G.vertex and type 'a t = 'a G.Vmap.t
+
+  type element = G.vertex
+  type t
+
+  type error = Cycle of element list
+
+  val pp_error : error Fmt.t
+
+  val of_graph : G.t -> (t, error) result
+  (** Interpret a digraph as the generating relation ζ; fails on cycles
+      (every action represents a progress in time, Sect. 4.3). *)
+
+  val of_relation :
+    ?elements:element list -> (element * element) list -> (t, error) result
+
+  val of_graph_exn : G.t -> t
+  val of_relation_exn : ?elements:element list -> (element * element) list -> t
+
+  val base : t -> G.t
+  (** The generating relation ζ. *)
+
+  val strict : t -> G.t
+  (** The strict order (irreflexive transitive closure of ζ). *)
+
+  val elements : t -> Eset.t
+  val cardinal : t -> int
+
+  val lt : element -> element -> t -> bool
+  val leq : element -> element -> t -> bool
+  val comparable : element -> element -> t -> bool
+
+  val closure_pairs : t -> (element * element) list
+  (** ζ* as an explicit, sorted list of pairs (reflexive pairs included) —
+      the relation displayed in Example 3 of the paper. *)
+
+  val minima : t -> Eset.t
+  val maxima : t -> Eset.t
+
+  val chi : ?include_isolated:bool -> t -> (element * element) list
+  (** χ = ζ* restricted to minima × maxima.  With [include_isolated:true],
+      elements that are both minimal and maximal contribute their reflexive
+      pair. *)
+
+  val hasse : t -> G.t
+  val covers : element -> t -> Eset.t
+  val downset : element -> t -> Eset.t
+  val upset : element -> t -> Eset.t
+
+  val height : t -> int
+  (** Number of elements of a longest chain. *)
+
+  val width : t -> int
+  (** Size of a maximum antichain (Dilworth, via bipartite matching). *)
+
+  val ideals : t -> element list list
+  (** All order ideals (down-sets).  Supports up to 62 elements. *)
+
+  val count_ideals : t -> int
+
+  val count_linear_extensions : t -> int
+
+  val pp : t Fmt.t
+end

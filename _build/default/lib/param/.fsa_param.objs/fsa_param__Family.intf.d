@@ -1,0 +1,1 @@
+lib/param/family.mli: Fmt Fsa_model Fsa_requirements Fsa_term

@@ -1,0 +1,1 @@
+lib/param/selfsim.ml: Fmt Fsa_apa Fsa_hom Fsa_lts Fsa_mc Fsa_term Fsa_vanet List String

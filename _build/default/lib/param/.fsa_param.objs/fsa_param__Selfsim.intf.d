@@ -1,0 +1,1 @@
+lib/param/selfsim.mli: Fmt Fsa_apa Fsa_hom Fsa_lts Fsa_mc Fsa_term

@@ -1,0 +1,69 @@
+(* Uniformly parameterised families of SoS instances (Sect. 6 outlook).
+
+   The paper's system families are parameterised by a number of replicated
+   identical components (e.g. the number of forwarding vehicles).  This
+   module checks, instance by instance, that the requirement sets of a
+   family follow a uniform schema — the finite-state evidence behind
+   parameterised statements such as
+
+     chi_i = chi_(i-1) + { (pos(GPS_i, pos), show(HMI_w, warn)) }. *)
+
+module Action = Fsa_term.Action
+module Auth = Fsa_requirements.Auth
+module Sos = Fsa_model.Sos
+
+type mismatch = {
+  parameter : int;
+  expected : Auth.t list;
+  actual : Auth.t list;
+}
+
+let pp_mismatch ppf m =
+  Fmt.pf ppf
+    "@[<v2>parameter %d:@,expected:@,%a@,actual:@,%a@]" m.parameter
+    Auth.pp_set m.expected Auth.pp_set m.actual
+
+(* Check that [family n] has exactly the requirements [schema n] for every
+   n in [range]; returns the mismatches (empty = uniform). *)
+let check_schema ?stakeholder ~family ~schema range =
+  List.filter_map
+    (fun n ->
+      let expected = Auth.normalise (schema n) in
+      let actual = Fsa_requirements.Derive.of_sos ?stakeholder (family n) in
+      if Auth.equal_set expected actual then None
+      else Some { parameter = n; expected; actual })
+    range
+
+let is_uniform ?stakeholder ~family ~schema range =
+  check_schema ?stakeholder ~family ~schema range = []
+
+(* The increment of the requirement sets between consecutive instances:
+   the paper reads the parameterised requirement off these differences.
+   Callers must ensure that [family (n - 1)] is defined for every [n] in
+   the range. *)
+let increments ?stakeholder ~family range =
+  List.map
+    (fun n ->
+      let prev = Fsa_requirements.Derive.of_sos ?stakeholder (family (n - 1)) in
+      let cur = Fsa_requirements.Derive.of_sos ?stakeholder (family n) in
+      (n, Auth.diff cur prev))
+    range
+
+(* A family is incrementally uniform when each step adds requirements of
+   one single shape (the quantifiable family) and removes none. *)
+let incrementally_uniform ?stakeholder ~family range =
+  let steps = increments ?stakeholder ~family range in
+  List.for_all
+    (fun (n, added) ->
+      let prev = Fsa_requirements.Derive.of_sos ?stakeholder (family (n - 1)) in
+      let cur = Fsa_requirements.Derive.of_sos ?stakeholder (family n) in
+      Auth.subset prev cur
+      &&
+      match added with
+      | [] -> true
+      | first :: rest ->
+        let shape r = Action.shape (Auth.cause r) in
+        List.for_all
+          (fun r -> Action.compare_shape (shape first) (shape r) = 0)
+          rest)
+    steps

@@ -1,0 +1,45 @@
+(** Uniformly parameterised families of SoS instances.
+
+    Finite-state evidence for parameterised requirement statements such as
+    χᵢ = χᵢ₋₁ ∪ {(pos(GPS_i, pos), show(HMI_w, warn))}. *)
+
+module Action = Fsa_term.Action
+module Auth = Fsa_requirements.Auth
+module Sos = Fsa_model.Sos
+
+type mismatch = {
+  parameter : int;
+  expected : Auth.t list;
+  actual : Auth.t list;
+}
+
+val pp_mismatch : mismatch Fmt.t
+
+val check_schema :
+  ?stakeholder:(Action.t -> Fsa_term.Agent.t) ->
+  family:(int -> Sos.t) ->
+  schema:(int -> Auth.t list) ->
+  int list ->
+  mismatch list
+
+val is_uniform :
+  ?stakeholder:(Action.t -> Fsa_term.Agent.t) ->
+  family:(int -> Sos.t) ->
+  schema:(int -> Auth.t list) ->
+  int list ->
+  bool
+
+val increments :
+  ?stakeholder:(Action.t -> Fsa_term.Agent.t) ->
+  family:(int -> Sos.t) ->
+  int list ->
+  (int * Auth.t list) list
+(** Requirements added between consecutive instances; [family (n - 1)]
+    must be defined for every [n] in the range. *)
+
+val incrementally_uniform :
+  ?stakeholder:(Action.t -> Fsa_term.Agent.t) ->
+  family:(int -> Sos.t) ->
+  int list ->
+  bool
+(** Each step only adds requirements, all of one action shape. *)

@@ -1,0 +1,149 @@
+(* Self-similarity of parameterised behaviours (Sect. 6 outlook).
+
+   For families parameterised by a number of replicated components, the
+   paper's outlook (building on Ochsenschlaeger/Rieke's uniform
+   parameterisations) reduces verification of the whole family to a
+   finite-state problem via *self-similarity*: abstracting the behaviour
+   of the (n+1)-component instance onto the alphabet of the n-component
+   instance yields exactly the n-component behaviour.
+
+   This module checks that condition instance by instance: the minimal
+   automaton of the homomorphic image of family(n+1) must be language
+   equivalent to the minimal automaton of family(n)'s behaviour.  Together
+   with a uniform requirement schema (see {!Family}), the checked range
+   provides the finite-state evidence for the parameterised requirement
+   statements of Sect. 4.4. *)
+
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+module V = Fsa_vanet.Vehicle_apa
+
+(* Abstracting [bigger] under [hom] yields exactly the behaviour of
+   [smaller]. *)
+let abstraction_equal ~bigger ~smaller ~hom =
+  let abstracted = Hom.minimal_automaton hom bigger in
+  let reference = Hom.minimal_automaton Hom.identity smaller in
+  Hom.A.Dfa.language_equal abstracted reference
+
+type step = { parameter : int; similar : bool }
+
+type report = { steps : step list; self_similar : bool }
+
+let pp_report ppf r =
+  let pp_step ppf s =
+    Fmt.pf ppf "n = %d -> n+1: %s" s.parameter
+      (if s.similar then "similar" else "NOT similar")
+  in
+  Fmt.pf ppf "@[<v>%a@,family self-similar on the checked range: %b@]"
+    Fmt.(list ~sep:cut pp_step)
+    r.steps r.self_similar
+
+(* Check self-similarity for each n in [range]: family (n+1) abstracted
+   under [hom_for n] equals family n. *)
+let check_family ?(max_states = 1_000_000) ~family ~hom_for range =
+  let steps =
+    List.map
+      (fun n ->
+        let bigger = Lts.explore ~max_states (family (n + 1)) in
+        let smaller = Lts.explore ~max_states (family n) in
+        { parameter = n;
+          similar = abstraction_equal ~bigger ~smaller ~hom:(hom_for n) })
+      range
+  in
+  { steps; self_similar = List.for_all (fun s -> s.similar) steps }
+
+(* ------------------------------------------------------------------ *)
+(* The paper's vehicle families                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* chain(n+1) -> chain(n): hide the new receiver V(n+1) entirely and
+   rename the forward action of V(n) (a forwarder in the longer chain)
+   to its show action (as the receiver of the shorter chain).  Both
+   actions consume the warning and the own position, so the behaviours
+   coincide. *)
+let chain_hom n : Hom.t =
+ fun a ->
+  let label = Action.label a in
+  if String.equal label (Action.label (V.v_fwd n)) then Some (V.v_show n)
+  else if
+    List.exists
+      (fun erased -> String.equal label (Action.label erased))
+      [ V.v_pos (n + 1); V.v_rec (n + 1); V.v_show (n + 1) ]
+  then None
+  else Some a
+
+(* pairs(k+1) -> pairs(k): hide the additional warner/receiver pair. *)
+let pairs_hom k : Hom.t =
+ fun a ->
+  let hidden =
+    [ V.v_sense ((2 * k) + 1); V.v_pos ((2 * k) + 1); V.v_send ((2 * k) + 1);
+      V.v_pos ((2 * k) + 2); V.v_rec ((2 * k) + 2); V.v_show ((2 * k) + 2) ]
+  in
+  if List.exists (Action.equal a) hidden then None else Some a
+
+(* ------------------------------------------------------------------ *)
+(* Inductive verification of safety patterns over a family              *)
+(* ------------------------------------------------------------------ *)
+
+(* Verification of a safety pattern (over the base instance's alphabet)
+   for the whole family, by induction on the parameter:
+
+   - base case: the pattern holds on family(base);
+   - step: family(n+1) abstracted under hom_for(n) is language-equivalent
+     to family(n) (self-similarity), so the pattern — a statement about
+     the preserved alphabet's prefix language — transfers.
+
+   The range provides the finite-state evidence for the steps; the
+   per-instance abstract checks double as a sanity net. *)
+type family_verification = {
+  fv_base : bool;
+  fv_steps : report;
+  fv_abstract_checks : (int * bool) list;
+      (* pattern on the projected language of each range instance + 1 *)
+  fv_holds : bool;
+}
+
+let pp_family_verification ppf fv =
+  Fmt.pf ppf
+    "@[<v>base case: %b@,%a@,abstract checks: %a@,family-level verdict: %b@]"
+    fv.fv_base pp_report fv.fv_steps
+    Fmt.(
+      list ~sep:comma (fun ppf (n, ok) -> Fmt.pf ppf "n=%d:%b" (n + 1) ok))
+    fv.fv_abstract_checks fv.fv_holds
+
+(* The composed abstraction from family(n) all the way down to the base
+   instance's alphabet. *)
+let rec hom_to_base ~hom_for ~base n : Hom.t =
+  if n <= base then Hom.identity
+  else
+    Hom.compose (hom_to_base ~hom_for ~base (n - 1)) (hom_for (n - 1))
+
+let verify_uniform_safety ?(max_states = 1_000_000) ~family ~hom_for ~base
+    ~range pattern =
+  if Fsa_mc.Pattern.is_liveness pattern then
+    invalid_arg "Selfsim.verify_uniform_safety: safety patterns only";
+  let base_lts = Lts.explore ~max_states (family base) in
+  let fv_base = Fsa_mc.Pattern.holds base_lts pattern in
+  let fv_steps = check_family ~max_states ~family ~hom_for range in
+  let fv_abstract_checks =
+    List.map
+      (fun n ->
+        let lts = Lts.explore ~max_states (family (n + 1)) in
+        let hom = hom_to_base ~hom_for ~base (n + 1) in
+        (n, Fsa_mc.Pattern.holds_abstract hom lts pattern))
+      range
+  in
+  { fv_base;
+    fv_steps;
+    fv_abstract_checks;
+    fv_holds =
+      fv_base && fv_steps.self_similar
+      && List.for_all snd fv_abstract_checks }
+
+let check_chain ?(range = [ 2; 3; 4 ]) () =
+  check_family ~family:V.chain ~hom_for:chain_hom range
+
+let check_pairs ?(range = [ 1; 2 ]) () =
+  check_family ~family:V.pairs ~hom_for:pairs_hom range

@@ -1,0 +1,59 @@
+(** Self-similarity of parameterised behaviours (Sect. 6 outlook).
+
+    A family is self-similar on a range when abstracting the behaviour of
+    the (n+1)-component instance onto the alphabet of the n-component
+    instance yields exactly the n-component behaviour.  Checked via
+    language equivalence of minimal automata. *)
+
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+
+val abstraction_equal : bigger:Lts.t -> smaller:Lts.t -> hom:Hom.t -> bool
+
+type step = { parameter : int; similar : bool }
+type report = { steps : step list; self_similar : bool }
+
+val pp_report : report Fmt.t
+
+val check_family :
+  ?max_states:int ->
+  family:(int -> Apa.t) ->
+  hom_for:(int -> Hom.t) ->
+  int list ->
+  report
+
+type family_verification = {
+  fv_base : bool;
+  fv_steps : report;
+  fv_abstract_checks : (int * bool) list;
+  fv_holds : bool;
+}
+
+val pp_family_verification : family_verification Fmt.t
+
+val hom_to_base : hom_for:(int -> Hom.t) -> base:int -> int -> Hom.t
+(** The composed abstraction from family(n) down to the base alphabet. *)
+
+val verify_uniform_safety :
+  ?max_states:int ->
+  family:(int -> Apa.t) ->
+  hom_for:(int -> Hom.t) ->
+  base:int ->
+  range:int list ->
+  Fsa_mc.Pattern.t ->
+  family_verification
+(** Inductive verification of a safety pattern over the family: base case
+    plus self-similarity steps; the per-instance abstract checks are a
+    sanity net.  @raise Invalid_argument on liveness patterns. *)
+
+val chain_hom : int -> Hom.t
+(** chain(n+1) → chain(n): hide the new receiver, rename [Vn_fwd] to
+    [Vn_show]. *)
+
+val pairs_hom : int -> Hom.t
+(** pairs(k+1) → pairs(k): hide the additional pair. *)
+
+val check_chain : ?range:int list -> unit -> report
+val check_pairs : ?range:int list -> unit -> report

@@ -1,0 +1,1 @@
+lib/refine/refine.ml: Fmt Fsa_model Fsa_requirements Fsa_term List

@@ -1,0 +1,1 @@
+lib/refine/refine.mli: Fmt Fsa_model Fsa_requirements Fsa_term

@@ -1,0 +1,1 @@
+lib/refine/threat.ml: Fmt Fsa_graph Fsa_model Fsa_requirements Fsa_term List Printf Refine String

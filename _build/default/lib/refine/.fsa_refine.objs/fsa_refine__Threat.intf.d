@@ -1,0 +1,1 @@
+lib/refine/threat.mli: Fmt Fsa_model Fsa_requirements Fsa_term

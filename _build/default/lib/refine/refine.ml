@@ -1,0 +1,165 @@
+(* Refinement of end-to-end authenticity requirements (Sect. 6: "the
+   requirements have to be refined to more concrete requirements in this
+   process").
+
+   The elicited requirements deliberately avoid premature assumptions on
+   the security architecture (hop-by-hop versus end-to-end measures).
+   When the engineering process later fixes an architecture, each
+   requirement auth(x, y, P) must be realised by protecting functional
+   flows.  This module computes the architectural options:
+
+   - [channels]: every flow lying on some path from the cause to the
+     effect — the complete attack surface of the requirement;
+   - [min_cut]: a minimum set of flows whose protection severs every
+     unprotected path — the cheapest single protection boundary;
+   - [hop_by_hop]: the decomposition of the requirement along a concrete
+     path into per-hop obligations auth(a_k, a_(k+1), actor(a_(k+1)));
+   - [end_to_end]: the alternative single obligation over a protected
+     channel between the cause's and the effect's components. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Auth = Fsa_requirements.Auth
+module AG = Fsa_model.Action_graph
+module Sos = Fsa_model.Sos
+module Flow = Fsa_model.Flow
+
+(* ------------------------------------------------------------------ *)
+(* Paths and attack surface                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* All simple paths from the cause to the effect, capped at [limit]
+   paths (the dependency graphs are DAGs, so paths are finite). *)
+let simple_paths ?(limit = 1000) sos src dst =
+  let g = Sos.dependency_graph sos in
+  let count = ref 0 in
+  let rec go path v acc =
+    if !count >= limit then acc
+    else if Action.equal v dst then begin
+      incr count;
+      List.rev (v :: path) :: acc
+    end
+    else
+      AG.G.Vset.fold
+        (fun w acc -> go (v :: path) w acc)
+        (AG.G.succ v g) acc
+  in
+  if AG.G.mem_vertex src g then List.rev (go [] src []) else []
+
+(* Every flow on some path from [src] to [dst]: the attack surface of the
+   requirement.  An edge (u, v) lies on such a path iff u is reachable
+   from [src] and [dst] is reachable from v. *)
+let channels sos src dst =
+  let g = Sos.dependency_graph sos in
+  if not (AG.G.mem_vertex src g && AG.G.mem_vertex dst g) then []
+  else begin
+    let from_src = AG.G.reachable src g in
+    let to_dst = AG.G.co_reachable dst g in
+    Sos.all_flows sos
+    |> List.filter (fun f ->
+           AG.G.Vset.mem (Flow.src f) from_src
+           && AG.G.Vset.mem (Flow.dst f) to_dst)
+  end
+
+(* A minimum set of flows whose protection covers every path: the minimum
+   edge cut of the sub-graph spanned by the requirement's channels. *)
+let min_cut sos src dst =
+  let surface = channels sos src dst in
+  let g = AG.of_flows surface in
+  if not (AG.G.mem_vertex src g && AG.G.mem_vertex dst g) then []
+  else
+    AG.G.min_edge_cut ~source:src ~sink:dst g
+    |> List.map (fun (u, v) ->
+           List.find
+             (fun f -> Action.equal (Flow.src f) u && Action.equal (Flow.dst f) v)
+             surface)
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type obligation = {
+  ob_requirement : Auth.t;
+  ob_flow : Flow.t option;  (* the flow the obligation protects, if any *)
+}
+
+let pp_obligation ppf o =
+  match o.ob_flow with
+  | Some f when Flow.is_external f ->
+    Fmt.pf ppf "%a  (over the external channel)" Auth.pp o.ob_requirement
+  | Some _ | None -> Auth.pp ppf o.ob_requirement
+
+(* The default stakeholder of an intermediate hop: the acting component
+   of the receiving action — it must be assured that its input is
+   authentic before processing it further. *)
+let hop_stakeholder action =
+  match Action.actor action with
+  | Some actor -> actor
+  | None -> Agent.unindexed "SYS"
+
+(* Decompose a requirement along one concrete path into per-hop
+   obligations.  The final hop keeps the original stakeholder. *)
+let hop_by_hop sos req path =
+  let flows = Sos.all_flows sos in
+  let flow_between a b =
+    List.find_opt
+      (fun f -> Action.equal (Flow.src f) a && Action.equal (Flow.dst f) b)
+      flows
+  in
+  let rec hops = function
+    | a :: (b :: _ as rest) ->
+      let stakeholder =
+        if Action.equal b (Auth.effect req) then Auth.stakeholder req
+        else hop_stakeholder b
+      in
+      { ob_requirement = Auth.make ~cause:a ~effect:b ~stakeholder;
+        ob_flow = flow_between a b }
+      :: hops rest
+    | [ _ ] | [] -> []
+  in
+  hops path
+
+(* The alternative: one end-to-end obligation over a (to be established)
+   protected channel between the cause's and the effect's components. *)
+let end_to_end req =
+  { ob_requirement = req; ob_flow = None }
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  p_requirement : Auth.t;
+  p_paths : Action.t list list;
+  p_surface : Flow.t list;
+  p_min_cut : Flow.t list;
+  p_hop_decompositions : obligation list list;
+}
+
+let plan ?(path_limit = 100) sos req =
+  let src = Auth.cause req and dst = Auth.effect req in
+  let paths = simple_paths ~limit:path_limit sos src dst in
+  { p_requirement = req;
+    p_paths = paths;
+    p_surface = channels sos src dst;
+    p_min_cut = min_cut sos src dst;
+    p_hop_decompositions = List.map (hop_by_hop sos req) paths }
+
+let pp_plan ppf p =
+  let pp_path ppf path =
+    Fmt.pf ppf "@[%a@]" Fmt.(list ~sep:(any " -> ") Action.pp) path
+  in
+  Fmt.pf ppf
+    "@[<v2>refinement of %a:@,\
+     paths (%d):@,%a@,\
+     attack surface: %d flows@,\
+     minimum protection set (%d flows):@,%a@,\
+     hop-by-hop obligations of the first path:@,%a@]"
+    Auth.pp p.p_requirement (List.length p.p_paths)
+    Fmt.(list ~sep:cut (fun ppf path -> Fmt.pf ppf "- %a" pp_path path))
+    p.p_paths (List.length p.p_surface) (List.length p.p_min_cut)
+    Fmt.(list ~sep:cut (fun ppf f -> Fmt.pf ppf "- %a" Flow.pp f))
+    p.p_min_cut
+    Fmt.(
+      list ~sep:cut (fun ppf o -> Fmt.pf ppf "- %a" pp_obligation o))
+    (match p.p_hop_decompositions with d :: _ -> d | [] -> [])

@@ -1,0 +1,48 @@
+(** Refinement of end-to-end authenticity requirements into architectural
+    protection options (the follow-up engineering step of Sect. 6).
+
+    For a requirement auth(x, y, P): the {e attack surface} is every flow
+    on some path from x to y; the {e minimum protection set} is a minimum
+    edge cut of that surface; {e hop-by-hop} decomposition produces
+    per-hop obligations along a concrete path, the alternative being one
+    end-to-end obligation over a protected channel. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Auth = Fsa_requirements.Auth
+module Sos = Fsa_model.Sos
+module Flow = Fsa_model.Flow
+
+val simple_paths :
+  ?limit:int -> Sos.t -> Action.t -> Action.t -> Action.t list list
+(** All simple paths from cause to effect (the dependency graph is a DAG);
+    at most [limit] paths are returned. *)
+
+val channels : Sos.t -> Action.t -> Action.t -> Flow.t list
+(** Every flow on some cause-to-effect path: the attack surface. *)
+
+val min_cut : Sos.t -> Action.t -> Action.t -> Flow.t list
+(** A minimum set of flows whose protection severs every path. *)
+
+type obligation = { ob_requirement : Auth.t; ob_flow : Flow.t option }
+
+val pp_obligation : obligation Fmt.t
+val hop_stakeholder : Action.t -> Agent.t
+
+val hop_by_hop : Sos.t -> Auth.t -> Action.t list -> obligation list
+(** Decompose a requirement along a concrete path; intermediate hops are
+    owed to the receiving component, the final hop to the original
+    stakeholder. *)
+
+val end_to_end : Auth.t -> obligation
+
+type plan = {
+  p_requirement : Auth.t;
+  p_paths : Action.t list list;
+  p_surface : Flow.t list;
+  p_min_cut : Flow.t list;
+  p_hop_decompositions : obligation list list;
+}
+
+val plan : ?path_limit:int -> Sos.t -> Auth.t -> plan
+val pp_plan : plan Fmt.t

@@ -1,0 +1,113 @@
+(* Threat trees from authenticity requirements (the anti-model view).
+
+   The related work (van Lamsweerde's anti-goals) constructs threat trees
+   by refining negated security goals.  With the functional model at
+   hand, that construction is mechanical: the anti-goal of a requirement
+   auth(x, y, P) is "make y happen although x did not happen (or with
+   data not originating from x)"; its refinements are the concrete
+   injection points — forging any functional flow on a cause-to-effect
+   path, or compromising the origin itself.
+
+   The generated trees make the completeness claim tangible: every leaf
+   is an attack vector that the eventual security architecture must
+   close, and the minimum protection set of {!Refine} is a minimum leaf
+   cover. *)
+
+module Action = Fsa_term.Action
+module Auth = Fsa_requirements.Auth
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+type attack =
+  | Forge_flow of Flow.t  (* inject or tamper on a functional flow *)
+  | Compromise_origin of Action.t  (* subvert the component acting at the origin *)
+  | Compromise_sink of Action.t  (* subvert the component acting at the effect *)
+
+type gate = Or | And
+
+type t =
+  | Goal of { description : string; gate : gate; children : t list }
+  | Leaf of attack
+
+let pp_attack ppf = function
+  | Forge_flow f -> Fmt.pf ppf "forge/tamper flow %a" Flow.pp f
+  | Compromise_origin a -> Fmt.pf ppf "compromise origin of %a" Action.pp a
+  | Compromise_sink a -> Fmt.pf ppf "compromise component of %a" Action.pp a
+
+let rec pp ?(indent = 0) ppf t =
+  let pad = String.make (indent * 2) ' ' in
+  match t with
+  | Leaf a -> Fmt.pf ppf "%s- %a@," pad pp_attack a
+  | Goal { description; gate; children } ->
+    Fmt.pf ppf "%s+ %s [%s]@," pad description
+      (match gate with Or -> "OR" | And -> "AND");
+    List.iter (pp ~indent:(indent + 1) ppf) children
+
+let pp_tree ppf t = Fmt.pf ppf "@[<v>%a@]" (fun ppf t -> pp ppf t) t
+
+(* The threat tree of one requirement. *)
+let of_requirement sos req =
+  let cause = Auth.cause req and effect = Auth.effect req in
+  let surface = Refine.channels sos cause effect in
+  let injections =
+    List.map (fun f -> Leaf (Forge_flow f)) surface
+  in
+  Goal
+    { description =
+        Fmt.str "%a happens without authentic %a" Action.pp effect Action.pp
+          cause;
+      gate = Or;
+      children =
+        [ Goal
+            { description = "inject forged information on a channel";
+              gate = Or;
+              children = injections };
+          Leaf (Compromise_origin cause);
+          Leaf (Compromise_sink effect) ] }
+
+let rec leaves = function
+  | Leaf a -> [ a ]
+  | Goal { children; _ } -> List.concat_map leaves children
+
+let nb_vectors t = List.length (leaves t)
+
+(* The attack vectors that the minimum protection set of {!Refine} does
+   not cover: compromising the endpoints themselves.  Channel protection
+   never defends against compromised end systems — the paper's Sect. 2
+   observation that some approaches "leave attack vectors open, such as
+   the manipulation of the sending or receiving vehicle's internal
+   communication and computation". *)
+let residual_after_channel_protection t =
+  List.filter
+    (function
+      | Compromise_origin _ | Compromise_sink _ -> true
+      | Forge_flow _ -> false)
+    (leaves t)
+
+(* DOT rendering for inspection. *)
+let dot ?(name = "threat_tree") t =
+  let d = Fsa_graph.Dot.create ~graph_attrs:[ ("rankdir", "TB") ] name in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "n%d" !counter
+  in
+  let rec go t =
+    let id = fresh () in
+    (match t with
+    | Leaf a ->
+      Fsa_graph.Dot.node
+        ~attrs:[ ("label", Fmt.str "%a" pp_attack a); ("shape", "box") ]
+        d id
+    | Goal { description; gate; children } ->
+      Fsa_graph.Dot.node
+        ~attrs:
+          [ ("label",
+             Fmt.str "%s\n[%s]" description
+               (match gate with Or -> "OR" | And -> "AND")) ]
+        d id;
+      List.iter (fun c -> Fsa_graph.Dot.edge d id (go c)) children);
+    id
+  in
+  ignore (go t);
+  Fsa_graph.Dot.to_string d

@@ -1,0 +1,36 @@
+(** Threat trees generated from authenticity requirements — the
+    anti-model view (cf. van Lamsweerde's anti-goals in the paper's
+    related work).
+
+    The anti-goal of auth(x, y, P) is "make y happen without authentic
+    x"; its refinements are mechanical given the functional model: forge
+    any flow on a cause-to-effect path, or compromise an endpoint. *)
+
+module Action = Fsa_term.Action
+module Auth = Fsa_requirements.Auth
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+type attack =
+  | Forge_flow of Flow.t
+  | Compromise_origin of Action.t
+  | Compromise_sink of Action.t
+
+type gate = Or | And
+
+type t =
+  | Goal of { description : string; gate : gate; children : t list }
+  | Leaf of attack
+
+val pp_attack : attack Fmt.t
+val pp_tree : t Fmt.t
+
+val of_requirement : Sos.t -> Auth.t -> t
+val leaves : t -> attack list
+val nb_vectors : t -> int
+
+val residual_after_channel_protection : t -> attack list
+(** The endpoint-compromise vectors that channel protection cannot
+    close. *)
+
+val dot : ?name:string -> t -> string

@@ -1,0 +1,1 @@
+lib/requirements/auth.ml: Fmt Fsa_term List Stdlib

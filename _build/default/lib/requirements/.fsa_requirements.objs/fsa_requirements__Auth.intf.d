@@ -1,0 +1,1 @@
+lib/requirements/auth.mli: Fmt Fsa_term Set

@@ -1,0 +1,1 @@
+lib/requirements/classify.ml: Auth Fmt Fsa_model Fsa_term List String

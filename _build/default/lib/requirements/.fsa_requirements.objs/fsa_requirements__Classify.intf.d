@@ -1,0 +1,1 @@
+lib/requirements/classify.mli: Auth Fmt Fsa_model

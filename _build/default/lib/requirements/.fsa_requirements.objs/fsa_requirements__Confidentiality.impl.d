@@ -1,0 +1,1 @@
+lib/requirements/confidentiality.ml: Fmt Fsa_model Fsa_term Int List

@@ -1,0 +1,1 @@
+lib/requirements/confidentiality.mli: Fmt Fsa_model Fsa_term

@@ -1,0 +1,1 @@
+lib/requirements/derive.ml: Auth Fsa_model Fsa_term List

@@ -1,0 +1,1 @@
+lib/requirements/derive.mli: Auth Fsa_model Fsa_term

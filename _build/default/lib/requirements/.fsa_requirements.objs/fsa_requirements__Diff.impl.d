@@ -1,0 +1,1 @@
+lib/requirements/diff.ml: Auth Classify Derive Fmt Fsa_model Fsa_term List

@@ -1,0 +1,1 @@
+lib/requirements/diff.mli: Auth Classify Fmt Fsa_model Fsa_term

@@ -1,0 +1,1 @@
+lib/requirements/export.ml: Auth Buffer Char Classify Fmt Fsa_term Fun List Option Printf String

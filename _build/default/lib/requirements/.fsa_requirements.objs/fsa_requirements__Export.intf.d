@@ -1,0 +1,1 @@
+lib/requirements/export.mli: Auth Classify Fsa_term

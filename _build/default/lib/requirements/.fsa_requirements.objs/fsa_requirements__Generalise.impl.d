@@ -1,0 +1,1 @@
+lib/requirements/generalise.ml: Auth Fmt Fsa_term Int List Map Option Stdlib String

@@ -1,0 +1,1 @@
+lib/requirements/generalise.mli: Auth Fmt Fsa_term

@@ -1,0 +1,1 @@
+lib/requirements/prioritise.ml: Auth Classify Fmt Fsa_model Fsa_term Int List

@@ -1,0 +1,1 @@
+lib/requirements/prioritise.mli: Auth Classify Fmt Fsa_model Fsa_term

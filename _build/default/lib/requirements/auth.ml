@@ -1,0 +1,65 @@
+(* Authenticity requirements, Definition 1 of the paper:
+
+     auth(a, b, P): whenever an action b happens, it must be authentic for
+     agent P that in any course of events that seem possible to him, a
+     certain action a has happened.
+
+   A requirement is the triple (cause, effect, stakeholder).  Requirement
+   sets are kept as sorted, duplicate-free lists. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+type t = { cause : Action.t; effect : Action.t; stakeholder : Agent.t }
+
+let make ~cause ~effect ~stakeholder = { cause; effect; stakeholder }
+
+let cause t = t.cause
+let effect t = t.effect
+let stakeholder t = t.stakeholder
+
+let compare a b =
+  let c = Action.compare a.cause b.cause in
+  if c <> 0 then c
+  else
+    let c = Action.compare a.effect b.effect in
+    if c <> 0 then c else Agent.compare a.stakeholder b.stakeholder
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Fmt.pf ppf "auth(%a, %a, %a)" Action.pp t.cause Action.pp t.effect Agent.pp
+    t.stakeholder
+
+let to_string t = Fmt.str "%a" pp t
+
+(* English rendering in the style of the paper's Sect. 4.3: "It must be
+   authentic for <stakeholder> that <cause> has happened whenever
+   <effect> happens." *)
+let pp_prose ppf t =
+  Fmt.pf ppf
+    "It must be authentic for %a that action %a has happened whenever \
+     action %a happens."
+    Agent.pp t.stakeholder Action.pp t.cause Action.pp t.effect
+
+(* Requirement sets. *)
+let normalise reqs = List.sort_uniq compare reqs
+
+let union a b = normalise (a @ b)
+
+let diff a b = List.filter (fun r -> not (List.exists (equal r) b)) a
+
+let subset a b = List.for_all (fun r -> List.exists (equal r) b) a
+
+let equal_set a b = subset a b && subset b a
+
+let pp_set ppf reqs =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (fun ppf r -> Fmt.pf ppf "- %a" pp r))
+    (normalise reqs)
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

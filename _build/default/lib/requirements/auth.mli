@@ -1,0 +1,31 @@
+(** Authenticity requirements (Definition 1 of the paper).
+
+    [auth(a, b, P)]: whenever action [b] happens, it must be authentic for
+    agent [P] that action [a] has happened. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+type t = { cause : Action.t; effect : Action.t; stakeholder : Agent.t }
+
+val make : cause:Action.t -> effect:Action.t -> stakeholder:Agent.t -> t
+val cause : t -> Action.t
+val effect : t -> Action.t
+val stakeholder : t -> Agent.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+val pp_prose : t Fmt.t
+
+val normalise : t list -> t list
+(** Sort and de-duplicate a requirement set. *)
+
+val union : t list -> t list -> t list
+val diff : t list -> t list -> t list
+val subset : t list -> t list -> bool
+val equal_set : t list -> t list -> bool
+val pp_set : t list Fmt.t
+
+module Set : Set.S with type elt = t

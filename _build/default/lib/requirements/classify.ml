@@ -1,0 +1,66 @@
+(* Classification of derived requirements (Sect. 4.4).
+
+   The derivation highlights *every* functional dependency in the use
+   cases; when the use case description incorporates more than the sheer
+   safety-related functional description, additional requirements arise.
+   The paper's requirement (4) — authenticity of the positions of
+   forwarding vehicles — originates solely from the position-based
+   forwarding policy, introduced for performance reasons: breaking it
+   cannot cause the warning of a driver that should not be warned, so it is
+   an availability concern, not a safety one.
+
+   We automate the paper's argument: a requirement auth(x, y, _) is
+   classified as safety-critical when y still functionally depends on x
+   after removing every policy-induced flow from the model; otherwise the
+   dependency exists only because of the policies on the removed flows and
+   the requirement is attributed to them. *)
+
+module Action = Fsa_term.Action
+module AG = Fsa_model.Action_graph
+
+type class_ =
+  | Safety_critical
+  | Policy_induced of string list
+      (* the policies without which the dependency vanishes *)
+
+let pp_class ppf = function
+  | Safety_critical -> Fmt.string ppf "safety-critical"
+  | Policy_induced ps ->
+    Fmt.pf ppf "policy-induced (availability): %a"
+      Fmt.(list ~sep:comma string)
+      ps
+
+let equal_class a b =
+  match a, b with
+  | Safety_critical, Safety_critical -> true
+  | Policy_induced xs, Policy_induced ys ->
+    List.sort String.compare xs = List.sort String.compare ys
+  | Safety_critical, Policy_induced _ | Policy_induced _, Safety_critical ->
+    false
+
+(* The dependency graph of the instance without policy-induced flows. *)
+let safety_graph sos =
+  Fsa_model.Sos.all_flows sos
+  |> List.filter (fun f -> not (Fsa_model.Flow.is_policy_induced f))
+  |> AG.of_flows
+
+let policies_of sos =
+  Fsa_model.Sos.all_flows sos
+  |> List.filter_map Fsa_model.Flow.policy
+  |> List.sort_uniq String.compare
+
+let classify sos req =
+  let g = safety_graph sos in
+  let cause = Auth.cause req and effect = Auth.effect req in
+  let still_dependent =
+    AG.G.mem_vertex cause g && AG.G.Vset.mem effect (AG.G.reachable cause g)
+  in
+  if still_dependent then Safety_critical else Policy_induced (policies_of sos)
+
+let classify_all sos reqs = List.map (fun r -> (r, classify sos r)) reqs
+
+let safety_critical sos reqs =
+  List.filter (fun r -> classify sos r = Safety_critical) reqs
+
+let pp_classified ppf (req, cls) =
+  Fmt.pf ppf "%a  [%a]" Auth.pp req pp_class cls

@@ -1,0 +1,19 @@
+(** Requirement classification (Sect. 4.4 of the paper).
+
+    A requirement is safety-critical when the underlying functional
+    dependency persists after removing every policy-induced flow; otherwise
+    it is attributed to the policies (e.g. the position-based forwarding
+    policy makes requirement (4) an availability concern). *)
+
+type class_ = Safety_critical | Policy_induced of string list
+
+val pp_class : class_ Fmt.t
+val equal_class : class_ -> class_ -> bool
+
+val safety_graph : Fsa_model.Sos.t -> Fsa_model.Action_graph.G.t
+val policies_of : Fsa_model.Sos.t -> string list
+
+val classify : Fsa_model.Sos.t -> Auth.t -> class_
+val classify_all : Fsa_model.Sos.t -> Auth.t list -> (Auth.t * class_) list
+val safety_critical : Fsa_model.Sos.t -> Auth.t list -> Auth.t list
+val pp_classified : (Auth.t * class_) Fmt.t

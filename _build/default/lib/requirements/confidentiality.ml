@@ -1,0 +1,175 @@
+(* Confidentiality requirements — the dual analysis sketched as future work
+   in Sect. 6 of the paper.
+
+   Authenticity requirements follow the functional flow *backwards* from a
+   safety-critical output to the inputs it depends on.  Confidentiality
+   requirements follow the same flow *forwards*: information that enters
+   the system at an input action may propagate to every output action that
+   functionally depends on it, so every such output must only be observable
+   by agents cleared for the input's classification.
+
+   We implement a small Denning-style lattice analysis on the functional
+   dependency graph:
+
+   - inputs carry a classification level,
+   - outputs carry an observer clearance,
+   - the inferred level of an output is the join of the levels of all
+     inputs it depends on,
+   - each (confidential input, dependent output) pair yields a
+     confidentiality requirement conf(x, y, observers(y)),
+   - an output whose clearance is below its inferred level is a violation
+     that the architecture must resolve (declassification, filtering or
+     channel protection). *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module AG = Fsa_model.Action_graph
+
+(* ------------------------------------------------------------------ *)
+(* Classification lattice                                              *)
+(* ------------------------------------------------------------------ *)
+
+type level = Public | Internal | Confidential | Secret
+
+let level_order = function
+  | Public -> 0
+  | Internal -> 1
+  | Confidential -> 2
+  | Secret -> 3
+
+let compare_level a b = Int.compare (level_order a) (level_order b)
+let leq_level a b = level_order a <= level_order b
+let join a b = if leq_level a b then b else a
+
+let joins = List.fold_left join Public
+
+let pp_level ppf = function
+  | Public -> Fmt.string ppf "public"
+  | Internal -> Fmt.string ppf "internal"
+  | Confidential -> Fmt.string ppf "confidential"
+  | Secret -> Fmt.string ppf "secret"
+
+(* ------------------------------------------------------------------ *)
+(* Labelling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type labelling = {
+  source_level : Action.t -> level;
+      (* classification of the information entering at an input action *)
+  sink_clearance : Action.t -> level;
+      (* clearance of the observers of an output action *)
+  observers : Action.t -> Agent.t;
+      (* who observes the output — the stakeholder of the requirement *)
+}
+
+let default_labelling =
+  { source_level = (fun _ -> Internal);
+    sink_clearance = (fun _ -> Internal);
+    observers =
+      (fun a ->
+        match Action.actor a with
+        | Some actor -> actor
+        | None -> Agent.unindexed "ENV") }
+
+(* ------------------------------------------------------------------ *)
+(* Requirements                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  source : Action.t;
+  sink : Action.t;
+  level : level;  (* classification of the protected information *)
+  observer : Agent.t;  (* who may learn it at the sink *)
+}
+
+let compare a b =
+  let c = Action.compare a.source b.source in
+  if c <> 0 then c
+  else
+    let c = Action.compare a.sink b.sink in
+    if c <> 0 then c
+    else
+      let c = compare_level a.level b.level in
+      if c <> 0 then c else Agent.compare a.observer b.observer
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Fmt.pf ppf "conf(%a, %a, %a) [%a]" Action.pp t.source Action.pp t.sink
+    Agent.pp t.observer pp_level t.level
+
+let pp_prose ppf t =
+  Fmt.pf ppf
+    "Information of level %a entering at %a reaches %a: only %a (clearance \
+     permitting) may observe that output."
+    pp_level t.level Action.pp t.source Action.pp t.sink Agent.pp t.observer
+
+(* ------------------------------------------------------------------ *)
+(* Derivation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The forward image of chi: every (input, output) pair of the partial
+   order yields a confidentiality requirement for inputs classified above
+   [threshold] (default: everything above Public). *)
+let derive ?(labelling = default_labelling) ?(threshold = Internal) sos =
+  let poset = Fsa_model.Sos.poset sos in
+  AG.P.chi poset
+  |> List.filter_map (fun (x, y) ->
+         let level = labelling.source_level x in
+         if Action.equal x y || not (leq_level threshold level) then None
+         else
+           Some
+             { source = x; sink = y; level;
+               observer = labelling.observers y })
+  |> List.sort_uniq compare
+
+(* The inferred level of each output: join over the reaching inputs. *)
+let inferred_levels ?(labelling = default_labelling) sos =
+  let poset = Fsa_model.Sos.poset sos in
+  let maxima = AG.P.Eset.elements (AG.P.maxima poset) in
+  List.map
+    (fun y ->
+      let sources =
+        AG.P.Eset.elements (AG.P.minima poset)
+        |> List.filter (fun x -> AG.P.lt x y poset)
+      in
+      (y, joins (List.map labelling.source_level sources)))
+    maxima
+
+type violation = {
+  v_sink : Action.t;
+  v_inferred : level;
+  v_clearance : level;
+  v_sources : Action.t list;  (* the inputs above the sink's clearance *)
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf
+    "output %a has clearance %a but receives %a information (from %a)"
+    Action.pp v.v_sink pp_level v.v_clearance pp_level v.v_inferred
+    Fmt.(list ~sep:comma Action.pp)
+    v.v_sources
+
+(* Outputs whose observers are not cleared for the information that can
+   reach them. *)
+let violations ?(labelling = default_labelling) sos =
+  let poset = Fsa_model.Sos.poset sos in
+  inferred_levels ~labelling sos
+  |> List.filter_map (fun (y, inferred) ->
+         let clearance = labelling.sink_clearance y in
+         if leq_level inferred clearance then None
+         else
+           let sources =
+             AG.P.Eset.elements (AG.P.minima poset)
+             |> List.filter (fun x ->
+                    AG.P.lt x y poset
+                    && not (leq_level (labelling.source_level x) clearance))
+           in
+           Some
+             { v_sink = y; v_inferred = inferred; v_clearance = clearance;
+               v_sources = sources })
+
+let pp_set ppf reqs =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (fun ppf r -> Fmt.pf ppf "- %a" pp r))
+    (List.sort_uniq compare reqs)

@@ -1,0 +1,66 @@
+(** Confidentiality requirements — the dual, forward-flow analysis
+    sketched as future work in Sect. 6 of the paper.
+
+    Inputs carry a classification level; outputs carry an observer
+    clearance; the inferred level of an output is the join of the levels
+    of all inputs it functionally depends on. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+(** {1 Classification lattice} *)
+
+type level = Public | Internal | Confidential | Secret
+
+val compare_level : level -> level -> int
+val leq_level : level -> level -> bool
+val join : level -> level -> level
+val joins : level list -> level
+val pp_level : level Fmt.t
+
+(** {1 Labelling} *)
+
+type labelling = {
+  source_level : Action.t -> level;
+  sink_clearance : Action.t -> level;
+  observers : Action.t -> Agent.t;
+}
+
+val default_labelling : labelling
+(** Everything [Internal]; the observer is the acting component. *)
+
+(** {1 Requirements} *)
+
+type t = {
+  source : Action.t;
+  sink : Action.t;
+  level : level;
+  observer : Agent.t;
+}
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val pp_prose : t Fmt.t
+val pp_set : t list Fmt.t
+
+val derive :
+  ?labelling:labelling -> ?threshold:level -> Fsa_model.Sos.t -> t list
+(** One requirement per (input, dependent output) pair whose input is
+    classified at or above [threshold] (default [Internal]). *)
+
+val inferred_levels :
+  ?labelling:labelling -> Fsa_model.Sos.t -> (Action.t * level) list
+(** Join of the levels of the inputs reaching each output. *)
+
+type violation = {
+  v_sink : Action.t;
+  v_inferred : level;
+  v_clearance : level;
+  v_sources : Action.t list;
+}
+
+val pp_violation : violation Fmt.t
+
+val violations : ?labelling:labelling -> Fsa_model.Sos.t -> violation list
+(** Outputs whose clearance is below their inferred level. *)

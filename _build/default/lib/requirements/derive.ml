@@ -1,0 +1,52 @@
+(* Derivation of authenticity requirements from a system-of-systems
+   instance (Sect. 4.3-4.4):
+
+     1. build the partial order zeta* of the instance's functional flow,
+     2. restrict to chi = zeta* on (minima x maxima),
+     3. each pair (x, y) in chi yields auth(x, y, stakeholder(y)).
+
+   The stakeholder function assigns to each outgoing boundary action the
+   agent that must be assured of the requirement — e.g. the driver D_w for
+   show(HMI_w, warn). *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+type stakeholder_assignment = Action.t -> Agent.t
+
+(* The default assignment of the vehicular scenario: the stakeholder of an
+   output action is the human principal of the component's system instance
+   — the driver D_i for an action of HMI_i; otherwise the acting component
+   itself (or an "ENV" agent for actor-less actions). *)
+let default_stakeholder action =
+  match Action.actor action with
+  | None -> Agent.unindexed "ENV"
+  | Some actor -> (
+    match Agent.role actor with
+    | "HMI" -> Agent.make ~index:(Agent.index actor) "D"
+    | _ -> actor)
+
+let of_poset ~stakeholder p =
+  List.filter_map
+    (fun (x, y) ->
+      if Action.equal x y then None
+      else Some (Auth.make ~cause:x ~effect:y ~stakeholder:(stakeholder y)))
+    (Fsa_model.Action_graph.P.chi p)
+  |> Auth.normalise
+
+let of_sos ?(stakeholder = default_stakeholder) sos =
+  of_poset ~stakeholder (Fsa_model.Sos.poset sos)
+
+(* Requirements for one particular output action: the restriction of chi to
+   pairs ending in [effect] — Example 1/2 of the paper derive requirements
+   for show(HMI_w, warn) only. *)
+let for_effect ?(stakeholder = default_stakeholder) sos effect =
+  List.filter (fun r -> Action.equal (Auth.effect r) effect) (of_sos ~stakeholder sos)
+
+(* Union over a family of SoS instances (Sect. 4.4: "the union of all these
+   requirements for the different instances poses the set of requirements
+   for the whole system"). *)
+let of_instances ?(stakeholder = default_stakeholder) instances =
+  List.fold_left
+    (fun acc sos -> Auth.union acc (of_sos ~stakeholder sos))
+    [] instances

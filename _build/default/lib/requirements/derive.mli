@@ -1,0 +1,28 @@
+(** Systematic derivation of authenticity requirements from SoS instances
+    (Sect. 4.3–4.4 of the paper). *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+type stakeholder_assignment = Action.t -> Agent.t
+
+val default_stakeholder : stakeholder_assignment
+(** Driver [D_i] for HMI actions; the acting component otherwise. *)
+
+val of_poset :
+  stakeholder:stakeholder_assignment -> Fsa_model.Action_graph.P.t -> Auth.t list
+
+val of_sos :
+  ?stakeholder:stakeholder_assignment -> Fsa_model.Sos.t -> Auth.t list
+(** χ of the instance, as authenticity requirements. *)
+
+val for_effect :
+  ?stakeholder:stakeholder_assignment ->
+  Fsa_model.Sos.t ->
+  Action.t ->
+  Auth.t list
+(** Requirements for one output action only (Examples 1–2). *)
+
+val of_instances :
+  ?stakeholder:stakeholder_assignment -> Fsa_model.Sos.t list -> Auth.t list
+(** Union over a family of instances. *)

@@ -1,0 +1,62 @@
+(* Change-impact analysis between two versions of a system model.
+
+   Architectures evolve: components are added, flows re-routed, policies
+   introduced.  Because the derivation is deterministic, the security
+   impact of a model change is exactly the difference of the derived
+   requirement sets — plus the requirements whose classification changed
+   (e.g. a dependency that used to be safety-functional and now exists
+   only through a policy flow). *)
+
+module Action = Fsa_term.Action
+module Sos = Fsa_model.Sos
+
+type reclassification = {
+  rc_requirement : Auth.t;
+  rc_before : Classify.class_;
+  rc_after : Classify.class_;
+}
+
+type t = {
+  added : Auth.t list;  (* new obligations introduced by the change *)
+  removed : Auth.t list;  (* obligations that disappeared *)
+  kept : Auth.t list;
+  reclassified : reclassification list;
+}
+
+let compare_models ?stakeholder ~before ~after () =
+  let old_reqs = Derive.of_sos ?stakeholder before in
+  let new_reqs = Derive.of_sos ?stakeholder after in
+  let added = Auth.diff new_reqs old_reqs in
+  let removed = Auth.diff old_reqs new_reqs in
+  let kept = Auth.diff new_reqs added in
+  let reclassified =
+    List.filter_map
+      (fun r ->
+        let rc_before = Classify.classify before r in
+        let rc_after = Classify.classify after r in
+        if Classify.equal_class rc_before rc_after then None
+        else Some { rc_requirement = r; rc_before; rc_after })
+      kept
+  in
+  { added; removed; kept; reclassified }
+
+let is_neutral d = d.added = [] && d.removed = [] && d.reclassified = []
+
+let pp ppf d =
+  if is_neutral d then
+    Fmt.pf ppf "the change does not affect the requirement set"
+  else begin
+    Fmt.pf ppf "@[<v>";
+    if d.added <> [] then
+      Fmt.pf ppf "added requirements:@,%a@," Auth.pp_set d.added;
+    if d.removed <> [] then
+      Fmt.pf ppf "removed requirements:@,%a@," Auth.pp_set d.removed;
+    if d.reclassified <> [] then
+      Fmt.pf ppf "reclassified:@,%a@,"
+        Fmt.(
+          list ~sep:cut (fun ppf rc ->
+              Fmt.pf ppf "- %a: %a -> %a" Auth.pp rc.rc_requirement
+                Classify.pp_class rc.rc_before Classify.pp_class rc.rc_after))
+        d.reclassified;
+    Fmt.pf ppf "unchanged: %d requirement(s)@]" (List.length d.kept)
+  end

@@ -1,0 +1,28 @@
+(** Change-impact analysis: the security effect of a model change is the
+    difference of the derived requirement sets plus classification
+    changes. *)
+
+module Sos = Fsa_model.Sos
+
+type reclassification = {
+  rc_requirement : Auth.t;
+  rc_before : Classify.class_;
+  rc_after : Classify.class_;
+}
+
+type t = {
+  added : Auth.t list;
+  removed : Auth.t list;
+  kept : Auth.t list;
+  reclassified : reclassification list;
+}
+
+val compare_models :
+  ?stakeholder:(Fsa_term.Action.t -> Fsa_term.Agent.t) ->
+  before:Sos.t ->
+  after:Sos.t ->
+  unit ->
+  t
+
+val is_neutral : t -> bool
+val pp : t Fmt.t

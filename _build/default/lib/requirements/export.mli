@@ -1,0 +1,17 @@
+(** Export of requirement sets (JSON, CSV, Markdown) for the follow-up
+    inspection, categorisation and prioritisation steps. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+val json_escape : string -> string
+val json_string : string -> string
+val class_string : Classify.class_ -> string
+
+val to_json : ?classify:(Auth.t -> Classify.class_) -> Auth.t list -> string
+val to_csv : ?classify:(Auth.t -> Classify.class_) -> Auth.t list -> string
+
+val to_markdown :
+  ?classify:(Auth.t -> Classify.class_) -> Auth.t list -> string
+
+val write_file : string -> string -> unit

@@ -1,0 +1,192 @@
+(* First-order generalisation of requirement families (Sect. 4.4).
+
+   Across a family of SoS instances most requirements recur verbatim
+   while families of requirements differ only in instance indices — e.g.
+   the paper's
+
+     auth(pos(GPS_2, pos), show(HMI_w, warn), D_w),
+     auth(pos(GPS_3, pos), show(HMI_w, warn), D_w), ...
+
+   which the paper expresses "in terms of first-order predicates":
+
+     forall x in V_forward : auth(pos(GPS_x, pos), show(HMI_w, warn), D_w)
+
+   Indices may co-vary across the whole triple (platoon-style families
+   such as auth(gap(RAD_x), actuate(THR_x), Passenger_x)); a requirement
+   generalises when all of its concrete instance indices are equal, so a
+   single quantified variable covers them.  The [domain_of] oracle names
+   the quantification domain of an agent; agents without a domain never
+   generalise. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+
+type t =
+  | Concrete of Auth.t
+  | Forall of { var : string; domain : string; schema : Auth.t }
+
+let pp ppf = function
+  | Concrete r -> Auth.pp ppf r
+  | Forall { var; domain; schema } ->
+    Fmt.pf ppf "forall %s in %s : %a" var domain Auth.pp schema
+
+let compare a b =
+  match a, b with
+  | Concrete x, Concrete y -> Auth.compare x y
+  | Concrete _, Forall _ -> -1
+  | Forall _, Concrete _ -> 1
+  | Forall f, Forall g ->
+    let c = String.compare f.var g.var in
+    if c <> 0 then c
+    else
+      let c = String.compare f.domain g.domain in
+      if c <> 0 then c else Auth.compare f.schema g.schema
+
+let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Index analysis of one requirement                                    *)
+(* ------------------------------------------------------------------ *)
+
+let agents_of r =
+  (match Action.actor (Auth.cause r) with Some a -> [ a ] | None -> [])
+  @ (match Action.actor (Auth.effect r) with Some a -> [ a ] | None -> [])
+  @ [ Auth.stakeholder r ]
+
+(* The single concrete instance index of a requirement, when all of its
+   concretely indexed agents agree on one; [None] otherwise (no concrete
+   index, or conflicting ones). *)
+let instance_index r =
+  let concrete =
+    List.filter_map
+      (fun a ->
+        match Agent.index a with Agent.Concrete i -> Some i | _ -> None)
+      (agents_of r)
+  in
+  match List.sort_uniq Int.compare concrete with
+  | [ i ] -> Some i
+  | [] | _ :: _ -> None
+
+(* The quantification domain of a requirement: the unique domain assigned
+   by [domain_of] to its concretely indexed agents. *)
+let domain_of_requirement ~domain_of r =
+  let domains =
+    List.filter_map
+      (fun a ->
+        match Agent.index a with
+        | Agent.Concrete _ -> domain_of a
+        | Agent.Symbolic _ | Agent.Unindexed -> None)
+      (agents_of r)
+  in
+  match List.sort_uniq String.compare domains with
+  | [ d ] -> Some d
+  | [] | _ :: _ -> None
+
+(* The grouping key forgets concrete indices everywhere (shapes), keeping
+   symbolic and unindexed agents fixed. *)
+let agent_shape a =
+  let role = Agent.role a in
+  match Agent.index a with
+  | Agent.Concrete _ -> (role, "#")
+  | Agent.Symbolic s -> (role, "s:" ^ s)
+  | Agent.Unindexed -> (role, "u")
+
+type family_key = {
+  k_cause : Action.shape;
+  k_cause_agent : (string * string) option;
+  k_effect : Action.shape;
+  k_effect_agent : (string * string) option;
+  k_stakeholder : string * string;
+  k_domain : string;
+}
+
+let compare_key a b = Stdlib.compare a b
+
+let key_of ~domain r =
+  { k_cause = Action.shape (Auth.cause r);
+    k_cause_agent = Option.map agent_shape (Action.actor (Auth.cause r));
+    k_effect = Action.shape (Auth.effect r);
+    k_effect_agent = Option.map agent_shape (Action.actor (Auth.effect r));
+    k_stakeholder = agent_shape (Auth.stakeholder r);
+    k_domain = domain }
+
+(* Replace every concrete instance index of the requirement by the
+   quantified variable. *)
+let schema_of ~var r =
+  let quantify = function
+    | Agent.Concrete _ -> Agent.Symbolic var
+    | (Agent.Symbolic _ | Agent.Unindexed) as idx -> idx
+  in
+  Auth.make
+    ~cause:(Action.reindex quantify (Auth.cause r))
+    ~effect:(Action.reindex quantify (Auth.effect r))
+    ~stakeholder:(Agent.reindex quantify (Auth.stakeholder r))
+
+let generalise ?(var = "x") ?(min_family = 2) ~domain_of reqs =
+  let reqs = Auth.normalise reqs in
+  (* candidates: a unique concrete instance index and a unique domain *)
+  let candidates, concrete =
+    List.partition
+      (fun r ->
+        Option.is_some (instance_index r)
+        && Option.is_some (domain_of_requirement ~domain_of r))
+      reqs
+  in
+  let module M = Map.Make (struct
+    type t = family_key
+
+    let compare = compare_key
+  end) in
+  let families =
+    List.fold_left
+      (fun m r ->
+        let domain = Option.get (domain_of_requirement ~domain_of r) in
+        let k = key_of ~domain r in
+        let existing = match M.find_opt k m with Some l -> l | None -> [] in
+        M.add k (r :: existing) m)
+      M.empty candidates
+  in
+  let generalised, kept =
+    M.fold
+      (fun k members (gen, kept) ->
+        let distinct_indices =
+          List.filter_map instance_index members |> List.sort_uniq Int.compare
+        in
+        if List.length distinct_indices >= min_family then
+          (Forall
+             { var; domain = k.k_domain;
+               schema = schema_of ~var (List.hd members) }
+           :: gen,
+           kept)
+        else (gen, members @ kept))
+      families ([], [])
+  in
+  List.sort_uniq compare
+    (List.map (fun r -> Concrete r) (concrete @ kept) @ generalised)
+
+(* Expand a generalised requirement back to concrete form over an explicit
+   domain interpretation: the inverse direction, used to check that the
+   generalised set covers exactly the union of the instances' sets. *)
+let expand ~domain_members t =
+  match t with
+  | Concrete r -> [ r ]
+  | Forall { var; domain; schema } ->
+    List.map
+      (fun i ->
+        let concretise = function
+          | Agent.Symbolic s when String.equal s var -> Agent.Concrete i
+          | idx -> idx
+        in
+        Auth.make
+          ~cause:(Action.reindex concretise (Auth.cause schema))
+          ~effect:(Action.reindex concretise (Auth.effect schema))
+          ~stakeholder:(Agent.reindex concretise (Auth.stakeholder schema)))
+      (domain_members domain)
+
+let expand_all ~domain_members ts =
+  Auth.normalise (List.concat_map (expand ~domain_members) ts)
+
+let pp_set ppf ts =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (fun ppf t -> Fmt.pf ppf "- %a" pp t))
+    (List.sort_uniq compare ts)

@@ -1,0 +1,34 @@
+(** First-order generalisation of requirement families (Sect. 4.4).
+
+    Requirements that recur across SoS instances and differ only in
+    instance indices fold into quantified requirements such as
+    [forall x in V_forward : auth(pos(GPS_x, pos), show(HMI_w, warn), D_w)].
+    Indices may co-vary across the whole triple (e.g.
+    [forall x in Followers : auth(gap(RAD_x), actuate(THR_x), Passenger_x)]);
+    a requirement generalises when all of its concrete instance indices
+    coincide. *)
+
+module Agent = Fsa_term.Agent
+
+type t =
+  | Concrete of Auth.t
+  | Forall of { var : string; domain : string; schema : Auth.t }
+
+val pp : t Fmt.t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val generalise :
+  ?var:string ->
+  ?min_family:int ->
+  domain_of:(Agent.t -> string option) ->
+  Auth.t list ->
+  t list
+(** Fold families of [min_family] or more co-indexed requirements whose
+    concretely indexed agents share a quantification domain (per
+    [domain_of]) into [Forall] form. *)
+
+val expand : domain_members:(string -> int list) -> t -> Auth.t list
+val expand_all : domain_members:(string -> int list) -> t list -> Auth.t list
+
+val pp_set : t list Fmt.t

@@ -1,0 +1,121 @@
+(* Requirement categorisation and prioritisation — the step following
+   elicitation in the paper's process ("a requirements categorisation and
+   prioritisation process can evaluate them according to a maximum
+   acceptable risk strategy", Sect. 4.3).
+
+   The score of a requirement is an explicit product of three documented
+   factors; each has a caller-overridable assignment and a conservative
+   default:
+
+   - impact: how bad a violation is — driven by the classification
+     (safety-critical above policy-induced) and a per-stakeholder weight;
+   - exposure: how attackable the dependency is — the number of external
+     (inter-system) flows on cause-to-effect paths, the channels an
+     outside attacker can reach;
+   - reach: how much of the system is involved — the length of the
+     shortest dependency path, as a proxy for the attack surface that
+     must be trusted end to end.
+
+   The output is an ordered work list with the factor values recorded, so
+   a review can challenge each number rather than a black-box rank. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module AG = Fsa_model.Action_graph
+module Sos = Fsa_model.Sos
+module Flow = Fsa_model.Flow
+
+type weights = {
+  class_weight : Classify.class_ -> int;
+  stakeholder_weight : Agent.t -> int;
+}
+
+let default_weights =
+  { class_weight =
+      (function
+        | Classify.Safety_critical -> 10
+        | Classify.Policy_induced _ -> 3);
+    stakeholder_weight = (fun _ -> 1) }
+
+type scored = {
+  s_requirement : Auth.t;
+  s_class : Classify.class_;
+  s_impact : int;
+  s_exposure : int;  (* external flows on cause-to-effect paths *)
+  s_reach : int;  (* shortest dependency path length (in flows) *)
+  s_score : int;
+}
+
+(* External flows on some cause-to-effect path. *)
+let exposure sos cause effect =
+  let g = Sos.dependency_graph sos in
+  if not (AG.G.mem_vertex cause g && AG.G.mem_vertex effect g) then 0
+  else begin
+    let from_cause = AG.G.reachable cause g in
+    let to_effect = AG.G.co_reachable effect g in
+    Sos.all_flows sos
+    |> List.filter (fun f ->
+           Flow.is_external f
+           && AG.G.Vset.mem (Flow.src f) from_cause
+           && AG.G.Vset.mem (Flow.dst f) to_effect)
+    |> List.length
+  end
+
+(* Length (in flows) of the shortest dependency path. *)
+let reach sos cause effect =
+  let g = Sos.dependency_graph sos in
+  let module Vset = AG.G.Vset in
+  let rec bfs depth frontier visited =
+    if Vset.is_empty frontier then 0
+    else if Vset.mem effect frontier then depth
+    else
+      let next =
+        Vset.fold
+          (fun v acc -> Vset.union acc (AG.G.succ v g))
+          frontier Vset.empty
+      in
+      let next = Vset.diff next visited in
+      bfs (depth + 1) next (Vset.union visited next)
+  in
+  if AG.G.mem_vertex cause g then
+    bfs 0 (Vset.singleton cause) (Vset.singleton cause)
+  else 0
+
+let score ?(weights = default_weights) sos req =
+  let cls = Classify.classify sos req in
+  let impact =
+    weights.class_weight cls
+    * weights.stakeholder_weight (Auth.stakeholder req)
+  in
+  let s_exposure = exposure sos (Auth.cause req) (Auth.effect req) in
+  let s_reach = reach sos (Auth.cause req) (Auth.effect req) in
+  { s_requirement = req;
+    s_class = cls;
+    s_impact = impact;
+    s_exposure;
+    s_reach;
+    s_score = impact * (1 + s_exposure) * (1 + s_reach) }
+
+(* The prioritised work list: categorisation first (higher class weight
+   dominates, following the paper's "categorisation and prioritisation"
+   order), then the risk score within a category; ties break on the
+   requirement order for determinism. *)
+let rank ?(weights = default_weights) sos reqs =
+  List.map (score ~weights sos) reqs
+  |> List.sort (fun a b ->
+         let c =
+           Int.compare (weights.class_weight b.s_class)
+             (weights.class_weight a.s_class)
+         in
+         if c <> 0 then c
+         else
+           let c = Int.compare b.s_score a.s_score in
+           if c <> 0 then c else Auth.compare a.s_requirement b.s_requirement)
+
+let pp_scored ppf s =
+  Fmt.pf ppf "%4d  %a  [%a; impact %d, exposure %d, reach %d]" s.s_score
+    Auth.pp s.s_requirement Classify.pp_class s.s_class s.s_impact s.s_exposure
+    s.s_reach
+
+let pp_ranking ppf ranking =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_scored) ranking

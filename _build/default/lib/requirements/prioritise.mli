@@ -1,0 +1,37 @@
+(** Requirement categorisation and prioritisation (the step following
+    elicitation, Sect. 4.3 of the paper).
+
+    Scores are explicit products of documented factors — impact
+    (classification × stakeholder weight), exposure (external flows on
+    cause-to-effect paths) and reach (shortest dependency path) — so a
+    review can challenge each number. *)
+
+module Agent = Fsa_term.Agent
+module Sos = Fsa_model.Sos
+
+type weights = {
+  class_weight : Classify.class_ -> int;
+  stakeholder_weight : Agent.t -> int;
+}
+
+val default_weights : weights
+
+type scored = {
+  s_requirement : Auth.t;
+  s_class : Classify.class_;
+  s_impact : int;
+  s_exposure : int;
+  s_reach : int;
+  s_score : int;
+}
+
+val exposure : Sos.t -> Fsa_term.Action.t -> Fsa_term.Action.t -> int
+val reach : Sos.t -> Fsa_term.Action.t -> Fsa_term.Action.t -> int
+val score : ?weights:weights -> Sos.t -> Auth.t -> scored
+
+val rank : ?weights:weights -> Sos.t -> Auth.t list -> scored list
+(** Categorisation first (higher class weight dominates), then the risk
+    score within a category; deterministic tie-breaking. *)
+
+val pp_scored : scored Fmt.t
+val pp_ranking : scored list Fmt.t

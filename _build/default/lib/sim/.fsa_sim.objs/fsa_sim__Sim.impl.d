@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Fmt Fsa_apa Fsa_mc Fsa_requirements Fsa_term Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Fmt Fsa_apa Fsa_requirements Fsa_term

@@ -1,0 +1,276 @@
+(* An interactive simulator for APA models — the inspection side of the
+   SH verification tool ("visualisation and inspection of computed
+   reachability graphs").
+
+   A session holds the current global state, the trace executed so far
+   (with undo), and optionally a set of requirement monitors that are fed
+   every executed action.  The driver is UI-agnostic: commands come in as
+   values (or parsed from a one-line textual syntax for the CLI), results
+   go out as strings. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Auth = Fsa_requirements.Auth
+module Monitor = Fsa_mc.Monitor
+
+type t = {
+  apa : Apa.t;
+  mutable state : Apa.State.t;
+  mutable history : (Action.t * Apa.State.t) list;
+      (* executed action and the state *before* it, newest first *)
+  mutable monitor : Monitor.t option;
+  mutable rng : int;  (* deterministic linear-congruential stream *)
+}
+
+let create ?(seed = 42) apa =
+  { apa;
+    state = Apa.initial_state apa;
+    history = [];
+    monitor = None;
+    rng = seed }
+
+let state t = t.state
+let apa t = t.apa
+
+let trace t = List.rev_map fst t.history
+
+let steps_taken t = List.length t.history
+
+(* deterministic pseudo-random next integer *)
+let next_random t bound =
+  t.rng <- ((t.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.rng mod bound
+
+let attach_monitor t requirements =
+  let m = Monitor.of_requirements requirements in
+  (* replay the existing trace so verdicts are consistent *)
+  List.iter (Monitor.step m) (trace t);
+  t.monitor <- Some m
+
+let monitor_report t =
+  Option.map (fun m -> Fmt.str "%a" Monitor.pp_report m) t.monitor
+
+(* The enabled transitions, deterministically ordered. *)
+let enabled t =
+  Apa.step t.apa t.state
+  |> List.map (fun (rule, label, next) -> (Apa.rule_name rule, label, next))
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) ->
+         let c = String.compare n1 n2 in
+         if c <> 0 then c else Action.compare l1 l2)
+
+let is_deadlocked t = enabled t = []
+
+type step_error =
+  | No_such_transition of string
+  | Ambiguous of string * int
+  | Deadlock
+
+let pp_step_error ppf = function
+  | No_such_transition name -> Fmt.pf ppf "no enabled transition %s" name
+  | Ambiguous (name, n) ->
+    Fmt.pf ppf "%s is ambiguous here (%d interpretations); step by index" name n
+  | Deadlock -> Fmt.string ppf "the system is deadlocked"
+
+let commit t label next =
+  t.history <- (label, t.state) :: t.history;
+  t.state <- next;
+  Option.iter (fun m -> Monitor.step m label) t.monitor
+
+(* Step by transition (rule) name; the name must identify a unique
+   interpretation in the current state. *)
+let step_named t name =
+  match enabled t with
+  | [] -> Error Deadlock
+  | options -> (
+    match List.filter (fun (n, _, _) -> String.equal n name) options with
+    | [ (_, label, next) ] ->
+      commit t label next;
+      Ok label
+    | [] -> Error (No_such_transition name)
+    | several -> Error (Ambiguous (name, List.length several)))
+
+(* Step by index into the [enabled] list. *)
+let step_index t i =
+  match List.nth_opt (enabled t) i with
+  | Some (_, label, next) ->
+    commit t label next;
+    Ok label
+  | None -> Error (No_such_transition (string_of_int i))
+
+(* One uniformly chosen enabled transition. *)
+let step_random t =
+  match enabled t with
+  | [] -> Error Deadlock
+  | options ->
+    let _, label, next = List.nth options (next_random t (List.length options)) in
+    commit t label next;
+    Ok label
+
+(* Run random steps until deadlock or the bound is hit; returns the
+   executed suffix. *)
+let run_random t ~max_steps =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match step_random t with
+      | Ok label -> go (label :: acc) (k - 1)
+      | Error _ -> List.rev acc
+  in
+  go [] max_steps
+
+let undo t =
+  match t.history with
+  | [] -> false
+  | (_, prev) :: rest ->
+    t.state <- prev;
+    t.history <- rest;
+    (* monitors cannot un-see events: rebuild by replay *)
+    (match t.monitor with
+    | Some m ->
+      (* re-create with the same requirements *)
+      let reqs = List.map fst (Monitor.verdicts m) in
+      let m' = Monitor.of_requirements reqs in
+      List.iter (Monitor.step m') (trace t);
+      t.monitor <- Some m'
+    | None -> ());
+    true
+
+let reset t =
+  t.state <- Apa.initial_state t.apa;
+  (match t.monitor with
+  | Some m ->
+    let reqs = List.map fst (Monitor.verdicts m) in
+    t.monitor <- Some (Monitor.of_requirements reqs)
+  | None -> ());
+  t.history <- []
+
+(* ------------------------------------------------------------------ *)
+(* A one-line command language for the CLI front end                    *)
+(* ------------------------------------------------------------------ *)
+
+type command =
+  | Show_state
+  | Show_enabled
+  | Show_trace
+  | Step_name of string
+  | Step_index of int
+  | Step_random
+  | Run_random of int
+  | Undo
+  | Reset
+  | Monitor_report
+  | Save_trace of string
+  | Help
+  | Quit
+
+let parse_command line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [ "state" ] -> Ok Show_state
+  | [ "enabled" ] | [ "ls" ] -> Ok Show_enabled
+  | [ "trace" ] -> Ok Show_trace
+  | [ "step"; arg ] -> (
+    match int_of_string_opt arg with
+    | Some i -> Ok (Step_index i)
+    | None -> Ok (Step_name arg))
+  | [ "random" ] -> Ok Step_random
+  | [ "run"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Run_random n)
+    | Some _ | None -> Error "run expects a positive number of steps")
+  | [ "undo" ] -> Ok Undo
+  | [ "reset" ] -> Ok Reset
+  | [ "monitor" ] -> Ok Monitor_report
+  | [ "save"; path ] -> Ok (Save_trace path)
+  | [ "help" ] | [ "?" ] -> Ok Help
+  | [ "quit" ] | [ "exit" ] | [ "q" ] -> Ok Quit
+  | [] -> Error "empty command"
+  | cmd :: _ -> Error (Printf.sprintf "unknown command %S (try 'help')" cmd)
+
+let help_text =
+  "commands:\n\
+  \  state        show the current global state\n\
+  \  enabled|ls   list enabled transitions\n\
+  \  step N|NAME  execute the Nth enabled transition, or by name\n\
+  \  random       execute one random enabled transition\n\
+  \  run N        execute up to N random transitions\n\
+  \  trace        show the executed trace\n\
+  \  undo         revert the last step\n\
+  \  reset        return to the initial state\n\
+  \  monitor      show requirement monitor verdicts\n\
+  \  save FILE    write the trace to FILE (one transition per line)\n\
+  \  help         this text\n\
+  \  quit         leave the simulator"
+
+(* Execute one command; the [`Quit] result signals session end. *)
+let execute t command : [ `Output of string | `Quit ] =
+  let out fmt = Fmt.kstr (fun s -> `Output s) fmt in
+  match command with
+  | Show_state -> out "%a" Apa.State.pp t.state
+  | Show_enabled -> (
+    match enabled t with
+    | [] -> out "(deadlocked)"
+    | options ->
+      `Output
+        (String.concat "\n"
+           (List.mapi
+              (fun i (name, label, _) ->
+                Fmt.str "%2d: %s  [%a]" i name Action.pp label)
+              options)))
+  | Show_trace ->
+    out "%a" Fmt.(list ~sep:(any "; ") Action.pp) (trace t)
+  | Step_name name -> (
+    match step_named t name with
+    | Ok label -> out "executed %a" Action.pp label
+    | Error e -> out "error: %a" pp_step_error e)
+  | Step_index i -> (
+    match step_index t i with
+    | Ok label -> out "executed %a" Action.pp label
+    | Error e -> out "error: %a" pp_step_error e)
+  | Step_random -> (
+    match step_random t with
+    | Ok label -> out "executed %a" Action.pp label
+    | Error e -> out "error: %a" pp_step_error e)
+  | Run_random n ->
+    let executed = run_random t ~max_steps:n in
+    out "executed %d steps%s" (List.length executed)
+      (if is_deadlocked t then " (deadlocked)" else "")
+  | Undo -> if undo t then out "undone" else out "nothing to undo"
+  | Reset ->
+    reset t;
+    out "reset to the initial state"
+  | Monitor_report -> (
+    match monitor_report t with
+    | Some report -> `Output report
+    | None -> out "no monitor attached")
+  | Save_trace path -> (
+    match
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun a -> output_string oc (Action.to_string a ^ "\n"))
+            (trace t))
+    with
+    | () -> out "wrote %d events to %s" (steps_taken t) path
+    | exception Sys_error msg -> out "error: %s" msg)
+  | Help -> `Output help_text
+  | Quit -> `Quit
+
+(* Run a scripted session: execute the lines, collect the outputs. *)
+let script t lines =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | line :: rest -> (
+      match parse_command line with
+      | Error msg -> go (("error: " ^ msg) :: acc) rest
+      | Ok cmd -> (
+        match execute t cmd with
+        | `Output s -> go (s :: acc) rest
+        | `Quit -> List.rev acc))
+  in
+  go [] lines

@@ -1,0 +1,69 @@
+(** Interactive simulator for APA models, with optional runtime
+    requirement monitoring.  UI-agnostic: commands in, strings out; the
+    CLI front end drives it through {!parse_command}/{!execute}. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Auth = Fsa_requirements.Auth
+
+type t
+
+val create : ?seed:int -> Apa.t -> t
+val state : t -> Apa.State.t
+val apa : t -> Apa.t
+val trace : t -> Action.t list
+val steps_taken : t -> int
+
+val attach_monitor : t -> Auth.t list -> unit
+(** Attach requirement monitors; the existing trace is replayed. *)
+
+val monitor_report : t -> string option
+
+val enabled : t -> (string * Action.t * Apa.State.t) list
+(** Enabled transitions as (rule name, label, successor), sorted. *)
+
+val is_deadlocked : t -> bool
+
+type step_error =
+  | No_such_transition of string
+  | Ambiguous of string * int
+  | Deadlock
+
+val pp_step_error : step_error Fmt.t
+
+val step_named : t -> string -> (Action.t, step_error) result
+val step_index : t -> int -> (Action.t, step_error) result
+val step_random : t -> (Action.t, step_error) result
+
+val run_random : t -> max_steps:int -> Action.t list
+(** Random steps until deadlock or the bound; returns the executed
+    suffix.  Deterministic for a given seed. *)
+
+val undo : t -> bool
+val reset : t -> unit
+
+(** {1 Command language} *)
+
+type command =
+  | Show_state
+  | Show_enabled
+  | Show_trace
+  | Step_name of string
+  | Step_index of int
+  | Step_random
+  | Run_random of int
+  | Undo
+  | Reset
+  | Monitor_report
+  | Save_trace of string
+  | Help
+  | Quit
+
+val parse_command : string -> (command, string) result
+val help_text : string
+val execute : t -> command -> [ `Output of string | `Quit ]
+
+val script : t -> string list -> string list
+(** Run a list of command lines, collecting the outputs; stops at
+    [quit]. *)

@@ -1,0 +1,1 @@
+lib/spec/elaborate.ml: Ast Fmt Fsa_apa Fsa_mc Fsa_model Fsa_term Fsa_vanet Fun List Loc Option Printf String

@@ -1,0 +1,1 @@
+lib/spec/elaborate.mli: Ast Fsa_apa Fsa_mc Fsa_model Fsa_term Loc

@@ -1,0 +1,1 @@
+lib/spec/lexer.ml: Buffer Loc String Token

@@ -1,0 +1,1 @@
+lib/spec/loc.mli: Fmt Format

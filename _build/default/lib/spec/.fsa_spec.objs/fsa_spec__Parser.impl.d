@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Ast Fun Lexer List Loc String Token

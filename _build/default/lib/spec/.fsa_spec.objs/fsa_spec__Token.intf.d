@@ -1,0 +1,1 @@
+lib/spec/token.mli: Fmt

@@ -1,0 +1,135 @@
+(* Abstract syntax of the specification language.
+
+   The language has two halves mirroring the two analysis paths of the
+   paper: [component]/[instance]/[cluster] declarations describe APA
+   models for the tool-assisted path (Sect. 5), while [model]/[sos]
+   declarations describe functional models for the manual path (Sect. 4). *)
+
+type sterm =
+  | S_int of int
+  | S_self  (* the identity of the enclosing instance *)
+  | S_app of string * sterm list
+      (* S_app (id, []) is a symbol, or a variable when id starts with '_' *)
+
+type cond =
+  | C_true
+  | C_eq of sterm * sterm
+  | C_neq of sterm * sterm
+  | C_call of string * sterm list  (* builtin predicate, e.g. position(_p) *)
+  | C_and of cond * cond
+  | C_or of cond * cond
+  | C_not of cond
+
+type take_ast = {
+  tk_read : bool;  (* read without consuming *)
+  tk_comp : string;
+  tk_pat : sterm;
+  tk_loc : Loc.t;
+}
+
+type put_ast = { pt_comp : string; pt_term : sterm; pt_loc : Loc.t }
+
+type rule_ast = {
+  ru_name : string;
+  ru_takes : take_ast list;
+  ru_cond : cond;
+  ru_puts : put_ast list;
+  ru_loc : Loc.t;
+}
+
+type comp_item =
+  | I_state of string * sterm list  (* default initial content *)
+  | I_shared of string
+  | I_rule of rule_ast
+
+type component_decl = {
+  cd_name : string;
+  cd_items : comp_item list;
+  cd_loc : Loc.t;
+}
+
+type instance_decl = {
+  in_name : string;
+  in_comp : string;
+  in_id : int;
+  in_overrides : (string * sterm list) list;
+  in_loc : Loc.t;
+}
+
+type cluster_decl = {
+  cl_name : string;
+  cl_members : string list;
+  cl_loc : Loc.t;
+}
+
+type model_action = { ma_label : string; ma_args : sterm list; ma_loc : Loc.t }
+
+type model_flow = {
+  mf_src : string;
+  mf_dst : string;
+  mf_policy : string option;
+  mf_loc : Loc.t;
+}
+
+type model_decl = {
+  md_name : string;
+  md_param : string option;
+  md_actions : model_action list;
+  md_flows : model_flow list;
+  md_loc : Loc.t;
+}
+
+type use_decl = {
+  us_model : string;
+  us_index : int option;
+  us_alias : string;
+  us_loc : Loc.t;
+}
+
+type link_decl = {
+  lk_src : string * string;  (* alias, action label *)
+  lk_dst : string * string;
+  lk_policy : string option;
+  lk_loc : Loc.t;
+}
+
+type sos_decl = {
+  sd_name : string;
+  sd_uses : use_decl list;
+  sd_links : link_decl list;
+  sd_loc : Loc.t;
+}
+
+type check_decl = {
+  ck_kind : string;  (* absence | existence | universality | precedence | response *)
+  ck_args : string list;  (* transition names *)
+  ck_scope : (string * string) option;  (* ("before"|"after", transition) *)
+  ck_loc : Loc.t;
+}
+
+type decl =
+  | D_component of component_decl
+  | D_instance of instance_decl
+  | D_cluster of cluster_decl
+  | D_model of model_decl
+  | D_sos of sos_decl
+  | D_check of check_decl
+
+type t = decl list
+
+let rec pp_sterm ppf = function
+  | S_int i -> Fmt.int ppf i
+  | S_self -> Fmt.string ppf "self"
+  | S_app (f, []) -> Fmt.string ppf f
+  | S_app (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_sterm) args
+
+let rec pp_cond ppf = function
+  | C_true -> Fmt.string ppf "true"
+  | C_eq (a, b) -> Fmt.pf ppf "%a == %a" pp_sterm a pp_sterm b
+  | C_neq (a, b) -> Fmt.pf ppf "%a != %a" pp_sterm a pp_sterm b
+  | C_call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_sterm) args
+  | C_and (a, b) -> Fmt.pf ppf "(%a && %a)" pp_cond a pp_cond b
+  | C_or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_cond a pp_cond b
+  | C_not c -> Fmt.pf ppf "!(%a)" pp_cond c

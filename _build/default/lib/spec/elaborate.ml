@@ -1,0 +1,318 @@
+(* Elaboration of parsed specifications into APA models (tool path) and
+   functional SoS models (manual path). *)
+
+open Ast
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+(* ------------------------------------------------------------------ *)
+(* Terms and conditions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Identifiers with a leading underscore are variables; [self] denotes
+   the identity of the enclosing instance. *)
+let rec term_of_sterm ~self ~loc = function
+  | S_int i -> Term.int i
+  | S_self -> (
+    match self with
+    | Some t -> t
+    | None -> Loc.error loc "'self' is only meaningful inside a component")
+  | S_app (id, []) ->
+    if String.length id > 1 && id.[0] = '_' then
+      Term.var (String.sub id 1 (String.length id - 1))
+    else Term.sym id
+  | S_app (f, args) -> Term.app f (List.map (term_of_sterm ~self ~loc) args)
+
+(* Builtin guard predicates available in [when] clauses. *)
+let builtin loc name args =
+  match name, args with
+  | "position", [ p ] -> Fsa_vanet.Geo.is_position p
+  | "near", [ p; q ] -> Fsa_vanet.Geo.in_range p q
+  | "position", _ | "near", _ ->
+    Loc.error loc "predicate %s applied to the wrong number of arguments" name
+  | _, _ -> Loc.error loc "unknown guard predicate %s" name
+
+let compile_cond ~self ~loc cond =
+  let eval subst sterm =
+    let t = Term.Subst.apply subst (term_of_sterm ~self ~loc sterm) in
+    if Term.is_ground t then Some t else None
+  in
+  let rec go cond subst =
+    match cond with
+    | C_true -> true
+    | C_eq (a, b) -> (
+      match eval subst a, eval subst b with
+      | Some x, Some y -> Term.equal x y
+      | (None | Some _), _ -> false)
+    | C_neq (a, b) -> (
+      match eval subst a, eval subst b with
+      | Some x, Some y -> not (Term.equal x y)
+      | (None | Some _), _ -> false)
+    | C_call (f, args) -> (
+      let args = List.map (eval subst) args in
+      match List.partition Option.is_some args with
+      | some, [] -> builtin loc f (List.map Option.get some)
+      | _, _ :: _ -> false)
+    | C_and (a, b) -> go a subst && go b subst
+    | C_or (a, b) -> go a subst || go b subst
+    | C_not a -> not (go a subst)
+  in
+  go cond
+
+(* ------------------------------------------------------------------ *)
+(* APA instances                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  components : (string * component_decl) list;
+  instances : instance_decl list;
+  clusters : cluster_decl list;
+  models : (string * model_decl) list;
+  soses : sos_decl list;
+  checks : check_decl list;
+}
+
+let env_of_spec spec =
+  let init = { components = []; instances = []; clusters = []; models = [];
+               soses = []; checks = [] } in
+  let add env = function
+    | D_component c ->
+      if List.mem_assoc c.cd_name env.components then
+        Loc.error c.cd_loc "component %s is declared twice" c.cd_name;
+      { env with components = env.components @ [ (c.cd_name, c) ] }
+    | D_instance i ->
+      if List.exists (fun j -> String.equal j.in_name i.in_name) env.instances
+      then Loc.error i.in_loc "instance %s is declared twice" i.in_name;
+      { env with instances = env.instances @ [ i ] }
+    | D_cluster c -> { env with clusters = env.clusters @ [ c ] }
+    | D_model m ->
+      if List.mem_assoc m.md_name env.models then
+        Loc.error m.md_loc "model %s is declared twice" m.md_name;
+      { env with models = env.models @ [ (m.md_name, m) ] }
+    | D_sos s -> { env with soses = env.soses @ [ s ] }
+    | D_check c -> { env with checks = env.checks @ [ c ] }
+  in
+  List.fold_left add init spec
+
+(* The cluster that an instance's shared component maps to: the name of
+   the cluster listing the instance, or the shared name itself. *)
+let cluster_of env inst_name shared_name =
+  match
+    List.find_opt (fun c -> List.mem inst_name c.cl_members) env.clusters
+  with
+  | Some c -> c.cl_name
+  | None -> shared_name
+
+let states_of_decl cd =
+  List.filter_map (function I_state (n, init) -> Some (n, init) | I_shared _ | I_rule _ -> None) cd.cd_items
+
+let shared_of_decl cd =
+  List.filter_map (function I_shared n -> Some n | I_state _ | I_rule _ -> None) cd.cd_items
+
+let rules_of_decl cd =
+  List.filter_map (function I_rule r -> Some r | I_state _ | I_shared _ -> None) cd.cd_items
+
+(* Build the APA of one instance declaration. *)
+let build_instance env inst =
+  let cd =
+    match List.assoc_opt inst.in_comp env.components with
+    | Some cd -> cd
+    | None -> Loc.error inst.in_loc "unknown component %s" inst.in_comp
+  in
+  let self = Some (Term.sym inst.in_name) in
+  let shared = shared_of_decl cd in
+  let local_names = List.map fst (states_of_decl cd) in
+  let rename c =
+    if List.mem c shared then cluster_of env inst.in_name c
+    else if List.mem c local_names then inst.in_name ^ "_" ^ c
+    else c
+  in
+  (* initial contents: declared defaults, overridden per instance *)
+  List.iter
+    (fun (field, _) ->
+      if not (List.mem field local_names) then
+        Loc.error inst.in_loc "instance %s overrides unknown state %s"
+          inst.in_name field)
+    inst.in_overrides;
+  let state_components =
+    List.map
+      (fun (n, default) ->
+        let contents =
+          match List.assoc_opt n inst.in_overrides with
+          | Some terms -> terms
+          | None -> default
+        in
+        let terms =
+          List.map
+            (fun st ->
+              let t = term_of_sterm ~self ~loc:inst.in_loc st in
+              if not (Term.is_ground t) then
+                Loc.error inst.in_loc
+                  "initial content %a of state %s is not ground"
+                  Term.pp t n;
+              t)
+            contents
+        in
+        (rename n, Term.Set.of_list terms))
+      (states_of_decl cd)
+    @ List.map (fun n -> (rename n, Term.Set.empty)) shared
+  in
+  let build_rule r =
+    let name = inst.in_name ^ "_" ^ r.ru_name in
+    let takes =
+      List.map
+        (fun tk ->
+          Apa.take ~consume:(not tk.tk_read) (rename tk.tk_comp)
+            (term_of_sterm ~self ~loc:tk.tk_loc tk.tk_pat))
+        r.ru_takes
+    in
+    let puts =
+      List.map
+        (fun pt ->
+          Apa.put (rename pt.pt_comp)
+            (term_of_sterm ~self ~loc:pt.pt_loc pt.pt_term))
+        r.ru_puts
+    in
+    let guard = compile_cond ~self ~loc:r.ru_loc r.ru_cond in
+    Apa.rule name ~takes ~puts ~guard ~label:(fun _ -> Action.make name)
+  in
+  Apa.make ~components:state_components
+    ~rules:(List.map build_rule (rules_of_decl cd))
+    inst.in_name
+
+let apa_of_spec ?(name = "system") spec =
+  let env = env_of_spec spec in
+  match env.instances with
+  | [] -> invalid_arg "apa_of_spec: the specification declares no instances"
+  | instances -> Apa.compose ~name (List.map (build_instance env) instances)
+
+(* ------------------------------------------------------------------ *)
+(* Functional models                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A model action such as [sense(ESP_i, sW)]: the first argument is taken
+   as the acting component when it is a capitalised symbol. *)
+let action_of_model_action ma =
+  let args = List.map (term_of_sterm ~self:None ~loc:ma.ma_loc) ma.ma_args in
+  match args with
+  | Term.Sym s :: rest when s <> "" && s.[0] >= 'A' && s.[0] <= 'Z' ->
+    Action.make ~actor:(Agent.of_string s) ~args:rest ma.ma_label
+  | args -> Action.make ~args ma.ma_label
+
+(* Instantiate a model declaration as a functional component.  With a
+   parameter and an index, symbolic agent indices equal to the parameter
+   are made concrete. *)
+let component_of_model md ~alias ~index =
+  let actions = List.map action_of_model_action md.md_actions in
+  let reindex_action =
+    match md.md_param, index with
+    | Some p, Some i ->
+      Action.reindex (function
+        | Agent.Symbolic x when String.equal x p -> Agent.Concrete i
+        | idx -> idx)
+    | Some _, None | None, Some _ | None, None -> Fun.id
+  in
+  let actions = List.map reindex_action actions in
+  let find_action label =
+    match
+      List.find_opt (fun a -> String.equal (Action.label a) label) actions
+    with
+    | Some a -> a
+    | None -> Loc.error md.md_loc "model %s has no action %s" md.md_name label
+  in
+  let flows =
+    List.map
+      (fun mf ->
+        Flow.internal ?policy:mf.mf_policy (find_action mf.mf_src)
+          (find_action mf.mf_dst))
+      md.md_flows
+  in
+  Component.make alias ~actions ~flows
+
+let build_sos env sd =
+  let aliases =
+    List.map
+      (fun u ->
+        let md =
+          match List.assoc_opt u.us_model env.models with
+          | Some md -> md
+          | None -> Loc.error u.us_loc "unknown model %s" u.us_model
+        in
+        (u.us_alias, component_of_model md ~alias:u.us_alias ~index:u.us_index))
+      sd.sd_uses
+  in
+  let action_of (alias, label) loc =
+    match List.assoc_opt alias aliases with
+    | None -> Loc.error loc "unknown instance alias %s" alias
+    | Some comp -> (
+      match
+        List.find_opt
+          (fun a -> String.equal (Action.label a) label)
+          (Component.actions comp)
+      with
+      | Some a -> a
+      | None -> Loc.error loc "instance %s has no action %s" alias label)
+  in
+  let links =
+    List.map
+      (fun lk ->
+        Flow.external_ ?policy:lk.lk_policy
+          (action_of lk.lk_src lk.lk_loc)
+          (action_of lk.lk_dst lk.lk_loc))
+      sd.sd_links
+  in
+  Sos.make sd.sd_name ~components:(List.map snd aliases) ~links
+
+let sos_list spec =
+  let env = env_of_spec spec in
+  List.map (build_sos env) env.soses
+
+let sos_of_spec spec name =
+  let env = env_of_spec spec in
+  match List.find_opt (fun s -> String.equal s.sd_name name) env.soses with
+  | Some sd -> build_sos env sd
+  | None -> invalid_arg (Printf.sprintf "sos_of_spec: no sos named %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural checks                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile the spec's check declarations into property patterns over the
+   APA's transition labels. *)
+let patterns_of_spec spec =
+  let module Pattern = Fsa_mc.Pattern in
+  let env = env_of_spec spec in
+  List.map
+    (fun ck ->
+      let p name = Pattern.action_is (Action.make name) in
+      let body =
+        match ck.ck_kind, ck.ck_args with
+        | "absence", [ a ] -> Pattern.Absence (p a)
+        | "existence", [ a ] -> Pattern.Existence (p a)
+        | "universality", [ a ] -> Pattern.Universality (p a)
+        | "precedence", [ s; q ] -> Pattern.Precedence (p s, p q)
+        | "response", [ s; q ] -> Pattern.Response (p s, p q)
+        | k, args ->
+          Loc.error ck.ck_loc "malformed check %s/%d" k (List.length args)
+      in
+      let scope =
+        match ck.ck_scope with
+        | None -> Pattern.Globally
+        | Some ("before", a) -> Pattern.Before (p a)
+        | Some ("after", a) -> Pattern.After (p a)
+        | Some (s, _) -> Loc.error ck.ck_loc "unknown scope %S" s
+      in
+      let description =
+        Fmt.str "check %s %s%s" ck.ck_kind
+          (String.concat " " ck.ck_args)
+          (match ck.ck_scope with
+          | None -> ""
+          | Some (s, a) -> Printf.sprintf " %s %s" s a)
+      in
+      (description, Pattern.make ~scope body))
+    env.checks

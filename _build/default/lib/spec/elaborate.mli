@@ -1,0 +1,39 @@
+(** Elaboration of parsed specifications into APA models (tool path) and
+    functional SoS models (manual path).
+
+    All elaboration functions raise {!Loc.Error} on semantic errors. *)
+
+module Term = Fsa_term.Term
+module Apa = Fsa_apa.Apa
+module Sos = Fsa_model.Sos
+
+type env = {
+  components : (string * Ast.component_decl) list;
+  instances : Ast.instance_decl list;
+  clusters : Ast.cluster_decl list;
+  models : (string * Ast.model_decl) list;
+  soses : Ast.sos_decl list;
+  checks : Ast.check_decl list;
+}
+
+val env_of_spec : Ast.t -> env
+
+val term_of_sterm : self:Term.t option -> loc:Loc.t -> Ast.sterm -> Term.t
+
+val compile_cond :
+  self:Term.t option -> loc:Loc.t -> Ast.cond -> Term.Subst.t -> bool
+
+val build_instance : env -> Ast.instance_decl -> Apa.t
+
+val apa_of_spec : ?name:string -> Ast.t -> Apa.t
+(** Compose all declared instances into one APA, identifying shared state
+    components per the cluster declarations. *)
+
+val component_of_model :
+  Ast.model_decl -> alias:string -> index:int option -> Fsa_model.Component.t
+
+val sos_list : Ast.t -> Sos.t list
+val sos_of_spec : Ast.t -> string -> Sos.t
+
+val patterns_of_spec : Ast.t -> (string * Fsa_mc.Pattern.t) list
+(** The spec's [check] declarations as named property patterns. *)

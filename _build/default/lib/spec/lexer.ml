@@ -1,0 +1,156 @@
+(* Lexer for the specification language: identifiers, integers, strings,
+   punctuation, line comments introduced by "//". *)
+
+type t = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+  mutable peeked : (Token.t * Loc.t) option;
+}
+
+let make input = { input; pos = 0; line = 1; bol = 0; peeked = None }
+
+let location t = { Loc.line = t.line; col = t.pos - t.bol + 1 }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let newline t =
+  t.line <- t.line + 1;
+  t.bol <- t.pos
+
+let rec skip_blank t =
+  let n = String.length t.input in
+  if t.pos < n then
+    match t.input.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_blank t
+    | '\n' ->
+      t.pos <- t.pos + 1;
+      newline t;
+      skip_blank t
+    | '/' when t.pos + 1 < n && t.input.[t.pos + 1] = '/' ->
+      while t.pos < n && t.input.[t.pos] <> '\n' do
+        t.pos <- t.pos + 1
+      done;
+      skip_blank t
+    | _ -> ()
+
+let lex_while t pred =
+  let n = String.length t.input in
+  let start = t.pos in
+  let rec go i = if i < n && pred t.input.[i] then go (i + 1) else i in
+  let stop = go start in
+  t.pos <- stop;
+  String.sub t.input start (stop - start)
+
+let lex_string t loc =
+  (* opening quote already consumed *)
+  let buf = Buffer.create 16 in
+  let n = String.length t.input in
+  let rec go () =
+    if t.pos >= n then Loc.error loc "unterminated string literal"
+    else
+      match t.input.[t.pos] with
+      | '"' -> t.pos <- t.pos + 1
+      | '\n' -> Loc.error loc "newline in string literal"
+      | '\\' when t.pos + 1 < n ->
+        let c = t.input.[t.pos + 1] in
+        Buffer.add_char buf (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+        t.pos <- t.pos + 2;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        t.pos <- t.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_token t =
+  skip_blank t;
+  let loc = location t in
+  let n = String.length t.input in
+  if t.pos >= n then (Token.Eof, loc)
+  else begin
+    let two_char c1 c2 tok single =
+      if t.pos + 1 < n && t.input.[t.pos] = c1 && t.input.[t.pos + 1] = c2
+      then begin
+        t.pos <- t.pos + 2;
+        tok
+      end
+      else begin
+        t.pos <- t.pos + 1;
+        single loc
+      end
+    in
+    let tok =
+      match t.input.[t.pos] with
+      | '{' -> t.pos <- t.pos + 1; Token.Lbrace
+      | '}' -> t.pos <- t.pos + 1; Token.Rbrace
+      | '(' -> t.pos <- t.pos + 1; Token.Lparen
+      | ')' -> t.pos <- t.pos + 1; Token.Rparen
+      | '[' -> t.pos <- t.pos + 1; Token.Lbracket
+      | ']' -> t.pos <- t.pos + 1; Token.Rbracket
+      | ',' -> t.pos <- t.pos + 1; Token.Comma
+      | '.' -> t.pos <- t.pos + 1; Token.Dot
+      | ':' -> t.pos <- t.pos + 1; Token.Colon
+      | '=' -> two_char '=' '=' Token.Eq_eq (fun _ -> Token.Eq)
+      | '!' -> two_char '!' '=' Token.Bang_eq (fun _ -> Token.Bang)
+      | '-' ->
+        two_char '-' '>' Token.Arrow (fun loc ->
+            Loc.error loc "expected '->' after '-'")
+      | '&' ->
+        two_char '&' '&' Token.And_and (fun loc ->
+            Loc.error loc "expected '&&' after '&'")
+      | '|' ->
+        two_char '|' '|' Token.Or_or (fun loc ->
+            Loc.error loc "expected '||' after '|'")
+      | '"' ->
+        t.pos <- t.pos + 1;
+        Token.String (lex_string t loc)
+      | c when is_digit c -> Token.Int (int_of_string (lex_while t is_digit))
+      | c when is_ident_start c -> Token.Ident (lex_while t is_ident_char)
+      | c -> Loc.error loc "unexpected character %C" c
+    in
+    (tok, loc)
+  end
+
+let next t =
+  match t.peeked with
+  | Some tl ->
+    t.peeked <- None;
+    tl
+  | None -> read_token t
+
+let peek t =
+  match t.peeked with
+  | Some tl -> tl
+  | None ->
+    let tl = read_token t in
+    t.peeked <- Some tl;
+    tl
+
+let expect t tok =
+  let got, loc = next t in
+  if not (Token.equal got tok) then
+    Loc.error loc "expected %a but found %a" Token.pp tok Token.pp got;
+  loc
+
+let accept t tok =
+  let got, _ = peek t in
+  if Token.equal got tok then begin
+    ignore (next t);
+    true
+  end
+  else false
+
+let ident t =
+  match next t with
+  | Token.Ident s, _ -> s
+  | tok, loc -> Loc.error loc "expected an identifier, found %a" Token.pp tok

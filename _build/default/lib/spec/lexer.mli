@@ -1,0 +1,16 @@
+(** Lexer for the specification language. *)
+
+type t
+
+val make : string -> t
+val location : t -> Loc.t
+val next : t -> Token.t * Loc.t
+val peek : t -> Token.t * Loc.t
+
+val expect : t -> Token.t -> Loc.t
+(** Consume the expected token or raise a located error. *)
+
+val accept : t -> Token.t -> bool
+(** Consume the token if it is next; [false] otherwise. *)
+
+val ident : t -> string

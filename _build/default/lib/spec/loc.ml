@@ -1,0 +1,13 @@
+(* Source locations for error reporting in the specification language. *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+
+let pp ppf { line; col } = Fmt.pf ppf "line %d, column %d" line col
+
+exception Error of t * string
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (loc, msg))) fmt
+
+let pp_exn ppf (loc, msg) = Fmt.pf ppf "%a: %s" pp loc msg

@@ -1,0 +1,11 @@
+(** Source locations and located errors of the specification language. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+val pp : t Fmt.t
+
+exception Error of t * string
+
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val pp_exn : (t * string) Fmt.t

@@ -1,0 +1,365 @@
+(* Recursive-descent parser for the specification language.  Keywords are
+   context sensitive (they lex as identifiers), so component or action
+   names may reuse them freely outside their governing position. *)
+
+open Ast
+
+let keyword lx kw =
+  let tok, loc = Lexer.next lx in
+  match tok with
+  | Token.Ident s when String.equal s kw -> loc
+  | tok -> Loc.error loc "expected keyword %S, found %a" kw Token.pp tok
+
+let is_keyword lx kw =
+  match Lexer.peek lx with
+  | Token.Ident s, _ -> String.equal s kw
+  | _, _ -> false
+
+(* sterm := INT | "self" | IDENT [ "(" sterm ("," sterm)* ")" ] *)
+let rec parse_sterm lx =
+  match Lexer.next lx with
+  | Token.Int i, _ -> S_int i
+  | Token.Ident "self", _ -> S_self
+  | Token.Ident id, _ ->
+    if Lexer.accept lx Token.Lparen then begin
+      let args = parse_sterm_list lx in
+      ignore (Lexer.expect lx Token.Rparen);
+      S_app (id, args)
+    end
+    else S_app (id, [])
+  | tok, loc -> Loc.error loc "expected a term, found %a" Token.pp tok
+
+and parse_sterm_list lx =
+  let first = parse_sterm lx in
+  if Lexer.accept lx Token.Comma then first :: parse_sterm_list lx else [ first ]
+
+let parse_termset lx =
+  ignore (Lexer.expect lx Token.Lbrace);
+  if Lexer.accept lx Token.Rbrace then []
+  else begin
+    let terms = parse_sterm_list lx in
+    ignore (Lexer.expect lx Token.Rbrace);
+    terms
+  end
+
+(* cond := conj ("||" conj)* ; conj := catom ("&&" catom)* *)
+let rec parse_cond lx =
+  let left = parse_conj lx in
+  if Lexer.accept lx Token.Or_or then C_or (left, parse_cond lx) else left
+
+and parse_conj lx =
+  let left = parse_catom lx in
+  if Lexer.accept lx Token.And_and then C_and (left, parse_conj lx) else left
+
+and parse_catom lx =
+  if Lexer.accept lx Token.Bang then C_not (parse_catom lx)
+  else if Lexer.accept lx Token.Lparen then begin
+    let c = parse_cond lx in
+    ignore (Lexer.expect lx Token.Rparen);
+    c
+  end
+  else begin
+    let t = parse_sterm lx in
+    match Lexer.peek lx with
+    | Token.Eq_eq, _ ->
+      ignore (Lexer.next lx);
+      C_eq (t, parse_sterm lx)
+    | Token.Bang_eq, _ ->
+      ignore (Lexer.next lx);
+      C_neq (t, parse_sterm lx)
+    | _, loc -> (
+      (* a bare term is a builtin predicate call *)
+      match t with
+      | S_app (f, args) -> C_call (f, args)
+      | S_int _ | S_self -> Loc.error loc "expected a predicate or comparison")
+  end
+
+(* take := ("take"|"read") IDENT "(" sterm ")" *)
+let parse_take lx =
+  let tok, loc = Lexer.next lx in
+  let read =
+    match tok with
+    | Token.Ident "take" -> false
+    | Token.Ident "read" -> true
+    | tok -> Loc.error loc "expected 'take' or 'read', found %a" Token.pp tok
+  in
+  let comp = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Lparen);
+  let pat = parse_sterm lx in
+  ignore (Lexer.expect lx Token.Rparen);
+  { tk_read = read; tk_comp = comp; tk_pat = pat; tk_loc = loc }
+
+let parse_put lx =
+  let loc = keyword lx "put" in
+  let comp = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Lparen);
+  let term = parse_sterm lx in
+  ignore (Lexer.expect lx Token.Rparen);
+  { pt_comp = comp; pt_term = term; pt_loc = loc }
+
+(* action IDENT ":" take ("," take)* ["when" cond] "->" put ("," put)* *)
+let parse_rule lx =
+  let loc = keyword lx "action" in
+  let name = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Colon);
+  let rec takes acc =
+    let tk = parse_take lx in
+    if Lexer.accept lx Token.Comma then takes (tk :: acc)
+    else List.rev (tk :: acc)
+  in
+  let tks = takes [] in
+  let cond =
+    if is_keyword lx "when" then begin
+      ignore (keyword lx "when");
+      parse_cond lx
+    end
+    else C_true
+  in
+  ignore (Lexer.expect lx Token.Arrow);
+  let rec puts acc =
+    let pt = parse_put lx in
+    if Lexer.accept lx Token.Comma then puts (pt :: acc)
+    else List.rev (pt :: acc)
+  in
+  let pts = puts [] in
+  { ru_name = name; ru_takes = tks; ru_cond = cond; ru_puts = pts; ru_loc = loc }
+
+let parse_comp_item lx =
+  match Lexer.peek lx with
+  | Token.Ident "state", _ ->
+    ignore (keyword lx "state");
+    let name = Lexer.ident lx in
+    let init =
+      if Lexer.accept lx Token.Eq then parse_termset lx else []
+    in
+    I_state (name, init)
+  | Token.Ident "shared", _ ->
+    ignore (keyword lx "shared");
+    I_shared (Lexer.ident lx)
+  | Token.Ident "action", _ -> I_rule (parse_rule lx)
+  | tok, loc ->
+    Loc.error loc "expected 'state', 'shared' or 'action', found %a" Token.pp
+      tok
+
+let parse_component lx =
+  let loc = keyword lx "component" in
+  let name = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Lbrace);
+  let rec items acc =
+    if Lexer.accept lx Token.Rbrace then List.rev acc
+    else items (parse_comp_item lx :: acc)
+  in
+  { cd_name = name; cd_items = items []; cd_loc = loc }
+
+(* instance IDENT "=" IDENT "(" INT ")" [ "{" IDENT "=" termset ("," ...)* "}" ] *)
+let parse_instance lx =
+  let loc = keyword lx "instance" in
+  let name = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Eq);
+  let comp = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Lparen);
+  let id =
+    match Lexer.next lx with
+    | Token.Int i, _ -> i
+    | tok, loc -> Loc.error loc "expected an instance number, found %a" Token.pp tok
+  in
+  ignore (Lexer.expect lx Token.Rparen);
+  let overrides =
+    if Lexer.accept lx Token.Lbrace then begin
+      let rec go acc =
+        let field = Lexer.ident lx in
+        ignore (Lexer.expect lx Token.Eq);
+        let terms = parse_termset lx in
+        let acc = (field, terms) :: acc in
+        if Lexer.accept lx Token.Comma then go acc
+        else begin
+          ignore (Lexer.expect lx Token.Rbrace);
+          List.rev acc
+        end
+      in
+      if Lexer.accept lx Token.Rbrace then [] else go []
+    end
+    else []
+  in
+  { in_name = name; in_comp = comp; in_id = id; in_overrides = overrides;
+    in_loc = loc }
+
+let parse_cluster lx =
+  let loc = keyword lx "cluster" in
+  let name = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Eq);
+  ignore (Lexer.expect lx Token.Lbrace);
+  let rec members acc =
+    let m = Lexer.ident lx in
+    if Lexer.accept lx Token.Comma then members (m :: acc)
+    else begin
+      ignore (Lexer.expect lx Token.Rbrace);
+      List.rev (m :: acc)
+    end
+  in
+  { cl_name = name; cl_members = members []; cl_loc = loc }
+
+let parse_policy_opt lx =
+  if Lexer.accept lx Token.Lbracket then begin
+    ignore (keyword lx "policy");
+    let p =
+      match Lexer.next lx with
+      | Token.String s, _ -> s
+      | tok, loc -> Loc.error loc "expected a policy string, found %a" Token.pp tok
+    in
+    ignore (Lexer.expect lx Token.Rbracket);
+    Some p
+  end
+  else None
+
+let parse_model lx =
+  let loc = keyword lx "model" in
+  let name = Lexer.ident lx in
+  let param =
+    if Lexer.accept lx Token.Lparen then begin
+      let p = Lexer.ident lx in
+      ignore (Lexer.expect lx Token.Rparen);
+      Some p
+    end
+    else None
+  in
+  ignore (Lexer.expect lx Token.Lbrace);
+  let actions = ref [] and flows = ref [] in
+  let rec items () =
+    if Lexer.accept lx Token.Rbrace then ()
+    else begin
+      (match Lexer.peek lx with
+      | Token.Ident "action", _ ->
+        let loc = keyword lx "action" in
+        let label = Lexer.ident lx in
+        let args =
+          if Lexer.accept lx Token.Lparen then begin
+            let args = parse_sterm_list lx in
+            ignore (Lexer.expect lx Token.Rparen);
+            args
+          end
+          else []
+        in
+        actions := { ma_label = label; ma_args = args; ma_loc = loc } :: !actions
+      | Token.Ident "flow", _ ->
+        let loc = keyword lx "flow" in
+        let src = Lexer.ident lx in
+        ignore (Lexer.expect lx Token.Arrow);
+        let dst = Lexer.ident lx in
+        let policy = parse_policy_opt lx in
+        flows := { mf_src = src; mf_dst = dst; mf_policy = policy; mf_loc = loc } :: !flows
+      | tok, loc ->
+        Loc.error loc "expected 'action' or 'flow', found %a" Token.pp tok);
+      items ()
+    end
+  in
+  items ();
+  { md_name = name; md_param = param; md_actions = List.rev !actions;
+    md_flows = List.rev !flows; md_loc = loc }
+
+let parse_sos lx =
+  let loc = keyword lx "sos" in
+  let name = Lexer.ident lx in
+  ignore (Lexer.expect lx Token.Lbrace);
+  let uses = ref [] and links = ref [] in
+  let rec items () =
+    if Lexer.accept lx Token.Rbrace then ()
+    else begin
+      (match Lexer.peek lx with
+      | Token.Ident "use", _ ->
+        let loc = keyword lx "use" in
+        let model = Lexer.ident lx in
+        let index =
+          if Lexer.accept lx Token.Lparen then begin
+            match Lexer.next lx with
+            | Token.Int i, _ ->
+              ignore (Lexer.expect lx Token.Rparen);
+              Some i
+            | tok, loc ->
+              Loc.error loc "expected an instance number, found %a" Token.pp tok
+          end
+          else None
+        in
+        ignore (keyword lx "as");
+        let alias = Lexer.ident lx in
+        uses := { us_model = model; us_index = index; us_alias = alias; us_loc = loc } :: !uses
+      | Token.Ident "link", _ ->
+        let loc = keyword lx "link" in
+        let src_alias = Lexer.ident lx in
+        ignore (Lexer.expect lx Token.Dot);
+        let src_label = Lexer.ident lx in
+        ignore (Lexer.expect lx Token.Arrow);
+        let dst_alias = Lexer.ident lx in
+        ignore (Lexer.expect lx Token.Dot);
+        let dst_label = Lexer.ident lx in
+        let policy = parse_policy_opt lx in
+        links :=
+          { lk_src = (src_alias, src_label); lk_dst = (dst_alias, dst_label);
+            lk_policy = policy; lk_loc = loc }
+          :: !links
+      | tok, loc -> Loc.error loc "expected 'use' or 'link', found %a" Token.pp tok);
+      items ()
+    end
+  in
+  items ();
+  { sd_name = name; sd_uses = List.rev !uses; sd_links = List.rev !links;
+    sd_loc = loc }
+
+(* check (absence|existence|universality) NAME [scope]
+   check (precedence|response) NAME NAME [scope]
+   scope := globally | before NAME | after NAME *)
+let parse_check lx =
+  let loc = keyword lx "check" in
+  let kind = Lexer.ident lx in
+  let arity =
+    match kind with
+    | "absence" | "existence" | "universality" -> 1
+    | "precedence" | "response" -> 2
+    | k -> Loc.error loc "unknown check kind %S" k
+  in
+  let args =
+    List.init arity (fun _ -> Lexer.ident lx)
+  in
+  let scope =
+    match Lexer.peek lx with
+    | Token.Ident "globally", _ ->
+      ignore (Lexer.next lx);
+      None
+    | Token.Ident (("before" | "after") as s), _ ->
+      ignore (Lexer.next lx);
+      Some (s, Lexer.ident lx)
+    | _, _ -> None
+  in
+  { ck_kind = kind; ck_args = args; ck_scope = scope; ck_loc = loc }
+
+let parse_decl lx =
+  match Lexer.peek lx with
+  | Token.Ident "component", _ -> D_component (parse_component lx)
+  | Token.Ident "instance", _ -> D_instance (parse_instance lx)
+  | Token.Ident "cluster", _ -> D_cluster (parse_cluster lx)
+  | Token.Ident "model", _ -> D_model (parse_model lx)
+  | Token.Ident "sos", _ -> D_sos (parse_sos lx)
+  | Token.Ident "check", _ -> D_check (parse_check lx)
+  | tok, loc ->
+    Loc.error loc
+      "expected 'component', 'instance', 'cluster', 'model', 'sos' or \
+       'check', found %a"
+      Token.pp tok
+
+let parse_string input =
+  let lx = Lexer.make input in
+  let rec go acc =
+    match Lexer.peek lx with
+    | Token.Eof, _ -> List.rev acc
+    | _, _ -> go (parse_decl lx :: acc)
+  in
+  go []
+
+let parse_file path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string content

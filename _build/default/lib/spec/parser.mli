@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the specification language.
+
+    All parsing functions raise {!Loc.Error} on malformed input. *)
+
+val parse_sterm : Lexer.t -> Ast.sterm
+val parse_cond : Lexer.t -> Ast.cond
+val parse_rule : Lexer.t -> Ast.rule_ast
+val parse_component : Lexer.t -> Ast.component_decl
+val parse_instance : Lexer.t -> Ast.instance_decl
+val parse_cluster : Lexer.t -> Ast.cluster_decl
+val parse_model : Lexer.t -> Ast.model_decl
+val parse_sos : Lexer.t -> Ast.sos_decl
+val parse_check : Lexer.t -> Ast.check_decl
+val parse_decl : Lexer.t -> Ast.decl
+val parse_string : string -> Ast.t
+val parse_file : string -> Ast.t

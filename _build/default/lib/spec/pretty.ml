@@ -1,0 +1,221 @@
+(* Pretty-printing of specification ASTs back to concrete syntax.  The
+   printer and the parser round-trip: [Parser.parse_string (to_string ast)]
+   yields an AST equal to [ast] up to source locations. *)
+
+open Ast
+
+let pp_sterm = Ast.pp_sterm
+
+(* Conditions print in parser-compatible syntax; [C_true] is the absent
+   [when] clause and must not be printed inside one. *)
+let rec pp_cond ppf = function
+  | C_true -> Fmt.string ppf "true == true" (* only if explicitly requested *)
+  | C_eq (a, b) -> Fmt.pf ppf "%a == %a" pp_sterm a pp_sterm b
+  | C_neq (a, b) -> Fmt.pf ppf "%a != %a" pp_sterm a pp_sterm b
+  | C_call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_sterm) args
+  | C_and (a, b) -> Fmt.pf ppf "(%a && %a)" pp_cond a pp_cond b
+  | C_or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_cond a pp_cond b
+  | C_not a -> Fmt.pf ppf "!(%a)" pp_cond a
+
+let pp_termset ppf terms =
+  Fmt.pf ppf "{ %a }" Fmt.(list ~sep:(any ", ") pp_sterm) terms
+
+let pp_take ppf tk =
+  Fmt.pf ppf "%s %s(%a)"
+    (if tk.tk_read then "read" else "take")
+    tk.tk_comp pp_sterm tk.tk_pat
+
+let pp_put ppf pt = Fmt.pf ppf "put %s(%a)" pt.pt_comp pp_sterm pt.pt_term
+
+let pp_rule ppf r =
+  Fmt.pf ppf "  action %s: %a" r.ru_name
+    Fmt.(list ~sep:(any ", ") pp_take)
+    r.ru_takes;
+  (match r.ru_cond with
+  | C_true -> ()
+  | cond -> Fmt.pf ppf " when %a" pp_cond cond);
+  Fmt.pf ppf " -> %a" Fmt.(list ~sep:(any ", ") pp_put) r.ru_puts
+
+let pp_comp_item ppf = function
+  | I_state (name, []) -> Fmt.pf ppf "  state %s" name
+  | I_state (name, init) -> Fmt.pf ppf "  state %s = %a" name pp_termset init
+  | I_shared name -> Fmt.pf ppf "  shared %s" name
+  | I_rule r -> pp_rule ppf r
+
+let pp_component ppf cd =
+  Fmt.pf ppf "component %s {@.%a@.}@." cd.cd_name
+    Fmt.(list ~sep:(any "@.") pp_comp_item)
+    cd.cd_items
+
+let pp_instance ppf i =
+  Fmt.pf ppf "instance %s = %s(%d)" i.in_name i.in_comp i.in_id;
+  (match i.in_overrides with
+  | [] -> ()
+  | overrides ->
+    let pp_override ppf (field, terms) =
+      Fmt.pf ppf "%s = %a" field pp_termset terms
+    in
+    Fmt.pf ppf " { %a }" Fmt.(list ~sep:(any ", ") pp_override) overrides);
+  Fmt.pf ppf "@."
+
+let pp_cluster ppf c =
+  Fmt.pf ppf "cluster %s = { %s }@." c.cl_name (String.concat ", " c.cl_members)
+
+let pp_policy_opt ppf = function
+  | None -> ()
+  | Some p -> Fmt.pf ppf " [policy \"%s\"]" p
+
+let pp_model ppf md =
+  Fmt.pf ppf "model %s%s {@." md.md_name
+    (match md.md_param with Some p -> "(" ^ p ^ ")" | None -> "");
+  List.iter
+    (fun ma ->
+      match ma.ma_args with
+      | [] -> Fmt.pf ppf "  action %s@." ma.ma_label
+      | args ->
+        Fmt.pf ppf "  action %s(%a)@." ma.ma_label
+          Fmt.(list ~sep:(any ", ") pp_sterm)
+          args)
+    md.md_actions;
+  List.iter
+    (fun mf ->
+      Fmt.pf ppf "  flow %s -> %s%a@." mf.mf_src mf.mf_dst pp_policy_opt
+        mf.mf_policy)
+    md.md_flows;
+  Fmt.pf ppf "}@."
+
+let pp_sos ppf sd =
+  Fmt.pf ppf "sos %s {@." sd.sd_name;
+  List.iter
+    (fun u ->
+      match u.us_index with
+      | Some i -> Fmt.pf ppf "  use %s(%d) as %s@." u.us_model i u.us_alias
+      | None -> Fmt.pf ppf "  use %s as %s@." u.us_model u.us_alias)
+    sd.sd_uses;
+  List.iter
+    (fun lk ->
+      let sa, sl = lk.lk_src and da, dl = lk.lk_dst in
+      Fmt.pf ppf "  link %s.%s -> %s.%s%a@." sa sl da dl pp_policy_opt
+        lk.lk_policy)
+    sd.sd_links;
+  Fmt.pf ppf "}@."
+
+let pp_check ppf ck =
+  Fmt.pf ppf "check %s %s" ck.ck_kind (String.concat " " ck.ck_args);
+  (match ck.ck_scope with
+  | None -> ()
+  | Some (s, a) -> Fmt.pf ppf " %s %s" s a);
+  Fmt.pf ppf "@."
+
+let pp_decl ppf = function
+  | D_component cd -> pp_component ppf cd
+  | D_instance i -> pp_instance ppf i
+  | D_cluster c -> pp_cluster ppf c
+  | D_model md -> pp_model ppf md
+  | D_sos sd -> pp_sos ppf sd
+  | D_check ck -> pp_check ppf ck
+
+let pp ppf spec = List.iter (fun d -> Fmt.pf ppf "%a@." pp_decl d) spec
+
+let to_string spec = Fmt.str "%a" pp spec
+
+(* Structural AST equality up to source locations, for round-trip tests. *)
+let rec equal_sterm a b =
+  match a, b with
+  | S_int x, S_int y -> x = y
+  | S_self, S_self -> true
+  | S_app (f, xs), S_app (g, ys) ->
+    String.equal f g && List.equal equal_sterm xs ys
+  | (S_int _ | S_self | S_app _), _ -> false
+
+let rec equal_cond a b =
+  match a, b with
+  | C_true, C_true -> true
+  | C_eq (x1, y1), C_eq (x2, y2) | C_neq (x1, y1), C_neq (x2, y2) ->
+    equal_sterm x1 x2 && equal_sterm y1 y2
+  | C_call (f, xs), C_call (g, ys) ->
+    String.equal f g && List.equal equal_sterm xs ys
+  | C_and (x1, y1), C_and (x2, y2) | C_or (x1, y1), C_or (x2, y2) ->
+    equal_cond x1 x2 && equal_cond y1 y2
+  | C_not x, C_not y -> equal_cond x y
+  | (C_true | C_eq _ | C_neq _ | C_call _ | C_and _ | C_or _ | C_not _), _ ->
+    false
+
+let equal_rule a b =
+  String.equal a.ru_name b.ru_name
+  && List.equal
+       (fun t1 t2 ->
+         t1.tk_read = t2.tk_read
+         && String.equal t1.tk_comp t2.tk_comp
+         && equal_sterm t1.tk_pat t2.tk_pat)
+       a.ru_takes b.ru_takes
+  && equal_cond a.ru_cond b.ru_cond
+  && List.equal
+       (fun p1 p2 ->
+         String.equal p1.pt_comp p2.pt_comp && equal_sterm p1.pt_term p2.pt_term)
+       a.ru_puts b.ru_puts
+
+let equal_comp_item a b =
+  match a, b with
+  | I_state (n1, i1), I_state (n2, i2) ->
+    String.equal n1 n2 && List.equal equal_sterm i1 i2
+  | I_shared n1, I_shared n2 -> String.equal n1 n2
+  | I_rule r1, I_rule r2 -> equal_rule r1 r2
+  | (I_state _ | I_shared _ | I_rule _), _ -> false
+
+let equal_decl a b =
+  match a, b with
+  | D_component c1, D_component c2 ->
+    String.equal c1.cd_name c2.cd_name
+    && List.equal equal_comp_item c1.cd_items c2.cd_items
+  | D_instance i1, D_instance i2 ->
+    String.equal i1.in_name i2.in_name
+    && String.equal i1.in_comp i2.in_comp
+    && i1.in_id = i2.in_id
+    && List.equal
+         (fun (f1, t1) (f2, t2) ->
+           String.equal f1 f2 && List.equal equal_sterm t1 t2)
+         i1.in_overrides i2.in_overrides
+  | D_cluster c1, D_cluster c2 ->
+    String.equal c1.cl_name c2.cl_name
+    && List.equal String.equal c1.cl_members c2.cl_members
+  | D_model m1, D_model m2 ->
+    String.equal m1.md_name m2.md_name
+    && Option.equal String.equal m1.md_param m2.md_param
+    && List.equal
+         (fun a1 a2 ->
+           String.equal a1.ma_label a2.ma_label
+           && List.equal equal_sterm a1.ma_args a2.ma_args)
+         m1.md_actions m2.md_actions
+    && List.equal
+         (fun f1 f2 ->
+           String.equal f1.mf_src f2.mf_src
+           && String.equal f1.mf_dst f2.mf_dst
+           && Option.equal String.equal f1.mf_policy f2.mf_policy)
+         m1.md_flows m2.md_flows
+  | D_sos s1, D_sos s2 ->
+    String.equal s1.sd_name s2.sd_name
+    && List.equal
+         (fun u1 u2 ->
+           String.equal u1.us_model u2.us_model
+           && Option.equal Int.equal u1.us_index u2.us_index
+           && String.equal u1.us_alias u2.us_alias)
+         s1.sd_uses s2.sd_uses
+    && List.equal
+         (fun l1 l2 ->
+           l1.lk_src = l2.lk_src && l1.lk_dst = l2.lk_dst
+           && Option.equal String.equal l1.lk_policy l2.lk_policy)
+         s1.sd_links s2.sd_links
+  | D_check c1, D_check c2 ->
+    String.equal c1.ck_kind c2.ck_kind
+    && List.equal String.equal c1.ck_args c2.ck_args
+    && Option.equal
+         (fun (s1, a1) (s2, a2) -> String.equal s1 s2 && String.equal a1 a2)
+         c1.ck_scope c2.ck_scope
+  | ( ( D_component _ | D_instance _ | D_cluster _ | D_model _ | D_sos _
+      | D_check _ ),
+      _ ) ->
+    false
+
+let equal a b = List.equal equal_decl a b

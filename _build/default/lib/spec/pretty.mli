@@ -1,0 +1,15 @@
+(** Pretty-printing of specification ASTs back to concrete syntax.
+
+    Round-trips with the parser: [Parser.parse_string (to_string ast)]
+    equals [ast] up to source locations (see {!equal}). *)
+
+val pp_decl : Ast.decl Fmt.t
+val pp : Ast.t Fmt.t
+val to_string : Ast.t -> string
+
+val equal : Ast.t -> Ast.t -> bool
+(** Structural equality up to source locations. *)
+
+val equal_decl : Ast.decl -> Ast.decl -> bool
+val equal_sterm : Ast.sterm -> Ast.sterm -> bool
+val equal_cond : Ast.cond -> Ast.cond -> bool

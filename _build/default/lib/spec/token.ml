@@ -1,0 +1,57 @@
+(* Tokens of the specification language. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | String of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Dot
+  | Eq  (* = *)
+  | Eq_eq  (* == *)
+  | Bang_eq  (* != *)
+  | Arrow  (* -> *)
+  | And_and  (* && *)
+  | Or_or  (* || *)
+  | Bang  (* ! *)
+  | Colon
+  | Eof
+
+let pp ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Int i -> Fmt.pf ppf "integer %d" i
+  | String s -> Fmt.pf ppf "string %S" s
+  | Lbrace -> Fmt.string ppf "'{'"
+  | Rbrace -> Fmt.string ppf "'}'"
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Lbracket -> Fmt.string ppf "'['"
+  | Rbracket -> Fmt.string ppf "']'"
+  | Comma -> Fmt.string ppf "','"
+  | Dot -> Fmt.string ppf "'.'"
+  | Eq -> Fmt.string ppf "'='"
+  | Eq_eq -> Fmt.string ppf "'=='"
+  | Bang_eq -> Fmt.string ppf "'!='"
+  | Arrow -> Fmt.string ppf "'->'"
+  | And_and -> Fmt.string ppf "'&&'"
+  | Or_or -> Fmt.string ppf "'||'"
+  | Bang -> Fmt.string ppf "'!'"
+  | Colon -> Fmt.string ppf "':'"
+  | Eof -> Fmt.string ppf "end of input"
+
+let equal a b =
+  match a, b with
+  | Ident x, Ident y -> String.equal x y
+  | Int x, Int y -> x = y
+  | String x, String y -> String.equal x y
+  | Lbrace, Lbrace | Rbrace, Rbrace | Lparen, Lparen | Rparen, Rparen
+  | Lbracket, Lbracket | Rbracket, Rbracket | Comma, Comma | Dot, Dot
+  | Eq, Eq | Eq_eq, Eq_eq | Bang_eq, Bang_eq | Arrow, Arrow
+  | And_and, And_and | Or_or, Or_or | Bang, Bang | Colon, Colon | Eof, Eof ->
+    true
+  | _, _ -> false

@@ -1,0 +1,26 @@
+(** Tokens of the specification language. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | String of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Dot
+  | Eq
+  | Eq_eq
+  | Bang_eq
+  | Arrow
+  | And_and
+  | Or_or
+  | Bang
+  | Colon
+  | Eof
+
+val pp : t Fmt.t
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/term/action.ml: Agent Fmt Lexer List Map Option Printf Set String Term

@@ -1,0 +1,1 @@
+lib/term/action.mli: Agent Fmt Map Set Term

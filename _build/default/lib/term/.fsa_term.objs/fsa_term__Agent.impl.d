@@ -1,0 +1,1 @@
+lib/term/agent.ml: Fmt Map Set Stdlib String

@@ -1,0 +1,1 @@
+lib/term/agent.mli: Fmt Map Set

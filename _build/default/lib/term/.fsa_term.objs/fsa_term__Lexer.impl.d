@@ -1,0 +1,1 @@
+lib/term/lexer.ml: Printf String

@@ -1,0 +1,1 @@
+lib/term/term.ml: Fmt Hashtbl Lexer List Map Printf Set Stdlib String

@@ -1,0 +1,43 @@
+(** Atomic actions of functional models.
+
+    Actions follow the paper's Table 1: [sense(ESP_1, sW)],
+    [pos(GPS_w, pos)], [send(cam(pos))], [show(HMI_w, warn)].  An action has
+    a label, an optional acting component (agent) and data arguments. *)
+
+type t = { label : string; actor : Agent.t option; args : Term.t list }
+
+val make : ?actor:Agent.t -> ?args:Term.t list -> string -> t
+
+val label : t -> string
+val actor : t -> Agent.t option
+val args : t -> Term.t list
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+val tool_name : ?system:string -> t -> string
+(** Short transition name in the style of the SH verification tool, e.g.
+    [V1_send]. *)
+
+val reindex : (Agent.index -> Agent.index) -> t -> t
+val map_args : (Term.t -> Term.t) -> t -> t
+val is_parameterised : t -> bool
+
+(** Action shapes forget the actor's instance index; two actions with equal
+    shapes belong to the same parameterised family. *)
+type shape = { s_label : string; s_role : string option; s_args : Term.t list }
+
+val shape : t -> shape
+val compare_shape : shape -> shape -> int
+val pp_shape : shape Fmt.t
+
+val of_string : string -> (t, string) result
+(** Parse the paper's notation.  The first argument is recognised as the
+    acting component when it is a capitalised identifier ([ESP_1], [RSU]). *)
+
+val of_string_exn : string -> t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,92 @@
+(* Agents are the acting entities of the model: components such as [ESP_1]
+   or [GPS_w], whole systems such as [RSU], and stakeholders such as the
+   driver [D_w].  An agent is a role optionally indexed by the system
+   instance it belongs to; indices may be concrete numbers or symbolic
+   (parameterised) names such as [w]. *)
+
+type index =
+  | Concrete of int
+  | Symbolic of string
+  | Unindexed
+
+type t = { role : string; index : index }
+
+let make ?index role =
+  let index = match index with None -> Unindexed | Some i -> i in
+  { role; index }
+
+let concrete role i = { role; index = Concrete i }
+let symbolic role x = { role; index = Symbolic x }
+let unindexed role = { role; index = Unindexed }
+
+let role t = t.role
+let index t = t.index
+
+let compare_index a b =
+  match a, b with
+  | Concrete x, Concrete y -> Stdlib.compare x y
+  | Concrete _, _ -> -1
+  | _, Concrete _ -> 1
+  | Symbolic x, Symbolic y -> String.compare x y
+  | Symbolic _, _ -> -1
+  | _, Symbolic _ -> 1
+  | Unindexed, Unindexed -> 0
+
+let compare a b =
+  let c = String.compare a.role b.role in
+  if c <> 0 then c else compare_index a.index b.index
+
+let equal a b = compare a b = 0
+
+let pp_index ppf = function
+  | Concrete i -> Fmt.pf ppf "_%d" i
+  | Symbolic x -> Fmt.pf ppf "_%s" x
+  | Unindexed -> ()
+
+let pp ppf t = Fmt.pf ppf "%s%a" t.role pp_index t.index
+
+let to_string t = Fmt.str "%a" pp t
+
+let with_index index t = { t with index }
+
+let reindex f t =
+  match t.index with
+  | Unindexed -> t
+  | Concrete _ | Symbolic _ -> { t with index = f t.index }
+
+let is_parameterised t =
+  match t.index with Symbolic _ -> true | Concrete _ | Unindexed -> false
+
+(* Parse agent notation such as "ESP_1", "GPS_w" or "RSU": the substring
+   after the last underscore is the index when it is either a number or a
+   short (<= 3 chars) lowercase name; otherwise the whole string is an
+   unindexed role.  This heuristic matches the notation used throughout the
+   paper while leaving multi-word roles like "road_side" intact. *)
+let of_string s =
+  match String.rindex_opt s '_' with
+  | None -> unindexed s
+  | Some i ->
+    let role = String.sub s 0 i in
+    let suffix = String.sub s (i + 1) (String.length s - i - 1) in
+    let is_num = suffix <> "" && String.for_all (fun c -> c >= '0' && c <= '9') suffix in
+    let is_param =
+      suffix <> ""
+      && String.length suffix <= 3
+      && String.for_all (fun c -> c >= 'a' && c <= 'z') suffix
+    in
+    if role = "" then unindexed s
+    else if is_num then concrete role (int_of_string suffix)
+    else if is_param then symbolic role suffix
+    else unindexed s
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,42 @@
+(** Agents: acting entities (components, systems) and stakeholders.
+
+    An agent is a role such as [ESP], [GPS], [HMI], [D] (driver) or [RSU],
+    optionally indexed by the instance it belongs to.  [ESP_1] is the ESP
+    sensor of vehicle 1; [GPS_w] is the GPS sensor of the parameterised
+    vehicle [w]; [RSU] is unindexed. *)
+
+type index =
+  | Concrete of int  (** a specific instance, e.g. [_1] *)
+  | Symbolic of string  (** a parameterised instance, e.g. [_w] *)
+  | Unindexed
+
+type t = { role : string; index : index }
+
+val make : ?index:index -> string -> t
+val concrete : string -> int -> t
+val symbolic : string -> string -> t
+val unindexed : string -> t
+
+val role : t -> string
+val index : t -> index
+
+val compare : t -> t -> int
+val compare_index : index -> index -> int
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+val with_index : index -> t -> t
+
+val reindex : (index -> index) -> t -> t
+(** [reindex f t] rewrites the index of an indexed agent; unindexed agents
+    are returned unchanged. *)
+
+val is_parameterised : t -> bool
+
+val of_string : string -> t
+(** Parse the paper's notation: ["ESP_1"], ["GPS_w"], ["RSU"]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

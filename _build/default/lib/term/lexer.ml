@@ -1,0 +1,82 @@
+(* A tiny hand-rolled lexer shared by the parsers for terms and actions.
+   The token language is deliberately small: identifiers, integers and the
+   punctuation used by the action-term syntax of the paper, e.g.
+   [show(HMI_w, warn)]. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lparen
+  | Rparen
+  | Comma
+  | Eof
+
+type t = { input : string; mutable pos : int; mutable peeked : token option }
+
+exception Error of string * int
+
+let error t msg = raise (Error (msg, t.pos))
+
+let make input = { input; pos = 0; peeked = None }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_blank t =
+  if t.pos < String.length t.input then
+    match t.input.[t.pos] with
+    | ' ' | '\t' | '\n' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_blank t
+    | _ -> ()
+
+let lex_while t pred =
+  let start = t.pos in
+  let n = String.length t.input in
+  let rec go i = if i < n && pred t.input.[i] then go (i + 1) else i in
+  let stop = go start in
+  t.pos <- stop;
+  String.sub t.input start (stop - start)
+
+let read_token t =
+  skip_blank t;
+  if t.pos >= String.length t.input then Eof
+  else
+    match t.input.[t.pos] with
+    | '(' ->
+      t.pos <- t.pos + 1;
+      Lparen
+    | ')' ->
+      t.pos <- t.pos + 1;
+      Rparen
+    | ',' ->
+      t.pos <- t.pos + 1;
+      Comma
+    | c when is_digit c -> Int (int_of_string (lex_while t is_digit))
+    | c when is_ident_start c -> Ident (lex_while t is_ident_char)
+    | c -> error t (Printf.sprintf "unexpected character %C" c)
+
+let next t =
+  match t.peeked with
+  | Some tok ->
+    t.peeked <- None;
+    tok
+  | None -> read_token t
+
+let peek t =
+  match t.peeked with
+  | Some tok -> tok
+  | None ->
+    let tok = read_token t in
+    t.peeked <- Some tok;
+    tok
+
+let expect t tok ~what =
+  let got = next t in
+  if got <> tok then error t (Printf.sprintf "expected %s" what)
+
+let at_eof t = peek t = Eof

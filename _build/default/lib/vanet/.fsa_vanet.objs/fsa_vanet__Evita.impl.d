@@ -1,0 +1,1 @@
+lib/vanet/evita.ml: Fmt Fsa_model Fsa_requirements Fsa_term List

@@ -1,0 +1,1 @@
+lib/vanet/evita.mli: Fmt Fsa_model Fsa_term

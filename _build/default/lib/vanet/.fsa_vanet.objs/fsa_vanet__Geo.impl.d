@@ -1,0 +1,1 @@
+lib/vanet/geo.ml: Fsa_term List

@@ -1,0 +1,1 @@
+lib/vanet/geo.mli: Fsa_term

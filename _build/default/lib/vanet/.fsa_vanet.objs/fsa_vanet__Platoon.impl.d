@@ -1,0 +1,1 @@
+lib/vanet/platoon.ml: Fsa_apa Fsa_model Fsa_term List Printf

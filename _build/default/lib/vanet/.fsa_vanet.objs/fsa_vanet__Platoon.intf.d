@@ -1,0 +1,1 @@
+lib/vanet/platoon.mli: Fsa_apa Fsa_model Fsa_term

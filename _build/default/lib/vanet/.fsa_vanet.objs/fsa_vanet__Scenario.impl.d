@@ -1,0 +1,1 @@
+lib/vanet/scenario.ml: Fsa_model Fsa_term Fun List Printf

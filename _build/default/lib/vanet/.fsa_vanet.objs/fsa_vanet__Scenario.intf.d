@@ -1,0 +1,1 @@
+lib/vanet/scenario.mli: Fsa_model Fsa_term

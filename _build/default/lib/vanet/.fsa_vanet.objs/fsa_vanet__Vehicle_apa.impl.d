@@ -1,0 +1,1 @@
+lib/vanet/vehicle_apa.ml: Fsa_apa Fsa_term Fun Geo List Printf Scenario String

@@ -1,0 +1,1 @@
+lib/vanet/vehicle_apa.mli: Fsa_apa Fsa_term

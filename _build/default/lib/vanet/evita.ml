@@ -1,0 +1,177 @@
+(* A synthetic EVITA-scale automotive on-board architecture.
+
+   Sect. 4.4 of the paper reports that the method, applied in the EVITA
+   project, elicited 29 authenticity requirements from a system model
+   comprising 38 component boundary actions with 16 system boundary
+   actions (9 maximal and 7 minimal elements).  The concrete EVITA model
+   (deliverable D2.3) is not published in the paper, so we reconstruct a
+   plausible on-board architecture with exactly that boundary-action
+   profile and verify that functional security analysis elicits exactly
+   29 requirements.
+
+   The architecture: environment inputs are the ESP wheel sensors, GPS,
+   radar, camera, the driver's brake pedal, incoming V2X messages and the
+   diagnostic port (7 minimal elements).  Outputs are the brake and engine
+   actuators, airbag deployment, the HMI warning, outgoing V2X messages,
+   the event log, the telematics report, the diagnostic response and the
+   dashboard status (9 maximal elements).  Sensor data is fused in a
+   fusion ECU whose hazard assessment feeds the actuator domains over two
+   bus segments; a central gateway distributes the GPS position. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+let act role label = Action.make ~actor:(Agent.unindexed role) label
+
+(* A linear component: actions chained head to tail. *)
+let chain_component name role labels =
+  let actions = List.map (act role) labels in
+  let rec flows = function
+    | a :: (b :: _ as rest) -> Flow.internal a b :: flows rest
+    | [ _ ] | [] -> []
+  in
+  Component.make name ~actions ~flows:(flows actions)
+
+(* Sensor domains *)
+let esp_ecu = chain_component "EspEcu" "ESP" [ "esp_sense"; "esp_filter"; "esp_report" ]
+let gps_unit = chain_component "GpsUnit" "GPS" [ "gps_acquire"; "gps_report" ]
+let radar_ecu = chain_component "RadarEcu" "RADAR" [ "radar_scan"; "radar_track"; "radar_report" ]
+let camera_ecu = chain_component "CameraEcu" "CAM" [ "cam_capture"; "cam_detect"; "cam_report" ]
+let pedal_unit = chain_component "PedalUnit" "PEDAL" [ "pedal_press"; "pedal_report" ]
+
+(* Communication unit: independent receive and transmit paths. *)
+let comm_unit =
+  let recv = act "CU" "v2x_receive" and parse = act "CU" "v2x_parse" in
+  let pack = act "CU" "v2x_pack" and send = act "CU" "v2x_send" in
+  Component.make "CommUnit"
+    ~actions:[ recv; parse; pack; send ]
+    ~flows:[ Flow.internal recv parse; Flow.internal pack send ]
+
+(* Processing and distribution *)
+let fusion_ecu = chain_component "FusionEcu" "FUSION" [ "fuse"; "hazard_assess"; "hazard_publish" ]
+let gateway = chain_component "Gateway" "GW" [ "gw_in"; "gw_route"; "gw_out" ]
+let chassis_bus = chain_component "ChassisBus" "CBUS" [ "cbus_in"; "cbus_out" ]
+let powertrain_bus = chain_component "PowertrainBus" "PBUS" [ "pbus_in"; "pbus_out" ]
+
+(* Actuator and reporting domains *)
+let chassis_ctrl = chain_component "ChassisCtrl" "BRAKE" [ "brake_compute"; "brake_actuate" ]
+let engine_ecu = chain_component "EngineEcu" "ENGINE" [ "engine_compute"; "engine_limit" ]
+let airbag_ecu = chain_component "AirbagEcu" "AIRBAG" [ "airbag_arm"; "airbag_deploy" ]
+let hmi_unit = chain_component "HmiUnit" "HMI" [ "hmi_render"; "hmi_show" ]
+let logger = chain_component "Logger" "LOG" [ "log_merge"; "log_write" ]
+let telematics = chain_component "Telematics" "TELEM" [ "telem_pack"; "telem_report" ]
+let diagnostics = chain_component "Diagnostics" "DIAG" [ "diag_request"; "diag_response" ]
+let dashboard = chain_component "Dashboard" "DASH" [ "dash_compute"; "dash_status" ]
+
+let components =
+  [ esp_ecu; gps_unit; radar_ecu; camera_ecu; pedal_unit; comm_unit;
+    fusion_ecu; gateway; chassis_bus; powertrain_bus; chassis_ctrl;
+    engine_ecu; airbag_ecu; hmi_unit; logger; telematics; diagnostics;
+    dashboard ]
+
+let links =
+  let esp_report = act "ESP" "esp_report"
+  and radar_report = act "RADAR" "radar_report"
+  and cam_report = act "CAM" "cam_report"
+  and gps_report = act "GPS" "gps_report"
+  and pedal_report = act "PEDAL" "pedal_report"
+  and v2x_parse = act "CU" "v2x_parse"
+  and v2x_pack = act "CU" "v2x_pack"
+  and fuse = act "FUSION" "fuse"
+  and hazard_publish = act "FUSION" "hazard_publish"
+  and gw_in = act "GW" "gw_in"
+  and gw_out = act "GW" "gw_out"
+  and cbus_in = act "CBUS" "cbus_in"
+  and cbus_out = act "CBUS" "cbus_out"
+  and pbus_in = act "PBUS" "pbus_in"
+  and pbus_out = act "PBUS" "pbus_out"
+  and brake_compute = act "BRAKE" "brake_compute"
+  and engine_compute = act "ENGINE" "engine_compute"
+  and airbag_arm = act "AIRBAG" "airbag_arm"
+  and hmi_render = act "HMI" "hmi_render"
+  and log_merge = act "LOG" "log_merge"
+  and telem_pack = act "TELEM" "telem_pack"
+  and dash_compute = act "DASH" "dash_compute" in
+  [ (* sensor fusion *)
+    Flow.external_ esp_report fuse;
+    Flow.external_ radar_report fuse;
+    Flow.external_ cam_report fuse;
+    (* hazard distribution *)
+    Flow.external_ hazard_publish cbus_in;
+    Flow.external_ hazard_publish pbus_in;
+    Flow.external_ cbus_out brake_compute;
+    Flow.external_ cbus_out airbag_arm;
+    Flow.external_ pbus_out engine_compute;
+    Flow.external_ hazard_publish v2x_pack;
+    Flow.external_ hazard_publish hmi_render;
+    Flow.external_ hazard_publish log_merge;
+    (* GPS distribution over the gateway *)
+    Flow.external_ gps_report gw_in;
+    Flow.external_ gw_out v2x_pack;
+    Flow.external_ gw_out hmi_render;
+    Flow.external_ gw_out log_merge;
+    Flow.external_ gw_out telem_pack;
+    Flow.external_ gw_out dash_compute;
+    (* driver input *)
+    Flow.external_ pedal_report brake_compute;
+    Flow.external_ pedal_report log_merge;
+    (* incoming V2X *)
+    Flow.external_ v2x_parse hmi_render;
+    Flow.external_ v2x_parse log_merge;
+    Flow.external_ v2x_parse telem_pack ]
+
+let model = Sos.make "evita_onboard" ~components ~links
+
+(* Stakeholders per output domain: the driver is assured of what the HMI
+   and dashboard display and of the actuator behaviour; the OEM backend is
+   the stakeholder of telematics and logging; the workshop tester of the
+   diagnostic response; the receiving traffic of sent V2X messages. *)
+let stakeholder action =
+  let driver = Agent.unindexed "Driver"
+  and backend = Agent.unindexed "Backend"
+  and tester = Agent.unindexed "Tester"
+  and traffic = Agent.unindexed "Traffic" in
+  match Action.label action with
+  | "hmi_show" | "dash_status" | "brake_actuate" | "engine_limit"
+  | "airbag_deploy" ->
+    driver
+  | "telem_report" | "log_write" -> backend
+  | "diag_response" -> tester
+  | "v2x_send" -> traffic
+  | _ -> Agent.unindexed "SYS"
+
+(* The published profile (Sect. 4.4). *)
+type profile = {
+  requirements : int;
+  component_boundary_actions : int;
+  system_boundary_actions : int;
+  maximal : int;
+  minimal : int;
+}
+
+let paper_profile =
+  { requirements = 29;
+    component_boundary_actions = 38;
+    system_boundary_actions = 16;
+    maximal = 9;
+    minimal = 7 }
+
+let measured_profile () =
+  let s = Sos.stats model in
+  let reqs = Fsa_requirements.Derive.of_sos ~stakeholder model in
+  { requirements = List.length reqs;
+    component_boundary_actions = s.Sos.nb_component_boundary;
+    system_boundary_actions = s.Sos.nb_system_boundary;
+    maximal = s.Sos.nb_maximal;
+    minimal = s.Sos.nb_minimal }
+
+let pp_profile ppf p =
+  Fmt.pf ppf
+    "%d authenticity requirements, %d component boundary actions, %d system \
+     boundary actions (%d maximal, %d minimal)"
+    p.requirements p.component_boundary_actions p.system_boundary_actions
+    p.maximal p.minimal

@@ -1,0 +1,29 @@
+(** A synthetic EVITA-scale automotive on-board architecture.
+
+    Reconstructs a plausible on-board network with the boundary-action
+    profile the paper reports for the EVITA project model (Sect. 4.4):
+    38 component boundary actions, 16 system boundary actions (9 maximal,
+    7 minimal), eliciting 29 authenticity requirements. *)
+
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Sos = Fsa_model.Sos
+
+val components : Fsa_model.Component.t list
+val links : Fsa_model.Flow.t list
+val model : Sos.t
+
+val stakeholder : Action.t -> Agent.t
+(** Driver / backend / tester / receiving traffic, per output domain. *)
+
+type profile = {
+  requirements : int;
+  component_boundary_actions : int;
+  system_boundary_actions : int;
+  maximal : int;
+  minimal : int;
+}
+
+val paper_profile : profile
+val measured_profile : unit -> profile
+val pp_profile : profile Fmt.t

@@ -1,0 +1,38 @@
+(* Position model for the vehicular scenario.  The paper's APA uses
+   abstract positions pos1..pos4 and a guard [distance(msg, gps) < range];
+   we give the abstract positions concrete coordinates so that the guard is
+   computable: pos1 and pos2 are within warning range of each other, as are
+   pos3 and pos4, but the two areas are far apart (the Fig. 8 scenario of
+   two vehicle pairs out of range from one another). *)
+
+module Term = Fsa_term.Term
+
+type coord = { x : int; y : int }
+
+let table =
+  [ ("pos1", { x = 0; y = 0 });
+    ("pos2", { x = 0; y = 1 });
+    ("pos3", { x = 100; y = 100 });
+    ("pos4", { x = 100; y = 101 }) ]
+
+let positions = List.map (fun (p, _) -> Term.sym p) table
+
+let is_position = function
+  | Term.Sym s -> List.mem_assoc s table
+  | Term.Int _ | Term.Var _ | Term.App _ -> false
+
+let coord_of = function
+  | Term.Sym s -> List.assoc_opt s table
+  | Term.Int _ | Term.Var _ | Term.App _ -> None
+
+let default_range = 5
+
+(* Manhattan distance between two abstract positions; [None] when either
+   term is not a known position. *)
+let distance p q =
+  match coord_of p, coord_of q with
+  | Some a, Some b -> Some (abs (a.x - b.x) + abs (a.y - b.y))
+  | (None | Some _), _ -> None
+
+let in_range ?(range = default_range) p q =
+  match distance p q with Some d -> d < range | None -> false

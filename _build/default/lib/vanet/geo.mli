@@ -1,0 +1,15 @@
+(** Position model for the vehicular scenario: concrete coordinates behind
+    the paper's abstract positions pos1..pos4, making the
+    [distance(msg, gps) < range] guard computable. *)
+
+module Term = Fsa_term.Term
+
+type coord = { x : int; y : int }
+
+val table : (string * coord) list
+val positions : Term.t list
+val is_position : Term.t -> bool
+val coord_of : Term.t -> coord option
+val default_range : int
+val distance : Term.t -> Term.t -> int option
+val in_range : ?range:int -> Term.t -> Term.t -> bool

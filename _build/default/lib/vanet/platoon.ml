@@ -1,0 +1,126 @@
+(* Cooperative adaptive cruise control (platooning): a scenario beyond
+   the paper's icy-road warning, with two purposes.
+
+   1. The manual path generalises over the number of followers: every
+      follower's throttle actuation depends on the leader's acceleration
+      measurement, the broadcast, and the follower's own gap measurement —
+      a requirement family quantified over the platoon.
+
+   2. The operational model is *cyclic*: the leader beacons continuously
+      (non-consuming reads, saturating sets), so the reachability graph
+      has no dead states and the tool path's minima/maxima reading does
+      not apply.  Functional dependence remains testable directly on the
+      behaviour — the scenario documents exactly where the paper's
+      acyclic assumption matters and what survives without it. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+module Apa = Fsa_apa.Apa
+
+(* ------------------------------------------------------------------ *)
+(* Manual path: one control round as a functional model                *)
+(* ------------------------------------------------------------------ *)
+
+let sense_accel = Action.make ~actor:(Agent.unindexed "ACC") "sense_accel"
+let broadcast = Action.make ~actor:(Agent.unindexed "CUL") "broadcast"
+let receive i = Action.make ~actor:(Agent.concrete "CU" i) "receive"
+let gap i = Action.make ~actor:(Agent.concrete "RAD" i) "gap"
+let ctrl i = Action.make ~actor:(Agent.concrete "ECU" i) "ctrl"
+let actuate i = Action.make ~actor:(Agent.concrete "THR" i) "actuate"
+
+let leader =
+  Component.make "Leader"
+    ~actions:[ sense_accel; broadcast ]
+    ~flows:[ Flow.internal sense_accel broadcast ]
+
+let follower i =
+  Component.make
+    (Printf.sprintf "Follower_%d" i)
+    ~actions:[ receive i; gap i; ctrl i; actuate i ]
+    ~flows:
+      [ Flow.internal (receive i) (ctrl i);
+        Flow.internal (gap i) (ctrl i);
+        Flow.internal (ctrl i) (actuate i) ]
+
+let round ?(followers = 2) () =
+  if followers < 1 then invalid_arg "Platoon.round";
+  let ids = List.init followers (fun k -> k + 1) in
+  Sos.make "platoon_round"
+    ~components:(leader :: List.map follower ids)
+    ~links:(List.map (fun i -> Flow.external_ broadcast (receive i)) ids)
+
+(* The passenger of follower i is the stakeholder of its actuation. *)
+let stakeholder action =
+  match Action.actor action with
+  | Some a when Agent.role a = "THR" ->
+    Agent.make ~index:(Agent.index a) "Passenger"
+  | Some a -> a
+  | None -> Agent.unindexed "ENV"
+
+let follower_domain agent =
+  match Agent.role agent, Agent.index agent with
+  | ("RAD" | "CU" | "ECU" | "THR"), Agent.Concrete _ -> Some "Followers"
+  | _, _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Tool path: the continuously beaconing APA (cyclic behaviour)        *)
+(* ------------------------------------------------------------------ *)
+
+let beacon a = Term.app "beacon" [ a ]
+
+(* All reads are non-consuming: every rule stays enabled once its inputs
+   saturate, so the behaviour loops forever (self-loops on saturated
+   states). *)
+let apa ?(followers = 2) () =
+  if followers < 1 then invalid_arg "Platoon.apa";
+  let ids = List.init followers (fun k -> k + 1) in
+  let leader =
+    Apa.make
+      ~components:
+        [ ("accel", Term.Set.of_list [ Term.sym "a0" ]); ("net", Term.Set.empty) ]
+      ~rules:
+        [ Apa.rule "L_beacon"
+            ~takes:[ Apa.read "accel" (Term.var "a") ]
+            ~puts:[ Apa.put "net" (beacon (Term.var "a")) ]
+            ~label:(fun _ -> Action.make "L_beacon") ]
+      "Leader"
+  in
+  let follower i =
+    let bus = Printf.sprintf "fbus%d" i in
+    let radar = Printf.sprintf "radar%d" i in
+    let act = Printf.sprintf "act%d" i in
+    Apa.make
+      ~components:
+        [ (radar, Term.Set.of_list [ Term.sym (Printf.sprintf "g%d" i) ]);
+          (bus, Term.Set.empty); (act, Term.Set.empty);
+          ("net", Term.Set.empty) ]
+      ~rules:
+        [ Apa.rule
+            (Printf.sprintf "F%d_receive" i)
+            ~takes:[ Apa.read "net" (beacon (Term.var "a")) ]
+            ~puts:[ Apa.put bus (beacon (Term.var "a")) ]
+            ~label:(fun _ -> Action.make (Printf.sprintf "F%d_receive" i));
+          Apa.rule
+            (Printf.sprintf "F%d_gap" i)
+            ~takes:[ Apa.read radar (Term.var "g") ]
+            ~puts:[ Apa.put bus (Term.app "gap" [ Term.var "g" ]) ]
+            ~label:(fun _ -> Action.make (Printf.sprintf "F%d_gap" i));
+          Apa.rule
+            (Printf.sprintf "F%d_ctrl" i)
+            ~takes:
+              [ Apa.read bus (beacon (Term.var "a"));
+                Apa.read bus (Term.app "gap" [ Term.var "g" ]) ]
+            ~puts:[ Apa.put act (Term.sym "cmd") ]
+            ~label:(fun _ -> Action.make (Printf.sprintf "F%d_ctrl" i)) ]
+      (Printf.sprintf "Follower%d" i)
+  in
+  Apa.compose ~name:"platoon" (leader :: List.map follower ids)
+
+let l_beacon = Action.make "L_beacon"
+let f_receive i = Action.make (Printf.sprintf "F%d_receive" i)
+let f_gap i = Action.make (Printf.sprintf "F%d_gap" i)
+let f_ctrl i = Action.make (Printf.sprintf "F%d_ctrl" i)

@@ -1,0 +1,35 @@
+(** Cooperative adaptive cruise control (platooning): a requirement
+    family quantified over the followers, and a deliberately {e cyclic}
+    operational model (continuous beaconing) marking the boundary of the
+    paper's acyclic minima/maxima reading — functional dependence remains
+    directly testable on the behaviour. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Sos = Fsa_model.Sos
+module Apa = Fsa_apa.Apa
+
+(** {1 Manual path (one control round)} *)
+
+val sense_accel : Action.t
+val broadcast : Action.t
+val receive : int -> Action.t
+val gap : int -> Action.t
+val ctrl : int -> Action.t
+val actuate : int -> Action.t
+
+val leader : Fsa_model.Component.t
+val follower : int -> Fsa_model.Component.t
+val round : ?followers:int -> unit -> Sos.t
+
+val stakeholder : Action.t -> Agent.t
+val follower_domain : Agent.t -> string option
+
+(** {1 Tool path (cyclic APA)} *)
+
+val apa : ?followers:int -> unit -> Apa.t
+val l_beacon : Action.t
+val f_receive : int -> Action.t
+val f_gap : int -> Action.t
+val f_ctrl : int -> Action.t

@@ -1,0 +1,246 @@
+(* The vehicular communication scenario of Sect. 3 — functional models for
+   the manual analysis path of Sect. 4.
+
+   Actions follow Table 1 of the paper:
+     send(cam(pos))          RSU broadcasts a cooperative awareness message
+     sense(ESP_i, sW)        ESP sensor of V_i senses slippery wheels
+     pos(GPS_i, pos)         GPS sensor of V_i computes its position
+     send(CU_i, cam(pos))    CU of V_i sends a warning message
+     rec(CU_i, cam(pos))     CU of V_i receives a warning message
+     fwd(CU_i, cam(pos))     CU of V_i forwards a warning message
+     show(HMI_i, warn)       HMI of V_i shows its driver a warning *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+let forwarding_policy = "position-based-forwarding"
+
+(* ------------------------------------------------------------------ *)
+(* Action constructors (Table 1)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cam_pos = Term.app "cam" [ Term.sym "pos" ]
+let sw = Term.sym "sW"
+let warn = Term.sym "warn"
+let position = Term.sym "pos"
+
+let rsu_send = Action.make ~args:[ cam_pos ] "send"
+
+let sense idx = Action.make ~actor:(Agent.make ~index:idx "ESP") ~args:[ sw ] "sense"
+let gps_pos idx = Action.make ~actor:(Agent.make ~index:idx "GPS") ~args:[ position ] "pos"
+let cu_send idx = Action.make ~actor:(Agent.make ~index:idx "CU") ~args:[ cam_pos ] "send"
+let cu_rec idx = Action.make ~actor:(Agent.make ~index:idx "CU") ~args:[ cam_pos ] "rec"
+let cu_fwd idx = Action.make ~actor:(Agent.make ~index:idx "CU") ~args:[ cam_pos ] "fwd"
+let show idx = Action.make ~actor:(Agent.make ~index:idx "HMI") ~args:[ warn ] "show"
+
+let driver idx = Agent.make ~index:idx "D"
+
+(* Table 1, as (action, explanation) rows. *)
+let table1 =
+  let i = Agent.Symbolic "i" in
+  [ (rsu_send,
+     "A roadside unit broadcasts a cooperative awareness message cam \
+      concerning a danger at position pos.");
+    (sense i, "The ESP sensor of vehicle V_i senses slippery wheels (sW).");
+    (gps_pos i, "The GPS sensor of vehicle V_i computes its position.");
+    (cu_send i,
+     "The communication unit CU_i of vehicle V_i sends a cooperative \
+      awareness message cam concerning the assumed danger based on the \
+      slippery wheels measurement for position pos.");
+    (cu_rec i,
+     "The communication unit CU_i of vehicle V_i receives a cooperative \
+      awareness message cam for position pos from another vehicle or a \
+      roadside unit.");
+    (cu_fwd i,
+     "The communication unit CU_i of vehicle V_i forwards a cooperative \
+      awareness message cam for position pos.");
+    (show i,
+     "The human machine interface HMI_i of Vehicle V_i shows its driver a \
+      warning warn with respect to the relative position.") ]
+
+(* ------------------------------------------------------------------ *)
+(* Functional component models (Fig. 1)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 1(a): the roadside unit has the single boundary action send. *)
+let rsu_component =
+  Component.make "RSU" ~actions:[ rsu_send ]
+    ~ports:[ { Component.port_action = rsu_send; direction = `Out } ]
+    ~flows:[]
+
+(* Fig. 1(b): the vehicle component model.  The flow pos -> fwd carries
+   the position-based forwarding policy (introduced for performance
+   reasons, Sect. 4.4); all other flows are safety-functional. *)
+let vehicle_template =
+  let i = Agent.Symbolic "i" in
+  Component.make "Vehicle" ~param:"i"
+    ~actions:[ sense i; gps_pos i; cu_send i; cu_rec i; cu_fwd i; show i ]
+    ~flows:
+      [ Flow.internal (sense i) (cu_send i);
+        Flow.internal (gps_pos i) (cu_send i);
+        Flow.internal (cu_rec i) (show i);
+        Flow.internal (gps_pos i) (show i);
+        Flow.internal (cu_rec i) (cu_fwd i);
+        Flow.internal ~policy:forwarding_policy (gps_pos i) (cu_fwd i) ]
+
+(* Role-restricted vehicle instances: each SoS instance only contains the
+   actions its use case exercises (Figs. 2-4 show exactly these). *)
+let restrict component keep_labels =
+  let keep a = List.mem (Action.label a) keep_labels in
+  { component with
+    Component.actions = List.filter keep (Component.actions component);
+    flows =
+      List.filter
+        (fun f -> keep (Flow.src f) && keep (Flow.dst f))
+        (Component.flows component);
+    ports =
+      List.filter
+        (fun p -> keep p.Component.port_action)
+        (Component.ports component) }
+
+let vehicle_with_index idx =
+  match idx with
+  | Agent.Concrete i -> Component.instantiate ~short_name:"V" vehicle_template i
+  | Agent.Symbolic x ->
+    let c = Component.with_symbolic_index vehicle_template x in
+    { c with Component.name = "V_" ^ x }
+  | Agent.Unindexed -> invalid_arg "vehicle_with_index: Unindexed"
+
+(* Use case 2: sense a danger and warn successive vehicles. *)
+let warning_vehicle idx = restrict (vehicle_with_index idx) [ "sense"; "pos"; "send" ]
+
+(* Use case 3: receive a warning and show it to the driver. *)
+let receiving_vehicle idx = restrict (vehicle_with_index idx) [ "pos"; "rec"; "show" ]
+
+(* Use case 4: receive a warning and retransmit it. *)
+let forwarding_vehicle idx = restrict (vehicle_with_index idx) [ "pos"; "rec"; "fwd" ]
+
+(* ------------------------------------------------------------------ *)
+(* SoS instances (Figs. 2-4)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let w = Agent.Symbolic "w"
+
+(* Fig. 2: vehicle w receives a warning from the RSU (use cases 1 + 3). *)
+let rsu_and_vehicle =
+  Sos.make "rsu_and_vehicle"
+    ~components:[ rsu_component; receiving_vehicle w ]
+    ~links:[ Flow.external_ rsu_send (cu_rec w) ]
+
+(* Fig. 3: vehicle w receives a warning from vehicle 1 (use cases 2 + 3). *)
+let two_vehicles =
+  Sos.make "two_vehicles"
+    ~components:[ warning_vehicle (Agent.Concrete 1); receiving_vehicle w ]
+    ~links:[ Flow.external_ (cu_send (Agent.Concrete 1)) (cu_rec w) ]
+
+(* Fig. 4: vehicle 2 forwards warnings from vehicle 1 to vehicle w
+   (use cases 2 + 3 + 4). *)
+let three_vehicles =
+  let v1 = Agent.Concrete 1 and v2 = Agent.Concrete 2 in
+  Sos.make "three_vehicles"
+    ~components:
+      [ warning_vehicle v1; forwarding_vehicle v2; receiving_vehicle w ]
+    ~links:
+      [ Flow.external_ (cu_send v1) (cu_rec v2);
+        Flow.external_ (cu_fwd v2) (cu_rec w) ]
+
+(* The parameterised family: vehicle 1 warns, vehicles 2..n forward, and
+   vehicle w receives — [chain 2] is [two_vehicles], [chain 3] is
+   [three_vehicles] and so on. *)
+let chain n =
+  if n < 2 then invalid_arg "Scenario.chain: need at least two vehicles";
+  let v i = Agent.Concrete i in
+  let forwarders = List.init (n - 2) (fun k -> v (k + 2)) in
+  let components =
+    (warning_vehicle (v 1) :: List.map forwarding_vehicle forwarders)
+    @ [ receiving_vehicle w ]
+  in
+  let rec links acc prev_out = function
+    | [] -> List.rev (Flow.external_ prev_out (cu_rec w) :: acc)
+    | idx :: rest ->
+      links (Flow.external_ prev_out (cu_rec idx) :: acc) (cu_fwd idx) rest
+  in
+  Sos.make
+    (Printf.sprintf "chain_%d" n)
+    ~components
+    ~links:(links [] (cu_send (v 1)) forwarders)
+
+(* Vehicles that forward the message in [chain n]: the quantification
+   domain V_forward of requirement (4). *)
+let forwarders_of_chain n = List.init (max 0 (n - 2)) (fun k -> k + 2)
+
+let v_forward_domain agent =
+  match Agent.role agent, Agent.index agent with
+  | "GPS", Agent.Concrete i when i >= 2 -> Some "V_forward"
+  | _, _ -> None
+
+(* All structurally different two-component SoS instances over the use
+   cases (Sect. 4.2): used to demonstrate instance enumeration with
+   isomorphic combinations neglected. *)
+let enumerate_two_component_instances () =
+  let senders =
+    [ ("rsu", rsu_send, [ rsu_component ]);
+      ("warner", cu_send (Agent.Concrete 1), [ warning_vehicle (Agent.Concrete 1) ]);
+      ("forwarder", cu_fwd (Agent.Concrete 1),
+       [ forwarding_vehicle (Agent.Concrete 1) ]) ]
+  in
+  let receivers =
+    [ ("receiver", cu_rec w, [ receiving_vehicle w ]);
+      ("relay", cu_rec w, [ forwarding_vehicle w ]) ]
+  in
+  List.concat_map
+    (fun (sn, out, scs) ->
+      List.filter_map
+        (fun (rn, inp, rcs) ->
+          (* a forwarder sending to itself makes no sense structurally;
+             all combinations here are cross-component *)
+          let name = Printf.sprintf "%s_to_%s" sn rn in
+          match Sos.validate { Sos.name; components = scs @ rcs;
+                               links = [ Flow.external_ out inp ] } with
+          | Ok () ->
+            Some (Sos.make name ~components:(scs @ rcs)
+                    ~links:[ Flow.external_ out inp ])
+          | Error _ -> None)
+        receivers)
+    senders
+  |> Sos.dedup_isomorphic
+
+(* Fully concrete chain (receiver has index n instead of the symbolic w):
+   used when cross-validating the manual path against the tool path, whose
+   APA instances are concretely indexed. *)
+let chain_concrete n =
+  if n < 2 then invalid_arg "Scenario.chain_concrete: need at least two vehicles";
+  let v i = Agent.Concrete i in
+  let forwarders = List.init (n - 2) (fun k -> v (k + 2)) in
+  let components =
+    (warning_vehicle (v 1) :: List.map forwarding_vehicle forwarders)
+    @ [ receiving_vehicle (v n) ]
+  in
+  let rec links acc prev_out = function
+    | [] -> List.rev (Flow.external_ prev_out (cu_rec (v n)) :: acc)
+    | idx :: rest ->
+      links (Flow.external_ prev_out (cu_rec idx) :: acc) (cu_fwd idx) rest
+  in
+  Sos.make
+    (Printf.sprintf "chain_concrete_%d" n)
+    ~components
+    ~links:(links [] (cu_send (v 1)) forwarders)
+
+(* Two independent concrete warner/receiver pairs — the manual-path
+   counterpart of the Fig. 8 APA instance. *)
+let pairs_concrete k =
+  if k < 1 then invalid_arg "Scenario.pairs_concrete";
+  let mk j =
+    let s = (2 * j) + 1 and r = (2 * j) + 2 in
+    ([ warning_vehicle (Agent.Concrete s); receiving_vehicle (Agent.Concrete r) ],
+     Flow.external_ (cu_send (Agent.Concrete s)) (cu_rec (Agent.Concrete r)))
+  in
+  let parts = List.map mk (List.init k Fun.id) in
+  Sos.make
+    (Printf.sprintf "pairs_concrete_%d" k)
+    ~components:(List.concat_map fst parts)
+    ~links:(List.map snd parts)

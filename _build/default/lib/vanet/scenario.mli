@@ -1,0 +1,71 @@
+(** The vehicular communication scenario (Sect. 3) as functional models —
+    the manual analysis path of Sect. 4. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Sos = Fsa_model.Sos
+
+val forwarding_policy : string
+(** Policy tag of the position-based forwarding flow (Sect. 4.4). *)
+
+(** {1 Actions (Table 1)} *)
+
+val rsu_send : Action.t
+val sense : Agent.index -> Action.t
+val gps_pos : Agent.index -> Action.t
+val cu_send : Agent.index -> Action.t
+val cu_rec : Agent.index -> Action.t
+val cu_fwd : Agent.index -> Action.t
+val show : Agent.index -> Action.t
+val driver : Agent.index -> Agent.t
+
+val table1 : (Action.t * string) list
+(** The rows of Table 1: action and explanation. *)
+
+(** {1 Functional component models (Fig. 1)} *)
+
+val rsu_component : Component.t
+val vehicle_template : Component.t
+val restrict : Component.t -> string list -> Component.t
+val vehicle_with_index : Agent.index -> Component.t
+val warning_vehicle : Agent.index -> Component.t
+val receiving_vehicle : Agent.index -> Component.t
+val forwarding_vehicle : Agent.index -> Component.t
+
+(** {1 SoS instances (Figs. 2-4)} *)
+
+val w : Agent.index
+(** The parameterised receiving vehicle [w]. *)
+
+val rsu_and_vehicle : Sos.t
+(** Fig. 2: vehicle [w] receives a warning from the RSU. *)
+
+val two_vehicles : Sos.t
+(** Fig. 3: vehicle [w] receives a warning from vehicle 1. *)
+
+val three_vehicles : Sos.t
+(** Fig. 4: vehicle 2 forwards warnings from vehicle 1 to vehicle [w]. *)
+
+val chain : int -> Sos.t
+(** [chain n]: vehicle 1 warns, vehicles 2..n-1 forward, vehicle [w]
+    receives; [chain 2 = two_vehicles]. *)
+
+val forwarders_of_chain : int -> int list
+
+val v_forward_domain : Agent.t -> string option
+(** Quantification domain of requirement (4): the GPS sensors of
+    forwarding vehicles map to ["V_forward"]. *)
+
+val enumerate_two_component_instances : unit -> Sos.t list
+(** All structurally different two-component instances, isomorphic
+    combinations neglected (Sect. 4.2). *)
+
+val chain_concrete : int -> Sos.t
+(** [chain n] with the receiver concretely indexed [n] (tool-path
+    correspondence). *)
+
+val pairs_concrete : int -> Sos.t
+(** k independent warner/receiver pairs (manual-path counterpart of the
+    Fig. 8 instance for k = 2). *)

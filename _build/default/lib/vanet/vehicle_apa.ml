@@ -1,0 +1,274 @@
+(* APA models of the vehicular scenario (Sect. 5.1-5.2).
+
+   Each vehicle V_i has state components esp_i, gps_i, bus_i, hmi_i and a
+   shared wireless medium [net]; its elementary automata are
+   Vi_sense, Vi_pos, Vi_send, Vi_rec, Vi_show (the reduced model without
+   the forward action used in the paper's Sect. 5), plus Vi_fwd for the
+   forwarding variant used in chain scenarios.
+
+   Messages on the net carry the sender identity
+   (Z_net = P({cam} x {V1..V4} x Z_gps)); a vehicle does not receive its
+   own messages.  The receive action depends only on the arrival of the
+   message; the comparison with the own position happens at show time
+   (functional model Fig. 1(b): show <- rec, pos) — this is the semantics
+   consistent with the reachability graph sizes published in the paper
+   (13 states for two vehicles, 169 for four).
+
+   Radio range: the paper's four-vehicle scenario has two pairs "out of
+   range from the other pair"; we model range clusters as separate net
+   components chosen by position at composition time. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+
+let vehicle_id i = Term.sym (Printf.sprintf "V%d" i)
+
+let is_position s = Geo.is_position s
+
+(* The label of an elementary automaton in the tool's naming: V1_sense. *)
+let label i act = Action.make (Printf.sprintf "V%d_%s" i act)
+
+let v_sense i = label i "sense"
+let v_pos i = label i "pos"
+let v_send i = label i "send"
+let v_rec i = label i "rec"
+let v_show i = label i "show"
+let v_fwd i = label i "fwd"
+
+type role = Full | Warner | Receiver | Forwarder
+
+(* State component names of vehicle i. *)
+let esp i = Printf.sprintf "esp%d" i
+let gps i = Printf.sprintf "gps%d" i
+let bus i = Printf.sprintf "bus%d" i
+let hmi i = Printf.sprintf "hmi%d" i
+
+let sw = Term.sym "sW"
+let warn = Term.sym "warn"
+
+let var v = Term.var v
+
+let cam sender p = Term.app "cam" [ sender; p ]
+
+let guard_position v subst =
+  match Term.Subst.find v subst with
+  | Some t -> is_position t
+  | None -> false
+
+let guard_not_self i v subst =
+  match Term.Subst.find v subst with
+  | Some t -> not (Term.equal t (vehicle_id i))
+  | None -> false
+
+let guard_in_range ~range p q subst =
+  match Term.Subst.find p subst, Term.Subst.find q subst with
+  | Some tp, Some tq -> Geo.in_range ~range tp tq
+  | (None | Some _), _ -> false
+
+(* The elementary automata of vehicle [i].  [net_in] is the radio medium
+   the vehicle listens on, [net_out] the one it transmits on; both default
+   to a single shared "net". *)
+let rules ?(net_in = "net") ?(net_out = "net") ?(range = Geo.default_range)
+    ~role i =
+  let sense_rule =
+    Apa.rule
+      (Printf.sprintf "V%d_sense" i)
+      ~takes:[ Apa.take (esp i) (var "x") ]
+      ~puts:[ Apa.put (bus i) (var "x") ]
+      ~label:(fun _ -> v_sense i)
+  in
+  let pos_rule =
+    Apa.rule
+      (Printf.sprintf "V%d_pos" i)
+      ~takes:[ Apa.take (gps i) (var "p") ]
+      ~puts:[ Apa.put (bus i) (var "p") ]
+      ~label:(fun _ -> v_pos i)
+  in
+  let send_rule =
+    Apa.rule
+      (Printf.sprintf "V%d_send" i)
+      ~takes:[ Apa.take (bus i) sw; Apa.take (bus i) (var "p") ]
+      ~guard:(guard_position "p")
+      ~puts:[ Apa.put net_out (cam (vehicle_id i) (var "p")) ]
+      ~label:(fun _ -> v_send i)
+  in
+  let rec_rule =
+    Apa.rule
+      (Printf.sprintf "V%d_rec" i)
+      ~takes:[ Apa.take net_in (cam (var "v") (var "p")) ]
+      ~guard:(guard_not_self i "v")
+      ~puts:[ Apa.put (bus i) (Term.app "warn" [ var "p" ]) ]
+      ~label:(fun _ -> v_rec i)
+  in
+  let show_rule =
+    Apa.rule
+      (Printf.sprintf "V%d_show" i)
+      ~takes:
+        [ Apa.take (bus i) (Term.app "warn" [ var "p" ]);
+          Apa.take (bus i) (var "q") ]
+      ~guard:(fun s -> guard_position "q" s && guard_in_range ~range "p" "q" s)
+      ~puts:[ Apa.put (hmi i) warn ]
+      ~label:(fun _ -> v_show i)
+  in
+  let fwd_rule =
+    Apa.rule
+      (Printf.sprintf "V%d_fwd" i)
+      ~takes:
+        [ Apa.take (bus i) (Term.app "warn" [ var "p" ]);
+          Apa.take (bus i) (var "q") ]
+      ~guard:(fun s -> guard_position "q" s && guard_in_range ~range "p" "q" s)
+      ~puts:[ Apa.put net_out (cam (vehicle_id i) (var "p")) ]
+      ~label:(fun _ -> v_fwd i)
+  in
+  match role with
+  | Full -> [ sense_rule; pos_rule; send_rule; rec_rule; show_rule; fwd_rule ]
+  | Warner -> [ sense_rule; pos_rule; send_rule ]
+  | Receiver -> [ pos_rule; rec_rule; show_rule ]
+  | Forwarder -> [ pos_rule; rec_rule; fwd_rule ]
+
+(* The APA of one vehicle (Fig. 5).  [esp_init]/[gps_init] are the sensor
+   and GPS inputs pending in the initial state. *)
+let vehicle ?(net_in = "net") ?(net_out = "net") ?(range = Geo.default_range)
+    ?(role = Full) ?(esp_init = []) ?(gps_init = []) i =
+  let nets =
+    List.sort_uniq String.compare [ net_in; net_out ]
+    |> List.map (fun n -> (n, Term.Set.empty))
+  in
+  Apa.make
+    ~components:
+      ([ (esp i, Term.Set.of_list esp_init);
+         (gps i, Term.Set.of_list gps_init);
+         (bus i, Term.Set.empty);
+         (hmi i, Term.Set.empty) ]
+       @ nets)
+    ~rules:(rules ~net_in ~net_out ~range ~role i)
+    (Printf.sprintf "V%d" i)
+
+(* ------------------------------------------------------------------ *)
+(* SoS instances                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pos1 = Term.sym "pos1"
+let pos2 = Term.sym "pos2"
+let pos3 = Term.sym "pos3"
+let pos4 = Term.sym "pos4"
+
+(* An APA model of the roadside unit (use case 1): broadcasts the pending
+   cooperative awareness message. *)
+let rsu ?(net_out = "net") ?(cam_init = [ Term.app "cam" [ Term.sym "RSU"; pos1 ] ]) () =
+  Apa.make
+    ~components:[ ("rsu_out", Term.Set.of_list cam_init); (net_out, Term.Set.empty) ]
+    ~rules:
+      [ Apa.rule "RSU_send"
+          ~takes:[ Apa.take "rsu_out" (var "m") ]
+          ~puts:[ Apa.put net_out (var "m") ]
+          ~label:(fun _ -> Action.make "RSU_send") ]
+    "RSU"
+
+(* Fig. 2 as a tool-path instance: vehicle 1 receives a warning from the
+   RSU (use cases 1 + 3). *)
+let rsu_and_vehicle () =
+  Apa.compose ~name:"sos_rsu_and_vehicle"
+    [ rsu (); vehicle ~role:Receiver ~gps_init:[ pos2 ] 1 ]
+
+(* Example 5 / Fig. 6: two vehicles in range; V1 performs use case 2
+   (warner), V2 performs use case 3 (receiver). *)
+let two_vehicles () =
+  Apa.compose ~name:"sos_2_vehicles"
+    [ vehicle ~role:Warner ~esp_init:[ sw ] ~gps_init:[ pos1 ] 1;
+      vehicle ~role:Receiver ~gps_init:[ pos2 ] 2 ]
+
+(* Fig. 8: two pairs of two vehicles, each pair within communication
+   range but out of range from the other pair; V1 warns V2 and V3 warns
+   V4.  The radio clusters are modelled as distinct net components. *)
+let four_vehicles () =
+  Apa.compose ~name:"sos_4_vehicles"
+    [ vehicle ~net_in:"netA" ~net_out:"netA" ~role:Warner ~esp_init:[ sw ]
+        ~gps_init:[ pos1 ] 1;
+      vehicle ~net_in:"netA" ~net_out:"netA" ~role:Receiver ~gps_init:[ pos2 ] 2;
+      vehicle ~net_in:"netB" ~net_out:"netB" ~role:Warner ~esp_init:[ sw ]
+        ~gps_init:[ pos3 ] 3;
+      vehicle ~net_in:"netB" ~net_out:"netB" ~role:Receiver ~gps_init:[ pos4 ] 4 ]
+
+(* The same four vehicles on ONE shared radio medium — a deliberately
+   flawed variant: without range clusters a receiver can consume a message
+   it cannot process (the show guard fails on the distance check), leaving
+   the run stuck.  Used to demonstrate deadlock diagnostics. *)
+let four_vehicles_shared_net () =
+  Apa.compose ~name:"sos_4_vehicles_shared_net"
+    [ vehicle ~role:Warner ~esp_init:[ sw ] ~gps_init:[ pos1 ] 1;
+      vehicle ~role:Receiver ~gps_init:[ pos2 ] 2;
+      vehicle ~role:Warner ~esp_init:[ sw ] ~gps_init:[ pos3 ] 3;
+      vehicle ~role:Receiver ~gps_init:[ pos4 ] 4 ]
+
+(* [pairs k]: k independent warner/receiver pairs — the state space grows
+   as 13^k; used for scaling experiments. *)
+let pairs k =
+  if k < 1 then invalid_arg "Vehicle_apa.pairs";
+  let cluster j = Printf.sprintf "net%d" j in
+  let mk j =
+    (* reuse the two in-range position pairs alternately: independence is
+       enforced by the per-pair net component *)
+    let p_send, p_recv = if j mod 2 = 0 then (pos1, pos2) else (pos3, pos4) in
+    [ vehicle ~net_in:(cluster j) ~net_out:(cluster j) ~role:Warner
+        ~esp_init:[ sw ] ~gps_init:[ p_send ]
+        ((2 * j) + 1);
+      vehicle ~net_in:(cluster j) ~net_out:(cluster j) ~role:Receiver
+        ~gps_init:[ p_recv ]
+        ((2 * j) + 2) ]
+  in
+  Apa.compose
+    ~name:(Printf.sprintf "sos_%d_pairs" k)
+    (List.concat_map mk (List.init k Fun.id))
+
+(* [chain n]: V1 warns, V2..V(n-1) forward hop by hop, Vn receives; hop j
+   uses its own radio cluster net_j (each consecutive pair is in range,
+   non-consecutive vehicles are not). *)
+let chain n =
+  if n < 2 then invalid_arg "Vehicle_apa.chain";
+  let hop j = Printf.sprintf "hop%d" j in
+  let middle =
+    List.init (n - 2) (fun k ->
+        let i = k + 2 in
+        vehicle ~net_in:(hop (i - 1)) ~net_out:(hop i) ~role:Forwarder
+          ~gps_init:[ pos1 ] i)
+  in
+  Apa.compose
+    ~name:(Printf.sprintf "sos_chain_%d" n)
+    ((vehicle ~net_out:(hop 1) ~net_in:(hop 1) ~role:Warner ~esp_init:[ sw ]
+        ~gps_init:[ pos1 ] 1
+      :: middle)
+     @ [ vehicle
+           ~net_in:(hop (n - 1))
+           ~net_out:(hop (n - 1))
+           ~role:Receiver ~gps_init:[ pos2 ] n ])
+
+(* Stakeholders for the tool path: the driver D_i for Vi_show, the vehicle
+   otherwise (Sect. 5.4: auth(..., V2_show, D_2)). *)
+let stakeholder action =
+  match String.split_on_char '_' (Action.label action) with
+  | [ v; "show" ] when String.length v > 1 && v.[0] = 'V' ->
+    Fsa_term.Agent.of_string ("D_" ^ String.sub v 1 (String.length v - 1))
+  | _ -> Fsa_term.Agent.unindexed "SYS"
+
+(* Correspondence between tool-path labels (V1_sense) and manual-path
+   actions (sense(ESP_1, sW)) for cross-validation of the two methods. *)
+let manual_action_of_label action =
+  if String.equal (Action.label action) "RSU_send" then Some Scenario.rsu_send
+  else
+  match String.split_on_char '_' (Action.label action) with
+  | [ v; act ] when String.length v > 1 && v.[0] = 'V' -> (
+    match int_of_string_opt (String.sub v 1 (String.length v - 1)) with
+    | None -> None
+    | Some i ->
+      let idx = Fsa_term.Agent.Concrete i in
+      (match act with
+       | "sense" -> Some (Scenario.sense idx)
+       | "pos" -> Some (Scenario.gps_pos idx)
+       | "send" -> Some (Scenario.cu_send idx)
+       | "rec" -> Some (Scenario.cu_rec idx)
+       | "fwd" -> Some (Scenario.cu_fwd idx)
+       | "show" -> Some (Scenario.show idx)
+       | _ -> None))
+  | _ -> None

@@ -1,0 +1,77 @@
+(** APA models of the vehicular scenario (Sect. 5.1–5.2 of the paper). *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+
+val vehicle_id : int -> Term.t
+
+(** {1 Transition labels (tool naming, e.g. [V1_sense])} *)
+
+val v_sense : int -> Action.t
+val v_pos : int -> Action.t
+val v_send : int -> Action.t
+val v_rec : int -> Action.t
+val v_show : int -> Action.t
+val v_fwd : int -> Action.t
+
+type role = Full | Warner | Receiver | Forwarder
+
+val esp : int -> string
+val gps : int -> string
+val bus : int -> string
+val hmi : int -> string
+val sw : Term.t
+val pos1 : Term.t
+val pos2 : Term.t
+val pos3 : Term.t
+val pos4 : Term.t
+
+val rules :
+  ?net_in:string ->
+  ?net_out:string ->
+  ?range:int ->
+  role:role ->
+  int ->
+  Apa.rule list
+
+val vehicle :
+  ?net_in:string ->
+  ?net_out:string ->
+  ?range:int ->
+  ?role:role ->
+  ?esp_init:Term.t list ->
+  ?gps_init:Term.t list ->
+  int ->
+  Apa.t
+(** The APA model of one vehicle (Fig. 5). *)
+
+val rsu :
+  ?net_out:string -> ?cam_init:Term.t list -> unit -> Apa.t
+(** The roadside unit (use case 1): broadcasts the pending message. *)
+
+val rsu_and_vehicle : unit -> Apa.t
+(** Fig. 2 as a tool-path instance: vehicle 1 receives from the RSU. *)
+
+val two_vehicles : unit -> Apa.t
+(** Example 5 / Fig. 6: V1 warns, V2 receives. *)
+
+val four_vehicles : unit -> Apa.t
+(** Fig. 8: two independent pairs (V1 warns V2, V3 warns V4). *)
+
+val four_vehicles_shared_net : unit -> Apa.t
+(** The flawed single-medium variant of Fig. 8: receivers can consume
+    messages they cannot process, leaving stuck deadlocks. *)
+
+val pairs : int -> Apa.t
+(** [pairs k]: k independent warner/receiver pairs (13^k states). *)
+
+val chain : int -> Apa.t
+(** [chain n]: V1 warns, V2..V(n-1) forward hop by hop, Vn receives. *)
+
+val stakeholder : Action.t -> Fsa_term.Agent.t
+(** Driver [D_i] for [Vi_show]; a system agent otherwise. *)
+
+val manual_action_of_label : Action.t -> Action.t option
+(** Map tool-path labels ([V1_sense]) to the corresponding manual-path
+    actions ([sense(ESP_1, sW)]) for cross-validation. *)

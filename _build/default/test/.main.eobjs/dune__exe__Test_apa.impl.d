@@ -1,0 +1,1 @@
+test/test_apa.ml: Alcotest Fsa_apa Fsa_term Fsa_vanet List Option Printf

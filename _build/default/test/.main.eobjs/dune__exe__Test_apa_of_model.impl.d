@@ -1,0 +1,1 @@
+test/test_apa_of_model.ml: Alcotest Fsa_apa Fsa_core Fsa_grid Fsa_lts Fsa_model Fsa_term Fsa_vanet List QCheck2 QCheck_alcotest Test_random

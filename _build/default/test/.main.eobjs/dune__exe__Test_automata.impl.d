@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Char Fmt Fsa_automata List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cyclic.ml: Alcotest Fsa_apa Fsa_hom Fsa_lts Fsa_mc Fsa_term List

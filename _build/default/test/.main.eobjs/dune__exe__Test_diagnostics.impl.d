@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Alcotest Char Fmt Fsa_apa Fsa_automata Fsa_graph Fsa_hom Fsa_lts Fsa_order Fsa_term Fsa_vanet List Printf String

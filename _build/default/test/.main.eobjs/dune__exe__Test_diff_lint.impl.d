@@ -1,0 +1,1 @@
+test/test_diff_lint.ml: Alcotest Fmt Fsa_grid Fsa_model Fsa_requirements Fsa_term Fsa_vanet List String

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Array Fsa_lts Fsa_model Fsa_term Fsa_vanet Fun List Option Queue

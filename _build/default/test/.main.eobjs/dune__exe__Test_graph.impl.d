@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fmt Fsa_graph Fun Int List QCheck2 QCheck_alcotest String

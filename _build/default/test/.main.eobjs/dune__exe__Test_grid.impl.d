@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Fsa_apa Fsa_core Fsa_grid Fsa_lts Fsa_model Fsa_requirements Fsa_term Lazy List

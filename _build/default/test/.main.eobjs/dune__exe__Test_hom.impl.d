@@ -1,0 +1,1 @@
+test/test_hom.ml: Alcotest Fmt Fsa_apa Fsa_automata Fsa_hom Fsa_lts Fsa_term Fsa_vanet Lazy List String

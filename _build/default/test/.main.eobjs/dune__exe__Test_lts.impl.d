@@ -1,0 +1,1 @@
+test/test_lts.ml: Alcotest Fmt Fsa_apa Fsa_graph Fsa_lts Fsa_order Fsa_term Fsa_vanet Lazy List String

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Fmt Fsa_hom Fsa_lts Fsa_mc Fsa_term Fsa_vanet Fun Lazy List String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Fsa_model Fsa_term Fsa_vanet List Printf String

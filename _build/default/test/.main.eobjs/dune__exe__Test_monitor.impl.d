@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Fmt Fsa_core Fsa_lts Fsa_mc Fsa_requirements Fsa_term Fsa_vanet Lazy List String

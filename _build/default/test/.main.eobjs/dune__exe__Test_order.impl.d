@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Fmt Fsa_graph Fsa_order List QCheck2 QCheck_alcotest String

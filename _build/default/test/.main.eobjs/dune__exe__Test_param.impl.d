@@ -1,0 +1,1 @@
+test/test_param.ml: Alcotest Fmt Fsa_hom Fsa_lts Fsa_mc Fsa_param Fsa_requirements Fsa_term Fsa_vanet List String

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Fmt Fsa_lts Fsa_mc Fsa_term Fsa_vanet Lazy List String

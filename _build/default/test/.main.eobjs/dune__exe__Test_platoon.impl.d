@@ -1,0 +1,1 @@
+test/test_platoon.ml: Alcotest Fsa_hom Fsa_lts Fsa_mc Fsa_requirements Fsa_term Fsa_vanet Lazy List

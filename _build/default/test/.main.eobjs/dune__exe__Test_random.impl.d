@@ -1,0 +1,1 @@
+test/test_random.ml: Fsa_mc Fsa_model Fsa_refine Fsa_requirements Fsa_term Fun List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Fmt Fsa_graph Fsa_model Fsa_refine Fsa_requirements Fsa_term Fsa_vanet Int List String

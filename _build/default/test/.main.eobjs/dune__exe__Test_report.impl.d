@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Fsa_core Fsa_lts Fsa_mc Fsa_spec Fsa_vanet List String Sys

@@ -1,0 +1,1 @@
+test/test_requirements.ml: Alcotest Fmt Fsa_requirements Fsa_term Fsa_vanet List String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Filename Fmt Fsa_apa Fsa_core Fsa_mc Fsa_sim Fsa_term Fsa_vanet Fun In_channel List String Sys

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Filename Fsa_apa Fsa_grid Fsa_lts Fsa_model Fsa_requirements Fsa_spec Fsa_term Fsa_vanet List QCheck2 QCheck_alcotest Sys

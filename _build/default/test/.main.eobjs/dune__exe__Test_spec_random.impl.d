@@ -1,0 +1,1 @@
+test/test_spec_random.ml: Fsa_lts Fsa_spec List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Fsa_term List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_threat.ml: Alcotest Fmt Fsa_model Fsa_refine Fsa_requirements Fsa_term Fsa_vanet List String

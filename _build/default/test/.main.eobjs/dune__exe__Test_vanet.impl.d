@@ -1,0 +1,1 @@
+test/test_vanet.ml: Alcotest Fmt Fsa_apa Fsa_core Fsa_lts Fsa_model Fsa_requirements Fsa_term Fsa_vanet List String

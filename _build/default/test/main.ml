@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "fsa"
+    [ ("term", Test_term.suite);
+      ("graph", Test_graph.suite);
+      ("order", Test_order.suite);
+      ("model", Test_model.suite);
+      ("requirements", Test_requirements.suite);
+      ("apa", Test_apa.suite);
+      ("lts", Test_lts.suite);
+      ("automata", Test_automata.suite);
+      ("hom", Test_hom.suite);
+      ("mc", Test_mc.suite);
+      ("spec", Test_spec.suite);
+      ("vanet", Test_vanet.suite);
+      ("core", Test_core.suite);
+      ("confidentiality", Test_confidentiality.suite);
+      ("pattern", Test_pattern.suite);
+      ("param", Test_param.suite);
+      ("refine", Test_refine.suite);
+      ("cyclic", Test_cyclic.suite);
+      ("monitor", Test_monitor.suite);
+      ("threat", Test_threat.suite);
+      ("sim", Test_sim.suite);
+      ("diagnostics", Test_diagnostics.suite);
+      ("random", Test_random.suite);
+      ("report", Test_report.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("grid", Test_grid.suite);
+      ("apa_of_model", Test_apa_of_model.suite);
+      ("prioritise", Test_prioritise.suite);
+      ("diff_lint", Test_diff_lint.suite);
+      ("platoon", Test_platoon.suite);
+      ("spec_random", Test_spec_random.suite) ]

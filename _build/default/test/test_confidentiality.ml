@@ -1,0 +1,147 @@
+(* Tests for Fsa_requirements.Confidentiality: the forward-flow dual
+   analysis. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Conf = Fsa_requirements.Confidentiality
+module S = Fsa_vanet.Scenario
+module Evita = Fsa_vanet.Evita
+
+let level = Alcotest.testable Conf.pp_level (fun a b -> Conf.compare_level a b = 0)
+
+let test_lattice () =
+  Alcotest.(check bool) "public below secret" true
+    (Conf.leq_level Conf.Public Conf.Secret);
+  Alcotest.(check bool) "secret not below public" false
+    (Conf.leq_level Conf.Secret Conf.Public);
+  Alcotest.check level "join" Conf.Confidential
+    (Conf.join Conf.Internal Conf.Confidential);
+  Alcotest.check level "joins" Conf.Secret
+    (Conf.joins [ Conf.Public; Conf.Secret; Conf.Internal ]);
+  Alcotest.check level "empty joins is bottom" Conf.Public (Conf.joins []);
+  List.iter
+    (fun l -> Alcotest.(check bool) "reflexive" true (Conf.leq_level l l))
+    [ Conf.Public; Conf.Internal; Conf.Confidential; Conf.Secret ]
+
+let test_derive_two_vehicles () =
+  (* every (input, output) chi pair yields a confidentiality requirement
+     under the default (all-internal) labelling *)
+  let reqs = Conf.derive S.two_vehicles in
+  Alcotest.(check int) "three forward-flow requirements" 3 (List.length reqs);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "all flows reach the HMI display" "show"
+        (Action.label r.Conf.sink))
+    reqs
+
+let test_threshold_filters () =
+  (* with a threshold of Confidential and all-internal sources nothing is
+     derived *)
+  let reqs = Conf.derive ~threshold:Conf.Confidential S.two_vehicles in
+  Alcotest.(check int) "nothing above threshold" 0 (List.length reqs);
+  (* classify the GPS position as confidential: its flows reappear *)
+  let labelling =
+    { Conf.default_labelling with
+      Conf.source_level =
+        (fun a ->
+          match Action.actor a with
+          | Some actor when Agent.role actor = "GPS" -> Conf.Confidential
+          | Some _ | None -> Conf.Public) }
+  in
+  let reqs =
+    Conf.derive ~labelling ~threshold:Conf.Confidential S.two_vehicles
+  in
+  Alcotest.(check int) "both GPS sources protected" 2 (List.length reqs);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "sources are positions" "pos"
+        (Action.label r.Conf.source))
+    reqs
+
+let test_inferred_levels () =
+  let labelling =
+    { Conf.default_labelling with
+      Conf.source_level =
+        (fun a ->
+          if Action.label a = "sense" then Conf.Secret else Conf.Public) }
+  in
+  match Conf.inferred_levels ~labelling S.two_vehicles with
+  | [ (sink, lvl) ] ->
+    Alcotest.(check string) "single output" "show" (Action.label sink);
+    Alcotest.check level "secret taints the display" Conf.Secret lvl
+  | other ->
+    Alcotest.fail (Printf.sprintf "expected one output, got %d" (List.length other))
+
+let test_violations () =
+  let labelling =
+    { Conf.default_labelling with
+      Conf.source_level =
+        (fun a ->
+          if Action.label a = "sense" then Conf.Secret else Conf.Public);
+      Conf.sink_clearance = (fun _ -> Conf.Internal) }
+  in
+  (match Conf.violations ~labelling S.two_vehicles with
+  | [ v ] ->
+    Alcotest.(check string) "violating sink" "show" (Action.label v.Conf.v_sink);
+    Alcotest.check level "inferred" Conf.Secret v.Conf.v_inferred;
+    Alcotest.check level "clearance" Conf.Internal v.Conf.v_clearance;
+    Alcotest.(check int) "one offending source" 1 (List.length v.Conf.v_sources)
+  | other ->
+    Alcotest.fail (Printf.sprintf "expected one violation, got %d" (List.length other)));
+  (* with sufficient clearance: no violations *)
+  let cleared =
+    { labelling with Conf.sink_clearance = (fun _ -> Conf.Secret) }
+  in
+  Alcotest.(check int) "cleared sink" 0
+    (List.length (Conf.violations ~labelling:cleared S.two_vehicles))
+
+let test_evita_dual_analysis () =
+  (* forward flows mirror the authenticity analysis: same chi pairs *)
+  let conf =
+    Conf.derive
+      ~labelling:
+        { Conf.default_labelling with
+          Conf.observers = (fun a -> Evita.stakeholder a) }
+      Evita.model
+  in
+  Alcotest.(check int) "29 forward-flow requirements (chi pairs)" 29
+    (List.length conf);
+  (* privacy case: GPS position is confidential; all five dependent
+     outputs need cleared observers *)
+  let labelling =
+    { Conf.default_labelling with
+      Conf.source_level =
+        (fun a ->
+          if Action.label a = "gps_acquire" then Conf.Confidential
+          else Conf.Public) }
+  in
+  let gps_reqs =
+    Conf.derive ~labelling ~threshold:Conf.Confidential Evita.model
+  in
+  Alcotest.(check (list string)) "position reaches five outputs"
+    [ "dash_status"; "hmi_show"; "log_write"; "telem_report"; "v2x_send" ]
+    (List.sort_uniq compare
+       (List.map (fun r -> Action.label r.Conf.sink) gps_reqs))
+
+let test_prose_and_pp () =
+  let r = List.hd (Conf.derive S.two_vehicles) in
+  let prose = Fmt.str "%a" Conf.pp_prose r in
+  Alcotest.(check bool) "prose mentions the level" true
+    (let sub = "internal" in
+     let rec contains i =
+       i + String.length sub <= String.length prose
+       && (String.sub prose i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0);
+  let listing = Fmt.str "%a" Conf.pp_set (Conf.derive S.two_vehicles) in
+  Alcotest.(check bool) "set listing non-empty" true (String.length listing > 0)
+
+let suite =
+  [ Alcotest.test_case "lattice" `Quick test_lattice;
+    Alcotest.test_case "derive (two vehicles)" `Quick test_derive_two_vehicles;
+    Alcotest.test_case "threshold filtering" `Quick test_threshold_filters;
+    Alcotest.test_case "inferred levels" `Quick test_inferred_levels;
+    Alcotest.test_case "violations" `Quick test_violations;
+    Alcotest.test_case "EVITA dual analysis" `Quick test_evita_dual_analysis;
+    Alcotest.test_case "prose and pp" `Quick test_prose_and_pp ]

@@ -1,0 +1,156 @@
+(* The paper's scenarios have acyclic reachability graphs (every action
+   happens once).  The machinery must nevertheless behave sensibly on
+   cyclic behaviours — repeated sensing, message loops — which arise as
+   soon as sensors can fire repeatedly.  These tests pin down the
+   semantics of the analysis primitives on cyclic graphs. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+module Pattern = Fsa_mc.Pattern
+module Ctl = Fsa_mc.Ctl
+
+let sym = Term.sym
+let var = Term.var
+
+(* A two-state ping-pong: the token moves between a and b forever. *)
+let ping_pong () =
+  Apa.make
+    ~components:[ ("a", Term.Set.of_list [ sym "t" ]); ("b", Term.Set.empty) ]
+    ~rules:
+      [ Apa.rule "ping" ~takes:[ Apa.take "a" (var "x") ]
+          ~puts:[ Apa.put "b" (var "x") ];
+        Apa.rule "pong" ~takes:[ Apa.take "b" (var "x") ]
+          ~puts:[ Apa.put "a" (var "x") ] ]
+    "ping_pong"
+
+(* A sensor that can fire repeatedly, a display that consumes readings:
+   cyclic producer with an acyclic consumer tail. *)
+let repeating_sensor () =
+  Apa.make
+    ~components:
+      [ ("clock", Term.Set.of_list [ sym "tick" ]);
+        ("buffer", Term.Set.empty); ("screen", Term.Set.empty) ]
+    ~rules:
+      [ (* the clock is read, not consumed: sense can fire forever *)
+        Apa.rule "sense"
+          ~takes:[ Apa.read "clock" (var "t") ]
+          ~puts:[ Apa.put "buffer" (sym "reading") ];
+        Apa.rule "display"
+          ~takes:[ Apa.take "buffer" (var "r") ]
+          ~puts:[ Apa.put "screen" (var "r") ] ]
+    "repeating_sensor"
+
+let ping = Action.make "ping"
+let pong = Action.make "pong"
+
+let test_ping_pong_graph () =
+  let lts = Lts.explore (ping_pong ()) in
+  Alcotest.(check int) "two states" 2 (Lts.nb_states lts);
+  Alcotest.(check int) "two transitions" 2 (Lts.nb_transitions lts);
+  Alcotest.(check int) "no dead state" 0 (List.length (Lts.deadlocks lts));
+  (* minima are still the actions leaving the initial state *)
+  Alcotest.(check (list string)) "minima" [ "ping" ]
+    (List.map Action.to_string (Action.Set.elements (Lts.minima lts)));
+  (* no dead states: the maxima notion degenerates to the empty set *)
+  Alcotest.(check int) "no maxima" 0 (Action.Set.cardinal (Lts.maxima lts))
+
+let test_ping_pong_dependence () =
+  let lts = Lts.explore (ping_pong ()) in
+  Alcotest.(check bool) "pong depends on ping" true
+    (Lts.depends_on lts ~max_action:pong ~min_action:ping);
+  Alcotest.(check bool) "ping does not depend on pong" false
+    (Lts.depends_on lts ~max_action:ping ~min_action:pong);
+  (* the abstraction-based test agrees on cyclic behaviours *)
+  Alcotest.(check bool) "abstract agrees (dependent)" true
+    (Hom.depends_abstract lts ~min_action:ping ~max_action:pong);
+  Alcotest.(check bool) "abstract agrees (independent)" false
+    (Hom.depends_abstract lts ~min_action:pong ~max_action:ping)
+
+let test_ping_pong_minimal_automaton () =
+  let lts = Lts.explore (ping_pong ()) in
+  let dfa = Hom.minimal_automaton Hom.identity lts in
+  (* the infinite (ping pong)* prefix language has a 2-state automaton *)
+  Alcotest.(check int) "two states" 2 (Hom.A.Dfa.nb_states dfa);
+  Alcotest.(check bool) "(ping pong)+ping accepted" true
+    (Hom.A.Dfa.accepts dfa [ ping; pong; ping ]);
+  Alcotest.(check bool) "pong-first rejected" false
+    (Hom.A.Dfa.accepts dfa [ pong ])
+
+let test_ping_pong_words_bounded () =
+  let lts = Lts.explore (ping_pong ()) in
+  let words = Lts.words ~max_len:4 lts in
+  (* exactly one word per length: ping, ping pong, ... *)
+  Alcotest.(check int) "five words up to length 4" 5 (List.length words)
+
+let test_ping_pong_ctl () =
+  let lts = Lts.explore (ping_pong ()) in
+  Alcotest.(check bool) "AG EX true (no deadlock ever)" true
+    (Ctl.On_lts.check lts (Ctl.AG (Ctl.EX Ctl.True)));
+  Alcotest.(check bool) "AF deadlock fails on a loop" false
+    (Ctl.On_lts.check lts (Ctl.AF Ctl.deadlock));
+  Alcotest.(check bool) "AG (EF enabled ping)" true
+    (Ctl.On_lts.check lts (Ctl.AG (Ctl.EF (Ctl.enabled_action ping))))
+
+let test_ping_pong_patterns () =
+  let lts = Lts.explore (ping_pong ()) in
+  (* safety patterns operate on the prefix language *)
+  Alcotest.(check bool) "ping precedes pong" true
+    (Pattern.holds lts
+       (Pattern.make
+          (Pattern.Precedence (Pattern.action_is ping, Pattern.action_is pong))));
+  Alcotest.(check bool) "pong does not precede ping" false
+    (Pattern.holds lts
+       (Pattern.make
+          (Pattern.Precedence (Pattern.action_is pong, Pattern.action_is ping))));
+  (* liveness patterns are vacuous without maximal traces: documented
+     behaviour — the maximal-trace language is empty *)
+  Alcotest.(check bool) "existence vacuous without deadlocks" true
+    (Pattern.holds lts (Pattern.make (Pattern.Existence (Pattern.action_is ping))))
+
+let test_ping_pong_simplicity () =
+  let lts = Lts.explore (ping_pong ()) in
+  Alcotest.(check bool) "identity simple on a cyclic behaviour" true
+    (Hom.is_simple Hom.identity lts);
+  (* hiding pong keeps ping* reachable from every representative *)
+  Alcotest.(check bool) "hiding pong is simple" true
+    (Hom.is_simple (Hom.preserve [ ping ]) lts)
+
+let test_repeating_sensor () =
+  let apa = repeating_sensor () in
+  (* unbounded buffer growth!  the screen set also grows, but [reading]
+     is a single term, so the sets saturate: the state space is finite *)
+  let lts = Lts.explore apa in
+  Alcotest.(check bool) "saturating sets keep the space finite" true
+    (Lts.nb_states lts <= 4);
+  Alcotest.(check bool) "display depends on sensing" true
+    (Lts.depends_on lts ~max_action:(Action.make "display")
+       ~min_action:(Action.make "sense"))
+
+let test_explore_bound_on_infinite () =
+  (* a genuinely unbounded counter must hit the exploration bound *)
+  let counter =
+    Apa.make
+      ~components:[ ("c", Term.Set.of_list [ Term.int 0 ]) ]
+      ~rules:
+        [ Apa.rule "inc"
+            ~takes:[ Apa.take "c" (var "n") ]
+            ~puts:[ Apa.put "c" (Term.app "s" [ var "n" ]) ] ]
+      "counter"
+  in
+  match Lts.explore ~max_states:50 counter with
+  | _ -> Alcotest.fail "unbounded state space must hit the bound"
+  | exception Lts.State_space_too_large 50 -> ()
+
+let suite =
+  [ Alcotest.test_case "ping-pong graph" `Quick test_ping_pong_graph;
+    Alcotest.test_case "ping-pong dependence" `Quick test_ping_pong_dependence;
+    Alcotest.test_case "ping-pong minimal automaton" `Quick test_ping_pong_minimal_automaton;
+    Alcotest.test_case "ping-pong bounded words" `Quick test_ping_pong_words_bounded;
+    Alcotest.test_case "ping-pong CTL" `Quick test_ping_pong_ctl;
+    Alcotest.test_case "ping-pong patterns" `Quick test_ping_pong_patterns;
+    Alcotest.test_case "ping-pong simplicity" `Quick test_ping_pong_simplicity;
+    Alcotest.test_case "repeating sensor saturates" `Quick test_repeating_sensor;
+    Alcotest.test_case "unbounded space hits the bound" `Quick test_explore_bound_on_infinite ]

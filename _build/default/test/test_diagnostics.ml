@@ -1,0 +1,164 @@
+(* Tests for the diagnostic additions: complete-run counting, deadlock
+   classification, finite-language operations. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+module V = Fsa_vanet.Vehicle_apa
+
+(* ------------------------------------------------------------------ *)
+(* Complete-run counting                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_counts () =
+  (* linear extensions of the two-vehicle event poset: computed against
+     the order library *)
+  let module G = Fsa_graph.Digraph.Make (struct
+    type t = string
+
+    let compare = String.compare
+    let pp = Fmt.string
+  end) in
+  let module P = Fsa_order.Poset.Make (G) in
+  let poset =
+    P.of_relation_exn
+      [ ("V1_sense", "V1_send"); ("V1_pos", "V1_send");
+        ("V1_send", "V2_rec"); ("V2_rec", "V2_show"); ("V2_pos", "V2_show") ]
+  in
+  let lts = Lts.explore (V.two_vehicles ()) in
+  Alcotest.(check (option int)) "runs = linear extensions"
+    (Some (P.count_linear_extensions poset))
+    (Lts.count_complete_runs lts);
+  (* four vehicles: the runs interleave two independent copies; the count
+     is the number of interleavings: C(12,6) * runs_pair^2 *)
+  let runs_pair = P.count_linear_extensions poset in
+  let binom n k =
+    let rec go acc i =
+      if i > k then acc else go (acc * (n - i + 1) / i) (i + 1)
+    in
+    go 1 1
+  in
+  let lts4 = Lts.explore (V.four_vehicles ()) in
+  Alcotest.(check (option int)) "four-vehicle interleavings"
+    (Some (binom 12 6 * runs_pair * runs_pair))
+    (Lts.count_complete_runs lts4)
+
+let test_run_count_cyclic () =
+  let ping_pong =
+    Apa.make
+      ~components:
+        [ ("a", Term.Set.of_list [ Term.sym "t" ]); ("b", Term.Set.empty) ]
+      ~rules:
+        [ Apa.rule "ping" ~takes:[ Apa.take "a" (Term.var "x") ]
+            ~puts:[ Apa.put "b" (Term.var "x") ];
+          Apa.rule "pong" ~takes:[ Apa.take "b" (Term.var "x") ]
+            ~puts:[ Apa.put "a" (Term.var "x") ] ]
+      "ping_pong"
+  in
+  Alcotest.(check (option int)) "cyclic graphs have no finite count" None
+    (Lts.count_complete_runs (Lts.explore ping_pong))
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock classification                                             *)
+(* ------------------------------------------------------------------ *)
+
+let both_drivers_warned state =
+  (not (Term.Set.is_empty (Apa.State.get "hmi2" state)))
+  && not (Term.Set.is_empty (Apa.State.get "hmi4" state))
+
+let test_clustered_deadlocks_complete () =
+  let lts = Lts.explore (V.four_vehicles ()) in
+  let report = Lts.classify_deadlocks lts ~complete:both_drivers_warned in
+  Alcotest.(check int) "one complete deadlock" 1
+    (List.length report.Lts.dr_complete);
+  Alcotest.(check int) "no stuck deadlock with range clusters" 0
+    (List.length report.Lts.dr_stuck)
+
+let test_shared_net_has_stuck_deadlocks () =
+  (* the flawed single-medium model: a receiver can consume the other
+     pair's message and never display it *)
+  let lts = Lts.explore (V.four_vehicles_shared_net ()) in
+  let report = Lts.classify_deadlocks lts ~complete:both_drivers_warned in
+  Alcotest.(check bool) "stuck deadlocks detected" true
+    (report.Lts.dr_stuck <> []);
+  (* diagnosis: in a stuck state some bus holds an unprocessable warning *)
+  List.iter
+    (fun s ->
+      let state = Lts.state lts s in
+      let some_bus_blocked =
+        List.exists
+          (fun i ->
+            Term.Set.exists
+              (fun t ->
+                match t with
+                | Term.App ("warn", _) -> true
+                | Term.Sym _ | Term.Int _ | Term.Var _ | Term.App _ -> false)
+              (Apa.State.get (Printf.sprintf "bus%d" i) state))
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check bool) "stuck state holds a blocked warning" true
+        some_bus_blocked)
+    report.Lts.dr_stuck
+
+(* ------------------------------------------------------------------ *)
+(* Finite-language operations                                          *)
+(* ------------------------------------------------------------------ *)
+
+module A = Fsa_automata.Automata.Make (struct
+  type t = char
+
+  let compare = Char.compare
+  let pp = Fmt.char
+end)
+
+module IS = Fsa_automata.Automata.Int_set
+
+let test_language_finiteness () =
+  (* (ab)* is infinite *)
+  let abstar =
+    A.Dfa.create ~nb_states:2 ~start:0 ~finals:(IS.of_list [ 0 ])
+      ~delta:[| A.Lmap.singleton 'a' 1; A.Lmap.singleton 'b' 0 |]
+  in
+  Alcotest.(check bool) "(ab)* infinite" false (A.Dfa.language_is_finite abstar);
+  Alcotest.(check (option int)) "no count" None (A.Dfa.count_words abstar);
+  (* a?b is finite with two words *)
+  let opt_ab =
+    A.Dfa.determinize
+      (A.Nfa.create ~nb_states:3 ~start:(IS.of_list [ 0 ])
+         ~finals:(IS.of_list [ 2 ])
+         ~edges:[ (0, Some 'a', 1); (0, None, 1); (1, Some 'b', 2) ])
+  in
+  Alcotest.(check bool) "a?b finite" true (A.Dfa.language_is_finite opt_ab);
+  Alcotest.(check (option int)) "two words" (Some 2) (A.Dfa.count_words opt_ab);
+  (* a cycle outside the accepting region does not make the language
+     infinite *)
+  let dead_loop =
+    A.Dfa.create ~nb_states:3 ~start:0 ~finals:(IS.of_list [ 1 ])
+      ~delta:
+        [| A.Lmap.of_seq (List.to_seq [ ('a', 1); ('b', 2) ]);
+           A.Lmap.empty;
+           A.Lmap.singleton 'b' 2 |]
+  in
+  Alcotest.(check bool) "unproductive cycle ignored" true
+    (A.Dfa.language_is_finite dead_loop);
+  Alcotest.(check (option int)) "single word" (Some 1)
+    (A.Dfa.count_words dead_loop)
+
+let test_count_matches_behaviour () =
+  (* counting on the determinised behaviour automaton must agree with
+     direct enumeration of the (finite, acyclic) prefix language *)
+  let lts = Lts.explore (V.two_vehicles ()) in
+  let dfa = Hom.A.Dfa.determinize (Hom.image_nfa Hom.identity lts) in
+  Alcotest.(check (option int)) "word count = enumerated words"
+    (Some (List.length (Lts.words ~max_len:6 lts)))
+    (Hom.A.Dfa.count_words dfa)
+
+let suite =
+  [ Alcotest.test_case "complete-run counts" `Quick test_run_counts;
+    Alcotest.test_case "cyclic run count" `Quick test_run_count_cyclic;
+    Alcotest.test_case "clustered model completes" `Quick test_clustered_deadlocks_complete;
+    Alcotest.test_case "shared net gets stuck" `Quick test_shared_net_has_stuck_deadlocks;
+    Alcotest.test_case "language finiteness" `Quick test_language_finiteness;
+    Alcotest.test_case "count matches behaviour" `Quick test_count_matches_behaviour ]

@@ -1,0 +1,145 @@
+(* Tests for Fsa_model.Enumerate and the ideal-lattice correspondence of
+   reachability graphs. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Sos = Fsa_model.Sos
+module Enumerate = Fsa_model.Enumerate
+module Lts = Fsa_lts.Lts
+module S = Fsa_vanet.Scenario
+module V = Fsa_vanet.Vehicle_apa
+
+(* ------------------------------------------------------------------ *)
+(* Vehicle templates for enumeration                                   *)
+(* ------------------------------------------------------------------ *)
+
+let templates =
+  [ Enumerate.template ~name:"rsu"
+      ~build:(fun _ -> S.rsu_component)
+      ~outputs:[ "send" ] ~inputs:[];
+    Enumerate.template ~name:"warner"
+      ~build:(fun i -> S.warning_vehicle (Agent.Concrete i))
+      ~outputs:[ "send" ] ~inputs:[];
+    Enumerate.template ~name:"forwarder"
+      ~build:(fun i -> S.forwarding_vehicle (Agent.Concrete i))
+      ~outputs:[ "fwd" ] ~inputs:[ "rec" ];
+    Enumerate.template ~name:"receiver"
+      ~build:(fun i -> S.receiving_vehicle (Agent.Concrete i))
+      ~outputs:[] ~inputs:[ "rec" ] ]
+
+let connectors = [ ("send", "rec"); ("fwd", "rec") ]
+
+let test_size_one () =
+  let instances =
+    Enumerate.compositions ~templates ~connectors ~size:1 ()
+  in
+  (* each template alone, no links: four structurally different systems *)
+  Alcotest.(check int) "four singletons" 4 (List.length instances)
+
+let test_size_two () =
+  let instances =
+    Enumerate.compositions ~templates ~connectors ~size:2 ()
+  in
+  (* sender (rsu | warner | forwarder) x receiver (forwarder | receiver):
+     six structurally different connected combinations — matching the
+     hand-rolled enumeration in the scenario module *)
+  Alcotest.(check int) "six pairs" 6 (List.length instances);
+  List.iter
+    (fun sos ->
+      Alcotest.(check int) "exactly one link" 1 (List.length (Sos.links sos));
+      match Sos.validate sos with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "enumerated instance must be valid")
+    instances
+
+let test_size_three_contains_fig4 () =
+  let instances =
+    Enumerate.compositions ~templates ~connectors ~size:3 ()
+  in
+  Alcotest.(check bool) "non-empty" true (instances <> []);
+  (* the Fig. 4 shape — warner -> forwarder -> receiver — must be found *)
+  let fig4 = S.chain_concrete 3 in
+  Alcotest.(check bool) "Fig. 4 instance found" true
+    (List.exists (Sos.isomorphic fig4) instances);
+  (* all enumerated instances are pairwise non-isomorphic *)
+  let rec pairwise = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter
+        (fun y ->
+          Alcotest.(check bool) "pairwise distinct" false (Sos.isomorphic x y))
+        rest;
+      pairwise rest
+  in
+  pairwise instances
+
+let test_up_to () =
+  let all = Enumerate.up_to ~templates ~connectors ~max_size:2 () in
+  Alcotest.(check int) "sizes 1 and 2 together" 10 (List.length all)
+
+let test_candidate_bound () =
+  match
+    Enumerate.compositions ~max_candidates:1 ~templates ~connectors ~size:3 ()
+  with
+  | _ -> Alcotest.fail "candidate bound must trigger"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reachability graphs are ideal lattices                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_states_are_ideals () =
+  (* every state of an every-action-once behaviour is uniquely identified
+     by its set of executed actions, and those sets are downward closed
+     w.r.t. the functional dependencies *)
+  let lts = Lts.explore (V.two_vehicles ()) in
+  let n = Lts.nb_states lts in
+  let executed = Array.make n None in
+  executed.(Lts.initial lts) <- Some Action.Set.empty;
+  let queue = Queue.create () in
+  Queue.add (Lts.initial lts) queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let set = Option.get executed.(s) in
+    List.iter
+      (fun tr ->
+        let set' = Action.Set.add tr.Lts.t_label set in
+        match executed.(tr.Lts.t_dst) with
+        | None ->
+          executed.(tr.Lts.t_dst) <- Some set';
+          Queue.add tr.Lts.t_dst queue
+        | Some existing ->
+          Alcotest.(check bool) "executed set independent of the path" true
+            (Action.Set.equal existing set'))
+      (Lts.succ lts s)
+  done;
+  (* all states labelled, all labels distinct *)
+  let sets = Array.to_list executed |> List.filter_map Fun.id in
+  Alcotest.(check int) "every state reached" n (List.length sets);
+  Alcotest.(check int) "executed sets are unique" n
+    (List.length (List.sort_uniq Action.Set.compare sets));
+  (* downward closure w.r.t. the event dependencies *)
+  let deps =
+    [ (V.v_sense 1, V.v_send 1); (V.v_pos 1, V.v_send 1);
+      (V.v_send 1, V.v_rec 2); (V.v_rec 2, V.v_show 2);
+      (V.v_pos 2, V.v_show 2) ]
+  in
+  List.iter
+    (fun set ->
+      List.iter
+        (fun (below, above) ->
+          if Action.Set.mem above set then
+            Alcotest.(check bool) "downward closed" true
+              (Action.Set.mem below set))
+        deps)
+    sets
+
+let suite =
+  [ Alcotest.test_case "size one" `Quick test_size_one;
+    Alcotest.test_case "size two (matches hand enumeration)" `Quick test_size_two;
+    Alcotest.test_case "size three contains Fig. 4" `Quick test_size_three_contains_fig4;
+    Alcotest.test_case "up_to" `Quick test_up_to;
+    Alcotest.test_case "candidate bound" `Quick test_candidate_bound;
+    Alcotest.test_case "states are order ideals" `Quick test_states_are_ideals ]

@@ -1,0 +1,234 @@
+(* Tests for Fsa_graph: digraphs, closures, SCCs, isomorphism, matching. *)
+
+module G = Fsa_graph.Digraph.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end)
+
+let vset = Alcotest.testable (Fmt.of_to_string (fun s ->
+    Fmt.str "{%a}" Fmt.(list ~sep:comma int) (G.Vset.elements s)))
+    G.Vset.equal
+
+let edges_of g =
+  List.sort compare (G.edges g)
+
+let test_build () =
+  let g = G.of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  Alcotest.(check int) "vertices" 3 (G.nb_vertices g);
+  Alcotest.(check int) "edges" 3 (G.nb_edges g);
+  Alcotest.(check bool) "mem edge" true (G.mem_edge 1 2 g);
+  Alcotest.(check bool) "no reverse edge" false (G.mem_edge 2 1 g);
+  Alcotest.check vset "succ" (G.Vset.of_list [ 2; 3 ]) (G.succ 1 g);
+  Alcotest.check vset "pred" (G.Vset.of_list [ 1; 2 ]) (G.pred 3 g)
+
+let test_add_remove () =
+  let g = G.of_edges [ (1, 2) ] in
+  let g = G.remove_edge 1 2 g in
+  Alcotest.(check bool) "edge removed" false (G.mem_edge 1 2 g);
+  Alcotest.(check int) "vertices kept" 2 (G.nb_vertices g);
+  let g = G.add_edge 1 2 (G.add_edge 3 1 g) in
+  let g = G.remove_vertex 1 g in
+  Alcotest.(check int) "vertex removed" 2 (G.nb_vertices g);
+  Alcotest.(check int) "incident edges removed" 0 (G.nb_edges g)
+
+let test_idempotent_add () =
+  let g = G.of_edges [ (1, 2); (1, 2) ] in
+  Alcotest.(check int) "duplicate edge once" 1 (G.nb_edges g)
+
+let test_sources_sinks () =
+  let g = G.of_edges [ (1, 2); (2, 3); (4, 3) ] in
+  Alcotest.check vset "sources" (G.Vset.of_list [ 1; 4 ]) (G.sources g);
+  Alcotest.check vset "sinks" (G.Vset.of_list [ 3 ]) (G.sinks g)
+
+let test_reachable () =
+  let g = G.of_edges [ (1, 2); (2, 3); (4, 5) ] in
+  Alcotest.check vset "forward" (G.Vset.of_list [ 1; 2; 3 ]) (G.reachable 1 g);
+  Alcotest.check vset "backward" (G.Vset.of_list [ 1; 2; 3 ]) (G.co_reachable 3 g);
+  Alcotest.check vset "isolated island" (G.Vset.of_list [ 4; 5 ]) (G.reachable 4 g)
+
+let test_topological_sort () =
+  let g = G.of_edges [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  (match G.topological_sort g with
+  | None -> Alcotest.fail "DAG must have a topological order"
+  | Some order ->
+    Alcotest.(check int) "complete" 4 (List.length order);
+    let position v =
+      let rec go i = function
+        | [] -> Alcotest.fail "vertex missing from order"
+        | x :: rest -> if x = v then i else go (i + 1) rest
+      in
+      go 0 order
+    in
+    G.fold_edges
+      (fun u v () ->
+        Alcotest.(check bool) "edge respects order" true (position u < position v))
+      g ());
+  let cyclic = G.of_edges [ (1, 2); (2, 1) ] in
+  Alcotest.(check bool) "cycle detected" true (G.topological_sort cyclic = None)
+
+let test_find_cycle () =
+  let acyclic = G.of_edges [ (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "no cycle" true (G.find_cycle acyclic = None);
+  let g = G.of_edges [ (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  match G.find_cycle g with
+  | None -> Alcotest.fail "cycle must be found"
+  | Some cycle ->
+    Alcotest.(check bool) "cycle has >= 2 vertices" true (List.length cycle >= 2);
+    (* the returned sequence must be a real cycle in g *)
+    let rec edges_ok = function
+      | a :: (b :: _ as rest) -> G.mem_edge a b g && edges_ok rest
+      | [ last ] -> G.mem_edge last (List.hd cycle) g
+      | [] -> false
+    in
+    Alcotest.(check bool) "cycle edges exist" true (edges_ok cycle)
+
+let test_sccs () =
+  let g = G.of_edges [ (1, 2); (2, 3); (3, 1); (3, 4); (4, 5); (5, 4) ] in
+  let sccs = List.map (List.sort compare) (G.sccs g) in
+  let sorted = List.sort compare sccs in
+  Alcotest.(check (list (list int))) "components" [ [ 1; 2; 3 ]; [ 4; 5 ] ] sorted
+
+let test_transitive_closure () =
+  let g = G.of_edges [ (1, 2); (2, 3) ] in
+  let c = G.transitive_closure g in
+  Alcotest.(check bool) "direct edge kept" true (G.mem_edge 1 2 c);
+  Alcotest.(check bool) "transitive edge added" true (G.mem_edge 1 3 c);
+  Alcotest.(check bool) "no reflexive edge" false (G.mem_edge 1 1 c);
+  let r = G.transitive_closure ~reflexive:true g in
+  Alcotest.(check bool) "reflexive edge added" true (G.mem_edge 1 1 r);
+  (* idempotence *)
+  Alcotest.(check (list (pair int int)))
+    "closure idempotent" (edges_of c)
+    (edges_of (G.transitive_closure c))
+
+let test_transitive_reduction () =
+  let g = G.of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  let red = G.transitive_reduction g in
+  Alcotest.(check bool) "redundant edge removed" false (G.mem_edge 1 3 red);
+  Alcotest.(check bool) "cover edges kept" true
+    (G.mem_edge 1 2 red && G.mem_edge 2 3 red);
+  (* closure of the reduction equals the closure of the original *)
+  Alcotest.(check (list (pair int int)))
+    "reduction preserves closure"
+    (edges_of (G.transitive_closure g))
+    (edges_of (G.transitive_closure red))
+
+let test_union_map_reverse () =
+  let g1 = G.of_edges [ (1, 2) ] and g2 = G.of_edges [ (2, 3) ] in
+  let u = G.union g1 g2 in
+  Alcotest.(check int) "union edges" 2 (G.nb_edges u);
+  let m = G.map (fun v -> v * 10) u in
+  Alcotest.(check bool) "mapped edge" true (G.mem_edge 10 20 m);
+  let r = G.reverse u in
+  Alcotest.(check bool) "reversed edge" true (G.mem_edge 2 1 r && G.mem_edge 3 2 r)
+
+let test_isomorphic () =
+  let g1 = G.of_edges [ (1, 2); (2, 3) ] in
+  let g2 = G.of_edges [ (10, 20); (20, 30) ] in
+  Alcotest.(check bool) "chains isomorphic" true (G.isomorphic g1 g2);
+  let g3 = G.of_edges [ (1, 2); (1, 3) ] in
+  Alcotest.(check bool) "chain vs fan differ" false (G.isomorphic g1 g3);
+  let g4 = G.of_edges [ (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.(check bool) "different sizes differ" false (G.isomorphic g1 g4);
+  (* label constraint can rule out structural isomorphisms *)
+  let parity u v = u mod 2 = v mod 2 in
+  Alcotest.(check bool) "label-compatible" true (G.isomorphic ~label:parity g1 (G.of_edges [ (3, 4); (4, 5) ]));
+  Alcotest.(check bool) "label-incompatible" false
+    (G.isomorphic ~label:parity g1 (G.of_edges [ (2, 3); (3, 4) ]))
+
+let test_matching () =
+  (* complete bipartite K22: perfect matching of size 2 *)
+  let m =
+    Fsa_graph.Matching.maximum ~left:2 ~right:2 ~adj:(fun _ -> [ 0; 1 ])
+  in
+  Alcotest.(check int) "K22 matching" 2 (Fsa_graph.Matching.size m);
+  (* both lefts only reach right 0: matching of size 1 *)
+  let m2 = Fsa_graph.Matching.maximum ~left:2 ~right:2 ~adj:(fun _ -> [ 0 ]) in
+  Alcotest.(check int) "conflict matching" 1 (Fsa_graph.Matching.size m2);
+  (* augmenting-path case: 0->{0}, 1->{0,1} must yield 2 *)
+  let m3 =
+    Fsa_graph.Matching.maximum ~left:2 ~right:2 ~adj:(fun u ->
+        if u = 0 then [ 0 ] else [ 0; 1 ])
+  in
+  Alcotest.(check int) "augmenting path" 2 (Fsa_graph.Matching.size m3);
+  (* consistency of pairings *)
+  (match Fsa_graph.Matching.pair_of_left m3 0 with
+  | Some v ->
+    Alcotest.(check (option int)) "inverse pairing" (Some 0)
+      (Fsa_graph.Matching.pair_of_right m3 v)
+  | None -> Alcotest.fail "left 0 must be matched");
+  Alcotest.(check int) "empty graph" 0
+    (Fsa_graph.Matching.size
+       (Fsa_graph.Matching.maximum ~left:3 ~right:3 ~adj:(fun _ -> [])))
+
+let test_dot () =
+  let d = Fsa_graph.Dot.create "test" in
+  Fsa_graph.Dot.node d "a \"quoted\" node";
+  Fsa_graph.Dot.edge d "x" "y";
+  let s = Fsa_graph.Dot.to_string d in
+  Alcotest.(check bool) "digraph header" true
+    (String.length s > 0 && String.sub s 0 7 = "digraph");
+  Alcotest.(check bool) "escaped quote" true
+    (let sub = "\\\"quoted\\\"" in
+     let rec contains i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0)
+
+(* Properties over random DAGs: edges only from smaller to larger ids. *)
+let gen_dag =
+  let open QCheck2.Gen in
+  let* n = int_range 2 9 in
+  let* edges =
+    list_size (int_bound (n * 2))
+      (let* a = int_bound (n - 1) in
+       let* b = int_bound (n - 1) in
+       return (min a b, max a b))
+  in
+  let edges = List.filter (fun (a, b) -> a <> b) edges in
+  return (G.of_edges ~vertices:(List.init n Fun.id) edges)
+
+let prop_dag_topo =
+  QCheck2.Test.make ~name:"random DAGs have topological orders" ~count:200
+    gen_dag (fun g -> G.topological_sort g <> None)
+
+let prop_closure_reduction =
+  QCheck2.Test.make ~name:"closure(reduction) = closure" ~count:200 gen_dag
+    (fun g ->
+      edges_of (G.transitive_closure g)
+      = edges_of (G.transitive_closure (G.transitive_reduction g)))
+
+let prop_closures_agree =
+  QCheck2.Test.make ~name:"DFS and Warshall closures agree" ~count:200 gen_dag
+    (fun g ->
+      edges_of (G.transitive_closure g)
+      = edges_of (G.transitive_closure_dense g)
+      && edges_of (G.transitive_closure ~reflexive:true g)
+         = edges_of (G.transitive_closure_dense ~reflexive:true g))
+
+let prop_self_isomorphic =
+  QCheck2.Test.make ~name:"every graph is isomorphic to a relabelling"
+    ~count:100 gen_dag (fun g -> G.isomorphic g (G.map (fun v -> v + 100) g))
+
+let suite =
+  [ Alcotest.test_case "build" `Quick test_build;
+    Alcotest.test_case "add/remove" `Quick test_add_remove;
+    Alcotest.test_case "idempotent add" `Quick test_idempotent_add;
+    Alcotest.test_case "sources/sinks" `Quick test_sources_sinks;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "topological sort" `Quick test_topological_sort;
+    Alcotest.test_case "find cycle" `Quick test_find_cycle;
+    Alcotest.test_case "sccs" `Quick test_sccs;
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "transitive reduction" `Quick test_transitive_reduction;
+    Alcotest.test_case "union/map/reverse" `Quick test_union_map_reverse;
+    Alcotest.test_case "isomorphic" `Quick test_isomorphic;
+    Alcotest.test_case "bipartite matching" `Quick test_matching;
+    Alcotest.test_case "dot output" `Quick test_dot;
+    QCheck_alcotest.to_alcotest prop_dag_topo;
+    QCheck_alcotest.to_alcotest prop_closures_agree;
+    QCheck_alcotest.to_alcotest prop_closure_reduction;
+    QCheck_alcotest.to_alcotest prop_self_isomorphic ]

@@ -1,0 +1,153 @@
+(* Tests for the smart-grid scenario: a second domain exercising APA
+   joins, token duplication and fan-out. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Lts = Fsa_lts.Lts
+module Auth = Fsa_requirements.Auth
+module Analysis = Fsa_core.Analysis
+module Scenario = Fsa_grid.Scenario
+module Grid_apa = Fsa_grid.Grid_apa
+
+let tool = lazy (Analysis.tool ~stakeholder:Grid_apa.stakeholder (Grid_apa.demand_response ()))
+let manual = lazy (Analysis.manual ~stakeholder:Scenario.stakeholder (Scenario.demand_response ()))
+
+let test_manual_requirements () =
+  let r = Lazy.force manual in
+  Alcotest.(check int) "eight requirements" 8
+    (List.length r.Analysis.m_requirements);
+  (* the settlement flow is availability-only *)
+  let availability =
+    List.filter
+      (fun (_, c) ->
+        not
+          (Fsa_requirements.Classify.equal_class c
+             Fsa_requirements.Classify.Safety_critical))
+      r.Analysis.m_classified
+  in
+  Alcotest.(check int) "two billing requirements are policy-induced" 2
+    (List.length availability);
+  List.iter
+    (fun (req, _) ->
+      Alcotest.(check string) "billing effect" "bill"
+        (Action.label (Auth.effect req)))
+    availability
+
+let test_boundaries () =
+  let r = Lazy.force manual in
+  Alcotest.(check int) "three inputs" 3
+    (List.length r.Analysis.m_boundary.Fsa_model.Sos.incoming);
+  Alcotest.(check int) "three outputs" 3
+    (List.length r.Analysis.m_boundary.Fsa_model.Sos.outgoing)
+
+let test_tool_path () =
+  let r = Lazy.force tool in
+  Alcotest.(check int) "eight requirements from the behaviour" 8
+    (List.length r.Analysis.t_requirements);
+  Alcotest.(check int) "one dead state" 1 r.Analysis.t_stats.Lts.nb_deadlocks;
+  Alcotest.(check (list string)) "minima"
+    [ "M1_measure"; "M2_measure"; "MK_quote" ]
+    (List.map Action.to_string r.Analysis.t_minima);
+  Alcotest.(check (list string)) "maxima"
+    [ "B1_switch"; "B2_switch"; "HE_bill" ]
+    (List.map Action.to_string r.Analysis.t_maxima)
+
+let test_crosscheck () =
+  let t = Lazy.force tool and m = Lazy.force manual in
+  let c =
+    Analysis.crosscheck ~map:Grid_apa.manual_action_of_label
+      ~manual_requirements:m.Analysis.m_requirements
+      ~tool_requirements:t.Analysis.t_requirements
+  in
+  Alcotest.(check bool) "paths agree" true c.Analysis.c_agree
+
+let test_join_semantics () =
+  (* the aggregate needs BOTH readings: it is not enabled after a single
+     collect *)
+  let apa = Grid_apa.demand_response () in
+  let rec drive st = function
+    | [] -> st
+    | name :: rest ->
+      let next =
+        List.find_map
+          (fun (r, _, s) -> if Apa.rule_name r = name then Some s else None)
+          (Apa.step apa st)
+      in
+      (match next with
+      | Some s -> drive s rest
+      | None -> Alcotest.fail ("cannot drive " ^ name))
+  in
+  let st =
+    drive (Apa.initial_state apa) [ "M1_measure"; "M1_report"; "C_collect" ]
+  in
+  Alcotest.(check bool) "aggregate blocked on one reading" true
+    (List.for_all
+       (fun (r, _, _) -> Apa.rule_name r <> "C_aggregate")
+       (Apa.step apa st));
+  let st =
+    drive st [ "M2_measure"; "M2_report"; "C_collect" ]
+  in
+  Alcotest.(check bool) "aggregate enabled with both" true
+    (List.exists
+       (fun (r, _, _) -> Apa.rule_name r = "C_aggregate")
+       (Apa.step apa st))
+
+let test_fanout_semantics () =
+  (* dispatch produces one command per breaker in a single transition *)
+  let apa = Grid_apa.demand_response () in
+  let lts = Lts.explore apa in
+  (* find a transition labelled HE_dispatch and inspect its target *)
+  let tr =
+    List.find
+      (fun tr -> Action.label tr.Lts.t_label = "HE_dispatch")
+      (Lts.transitions lts)
+  in
+  let state = Lts.state lts tr.Lts.t_dst in
+  Alcotest.(check int) "two commands on the field network" 2
+    (Term.Set.cardinal (Apa.State.get "fieldnet" state))
+
+let test_duplication_semantics () =
+  (* ingest feeds both the decision and billing: after a full run the
+     ledger holds the invoice AND both breakers switched *)
+  let lts = Lts.explore (Grid_apa.demand_response ()) in
+  match Lts.deadlocks lts with
+  | [ dead ] ->
+    let state = Lts.state lts dead in
+    Alcotest.(check int) "invoice written" 1
+      (Term.Set.cardinal (Apa.State.get "ledger" state));
+    Alcotest.(check int) "breaker 1 off" 1
+      (Term.Set.cardinal (Apa.State.get "bstate1" state));
+    Alcotest.(check int) "breaker 2 off" 1
+      (Term.Set.cardinal (Apa.State.get "bstate2" state))
+  | _ -> Alcotest.fail "expected a unique dead state"
+
+let test_scaling_households () =
+  (* the model is parameterised: three households work as well *)
+  let manual3 =
+    Analysis.manual ~stakeholder:Scenario.stakeholder
+      (Scenario.demand_response ~households:3 ())
+  in
+  (* 3 meters x (3 switches + bill) + quote x 3 switches = 15 *)
+  Alcotest.(check int) "fifteen requirements with three households" 15
+    (List.length manual3.Analysis.m_requirements);
+  let tool3 =
+    Analysis.tool ~stakeholder:Grid_apa.stakeholder
+      (Grid_apa.demand_response ~households:3 ())
+  in
+  let c =
+    Analysis.crosscheck ~map:Grid_apa.manual_action_of_label
+      ~manual_requirements:manual3.Analysis.m_requirements
+      ~tool_requirements:tool3.Analysis.t_requirements
+  in
+  Alcotest.(check bool) "three-household paths agree" true c.Analysis.c_agree
+
+let suite =
+  [ Alcotest.test_case "manual requirements" `Quick test_manual_requirements;
+    Alcotest.test_case "boundaries" `Quick test_boundaries;
+    Alcotest.test_case "tool path" `Quick test_tool_path;
+    Alcotest.test_case "crosscheck" `Quick test_crosscheck;
+    Alcotest.test_case "join semantics" `Quick test_join_semantics;
+    Alcotest.test_case "fan-out semantics" `Quick test_fanout_semantics;
+    Alcotest.test_case "duplication semantics" `Quick test_duplication_semantics;
+    Alcotest.test_case "scaling households" `Quick test_scaling_households ]

@@ -1,0 +1,189 @@
+(* Tests for Fsa_hom: homomorphisms, abstraction-based dependence
+   (Figs. 10/11), simplicity.  Expected shapes are the paper's figures. *)
+
+module Term = Fsa_term.Term
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+module V = Fsa_vanet.Vehicle_apa
+
+let lts2 = lazy (Lts.explore (V.two_vehicles ()))
+let lts4 = lazy (Lts.explore (V.four_vehicles ()))
+
+let action_words dfa n = Hom.A.Dfa.words ~max_len:n dfa
+
+let test_hom_constructors () =
+  let a = Action.make "a" and b = Action.make "b" in
+  Alcotest.(check bool) "identity keeps" true (Hom.identity a = Some a);
+  let h = Hom.preserve [ a ] in
+  Alcotest.(check bool) "preserve keeps listed" true (h a = Some a);
+  Alcotest.(check bool) "preserve erases others" true (h b = None);
+  let r = Hom.rename [ (a, b) ] in
+  Alcotest.(check bool) "rename maps" true (r a = Some b);
+  Alcotest.(check bool) "rename keeps others" true (r b = Some b);
+  let c = Hom.compose h r in
+  (* first rename a->b, then preserve {a}: b is erased *)
+  Alcotest.(check bool) "compose pipes through" true (c a = None)
+
+let test_image_nfa_prefix_closed () =
+  let lts = Lazy.force lts2 in
+  let nfa = Hom.image_nfa Hom.identity lts in
+  Alcotest.(check int) "one NFA state per LTS state" (Lts.nb_states lts)
+    (Hom.A.Nfa.nb_states nfa);
+  (* every state of a behaviour accepts *)
+  Alcotest.(check int) "all accepting" (Lts.nb_states lts)
+    (Fsa_automata.Automata.Int_set.cardinal (Hom.A.Nfa.finals nfa))
+
+let test_fig10_shape () =
+  (* dependent pair: 3-state chain sense -> show *)
+  let lts = Lazy.force lts4 in
+  let dfa =
+    Hom.minimal_automaton (Hom.preserve [ V.v_sense 1; V.v_show 2 ]) lts
+  in
+  Alcotest.(check int) "3 states (Fig. 10)" 3 (Hom.A.Dfa.nb_states dfa);
+  Alcotest.(check int) "2 transitions" 2 (Hom.A.Dfa.nb_transitions dfa);
+  (* the only maximal word is sense.show *)
+  Alcotest.(check int) "3 accepted words up to length 2" 3
+    (List.length (action_words dfa 2));
+  Alcotest.(check bool) "show before sense rejected" false
+    (Hom.A.Dfa.accepts dfa [ V.v_show 2; V.v_sense 1 ]);
+  Alcotest.(check bool) "sense then show accepted" true
+    (Hom.A.Dfa.accepts dfa [ V.v_sense 1; V.v_show 2 ])
+
+let test_fig11_shape () =
+  (* independent pair: 4-state diamond *)
+  let lts = Lazy.force lts4 in
+  let dfa =
+    Hom.minimal_automaton (Hom.preserve [ V.v_sense 1; V.v_show 4 ]) lts
+  in
+  Alcotest.(check int) "4 states (Fig. 11)" 4 (Hom.A.Dfa.nb_states dfa);
+  Alcotest.(check int) "4 transitions" 4 (Hom.A.Dfa.nb_transitions dfa);
+  Alcotest.(check bool) "both orders accepted" true
+    (Hom.A.Dfa.accepts dfa [ V.v_show 4; V.v_sense 1 ]
+     && Hom.A.Dfa.accepts dfa [ V.v_sense 1; V.v_show 4 ])
+
+let test_depends_abstract () =
+  let lts = Lazy.force lts4 in
+  Alcotest.(check bool) "V2_show <- V1_sense" true
+    (Hom.depends_abstract lts ~min_action:(V.v_sense 1) ~max_action:(V.v_show 2));
+  Alcotest.(check bool) "V4_show independent of V1_sense" false
+    (Hom.depends_abstract lts ~min_action:(V.v_sense 1) ~max_action:(V.v_show 4))
+
+let test_abstract_agrees_with_direct () =
+  (* the paper's two methods must agree on every (min, max) pair *)
+  let lts = Lazy.force lts4 in
+  let minima = Action.Set.elements (Lts.minima lts) in
+  let maxima = Action.Set.elements (Lts.maxima lts) in
+  List.iter
+    (fun mx ->
+      List.iter
+        (fun mn ->
+          Alcotest.(check bool)
+            (Fmt.str "agree on (%a, %a)" Action.pp mn Action.pp mx)
+            (Lts.depends_on lts ~max_action:mx ~min_action:mn)
+            (Hom.depends_abstract lts ~min_action:mn ~max_action:mx))
+        minima)
+    maxima
+
+let test_dependence_matrix () =
+  let lts = Lazy.force lts4 in
+  let matrix =
+    Hom.dependence_matrix lts
+      ~minima:(Action.Set.elements (Lts.minima lts))
+      ~maxima:(Action.Set.elements (Lts.maxima lts))
+  in
+  let deps =
+    List.concat_map
+      (fun (_, row) -> List.filter (fun (_, d) -> d) row)
+      matrix
+  in
+  (* Sect. 5.5: 6 requirements *)
+  Alcotest.(check int) "6 dependent pairs" 6 (List.length deps)
+
+let test_simplicity_of_pair_homs () =
+  (* the homomorphisms used in the paper's analysis are simple on these
+     behaviours *)
+  let lts = Lazy.force lts4 in
+  List.iter
+    (fun (mn, mx) ->
+      Alcotest.(check bool)
+        (Fmt.str "simple for (%a, %a)" Action.pp mn Action.pp mx)
+        true
+        (Hom.is_simple (Hom.preserve [ mn; mx ]) lts))
+    [ (V.v_sense 1, V.v_show 2); (V.v_sense 3, V.v_show 4) ]
+
+let test_non_simple_hom () =
+  (* A behaviour with a hidden early decision: from the initial state,
+     rule A leads to a state where C is possible, rule B to a state where
+     it is not.  Erasing A and B is NOT simple: the abstract automaton
+     offers C although the concrete system may have taken branch B. *)
+  let sym = Term.sym and var = Term.var in
+  let apa =
+    Apa.make
+      ~components:
+        [ ("c0", Term.Set.of_list [ sym "t" ]);
+          ("c1", Term.Set.empty); ("c2", Term.Set.empty);
+          ("c3", Term.Set.empty) ]
+      ~rules:
+        [ Apa.rule "A" ~takes:[ Apa.take "c0" (var "x") ]
+            ~puts:[ Apa.put "c1" (var "x") ];
+          Apa.rule "B" ~takes:[ Apa.take "c0" (var "x") ]
+            ~puts:[ Apa.put "c2" (var "x") ];
+          Apa.rule "C" ~takes:[ Apa.take "c1" (var "x") ]
+            ~puts:[ Apa.put "c3" (var "x") ] ]
+      "brancher"
+  in
+  let lts = Lts.explore apa in
+  let h = Hom.preserve [ Action.make "C" ] in
+  Alcotest.(check bool) "hiding the branching is not simple" false
+    (Hom.is_simple h lts);
+  (* whereas keeping the branching visible is *)
+  let h' = Hom.preserve [ Action.make "A" ; Action.make "B"; Action.make "C" ] in
+  Alcotest.(check bool) "identity-like hom is simple" true
+    (Hom.is_simple h' lts)
+
+let test_identity_simple () =
+  Alcotest.(check bool) "identity is always simple" true
+    (Hom.is_simple Hom.identity (Lazy.force lts2))
+
+let test_rename_merges_actions () =
+  (* renaming both sense actions to one abstract "sense" action *)
+  let lts = Lazy.force lts4 in
+  let merged = Action.make "sense" in
+  let h a =
+    match Action.label a with
+    | "V1_sense" | "V3_sense" -> Some merged
+    | "V2_show" | "V4_show" -> Some a
+    | _ -> None
+  in
+  let dfa = Hom.minimal_automaton h lts in
+  Alcotest.(check bool) "merged action appears" true
+    (List.exists
+       (fun (_, l, _) -> Action.equal l merged)
+       (Hom.A.Dfa.transitions dfa))
+
+let test_dot_output () =
+  let lts = Lazy.force lts2 in
+  let dot = Hom.dot (Hom.preserve [ V.v_sense 1; V.v_show 2 ]) lts in
+  Alcotest.(check bool) "dot mentions V1_sense" true
+    (let sub = "V1_sense" in
+     let rec contains i =
+       i + String.length sub <= String.length dot
+       && (String.sub dot i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [ Alcotest.test_case "constructors" `Quick test_hom_constructors;
+    Alcotest.test_case "image NFA prefix closed" `Quick test_image_nfa_prefix_closed;
+    Alcotest.test_case "Fig. 10 shape (dependent)" `Quick test_fig10_shape;
+    Alcotest.test_case "Fig. 11 shape (independent)" `Quick test_fig11_shape;
+    Alcotest.test_case "abstract dependence" `Quick test_depends_abstract;
+    Alcotest.test_case "abstract = direct" `Quick test_abstract_agrees_with_direct;
+    Alcotest.test_case "dependence matrix" `Quick test_dependence_matrix;
+    Alcotest.test_case "pair homs are simple" `Quick test_simplicity_of_pair_homs;
+    Alcotest.test_case "non-simple hom detected" `Quick test_non_simple_hom;
+    Alcotest.test_case "identity simple" `Quick test_identity_simple;
+    Alcotest.test_case "rename merges actions" `Quick test_rename_merges_actions;
+    Alcotest.test_case "dot output" `Quick test_dot_output ]

@@ -1,0 +1,110 @@
+(* Tests for Fsa_mc: CTL model checking on concrete and abstract
+   behaviours. *)
+
+module Action = Fsa_term.Action
+module Lts = Fsa_lts.Lts
+module Ctl = Fsa_mc.Ctl
+module Hom = Fsa_hom.Hom
+module V = Fsa_vanet.Vehicle_apa
+
+let lts2 = lazy (Lts.explore (V.two_vehicles ()))
+
+let check_lts f expected name =
+  Alcotest.(check bool) name expected (Ctl.On_lts.check (Lazy.force lts2) f)
+
+let test_atoms () =
+  check_lts (Ctl.enabled_action (V.v_sense 1)) true "sense enabled initially";
+  check_lts (Ctl.enabled_action (V.v_show 2)) false "show not enabled initially";
+  check_lts Ctl.deadlock false "initial state is not dead";
+  check_lts (Ctl.state_pred "is-initial" (fun s -> s = 0)) true "state predicate"
+
+let test_boolean_connectives () =
+  let t = Ctl.True and f = Ctl.False in
+  check_lts (Ctl.And (t, t)) true "and";
+  check_lts (Ctl.And (t, f)) false "and false";
+  check_lts (Ctl.Or (f, t)) true "or";
+  check_lts (Ctl.Not f) true "not";
+  check_lts (Ctl.Implies (f, f)) true "ex falso";
+  check_lts (Ctl.Implies (t, f)) false "implies false"
+
+let test_temporal_operators () =
+  (* EF deadlock: the run can terminate *)
+  check_lts (Ctl.EF Ctl.deadlock) true "EF deadlock";
+  (* AF deadlock: every run terminates (the scenario is finite) *)
+  check_lts (Ctl.AF Ctl.deadlock) true "AF deadlock";
+  (* EX: after one step, sense can still be enabled (if pos moved first) *)
+  check_lts (Ctl.EX (Ctl.enabled_action (V.v_sense 1))) true "EX sense";
+  (* AX: not every first step keeps sense enabled (sense itself fires) *)
+  check_lts (Ctl.AX (Ctl.enabled_action (V.v_sense 1))) false "AX sense";
+  (* AG true *)
+  check_lts (Ctl.AG Ctl.True) true "AG true";
+  (* EG: some maximal path on which show is never *taken* — but
+     enabledness of show2 only arises late; EG (not enabled show) fails
+     because every complete run eventually enables show *)
+  check_lts (Ctl.EG (Ctl.Not (Ctl.enabled_action (V.v_show 2)))) false
+    "every run eventually enables show";
+  (* safety: the warning can only be shown after the message arrived —
+     AG (enabled show => not enabled rec) on this 1-message scenario *)
+  check_lts
+    (Ctl.AG
+       (Ctl.Implies
+          (Ctl.enabled_action (V.v_show 2),
+           Ctl.Not (Ctl.enabled_action (V.v_rec 2)))))
+    true "show enabled only after rec consumed the message"
+
+let test_until_operators () =
+  (* E[ not-dead U enabled show ] : some path stays live until show *)
+  check_lts
+    (Ctl.EU (Ctl.Not Ctl.deadlock, Ctl.enabled_action (V.v_show 2)))
+    true "EU reaches show";
+  (* A[ true U deadlock ] = AF deadlock *)
+  check_lts (Ctl.AU (Ctl.True, Ctl.deadlock)) true "AU deadlock";
+  (* A[ false U deadlock ] fails in the initial state (it is not dead) *)
+  check_lts (Ctl.AU (Ctl.False, Ctl.deadlock)) false "AU with false lhs"
+
+let test_deadlock_eg_convention () =
+  (* a dead state satisfying f witnesses EG f (maximal finite paths) *)
+  check_lts (Ctl.EF (Ctl.EG Ctl.deadlock)) true "EG on dead states"
+
+let test_sat_set_and_counterexamples () =
+  let lts = Lazy.force lts2 in
+  let sat = Ctl.On_lts.sat_set lts (Ctl.EF Ctl.deadlock) in
+  Alcotest.(check bool) "every state can terminate" true
+    (Array.for_all Fun.id sat);
+  let cex =
+    Ctl.On_lts.counterexample_states lts (Ctl.enabled_action (V.v_sense 1))
+  in
+  (* sense is enabled only while esp1 is pending: in states without it the
+     atom fails *)
+  Alcotest.(check bool) "counterexamples exist" true (cex <> []);
+  Alcotest.(check bool) "initial not among them" true
+    (not (List.mem (Lts.initial lts) cex))
+
+let test_check_abstract () =
+  let lts = Lazy.force lts2 in
+  let h = Hom.preserve [ V.v_sense 1; V.v_show 2 ] in
+  Alcotest.(check bool) "hom is simple here" true (Hom.is_simple h lts);
+  (* abstractly: sense can happen, then show *)
+  Alcotest.(check bool) "EF enabled(show) abstractly" true
+    (Ctl.check_abstract h lts (Ctl.EF (Ctl.enabled_action (V.v_show 2))));
+  (* abstractly, show is never enabled before sense happened *)
+  Alcotest.(check bool) "show not initially enabled abstractly" false
+    (Ctl.check_abstract h lts (Ctl.enabled_action (V.v_show 2)))
+
+let test_pp () =
+  let f =
+    Ctl.AG (Ctl.Implies (Ctl.deadlock, Ctl.Not (Ctl.enabled_action (V.v_show 2))))
+  in
+  let s = Fmt.str "%a" Ctl.pp f in
+  Alcotest.(check bool) "pp mentions AG" true
+    (String.length s >= 2 && String.sub s 0 2 = "AG")
+
+let suite =
+  [ Alcotest.test_case "atoms" `Quick test_atoms;
+    Alcotest.test_case "boolean connectives" `Quick test_boolean_connectives;
+    Alcotest.test_case "temporal operators" `Quick test_temporal_operators;
+    Alcotest.test_case "until operators" `Quick test_until_operators;
+    Alcotest.test_case "EG on dead states" `Quick test_deadlock_eg_convention;
+    Alcotest.test_case "sat sets / counterexamples" `Quick test_sat_set_and_counterexamples;
+    Alcotest.test_case "abstract checking" `Quick test_check_abstract;
+    Alcotest.test_case "formula printing" `Quick test_pp ]

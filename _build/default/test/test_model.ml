@@ -1,0 +1,236 @@
+(* Tests for Fsa_model: components, flows, SoS composition, boundaries. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+
+let action = Alcotest.testable Action.pp Action.equal
+
+let a name = Action.make name
+let act actor name = Action.make ~actor:(Agent.unindexed actor) name
+
+(* ------------------------------------------------------------------ *)
+(* Flows                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_kinds () =
+  let f = Flow.internal ~policy:"perf" (a "x") (a "y") in
+  Alcotest.(check bool) "policy induced" true (Flow.is_policy_induced f);
+  Alcotest.(check bool) "internal" false (Flow.is_external f);
+  let e = Flow.external_ (a "x") (a "y") in
+  Alcotest.(check bool) "external" true (Flow.is_external e);
+  Alcotest.(check bool) "no policy" false (Flow.is_policy_induced e)
+
+let test_flow_reindex () =
+  let src = Action.make ~actor:(Agent.symbolic "CU" "i") "send" in
+  let dst = Action.make ~actor:(Agent.symbolic "CU" "i") "rec" in
+  let f = Flow.internal src dst in
+  let g =
+    Flow.reindex (function Agent.Symbolic "i" -> Agent.Concrete 3 | x -> x) f
+  in
+  Alcotest.check action "src reindexed"
+    (Action.make ~actor:(Agent.concrete "CU" 3) "send")
+    (Flow.src g)
+
+(* ------------------------------------------------------------------ *)
+(* Components                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_component_validation () =
+  (match
+     Component.validate
+       { Component.name = "C"; param = None; actions = [ a "x" ];
+         flows = [ Flow.internal (a "x") (a "y") ]; ports = [] }
+   with
+  | Error (Component.Unknown_action _ :: _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "undeclared flow endpoint must be caught");
+  (match
+     Component.validate
+       { Component.name = "C"; param = None; actions = [ a "x"; a "x" ];
+         flows = []; ports = [] }
+   with
+  | Error errs ->
+    Alcotest.(check bool) "duplicate caught" true
+      (List.exists (function Component.Duplicate_action _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "duplicate action must be caught");
+  match
+    Component.validate
+      { Component.name = "C"; param = None; actions = [ a "x"; a "y" ];
+        flows = [ Flow.external_ (a "x") (a "y") ]; ports = [] }
+  with
+  | Error (Component.External_flow_in_component _ :: _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "external flow inside component must be caught"
+
+let test_component_boundaries () =
+  let c =
+    Component.make "C"
+      ~actions:[ a "in1"; a "mid"; a "out1" ]
+      ~flows:[ Flow.internal (a "in1") (a "mid"); Flow.internal (a "mid") (a "out1") ]
+  in
+  Alcotest.(check (list action)) "inputs" [ a "in1" ] (Component.inputs c);
+  Alcotest.(check (list action)) "outputs" [ a "out1" ] (Component.outputs c);
+  Alcotest.(check (list action)) "boundary" [ a "in1"; a "out1" ]
+    (Component.boundary_actions c)
+
+let test_component_isolated_action () =
+  let c = Component.make "C" ~actions:[ a "solo" ] ~flows:[] in
+  Alcotest.(check (list action)) "isolated action is boundary" [ a "solo" ]
+    (Component.boundary_actions c)
+
+let test_instantiate () =
+  let tpl = Fsa_vanet.Scenario.vehicle_template in
+  let inst = Component.instantiate ~short_name:"V" tpl 5 in
+  Alcotest.(check string) "name" "V_5" (Component.name inst);
+  Alcotest.(check bool) "no longer a template" false (Component.is_template inst);
+  Alcotest.(check bool) "actions concretised" true
+    (List.exists
+       (fun act ->
+         Action.equal act (Fsa_vanet.Scenario.sense (Agent.Concrete 5)))
+       (Component.actions inst));
+  match Component.instantiate inst 6 with
+  | _ -> Alcotest.fail "instantiating a non-template must fail"
+  | exception Invalid_argument _ -> ()
+
+let test_with_symbolic_index () =
+  let tpl = Fsa_vanet.Scenario.vehicle_template in
+  let w = Component.with_symbolic_index tpl "w" in
+  Alcotest.(check bool) "still a template" true (Component.is_template w);
+  Alcotest.(check bool) "actions renamed" true
+    (List.exists
+       (fun act ->
+         Action.equal act (Fsa_vanet.Scenario.show (Agent.Symbolic "w")))
+       (Component.actions w))
+
+(* ------------------------------------------------------------------ *)
+(* SoS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mk_producer () =
+  Component.make "P" ~actions:[ act "P" "make"; act "P" "emit" ]
+    ~flows:[ Flow.internal (act "P" "make") (act "P" "emit") ]
+
+let mk_consumer () =
+  Component.make "C" ~actions:[ act "C" "recv"; act "C" "use" ]
+    ~flows:[ Flow.internal (act "C" "recv") (act "C" "use") ]
+
+let test_sos_validation () =
+  let p = mk_producer () and c = mk_consumer () in
+  (* unknown endpoint *)
+  (match
+     Sos.validate
+       { Sos.name = "bad"; components = [ p; c ];
+         links = [ Flow.external_ (act "P" "emit") (act "X" "nowhere") ] }
+   with
+  | Error errs ->
+    Alcotest.(check bool) "unknown endpoint" true
+      (List.exists
+         (function Sos.Unknown_component_action _ -> true | _ -> false)
+         errs)
+  | Ok () -> Alcotest.fail "unknown endpoint must be caught");
+  (* link within one component *)
+  (match
+     Sos.validate
+       { Sos.name = "bad2"; components = [ p; c ];
+         links = [ Flow.external_ (act "P" "make") (act "P" "emit") ] }
+   with
+  | Error errs ->
+    Alcotest.(check bool) "self link" true
+      (List.exists
+         (function Sos.Link_within_component _ -> true | _ -> false)
+         errs)
+  | Ok () -> Alcotest.fail "intra-component link must be caught");
+  (* cyclic flow *)
+  match
+    Sos.validate
+      { Sos.name = "bad3"; components = [ p; c ];
+        links =
+          [ Flow.external_ (act "P" "emit") (act "C" "recv");
+            Flow.external_ (act "C" "use") (act "P" "make") ] }
+  with
+  | Error errs ->
+    Alcotest.(check bool) "cycle" true
+      (List.exists (function Sos.Cyclic_flow _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "cyclic flow must be caught"
+
+let test_sos_links_forced_external () =
+  let p = mk_producer () and c = mk_consumer () in
+  let sos =
+    Sos.make "s" ~components:[ p; c ]
+      ~links:[ Flow.internal (act "P" "emit") (act "C" "recv") ]
+  in
+  Alcotest.(check bool) "links are external" true
+    (List.for_all Flow.is_external (Sos.links sos))
+
+let test_sos_boundary () =
+  let p = mk_producer () and c = mk_consumer () in
+  let sos =
+    Sos.make "s" ~components:[ p; c ]
+      ~links:[ Flow.external_ (act "P" "emit") (act "C" "recv") ]
+  in
+  let b = Sos.boundary sos in
+  Alcotest.(check (list action)) "incoming" [ act "P" "make" ] b.Sos.incoming;
+  Alcotest.(check (list action)) "outgoing" [ act "C" "use" ] b.Sos.outgoing;
+  let s = Sos.stats sos in
+  Alcotest.(check int) "component boundary actions" 4 s.Sos.nb_component_boundary;
+  Alcotest.(check int) "system boundary actions" 2 s.Sos.nb_system_boundary
+
+let test_sos_isomorphic_dedup () =
+  let mk name i =
+    let send = Action.make ~actor:(Agent.concrete "S" i) "send" in
+    let recv = Action.make ~actor:(Agent.concrete "R" i) "recv" in
+    Sos.make name
+      ~components:
+        [ Component.make (Printf.sprintf "S_%d" i) ~actions:[ send ] ~flows:[];
+          Component.make (Printf.sprintf "R_%d" i) ~actions:[ recv ] ~flows:[] ]
+      ~links:[ Flow.external_ send recv ]
+  in
+  let a = mk "a" 1 and b = mk "b" 2 in
+  Alcotest.(check bool) "index-shifted instances isomorphic" true
+    (Sos.isomorphic a b);
+  Alcotest.(check int) "dedup keeps one" 1
+    (List.length (Sos.dedup_isomorphic [ a; b ]));
+  (* different shapes are kept *)
+  let c = Fsa_vanet.Scenario.rsu_and_vehicle in
+  Alcotest.(check int) "different shapes kept" 2
+    (List.length (Sos.dedup_isomorphic [ a; c ]))
+
+let test_scenario_stats () =
+  let s = Sos.stats Fsa_vanet.Scenario.two_vehicles in
+  Alcotest.(check int) "two vehicles: 6 actions" 6 s.Sos.nb_actions;
+  Alcotest.(check int) "two vehicles: 3 minima" 3 s.Sos.nb_minimal;
+  Alcotest.(check int) "two vehicles: 1 maximum" 1 s.Sos.nb_maximal
+
+let test_dot_render () =
+  let dot = Sos.dot Fsa_vanet.Scenario.two_vehicles in
+  Alcotest.(check bool) "mentions show action" true
+    (let sub = "show" in
+     let rec contains i =
+       i + String.length sub <= String.length dot
+       && (String.sub dot i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0);
+  Alcotest.(check bool) "external link dashed" true
+    (let sub = "dashed" in
+     let rec contains i =
+       i + String.length sub <= String.length dot
+       && (String.sub dot i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [ Alcotest.test_case "flow kinds" `Quick test_flow_kinds;
+    Alcotest.test_case "flow reindex" `Quick test_flow_reindex;
+    Alcotest.test_case "component validation" `Quick test_component_validation;
+    Alcotest.test_case "component boundaries" `Quick test_component_boundaries;
+    Alcotest.test_case "isolated action" `Quick test_component_isolated_action;
+    Alcotest.test_case "instantiate" `Quick test_instantiate;
+    Alcotest.test_case "symbolic index" `Quick test_with_symbolic_index;
+    Alcotest.test_case "sos validation" `Quick test_sos_validation;
+    Alcotest.test_case "links forced external" `Quick test_sos_links_forced_external;
+    Alcotest.test_case "sos boundary" `Quick test_sos_boundary;
+    Alcotest.test_case "isomorphic dedup" `Quick test_sos_isomorphic_dedup;
+    Alcotest.test_case "scenario stats" `Quick test_scenario_stats;
+    Alcotest.test_case "dot render" `Quick test_dot_render ]

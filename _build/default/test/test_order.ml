@@ -1,0 +1,194 @@
+(* Tests for Fsa_order: partial orders, chi, ideals, linear extensions. *)
+
+module G = Fsa_graph.Digraph.Make (struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Fmt.string
+end)
+
+module P = Fsa_order.Poset.Make (G)
+
+let sorted_pairs ps = List.sort compare ps
+
+(* The event poset of the paper's two-vehicle scenario (Fig. 3 / Fig. 6):
+   a = V1_sense, b = V1_pos, c = V1_send, d = V2_pos, e = V2_rec,
+   f = V2_show. *)
+let paper_poset () =
+  P.of_relation_exn
+    [ ("a", "c"); ("b", "c"); ("c", "e"); ("e", "f"); ("d", "f") ]
+
+let test_cycle_rejected () =
+  match P.of_relation [ ("a", "b"); ("b", "a") ] with
+  | Ok _ -> Alcotest.fail "cyclic relation must be rejected"
+  | Error (P.Cycle c) ->
+    Alcotest.(check bool) "cycle reported" true (List.length c >= 2)
+
+let test_leq_lt () =
+  let p = paper_poset () in
+  Alcotest.(check bool) "transitive lt" true (P.lt "a" "f" p);
+  Alcotest.(check bool) "reflexive leq" true (P.leq "a" "a" p);
+  Alcotest.(check bool) "not lt self" false (P.lt "a" "a" p);
+  Alcotest.(check bool) "incomparable" false (P.comparable "a" "d" p);
+  Alcotest.(check bool) "comparable" true (P.comparable "b" "e" p)
+
+let test_minima_maxima () =
+  let p = paper_poset () in
+  Alcotest.(check (list string)) "minima" [ "a"; "b"; "d" ]
+    (P.Eset.elements (P.minima p));
+  Alcotest.(check (list string)) "maxima" [ "f" ] (P.Eset.elements (P.maxima p))
+
+let test_chi () =
+  let p = paper_poset () in
+  Alcotest.(check (list (pair string string)))
+    "chi = minima crossed with dependent maxima"
+    [ ("a", "f"); ("b", "f"); ("d", "f") ]
+    (sorted_pairs (P.chi p))
+
+let test_chi_isolated () =
+  let p = P.of_relation_exn ~elements:[ "x" ] [ ("a", "b") ] in
+  Alcotest.(check (list (pair string string)))
+    "isolated excluded by default"
+    [ ("a", "b") ]
+    (sorted_pairs (P.chi p));
+  Alcotest.(check (list (pair string string)))
+    "isolated included on demand"
+    [ ("a", "b"); ("x", "x") ]
+    (sorted_pairs (P.chi ~include_isolated:true p))
+
+let test_closure_pairs () =
+  let p = paper_poset () in
+  (* 6 reflexive pairs + 10 strict pairs = 16, as in Example 3 *)
+  Alcotest.(check int) "zeta* cardinality (Example 3)" 16
+    (List.length (P.closure_pairs p))
+
+let test_hasse () =
+  let p = P.of_relation_exn [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  let h = P.hasse p in
+  Alcotest.(check bool) "redundant cover removed" false (G.mem_edge "a" "c" h);
+  Alcotest.(check (list string)) "covers" [ "b" ]
+    (P.Eset.elements (P.covers "a" p))
+
+let test_downset_upset () =
+  let p = paper_poset () in
+  Alcotest.(check (list string)) "downset of e" [ "a"; "b"; "c"; "e" ]
+    (P.Eset.elements (P.downset "e" p));
+  Alcotest.(check (list string)) "upset of b" [ "b"; "c"; "e"; "f" ]
+    (P.Eset.elements (P.upset "b" p))
+
+let test_height_width () =
+  let p = paper_poset () in
+  Alcotest.(check int) "height (longest chain a<c<e<f)" 4 (P.height p);
+  Alcotest.(check int) "width (antichain {a,b,d})" 3 (P.width p);
+  let chain = P.of_relation_exn [ ("1", "2"); ("2", "3"); ("3", "4") ] in
+  Alcotest.(check int) "chain height" 4 (P.height chain);
+  Alcotest.(check int) "chain width" 1 (P.width chain);
+  let anti = P.of_relation_exn ~elements:[ "x"; "y"; "z" ] [] in
+  Alcotest.(check int) "antichain height" 1 (P.height anti);
+  Alcotest.(check int) "antichain width" 3 (P.width anti)
+
+let test_ideals_known_shapes () =
+  (* chain of n elements: n+1 ideals; antichain of n elements: 2^n *)
+  let chain = P.of_relation_exn [ ("1", "2"); ("2", "3") ] in
+  Alcotest.(check int) "chain ideals" 4 (P.count_ideals chain);
+  let anti = P.of_relation_exn ~elements:[ "x"; "y"; "z" ] [] in
+  Alcotest.(check int) "antichain ideals" 8 (P.count_ideals anti)
+
+let test_ideals_paper () =
+  (* the published reachability graph sizes: 13 states for the
+     two-vehicle event poset *)
+  let p = paper_poset () in
+  Alcotest.(check int) "two-vehicle scenario has 13 ideals (Fig. 7)" 13
+    (P.count_ideals p)
+
+let test_ideals_are_downsets () =
+  let p = paper_poset () in
+  List.iter
+    (fun ideal ->
+      List.iter
+        (fun e ->
+          P.Eset.iter
+            (fun below ->
+              if P.lt below e p then
+                Alcotest.(check bool) "downward closed" true
+                  (List.mem below ideal))
+            (P.elements p))
+        ideal)
+    (P.ideals p)
+
+let test_linear_extensions () =
+  let chain = P.of_relation_exn [ ("1", "2"); ("2", "3") ] in
+  Alcotest.(check int) "chain has single extension" 1
+    (P.count_linear_extensions chain);
+  let anti = P.of_relation_exn ~elements:[ "x"; "y"; "z" ] [] in
+  Alcotest.(check int) "antichain has n! extensions" 6
+    (P.count_linear_extensions anti);
+  (* V-shape: a < c, b < c: extensions ab c and ba c -> 2 *)
+  let v = P.of_relation_exn [ ("a", "c"); ("b", "c") ] in
+  Alcotest.(check int) "V-shape" 2 (P.count_linear_extensions v)
+
+let test_ideal_size_guard () =
+  let elements = List.init 70 string_of_int in
+  let p = P.of_relation_exn ~elements [] in
+  match P.count_ideals p with
+  | _ -> Alcotest.fail "must refuse > 62 elements"
+  | exception Invalid_argument _ -> ()
+
+(* Random DAG properties. *)
+let gen_poset =
+  let open QCheck2.Gen in
+  let* n = int_range 1 8 in
+  let* edges =
+    list_size (int_bound (n * 2))
+      (let* a = int_bound (n - 1) in
+       let* b = int_bound (n - 1) in
+       return (min a b, max a b))
+  in
+  let edges =
+    List.filter (fun (a, b) -> a <> b) edges
+    |> List.map (fun (a, b) -> (string_of_int a, string_of_int b))
+  in
+  return (P.of_relation_exn ~elements:(List.init n string_of_int) edges)
+
+let prop_chi_subset =
+  QCheck2.Test.make ~name:"chi pairs relate minima to maxima" ~count:200
+    gen_poset (fun p ->
+      List.for_all
+        (fun (x, y) ->
+          P.Eset.mem x (P.minima p) && P.Eset.mem y (P.maxima p) && P.lt x y p)
+        (P.chi p))
+
+let prop_ideals_bounds =
+  QCheck2.Test.make ~name:"ideal count between n+1 and 2^n" ~count:200
+    gen_poset (fun p ->
+      let n = P.cardinal p in
+      let c = P.count_ideals p in
+      c >= n + 1 && c <= 1 lsl n)
+
+let prop_extensions_positive =
+  QCheck2.Test.make ~name:"every finite poset has a linear extension"
+    ~count:200 gen_poset (fun p -> P.count_linear_extensions p >= 1)
+
+let prop_height_width_bound =
+  QCheck2.Test.make ~name:"height * width >= n (Mirsky/Dilworth)" ~count:200
+    gen_poset (fun p -> P.height p * P.width p >= P.cardinal p)
+
+let suite =
+  [ Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "leq/lt" `Quick test_leq_lt;
+    Alcotest.test_case "minima/maxima" `Quick test_minima_maxima;
+    Alcotest.test_case "chi" `Quick test_chi;
+    Alcotest.test_case "chi isolated" `Quick test_chi_isolated;
+    Alcotest.test_case "closure pairs (Example 3)" `Quick test_closure_pairs;
+    Alcotest.test_case "hasse" `Quick test_hasse;
+    Alcotest.test_case "downset/upset" `Quick test_downset_upset;
+    Alcotest.test_case "height/width" `Quick test_height_width;
+    Alcotest.test_case "ideals known shapes" `Quick test_ideals_known_shapes;
+    Alcotest.test_case "ideals of the paper poset" `Quick test_ideals_paper;
+    Alcotest.test_case "ideals are downsets" `Quick test_ideals_are_downsets;
+    Alcotest.test_case "linear extensions" `Quick test_linear_extensions;
+    Alcotest.test_case "ideal size guard" `Quick test_ideal_size_guard;
+    QCheck_alcotest.to_alcotest prop_chi_subset;
+    QCheck_alcotest.to_alcotest prop_ideals_bounds;
+    QCheck_alcotest.to_alcotest prop_extensions_positive;
+    QCheck_alcotest.to_alcotest prop_height_width_bound ]

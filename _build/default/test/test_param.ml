@@ -1,0 +1,162 @@
+(* Tests for Fsa_param: uniform requirement families and self-similarity. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Auth = Fsa_requirements.Auth
+module Family = Fsa_param.Family
+module Selfsim = Fsa_param.Selfsim
+module S = Fsa_vanet.Scenario
+module V = Fsa_vanet.Vehicle_apa
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+
+(* The paper's schema: chi_n = the three base requirements plus one
+   position requirement per forwarding vehicle (Sect. 4.4). *)
+let chain_schema n =
+  let w = Agent.Symbolic "w" in
+  let base =
+    [ Auth.make ~cause:(S.sense (Agent.Concrete 1)) ~effect:(S.show w)
+        ~stakeholder:(S.driver w);
+      Auth.make ~cause:(S.gps_pos (Agent.Concrete 1)) ~effect:(S.show w)
+        ~stakeholder:(S.driver w);
+      Auth.make ~cause:(S.gps_pos w) ~effect:(S.show w)
+        ~stakeholder:(S.driver w) ]
+  in
+  let forwarders =
+    List.map
+      (fun i ->
+        Auth.make ~cause:(S.gps_pos (Agent.Concrete i)) ~effect:(S.show w)
+          ~stakeholder:(S.driver w))
+      (S.forwarders_of_chain n)
+  in
+  base @ forwarders
+
+let test_chain_schema_uniform () =
+  Alcotest.(check bool) "chi_n follows the paper's schema for n = 2..7" true
+    (Family.is_uniform ~family:S.chain ~schema:chain_schema
+       [ 2; 3; 4; 5; 6; 7 ])
+
+let test_schema_mismatch_detected () =
+  let broken_schema n = List.tl (chain_schema n) in
+  let mismatches =
+    Family.check_schema ~family:S.chain ~schema:broken_schema [ 2; 3 ]
+  in
+  Alcotest.(check int) "both instances flagged" 2 (List.length mismatches);
+  match mismatches with
+  | m :: _ ->
+    Alcotest.(check int) "parameter recorded" 2 m.Family.parameter;
+    Alcotest.(check bool) "difference rendered" true
+      (String.length (Fmt.str "%a" Family.pp_mismatch m) > 0)
+  | [] -> Alcotest.fail "expected mismatches"
+
+let test_increments () =
+  let incs = Family.increments ~family:S.chain [ 3; 4; 5 ] in
+  Alcotest.(check int) "three steps" 3 (List.length incs);
+  List.iter
+    (fun (n, added) ->
+      Alcotest.(check int) "one new requirement per step" 1 (List.length added);
+      match added with
+      | [ r ] ->
+        Alcotest.(check string) "it is the forwarder's position"
+          (Fmt.str "auth(pos(GPS_%d, pos), show(HMI_w, warn), D_w)" (n - 1))
+          (Auth.to_string r)
+      | _ -> Alcotest.fail "expected a single requirement")
+    incs
+
+let test_incrementally_uniform () =
+  Alcotest.(check bool) "chain family is incrementally uniform" true
+    (Family.incrementally_uniform ~family:S.chain [ 3; 4; 5; 6 ])
+
+let test_selfsim_chain () =
+  let r = Selfsim.check_chain ~range:[ 2; 3; 4 ] () in
+  Alcotest.(check bool) "chain family self-similar" true r.Selfsim.self_similar;
+  Alcotest.(check int) "three steps checked" 3 (List.length r.Selfsim.steps)
+
+let test_selfsim_pairs () =
+  let r = Selfsim.check_pairs ~range:[ 1; 2 ] () in
+  Alcotest.(check bool) "pairs family self-similar" true r.Selfsim.self_similar
+
+let test_selfsim_negative () =
+  (* abstracting with the *wrong* homomorphism (hiding the warning hop
+     entirely) must not be language-equivalent to the smaller chain *)
+  let broken_hom n : Hom.t =
+   fun a ->
+    if Action.equal a (V.v_fwd n) then None (* fwd hidden, not renamed *)
+    else Selfsim.chain_hom n a
+  in
+  let bigger = Lts.explore (V.chain 3) in
+  let smaller = Lts.explore (V.chain 2) in
+  Alcotest.(check bool) "broken abstraction detected" false
+    (Selfsim.abstraction_equal ~bigger ~smaller ~hom:(broken_hom 2))
+
+let test_abstraction_equal_reflexive () =
+  let lts = Lts.explore (V.chain 2) in
+  Alcotest.(check bool) "behaviour equal to itself under identity" true
+    (Selfsim.abstraction_equal ~bigger:lts ~smaller:lts ~hom:Hom.identity)
+
+let test_family_safety_verification () =
+  (* the authenticity property "V1_sense precedes the warning leaving the
+     receiver" verified for the whole chain family by induction *)
+  let pattern =
+    Fsa_mc.Pattern.make
+      (Fsa_mc.Pattern.Precedence
+         (Fsa_mc.Pattern.action_is (V.v_sense 1),
+          Fsa_mc.Pattern.action_is (V.v_show 2)))
+  in
+  let fv =
+    Selfsim.verify_uniform_safety ~family:V.chain ~hom_for:Selfsim.chain_hom
+      ~base:2 ~range:[ 2; 3; 4 ] pattern
+  in
+  Alcotest.(check bool) "base case" true fv.Selfsim.fv_base;
+  Alcotest.(check bool) "steps self-similar" true
+    fv.Selfsim.fv_steps.Selfsim.self_similar;
+  Alcotest.(check bool) "all abstract checks" true
+    (List.for_all snd fv.Selfsim.fv_abstract_checks);
+  Alcotest.(check bool) "family-level verdict" true fv.Selfsim.fv_holds;
+  (* a false property fails at the base case *)
+  let bogus =
+    Fsa_mc.Pattern.make
+      (Fsa_mc.Pattern.Precedence
+         (Fsa_mc.Pattern.action_is (V.v_show 2),
+          Fsa_mc.Pattern.action_is (V.v_sense 1)))
+  in
+  let fv' =
+    Selfsim.verify_uniform_safety ~family:V.chain ~hom_for:Selfsim.chain_hom
+      ~base:2 ~range:[ 2 ] bogus
+  in
+  Alcotest.(check bool) "false property rejected" false fv'.Selfsim.fv_holds;
+  (* liveness patterns are rejected *)
+  match
+    Selfsim.verify_uniform_safety ~family:V.chain ~hom_for:Selfsim.chain_hom
+      ~base:2 ~range:[ 2 ]
+      (Fsa_mc.Pattern.make
+         (Fsa_mc.Pattern.Existence (Fsa_mc.Pattern.action_is (V.v_show 2))))
+  with
+  | _ -> Alcotest.fail "liveness must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_hom_to_base () =
+  (* composing down from chain(4) to chain(2): V3_fwd maps via V3_show...
+     no — hom_for 3 renames V3_fwd to V3_show, then hom_for 2 erases
+     V3_show; V2_fwd maps to V2_show and survives *)
+  let h = Selfsim.hom_to_base ~hom_for:Selfsim.chain_hom ~base:2 4 in
+  Alcotest.(check bool) "V2_fwd becomes V2_show" true
+    (h (V.v_fwd 2) = Some (V.v_show 2));
+  Alcotest.(check bool) "V3 actions erased" true (h (V.v_pos 3) = None);
+  Alcotest.(check bool) "V1 actions preserved" true
+    (h (V.v_sense 1) = Some (V.v_sense 1));
+  Alcotest.(check bool) "identity at base" true
+    (Selfsim.hom_to_base ~hom_for:Selfsim.chain_hom ~base:2 2 (V.v_pos 1)
+     = Some (V.v_pos 1))
+
+let suite =
+  [ Alcotest.test_case "chain schema uniform (Sect. 4.4)" `Quick test_chain_schema_uniform;
+    Alcotest.test_case "schema mismatch detected" `Quick test_schema_mismatch_detected;
+    Alcotest.test_case "increments" `Quick test_increments;
+    Alcotest.test_case "incrementally uniform" `Quick test_incrementally_uniform;
+    Alcotest.test_case "self-similarity: chain" `Quick test_selfsim_chain;
+    Alcotest.test_case "self-similarity: pairs" `Quick test_selfsim_pairs;
+    Alcotest.test_case "broken abstraction detected" `Quick test_selfsim_negative;
+    Alcotest.test_case "identity abstraction" `Quick test_abstraction_equal_reflexive;
+    Alcotest.test_case "family safety verification" `Quick test_family_safety_verification;
+    Alcotest.test_case "hom composition to base" `Quick test_hom_to_base ]

@@ -1,0 +1,150 @@
+(* Tests for Fsa_mc.Pattern: property-specification patterns over the
+   vehicular behaviours. *)
+
+module Action = Fsa_term.Action
+module Lts = Fsa_lts.Lts
+module Pattern = Fsa_mc.Pattern
+module V = Fsa_vanet.Vehicle_apa
+
+let lts2 = lazy (Lts.explore (V.two_vehicles ()))
+let lts4 = lazy (Lts.explore (V.four_vehicles ()))
+
+let holds2 p = Pattern.holds (Lazy.force lts2) p
+let check2 p = Pattern.check (Lazy.force lts2) p
+
+let sense1 = Pattern.action_is (V.v_sense 1)
+let send1 = Pattern.action_is (V.v_send 1)
+let rec2 = Pattern.action_is (V.v_rec 2)
+let show2 = Pattern.action_is (V.v_show 2)
+
+let test_absence () =
+  (* no "V1_show" ever occurs in the warner/receiver scenario *)
+  Alcotest.(check bool) "absent action" true
+    (holds2 (Pattern.make (Pattern.Absence (Pattern.action_is (V.v_show 1)))));
+  (* but V2_show does occur *)
+  let r = check2 (Pattern.make (Pattern.Absence show2)) in
+  Alcotest.(check bool) "present action violates absence" false r.Pattern.holds_;
+  (match r.Pattern.counterexample with
+  | Some trace ->
+    Alcotest.(check bool) "counterexample ends in the offending action" true
+      (match List.rev trace with
+      | last :: _ -> Action.equal last (V.v_show 2)
+      | [] -> false)
+  | None -> Alcotest.fail "expected a counterexample")
+
+let test_universality () =
+  Alcotest.(check bool) "not every action is a sense" false
+    (holds2 (Pattern.make (Pattern.Universality sense1)));
+  Alcotest.(check bool) "every action is some vehicle action" true
+    (holds2
+       (Pattern.make
+          (Pattern.Universality
+             (Pattern.pred "vehicle action" (fun a ->
+                  String.length (Action.label a) > 0
+                  && (Action.label a).[0] = 'V')))))
+
+let test_existence () =
+  (* on every complete run the driver is warned *)
+  Alcotest.(check bool) "warning shown on every maximal trace" true
+    (holds2 (Pattern.make (Pattern.Existence show2)));
+  Alcotest.(check bool) "V1_show never happens" false
+    (holds2 (Pattern.make (Pattern.Existence (Pattern.action_is (V.v_show 1)))))
+
+let test_precedence () =
+  (* the authenticity property itself: sensing precedes the warning *)
+  Alcotest.(check bool) "sense precedes show" true
+    (holds2 (Pattern.make (Pattern.Precedence (sense1, show2))));
+  Alcotest.(check bool) "send precedes rec" true
+    (holds2 (Pattern.make (Pattern.Precedence (send1, rec2))));
+  (* the converse precedence is violated *)
+  let r = check2 (Pattern.make (Pattern.Precedence (show2, sense1))) in
+  Alcotest.(check bool) "show does not precede sense" false r.Pattern.holds_;
+  (* independence in the four-vehicle scenario: V3's sensing does NOT
+     precede V2's warning *)
+  Alcotest.(check bool) "cross-pair precedence fails" false
+    (Pattern.holds (Lazy.force lts4)
+       (Pattern.make
+          (Pattern.Precedence (Pattern.action_is (V.v_sense 3), show2))))
+
+let test_response () =
+  (* every sensed danger is eventually shown to the receiving driver *)
+  Alcotest.(check bool) "show responds to sense" true
+    (holds2 (Pattern.make (Pattern.Response (sense1, show2))));
+  (* nothing responds to the show action except trace end *)
+  Alcotest.(check bool) "sense does not respond to show" false
+    (holds2 (Pattern.make (Pattern.Response (show2, sense1))))
+
+let test_scopes () =
+  (* before the first send, no receive can have happened *)
+  Alcotest.(check bool) "absence of rec before send" true
+    (holds2
+       (Pattern.make ~scope:(Pattern.Before send1) (Pattern.Absence rec2)));
+  (* after the send, the receive eventually happens *)
+  Alcotest.(check bool) "existence of rec after send" true
+    (holds2
+       (Pattern.make ~scope:(Pattern.After send1) (Pattern.Existence rec2)));
+  (* after the show, nothing more happens: absence of everything *)
+  Alcotest.(check bool) "absence of actions after show" true
+    (holds2
+       (Pattern.make ~scope:(Pattern.After show2)
+          (Pattern.Absence (Pattern.pred "any" (fun _ -> true)))));
+  (* before the show, the sense must already exist (liveness in scope) *)
+  Alcotest.(check bool) "existence of sense before show" true
+    (holds2
+       (Pattern.make ~scope:(Pattern.Before show2) (Pattern.Existence sense1)))
+
+let test_property_dfa_shape () =
+  let alphabet = Action.Set.elements (Lts.alphabet (Lazy.force lts2)) in
+  let dfa =
+    Pattern.property_dfa ~alphabet
+      (Pattern.make (Pattern.Precedence (sense1, show2)))
+  in
+  (* two states: before/after the enabling sense *)
+  Alcotest.(check int) "precedence automaton has 2 states" 2
+    (Pattern.A.Dfa.nb_states dfa);
+  (* a show-first word is rejected, sense-first accepted *)
+  Alcotest.(check bool) "rejects show before sense" false
+    (Pattern.A.Dfa.accepts dfa [ V.v_show 2 ]);
+  Alcotest.(check bool) "accepts sense then show" true
+    (Pattern.A.Dfa.accepts dfa [ V.v_sense 1; V.v_show 2 ])
+
+let test_behaviour_nfa () =
+  let lts = Lazy.force lts2 in
+  let prefix = Pattern.behaviour_nfa ~maximal:false lts in
+  let maximal = Pattern.behaviour_nfa ~maximal:true lts in
+  Alcotest.(check bool) "empty word is a prefix" true (Pattern.A.Nfa.accepts prefix []);
+  Alcotest.(check bool) "empty word is not maximal" false
+    (Pattern.A.Nfa.accepts maximal []);
+  (* a full run is both a prefix and maximal *)
+  match Lts.deadlocks lts with
+  | [ dead ] -> (
+    match Lts.trace_to lts dead with
+    | Some run ->
+      Alcotest.(check bool) "full run accepted as prefix" true
+        (Pattern.A.Nfa.accepts prefix run);
+      Alcotest.(check bool) "full run accepted as maximal" true
+        (Pattern.A.Nfa.accepts maximal run)
+    | None -> Alcotest.fail "dead state unreachable")
+  | _ -> Alcotest.fail "expected one dead state"
+
+let test_pattern_pp () =
+  let p = Pattern.make ~scope:(Pattern.After send1) (Pattern.Response (sense1, show2)) in
+  let s = Fmt.str "%a" Pattern.pp p in
+  Alcotest.(check bool) "pp mentions responds" true
+    (let sub = "responds" in
+     let rec contains i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [ Alcotest.test_case "absence" `Quick test_absence;
+    Alcotest.test_case "universality" `Quick test_universality;
+    Alcotest.test_case "existence" `Quick test_existence;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "response" `Quick test_response;
+    Alcotest.test_case "scopes" `Quick test_scopes;
+    Alcotest.test_case "property automaton shape" `Quick test_property_dfa_shape;
+    Alcotest.test_case "behaviour NFAs" `Quick test_behaviour_nfa;
+    Alcotest.test_case "pattern printing" `Quick test_pattern_pp ]

@@ -1,0 +1,130 @@
+(* Tests for the platooning scenario: requirement families on the manual
+   path, cyclic behaviour on the tool path. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Auth = Fsa_requirements.Auth
+module Generalise = Fsa_requirements.Generalise
+module Derive = Fsa_requirements.Derive
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+module Pattern = Fsa_mc.Pattern
+module Ctl = Fsa_mc.Ctl
+module P = Fsa_vanet.Platoon
+
+(* ------------------------------------------------------------------ *)
+(* Manual path                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_round_requirements () =
+  let reqs = Derive.of_sos ~stakeholder:P.stakeholder (P.round ~followers:2 ()) in
+  (* per follower: accel, gap -> actuate; 2 causes x 2 followers *)
+  Alcotest.(check int) "four requirements" 4 (List.length reqs);
+  Alcotest.(check bool) "leader's sensing reaches every follower" true
+    (List.for_all
+       (fun i ->
+         List.exists
+           (fun r ->
+             Action.equal (Auth.cause r) P.sense_accel
+             && Action.equal (Auth.effect r) (P.actuate i))
+           reqs)
+       [ 1; 2 ])
+
+let test_family_generalises () =
+  (* platoons of 2..5 followers: the union folds into quantified form *)
+  let union =
+    Derive.of_instances ~stakeholder:P.stakeholder
+      (List.map (fun n -> P.round ~followers:n ()) [ 2; 3; 4; 5 ])
+  in
+  let gens = Generalise.generalise ~domain_of:P.follower_domain union in
+  (* two quantified families: accel->actuate_x and gap_x->actuate_x *)
+  Alcotest.(check int) "two quantified families" 2
+    (List.length
+       (List.filter
+          (function Generalise.Forall _ -> true | Generalise.Concrete _ -> false)
+          gens))
+
+let test_schema_uniform () =
+  Alcotest.(check bool) "requirement count is 2n" true
+    (List.for_all
+       (fun n ->
+         List.length
+           (Derive.of_sos ~stakeholder:P.stakeholder (P.round ~followers:n ()))
+         = 2 * n)
+       [ 1; 2; 3; 4; 5 ])
+
+(* ------------------------------------------------------------------ *)
+(* Tool path: cyclic behaviour                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lts2 = lazy (Lts.explore (P.apa ~followers:2 ()))
+
+let test_cyclic_behaviour () =
+  let lts = Lazy.force lts2 in
+  Alcotest.(check int) "no dead states" 0 (List.length (Lts.deadlocks lts));
+  Alcotest.(check (option int)) "no finite run count" None
+    (Lts.count_complete_runs lts);
+  (* maxima degenerate to the empty set: the paper's reading needs
+     acyclic behaviours *)
+  Alcotest.(check int) "maxima empty" 0 (Action.Set.cardinal (Lts.maxima lts));
+  (* saturating reads keep the space small *)
+  Alcotest.(check bool) "small saturated space" true (Lts.nb_states lts <= 64)
+
+let test_dependence_survives_cycles () =
+  let lts = Lazy.force lts2 in
+  (* the control command depends on the beacon, the reception and the
+     follower's own gap — exactly the manual model's chi pairs *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "ctrl <- beacon" true
+        (Lts.depends_on lts ~max_action:(P.f_ctrl i) ~min_action:P.l_beacon);
+      Alcotest.(check bool) "ctrl <- gap" true
+        (Lts.depends_on lts ~max_action:(P.f_ctrl i) ~min_action:(P.f_gap i));
+      Alcotest.(check bool) "ctrl independent of the other follower" false
+        (Lts.depends_on lts ~max_action:(P.f_ctrl i)
+           ~min_action:(P.f_gap (3 - i)));
+      (* the abstraction-based test agrees on the cyclic behaviour *)
+      Alcotest.(check bool) "abstract agrees" true
+        (Hom.depends_abstract lts ~min_action:P.l_beacon
+           ~max_action:(P.f_ctrl i)))
+    [ 1; 2 ]
+
+let test_patterns_on_cycles () =
+  let lts = Lazy.force lts2 in
+  Alcotest.(check bool) "beacon precedes control" true
+    (Pattern.holds lts
+       (Pattern.make
+          (Pattern.Precedence
+             (Pattern.action_is P.l_beacon, Pattern.action_is (P.f_ctrl 1)))));
+  Alcotest.(check bool) "control never precedes its gap measurement" false
+    (Pattern.holds lts
+       (Pattern.make
+          (Pattern.Precedence
+             (Pattern.action_is (P.f_ctrl 1), Pattern.action_is (P.f_gap 1)))))
+
+let test_ctl_liveness_on_cycles () =
+  let lts = Lazy.force lts2 in
+  (* the beacon is always eventually re-enabled: AG EF enabled(beacon) *)
+  Alcotest.(check bool) "beacon perpetually available" true
+    (Ctl.On_lts.check lts (Ctl.AG (Ctl.EF (Ctl.enabled_action P.l_beacon))));
+  (* control becomes reachable from everywhere *)
+  Alcotest.(check bool) "control perpetually reachable" true
+    (Ctl.On_lts.check lts (Ctl.AG (Ctl.EF (Ctl.enabled_action (P.f_ctrl 1)))));
+  (* but termination never happens *)
+  Alcotest.(check bool) "never deadlocks" false
+    (Ctl.On_lts.check lts (Ctl.EF Ctl.deadlock))
+
+let test_scaling_followers () =
+  (* one more follower multiplies the saturated space predictably *)
+  let s n = Lts.nb_states (Lts.explore (P.apa ~followers:n ())) in
+  Alcotest.(check bool) "monotone growth" true (s 1 < s 2 && s 2 < s 3)
+
+let suite =
+  [ Alcotest.test_case "round requirements" `Quick test_round_requirements;
+    Alcotest.test_case "family generalises" `Quick test_family_generalises;
+    Alcotest.test_case "schema uniform (2n)" `Quick test_schema_uniform;
+    Alcotest.test_case "cyclic behaviour" `Quick test_cyclic_behaviour;
+    Alcotest.test_case "dependence survives cycles" `Quick test_dependence_survives_cycles;
+    Alcotest.test_case "patterns on cycles" `Quick test_patterns_on_cycles;
+    Alcotest.test_case "CTL liveness on cycles" `Quick test_ctl_liveness_on_cycles;
+    Alcotest.test_case "scaling followers" `Quick test_scaling_followers ]

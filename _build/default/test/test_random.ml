@@ -1,0 +1,203 @@
+(* Property-based tests over randomly generated systems of systems.
+
+   The generator produces layered architectures: components are chains of
+   actions, arranged in layers, with external links flowing only from
+   lower to higher layers — acyclicity by construction, as functional
+   models of well-defined use cases are (Sect. 4.3). *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Component = Fsa_model.Component
+module Flow = Fsa_model.Flow
+module Sos = Fsa_model.Sos
+module Auth = Fsa_requirements.Auth
+module Derive = Fsa_requirements.Derive
+module Classify = Fsa_requirements.Classify
+module Conf = Fsa_requirements.Confidentiality
+module Refine = Fsa_refine.Refine
+module AG = Fsa_model.Action_graph
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_sos =
+  let open QCheck2.Gen in
+  let* nb_layers = int_range 2 4 in
+  let* per_layer = int_range 1 3 in
+  (* component (l, k): a chain of 1-3 actions *)
+  let* chains =
+    flatten_l
+      (List.concat_map
+         (fun l ->
+           List.map
+             (fun k ->
+               let* len = int_range 1 3 in
+               return (l, k, len))
+             (List.init per_layer Fun.id))
+         (List.init nb_layers Fun.id))
+  in
+  let components =
+    List.map
+      (fun (l, k, len) ->
+        let role = Printf.sprintf "C%d_%d" l k in
+        let actions =
+          List.init len (fun i ->
+              Action.make
+                ~actor:(Agent.unindexed role)
+                (Printf.sprintf "a%d_%d_%d" l k i))
+        in
+        let rec flows = function
+          | a :: (b :: _ as rest) -> Flow.internal a b :: flows rest
+          | [ _ ] | [] -> []
+        in
+        ((l, k), Component.make role ~actions ~flows:(flows actions)))
+      chains
+  in
+  (* links: from the last action of a lower-layer component to the first
+     action of a strictly higher-layer component *)
+  let* links =
+    let candidates =
+      List.concat_map
+        (fun ((l1, _), c1) ->
+          List.filter_map
+            (fun ((l2, _), c2) ->
+              if l1 < l2 then
+                let out = List.nth (Component.actions c1)
+                    (List.length (Component.actions c1) - 1) in
+                let inp = List.hd (Component.actions c2) in
+                Some (out, inp)
+              else None)
+            components)
+        components
+    in
+    let* picks =
+      flatten_l
+        (List.map (fun cand -> map (fun b -> (cand, b)) bool) candidates)
+    in
+    return (List.filter_map (fun (c, b) -> if b then Some c else None) picks)
+  in
+  let links = List.map (fun (a, b) -> Flow.external_ a b) links in
+  return (Sos.make "random" ~components:(List.map snd components) ~links)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_requirements_relate_boundaries =
+  QCheck2.Test.make ~name:"causes are inputs, effects are outputs" ~count:100
+    gen_sos (fun sos ->
+      let b = Sos.boundary sos in
+      List.for_all
+        (fun r ->
+          List.exists (Action.equal (Auth.cause r)) b.Sos.incoming
+          && List.exists (Action.equal (Auth.effect r)) b.Sos.outgoing)
+        (Derive.of_sos sos))
+
+let prop_system_boundary_within_component_boundary =
+  QCheck2.Test.make
+    ~name:"system boundary actions are component boundary actions" ~count:100
+    gen_sos (fun sos ->
+      let b = Sos.boundary sos in
+      let cb = Sos.component_boundary_actions sos in
+      List.for_all
+        (fun a -> List.exists (Action.equal a) cb)
+        (b.Sos.incoming @ b.Sos.outgoing))
+
+let prop_no_policy_all_safety =
+  QCheck2.Test.make ~name:"without policies every requirement is safety"
+    ~count:100 gen_sos (fun sos ->
+      let reqs = Derive.of_sos sos in
+      List.for_all
+        (fun r ->
+          Classify.equal_class (Classify.classify sos r)
+            Classify.Safety_critical)
+        reqs)
+
+let prop_requirements_monotone_in_links =
+  QCheck2.Test.make
+    ~name:"dropping all links never invents new requirements between the \
+           same pairs"
+    ~count:100 gen_sos (fun sos ->
+      (* without links, every requirement stays within one component *)
+      let unlinked = Sos.make "unlinked" ~components:(Sos.components sos) in
+      List.for_all
+        (fun r ->
+          match
+            ( Sos.owner_of (Sos.components unlinked) (Auth.cause r),
+              Sos.owner_of (Sos.components unlinked) (Auth.effect r) )
+          with
+          | Some c1, Some c2 ->
+            String.equal (Component.name c1) (Component.name c2)
+          | _ -> false)
+        (Derive.of_sos unlinked))
+
+let prop_confidentiality_mirrors_auth =
+  QCheck2.Test.make
+    ~name:"confidentiality pairs coincide with authenticity pairs" ~count:100
+    gen_sos (fun sos ->
+      let auth_pairs =
+        List.map (fun r -> (Auth.cause r, Auth.effect r)) (Derive.of_sos sos)
+        |> List.sort compare
+      in
+      let conf_pairs =
+        List.map (fun c -> (c.Conf.source, c.Conf.sink)) (Conf.derive sos)
+        |> List.sort compare
+      in
+      auth_pairs = conf_pairs)
+
+let prop_min_cut_disconnects =
+  QCheck2.Test.make ~name:"minimum cuts disconnect their dependency"
+    ~count:60 gen_sos (fun sos ->
+      List.for_all
+        (fun r ->
+          let cut = Refine.min_cut sos (Auth.cause r) (Auth.effect r) in
+          let remaining =
+            List.filter
+              (fun f -> not (List.exists (Flow.equal f) cut))
+              (Sos.all_flows sos)
+          in
+          let g = AG.of_flows remaining in
+          not
+            (AG.G.mem_vertex (Auth.cause r) g
+             && AG.G.Vset.mem (Auth.effect r)
+                  (AG.G.reachable (Auth.cause r) g)))
+        (Derive.of_sos sos))
+
+let prop_cut_bounded_by_paths =
+  QCheck2.Test.make ~name:"min cut is at most the number of paths (unit caps)"
+    ~count:60 gen_sos (fun sos ->
+      List.for_all
+        (fun r ->
+          let paths =
+            Refine.simple_paths ~limit:500 sos (Auth.cause r) (Auth.effect r)
+          in
+          List.length (Refine.min_cut sos (Auth.cause r) (Auth.effect r))
+          <= max 1 (List.length paths))
+        (Derive.of_sos sos))
+
+let prop_monitor_accepts_system_runs =
+  QCheck2.Test.make ~name:"simulated runs satisfy derived requirements"
+    ~count:40 gen_sos (fun sos ->
+      (* drive the functional model as a trivial APA: each action becomes
+         a token move along the dependency graph — instead, simulate by
+         replaying topological orders of the dependency graph *)
+      let g = Sos.dependency_graph sos in
+      match AG.G.topological_sort g with
+      | None -> false
+      | Some order ->
+        let reqs = Derive.of_sos sos in
+        List.for_all
+          (fun (_, v) -> Fsa_mc.Monitor.equal_verdict v Fsa_mc.Monitor.Satisfied)
+          (Fsa_mc.Monitor.run reqs order))
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_requirements_relate_boundaries;
+    QCheck_alcotest.to_alcotest prop_system_boundary_within_component_boundary;
+    QCheck_alcotest.to_alcotest prop_no_policy_all_safety;
+    QCheck_alcotest.to_alcotest prop_requirements_monotone_in_links;
+    QCheck_alcotest.to_alcotest prop_confidentiality_mirrors_auth;
+    QCheck_alcotest.to_alcotest prop_min_cut_disconnects;
+    QCheck_alcotest.to_alcotest prop_cut_bounded_by_paths;
+    QCheck_alcotest.to_alcotest prop_monitor_accepts_system_runs ]

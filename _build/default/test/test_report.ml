@@ -1,0 +1,201 @@
+(* Tests for spec check declarations and the Markdown report generator. *)
+
+module Parser = Fsa_spec.Parser
+module Elaborate = Fsa_spec.Elaborate
+module Ast = Fsa_spec.Ast
+module Pattern = Fsa_mc.Pattern
+module Lts = Fsa_lts.Lts
+module Report = Fsa_core.Report
+module S = Fsa_vanet.Scenario
+module Evita = Fsa_vanet.Evita
+
+let contains s sub =
+  let rec go i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || go (i + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Check declarations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_checks () =
+  let decls =
+    Parser.parse_string
+      {|
+      check precedence V1_sense V2_show
+      check absence V2_rec before V1_send
+      check existence V2_show after V1_send
+      check universality V1_pos globally
+      |}
+  in
+  Alcotest.(check int) "four declarations" 4 (List.length decls);
+  match decls with
+  | [ Ast.D_check c1; Ast.D_check c2; Ast.D_check c3; Ast.D_check c4 ] ->
+    Alcotest.(check string) "kind" "precedence" c1.Ast.ck_kind;
+    Alcotest.(check (list string)) "args" [ "V1_sense"; "V2_show" ] c1.Ast.ck_args;
+    Alcotest.(check (option (pair string string))) "before scope"
+      (Some ("before", "V1_send"))
+      c2.Ast.ck_scope;
+    Alcotest.(check (option (pair string string))) "after scope"
+      (Some ("after", "V1_send"))
+      c3.Ast.ck_scope;
+    Alcotest.(check (option (pair string string))) "globally is default" None
+      c4.Ast.ck_scope
+  | _ -> Alcotest.fail "check declarations expected"
+
+let test_parse_check_errors () =
+  let fails input =
+    match Parser.parse_string input with
+    | _ -> false
+    | exception Fsa_spec.Loc.Error _ -> true
+  in
+  Alcotest.(check bool) "unknown kind" true (fails "check frobnicate X");
+  Alcotest.(check bool) "missing argument" true (fails "check precedence X")
+
+let spec_with_checks =
+  {|
+  component Vehicle {
+    state esp = { }
+    state gps = { }
+    state bus = { }
+    state hmi = { }
+    shared net
+    action sense: take esp(_x) -> put bus(_x)
+    action pos:   take gps(_p) -> put bus(_p)
+    action send:  take bus(sW), take bus(_p) when position(_p)
+                  -> put net(cam(self, _p))
+    action rec:   take net(cam(_v, _p)) when _v != self -> put bus(warn(_p))
+    action show:  take bus(warn(_p)), take bus(_q)
+                  when position(_q) && near(_p, _q) -> put hmi(warn)
+  }
+  instance V1 = Vehicle(1) { esp = { sW }, gps = { pos1 } }
+  instance V2 = Vehicle(2) { gps = { pos2 } }
+
+  check precedence V1_sense V2_show
+  check existence V2_show
+  check absence V1_show
+  check precedence V2_show V1_sense
+  |}
+
+let test_elaborate_and_evaluate_checks () =
+  let spec = Parser.parse_string spec_with_checks in
+  let patterns = Elaborate.patterns_of_spec spec in
+  Alcotest.(check int) "four patterns" 4 (List.length patterns);
+  let lts = Lts.explore (Elaborate.apa_of_spec spec) in
+  let results =
+    List.map (fun (d, p) -> (d, (Pattern.check lts p).Pattern.holds_)) patterns
+  in
+  Alcotest.(check (list (pair string bool))) "verdicts"
+    [ ("check precedence V1_sense V2_show", true);
+      ("check existence V2_show", true);
+      ("check absence V1_show", true);
+      ("check precedence V2_show V1_sense", false) ]
+    results
+
+let test_shipped_spec_checks_hold () =
+  let dir =
+    List.find_opt Sys.file_exists
+      [ "examples/specs"; "../../../examples/specs" ]
+  in
+  match dir with
+  | None -> ()
+  | Some dir ->
+    List.iter
+      (fun file ->
+        let spec = Parser.parse_file (Filename.concat dir file) in
+        let patterns = Elaborate.patterns_of_spec spec in
+        Alcotest.(check bool) (file ^ " ships checks") true (patterns <> []);
+        let lts = Lts.explore (Elaborate.apa_of_spec spec) in
+        List.iter
+          (fun (d, p) ->
+            Alcotest.(check bool) (file ^ ": " ^ d) true
+              (Pattern.check lts p).Pattern.holds_)
+          patterns)
+      [ "two_vehicles.fsa"; "smart_grid.fsa"; "platoon.fsa" ]
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer round trips                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pretty_roundtrip_inline () =
+  let spec = Parser.parse_string spec_with_checks in
+  let printed = Fsa_spec.Pretty.to_string spec in
+  let reparsed = Parser.parse_string printed in
+  Alcotest.(check bool) "AST round trip" true (Fsa_spec.Pretty.equal spec reparsed)
+
+let test_pretty_roundtrip_files () =
+  let dir =
+    List.find_opt Sys.file_exists
+      [ "examples/specs"; "../../../examples/specs" ]
+  in
+  match dir with
+  | None -> ()
+  | Some dir ->
+    List.iter
+      (fun file ->
+        let spec = Parser.parse_file (Filename.concat dir file) in
+        let reparsed = Parser.parse_string (Fsa_spec.Pretty.to_string spec) in
+        Alcotest.(check bool) (file ^ " round trips") true
+          (Fsa_spec.Pretty.equal spec reparsed))
+      [ "two_vehicles.fsa"; "four_vehicles.fsa"; "evita_onboard.fsa";
+        "smart_grid.fsa"; "platoon.fsa" ]
+
+let test_pretty_preserves_behaviour () =
+  let spec = Parser.parse_string spec_with_checks in
+  let reparsed = Parser.parse_string (Fsa_spec.Pretty.to_string spec) in
+  let states ast = Lts.nb_states (Lts.explore (Elaborate.apa_of_spec ast)) in
+  Alcotest.(check int) "same state space" (states spec) (states reparsed)
+
+(* ------------------------------------------------------------------ *)
+(* Report generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_two_vehicles () =
+  let md = Report.markdown S.three_vehicles in
+  Alcotest.(check bool) "title" true
+    (contains md "# Functional security analysis: three_vehicles");
+  Alcotest.(check bool) "inputs section" true (contains md "System inputs");
+  Alcotest.(check bool) "requirements table" true (contains md "| # | Cause |");
+  Alcotest.(check bool) "policy note" true
+    (contains md "position-based-forwarding");
+  Alcotest.(check bool) "availability count" true
+    (contains md "1 requirement(s) exist only because");
+  Alcotest.(check bool) "confidentiality table" true
+    (contains md "Inferred level");
+  Alcotest.(check bool) "refinement table" true (contains md "Min. cut");
+  Alcotest.(check bool) "prioritised work list" true
+    (contains md "Prioritised work list")
+
+let test_report_options () =
+  let options =
+    { Report.default_options with
+      Report.with_confidentiality = false;
+      with_refinement = false }
+  in
+  let md = Report.markdown ~options S.two_vehicles in
+  Alcotest.(check bool) "no confidentiality section" false
+    (contains md "Inferred level");
+  Alcotest.(check bool) "no refinement section" false (contains md "Min. cut");
+  Alcotest.(check bool) "requirements still present" true
+    (contains md "| # | Cause |")
+
+let test_report_evita () =
+  let options = { Report.default_options with Report.stakeholder = Evita.stakeholder } in
+  let md = Report.markdown ~options Evita.model in
+  Alcotest.(check bool) "mentions all 29" true
+    (contains md "Authenticity requirements (29)");
+  Alcotest.(check bool) "driver stakeholder used" true (contains md "Driver")
+
+let suite =
+  [ Alcotest.test_case "parse checks" `Quick test_parse_checks;
+    Alcotest.test_case "check parse errors" `Quick test_parse_check_errors;
+    Alcotest.test_case "elaborate and evaluate" `Quick test_elaborate_and_evaluate_checks;
+    Alcotest.test_case "shipped spec checks hold" `Quick test_shipped_spec_checks_hold;
+    Alcotest.test_case "pretty round trip (inline)" `Quick test_pretty_roundtrip_inline;
+    Alcotest.test_case "pretty round trip (files)" `Quick test_pretty_roundtrip_files;
+    Alcotest.test_case "pretty preserves behaviour" `Quick test_pretty_preserves_behaviour;
+    Alcotest.test_case "report content" `Quick test_report_two_vehicles;
+    Alcotest.test_case "report options" `Quick test_report_options;
+    Alcotest.test_case "report on EVITA" `Quick test_report_evita ]

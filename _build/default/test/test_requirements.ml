@@ -1,0 +1,194 @@
+(* Tests for Fsa_requirements: derivation, classification, generalisation.
+   The expected values are the published results of the paper's Sect. 4. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Auth = Fsa_requirements.Auth
+module Derive = Fsa_requirements.Derive
+module Classify = Fsa_requirements.Classify
+module Generalise = Fsa_requirements.Generalise
+module S = Fsa_vanet.Scenario
+
+let auth = Alcotest.testable Auth.pp Auth.equal
+let req s =
+  match String.split_on_char '|' s with
+  | [ cause; effect; stakeholder ] ->
+    Auth.make ~cause:(Action.of_string_exn cause)
+      ~effect:(Action.of_string_exn effect)
+      ~stakeholder:(Agent.of_string stakeholder)
+  | _ -> invalid_arg "req"
+
+let w = Agent.Symbolic "w"
+
+let test_fig2_requirements () =
+  (* Example 2: the RSU instance yields exactly the two requirements *)
+  let reqs = Derive.of_sos S.rsu_and_vehicle in
+  Alcotest.(check (list auth)) "Example 2"
+    [ req "pos(GPS_w, pos)|show(HMI_w, warn)|D_w";
+      req "send(cam(pos))|show(HMI_w, warn)|D_w" ]
+    reqs
+
+let test_fig3_requirements () =
+  (* chi_1: requirements (1)-(3) *)
+  let reqs = Derive.of_sos S.two_vehicles in
+  Alcotest.(check (list auth)) "chi_1"
+    [ req "pos(GPS_1, pos)|show(HMI_w, warn)|D_w";
+      req "pos(GPS_w, pos)|show(HMI_w, warn)|D_w";
+      req "sense(ESP_1, sW)|show(HMI_w, warn)|D_w" ]
+    reqs
+
+let test_fig4_requirements () =
+  (* chi_2 = chi_1 + pos(GPS_2) *)
+  let reqs2 = Derive.of_sos S.two_vehicles in
+  let reqs3 = Derive.of_sos S.three_vehicles in
+  Alcotest.(check (list auth)) "chi_2 adds the forwarder's position"
+    [ req "pos(GPS_2, pos)|show(HMI_w, warn)|D_w" ]
+    (Auth.diff reqs3 reqs2);
+  Alcotest.(check bool) "chi_1 subset of chi_2" true (Auth.subset reqs2 reqs3)
+
+let test_chain_family () =
+  (* chi_i = chi_(i-1) + pos(GPS_i): each new forwarder adds exactly one
+     requirement *)
+  let sizes = List.map (fun n -> List.length (Derive.of_sos (S.chain n))) [ 2; 3; 4; 5; 6 ] in
+  Alcotest.(check (list int)) "requirement counts" [ 3; 4; 5; 6; 7 ] sizes
+
+let test_for_effect () =
+  let reqs = Derive.for_effect S.two_vehicles (S.show w) in
+  Alcotest.(check int) "all requirements concern show" 3 (List.length reqs);
+  let none = Derive.for_effect S.two_vehicles (S.sense (Agent.Concrete 1)) in
+  Alcotest.(check int) "sense is not an output" 0 (List.length none)
+
+let test_of_instances_union () =
+  let union = Derive.of_instances [ S.chain 2; S.chain 3; S.chain 4 ] in
+  Alcotest.(check int) "union size" 5 (List.length union);
+  Alcotest.(check bool) "contains largest instance's set" true
+    (Auth.subset (Derive.of_sos (S.chain 4)) union)
+
+let test_default_stakeholder () =
+  Alcotest.(check string) "HMI maps to driver" "D_w"
+    (Agent.to_string (Derive.default_stakeholder (S.show w)));
+  Alcotest.(check string) "other actors keep themselves" "ESP_1"
+    (Agent.to_string (Derive.default_stakeholder (S.sense (Agent.Concrete 1))));
+  Alcotest.(check string) "actor-less maps to ENV" "ENV"
+    (Agent.to_string (Derive.default_stakeholder S.rsu_send))
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_classification_fig4 () =
+  let sos = S.three_vehicles in
+  let reqs = Derive.of_sos sos in
+  let forwarder_pos = req "pos(GPS_2, pos)|show(HMI_w, warn)|D_w" in
+  List.iter
+    (fun r ->
+      let expected =
+        if Auth.equal r forwarder_pos then
+          Classify.Policy_induced [ S.forwarding_policy ]
+        else Classify.Safety_critical
+      in
+      Alcotest.(check bool)
+        (Fmt.str "class of %a" Auth.pp r)
+        true
+        (Classify.equal_class expected (Classify.classify sos r)))
+    reqs
+
+let test_safety_critical_filter () =
+  let sos = S.chain 4 in
+  let reqs = Derive.of_sos sos in
+  let safety = Classify.safety_critical sos reqs in
+  (* requirements (1)-(3) survive; the two forwarder positions do not *)
+  Alcotest.(check int) "safety count" 3 (List.length safety);
+  Alcotest.(check int) "policy count" 2 (List.length reqs - List.length safety)
+
+let test_policies_of () =
+  Alcotest.(check (list string)) "policy inventory"
+    [ S.forwarding_policy ]
+    (Classify.policies_of S.three_vehicles);
+  Alcotest.(check (list string)) "no policies in fig3" []
+    (Classify.policies_of S.two_vehicles)
+
+(* ------------------------------------------------------------------ *)
+(* Generalisation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen = Alcotest.testable Generalise.pp Generalise.equal
+
+let test_generalise_paper () =
+  (* the paper's requirements (1)-(4) from the union over chain(2..5) *)
+  let union = Derive.of_instances (List.map S.chain [ 2; 3; 4; 5 ]) in
+  let gens = Generalise.generalise ~domain_of:S.v_forward_domain union in
+  Alcotest.(check (list gen)) "requirements (1)-(4)"
+    [ Generalise.Concrete (req "pos(GPS_1, pos)|show(HMI_w, warn)|D_w");
+      Generalise.Concrete (req "pos(GPS_w, pos)|show(HMI_w, warn)|D_w");
+      Generalise.Concrete (req "sense(ESP_1, sW)|show(HMI_w, warn)|D_w");
+      Generalise.Forall
+        { var = "x"; domain = "V_forward";
+          schema = req "pos(GPS_x, pos)|show(HMI_w, warn)|D_w" } ]
+    gens
+
+let test_generalise_min_family () =
+  (* a single forwarder is below the default family threshold *)
+  let union = Derive.of_sos (S.chain 3) in
+  let gens = Generalise.generalise ~domain_of:S.v_forward_domain union in
+  Alcotest.(check bool) "no quantifier for a single member" true
+    (List.for_all (function Generalise.Concrete _ -> true | Generalise.Forall _ -> false) gens);
+  let forced =
+    Generalise.generalise ~min_family:1 ~domain_of:S.v_forward_domain union
+  in
+  Alcotest.(check bool) "min_family 1 quantifies" true
+    (List.exists (function Generalise.Forall _ -> true | Generalise.Concrete _ -> false) forced)
+
+let test_generalise_expand_roundtrip () =
+  let union = Derive.of_instances (List.map S.chain [ 2; 3; 4; 5 ]) in
+  let gens = Generalise.generalise ~domain_of:S.v_forward_domain union in
+  let expanded =
+    Generalise.expand_all
+      ~domain_members:(fun _ -> S.forwarders_of_chain 5)
+      gens
+  in
+  Alcotest.(check bool) "expansion recovers the union" true
+    (Auth.equal_set union expanded)
+
+(* ------------------------------------------------------------------ *)
+(* Requirement set operations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_set_ops () =
+  let r1 = req "a|b|P" and r2 = req "c|d|Q" in
+  Alcotest.(check int) "normalise dedups" 2
+    (List.length (Auth.normalise [ r1; r2; r1 ]));
+  Alcotest.(check bool) "union" true
+    (Auth.equal_set (Auth.union [ r1 ] [ r2 ]) [ r1; r2 ]);
+  Alcotest.(check (list auth)) "diff" [ r2 ] (Auth.diff [ r1; r2 ] [ r1 ]);
+  Alcotest.(check bool) "subset" true (Auth.subset [ r1 ] [ r1; r2 ]);
+  Alcotest.(check bool) "not subset" false (Auth.subset [ r1; r2 ] [ r1 ])
+
+let test_prose () =
+  let r = req "sense(ESP_1, sW)|show(HMI_w, warn)|D_w" in
+  let prose = Fmt.str "%a" Auth.pp_prose r in
+  Alcotest.(check bool) "mentions stakeholder" true
+    (let sub = "D_w" in
+     let rec contains i =
+       i + String.length sub <= String.length prose
+       && (String.sub prose i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [ Alcotest.test_case "Fig. 2 requirements (Example 2)" `Quick test_fig2_requirements;
+    Alcotest.test_case "Fig. 3 requirements (chi_1)" `Quick test_fig3_requirements;
+    Alcotest.test_case "Fig. 4 requirements (chi_2)" `Quick test_fig4_requirements;
+    Alcotest.test_case "chain family growth" `Quick test_chain_family;
+    Alcotest.test_case "for_effect" `Quick test_for_effect;
+    Alcotest.test_case "union over instances" `Quick test_of_instances_union;
+    Alcotest.test_case "default stakeholder" `Quick test_default_stakeholder;
+    Alcotest.test_case "classification (Sect. 4.4)" `Quick test_classification_fig4;
+    Alcotest.test_case "safety-critical filter" `Quick test_safety_critical_filter;
+    Alcotest.test_case "policy inventory" `Quick test_policies_of;
+    Alcotest.test_case "generalisation (reqs (1)-(4))" `Quick test_generalise_paper;
+    Alcotest.test_case "generalisation threshold" `Quick test_generalise_min_family;
+    Alcotest.test_case "generalise/expand roundtrip" `Quick test_generalise_expand_roundtrip;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "prose rendering" `Quick test_prose ]

@@ -1,0 +1,214 @@
+(* Tests for Fsa_sim: the interactive simulator and its command
+   language. *)
+
+module Action = Fsa_term.Action
+module Apa = Fsa_apa.Apa
+module Sim = Fsa_sim.Sim
+module Monitor = Fsa_mc.Monitor
+module V = Fsa_vanet.Vehicle_apa
+
+let new_sim () = Sim.create (V.two_vehicles ())
+
+let requirements () =
+  (Fsa_core.Analysis.tool ~stakeholder:V.stakeholder (V.two_vehicles ()))
+    .Fsa_core.Analysis.t_requirements
+
+let contains s sub =
+  let rec go i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || go (i + 1))
+  in
+  go 0
+
+let test_initial () =
+  let sim = new_sim () in
+  Alcotest.(check int) "no steps yet" 0 (Sim.steps_taken sim);
+  Alcotest.(check (list string)) "initially enabled"
+    [ "V1_pos"; "V1_sense"; "V2_pos" ]
+    (List.map (fun (n, _, _) -> n) (Sim.enabled sim));
+  Alcotest.(check bool) "not deadlocked" false (Sim.is_deadlocked sim)
+
+let test_step_named () =
+  let sim = new_sim () in
+  (match Sim.step_named sim "V1_sense" with
+  | Ok label -> Alcotest.(check string) "label" "V1_sense" (Action.to_string label)
+  | Error _ -> Alcotest.fail "sense must be enabled");
+  Alcotest.(check int) "one step" 1 (Sim.steps_taken sim);
+  (* the same transition is no longer enabled *)
+  match Sim.step_named sim "V1_sense" with
+  | Error (Sim.No_such_transition _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "sense must be gone"
+
+let test_full_run_and_deadlock () =
+  let sim = new_sim () in
+  let order = [ "V1_sense"; "V1_pos"; "V1_send"; "V2_pos"; "V2_rec"; "V2_show" ] in
+  List.iter
+    (fun name ->
+      match Sim.step_named sim name with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Fmt.str "step %s: %a" name Sim.pp_step_error e))
+    order;
+  Alcotest.(check bool) "deadlocked after the run" true (Sim.is_deadlocked sim);
+  Alcotest.(check int) "six steps" 6 (Sim.steps_taken sim);
+  match Sim.step_random sim with
+  | Error Sim.Deadlock -> ()
+  | Ok _ | Error _ -> Alcotest.fail "random step must report deadlock"
+
+let test_undo_reset () =
+  let sim = new_sim () in
+  ignore (Sim.step_named sim "V1_sense");
+  ignore (Sim.step_named sim "V1_pos");
+  Alcotest.(check bool) "undo succeeds" true (Sim.undo sim);
+  Alcotest.(check int) "one step left" 1 (Sim.steps_taken sim);
+  (* V1_pos is enabled again *)
+  Alcotest.(check bool) "pos re-enabled" true
+    (List.exists (fun (n, _, _) -> n = "V1_pos") (Sim.enabled sim));
+  Sim.reset sim;
+  Alcotest.(check int) "reset clears" 0 (Sim.steps_taken sim);
+  Alcotest.(check bool) "undo on empty fails" false (Sim.undo sim)
+
+let test_random_run_deterministic () =
+  let sim1 = Sim.create ~seed:7 (V.two_vehicles ()) in
+  let sim2 = Sim.create ~seed:7 (V.two_vehicles ()) in
+  let t1 = Sim.run_random sim1 ~max_steps:100 in
+  let t2 = Sim.run_random sim2 ~max_steps:100 in
+  Alcotest.(check bool) "same seed, same trace" true
+    (List.equal Action.equal t1 t2);
+  (* the scenario always terminates after exactly six actions *)
+  Alcotest.(check int) "every complete run has six actions" 6 (List.length t1);
+  Alcotest.(check bool) "deadlocked" true (Sim.is_deadlocked sim1)
+
+let test_monitoring_in_sim () =
+  let sim = new_sim () in
+  Sim.attach_monitor sim (requirements ());
+  let _ = Sim.run_random sim ~max_steps:100 in
+  match Sim.monitor_report sim with
+  | Some report ->
+    Alcotest.(check bool) "all satisfied on a system run" false
+      (contains report "violated")
+  | None -> Alcotest.fail "monitor must be attached"
+
+let test_monitor_survives_undo () =
+  let sim = new_sim () in
+  Sim.attach_monitor sim (requirements ());
+  ignore (Sim.step_named sim "V1_sense");
+  ignore (Sim.undo sim);
+  match Sim.monitor_report sim with
+  | Some report -> Alcotest.(check bool) "report still renders" true (String.length report > 0)
+  | None -> Alcotest.fail "monitor lost after undo"
+
+let test_command_parsing () =
+  let ok s c = Alcotest.(check bool) s true (Sim.parse_command s = Ok c) in
+  ok "state" Sim.Show_state;
+  ok "enabled" Sim.Show_enabled;
+  ok "trace" Sim.Show_trace;
+  ok "random" Sim.Step_random;
+  ok "undo" Sim.Undo;
+  ok "reset" Sim.Reset;
+  ok "monitor" Sim.Monitor_report;
+  ok "help" Sim.Help;
+  ok "quit" Sim.Quit;
+  Alcotest.(check bool) "step by index" true
+    (Sim.parse_command "step 2" = Ok (Sim.Step_index 2));
+  Alcotest.(check bool) "step by name" true
+    (Sim.parse_command "step V1_sense" = Ok (Sim.Step_name "V1_sense"));
+  Alcotest.(check bool) "run" true (Sim.parse_command "run 10" = Ok (Sim.Run_random 10));
+  Alcotest.(check bool) "whitespace tolerated" true
+    (Sim.parse_command "  ls  " = Ok Sim.Show_enabled);
+  (match Sim.parse_command "run -3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative run must be rejected");
+  match Sim.parse_command "frobnicate" with
+  | Error msg -> Alcotest.(check bool) "helpful error" true (contains msg "help")
+  | Ok _ -> Alcotest.fail "unknown command must be rejected"
+
+let test_scripted_session () =
+  let sim = new_sim () in
+  let outputs =
+    Sim.script sim
+      [ "enabled"; "step V1_sense"; "step V1_pos"; "step V1_send";
+        "step V2_pos"; "step V2_rec"; "step V2_show"; "trace"; "enabled";
+        "quit"; "state" (* ignored after quit *) ]
+  in
+  (* 9 outputs: everything before quit *)
+  Alcotest.(check int) "outputs before quit" 9 (List.length outputs);
+  Alcotest.(check bool) "trace lists the run" true
+    (contains (List.nth outputs 7) "V2_show");
+  Alcotest.(check bool) "deadlock reported" true
+    (contains (List.nth outputs 8) "deadlocked")
+
+let test_script_error_handling () =
+  let sim = new_sim () in
+  let outputs = Sim.script sim [ "bogus"; "step V9_warp"; "help" ] in
+  Alcotest.(check int) "three outputs" 3 (List.length outputs);
+  Alcotest.(check bool) "parse error surfaced" true
+    (contains (List.nth outputs 0) "error");
+  Alcotest.(check bool) "step error surfaced" true
+    (contains (List.nth outputs 1) "no enabled transition");
+  Alcotest.(check bool) "help text" true (contains (List.nth outputs 2) "commands")
+
+let test_save_trace () =
+  let sim = new_sim () in
+  let _ = Sim.run_random sim ~max_steps:100 in
+  let path = Filename.temp_file "fsa_trace" ".txt" in
+  (match Sim.execute sim (Sim.Save_trace path) with
+  | `Output msg -> Alcotest.(check bool) "confirmation" true (contains msg "wrote 6")
+  | `Quit -> Alcotest.fail "save must not quit");
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match In_channel.input_line ic with
+          | Some l -> go (l :: acc)
+          | None -> List.rev acc
+        in
+        go [])
+  in
+  Sys.remove path;
+  Alcotest.(check int) "six lines" 6 (List.length lines);
+  (* the saved trace replays cleanly through the monitor *)
+  let verdicts =
+    Monitor.run (requirements ()) (List.map Fsa_term.Action.make lines)
+  in
+  Alcotest.(check bool) "saved trace satisfies the requirements" true
+    (List.for_all
+       (fun (_, v) -> Monitor.equal_verdict v Monitor.Satisfied)
+       verdicts)
+
+let test_ambiguous_step () =
+  (* a rule with two interpretations in the same state must be stepped by
+     index *)
+  let apa =
+    Apa.make
+      ~components:
+        [ ("src", Fsa_term.Term.Set.of_list [ Fsa_term.Term.sym "a"; Fsa_term.Term.sym "b" ]);
+          ("dst", Fsa_term.Term.Set.empty) ]
+      ~rules:
+        [ Apa.rule "move"
+            ~takes:[ Apa.take "src" (Fsa_term.Term.var "x") ]
+            ~puts:[ Apa.put "dst" (Fsa_term.Term.var "x") ] ]
+      "mover"
+  in
+  let sim = Sim.create apa in
+  (match Sim.step_named sim "move" with
+  | Error (Sim.Ambiguous ("move", 2)) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "ambiguity must be reported");
+  match Sim.step_index sim 0 with
+  | Ok _ -> Alcotest.(check int) "index step works" 1 (Sim.steps_taken sim)
+  | Error _ -> Alcotest.fail "index step must work"
+
+let suite =
+  [ Alcotest.test_case "initial session" `Quick test_initial;
+    Alcotest.test_case "step by name" `Quick test_step_named;
+    Alcotest.test_case "full run to deadlock" `Quick test_full_run_and_deadlock;
+    Alcotest.test_case "undo/reset" `Quick test_undo_reset;
+    Alcotest.test_case "deterministic random runs" `Quick test_random_run_deterministic;
+    Alcotest.test_case "monitoring in the simulator" `Quick test_monitoring_in_sim;
+    Alcotest.test_case "monitor survives undo" `Quick test_monitor_survives_undo;
+    Alcotest.test_case "command parsing" `Quick test_command_parsing;
+    Alcotest.test_case "scripted session" `Quick test_scripted_session;
+    Alcotest.test_case "script error handling" `Quick test_script_error_handling;
+    Alcotest.test_case "save trace" `Quick test_save_trace;
+    Alcotest.test_case "ambiguous step" `Quick test_ambiguous_step ]

@@ -1,0 +1,370 @@
+(* Tests for Fsa_spec: lexer, parser, elaboration, end-to-end specs. *)
+
+module Token = Fsa_spec.Token
+module Lexer = Fsa_spec.Lexer
+module Parser = Fsa_spec.Parser
+module Ast = Fsa_spec.Ast
+module Elaborate = Fsa_spec.Elaborate
+module Loc = Fsa_spec.Loc
+module Lts = Fsa_lts.Lts
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all_tokens input =
+  let lx = Lexer.make input in
+  let rec go acc =
+    match Lexer.next lx with
+    | Token.Eof, _ -> List.rev acc
+    | tok, _ -> go (tok :: acc)
+  in
+  go []
+
+let test_lexer_tokens () =
+  Alcotest.(check int) "punctuation" 9
+    (List.length (all_tokens "{ } ( ) [ ] , . :"));
+  (match all_tokens "foo 42 \"bar\" -> == != && || !" with
+  | [ Token.Ident "foo"; Token.Int 42; Token.String "bar"; Token.Arrow;
+      Token.Eq_eq; Token.Bang_eq; Token.And_and; Token.Or_or; Token.Bang ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected token stream");
+  match all_tokens "a // comment to end of line\nb" with
+  | [ Token.Ident "a"; Token.Ident "b" ] -> ()
+  | _ -> Alcotest.fail "comments must be skipped"
+
+let test_lexer_locations () =
+  let lx = Lexer.make "a\n  b" in
+  let _, loc_a = Lexer.next lx in
+  Alcotest.(check int) "line of a" 1 loc_a.Loc.line;
+  let _, loc_b = Lexer.next lx in
+  Alcotest.(check int) "line of b" 2 loc_b.Loc.line;
+  Alcotest.(check int) "col of b" 3 loc_b.Loc.col
+
+let test_lexer_string_escapes () =
+  match all_tokens {|"a\nb\"c"|} with
+  | [ Token.String s ] -> Alcotest.(check string) "escapes" "a\nb\"c" s
+  | _ -> Alcotest.fail "string literal expected"
+
+let test_lexer_errors () =
+  let fails input =
+    match all_tokens input with
+    | _ -> false
+    | exception Loc.Error _ -> true
+  in
+  Alcotest.(check bool) "unterminated string" true (fails "\"abc");
+  Alcotest.(check bool) "lone dash" true (fails "-");
+  Alcotest.(check bool) "lone ampersand" true (fails "&");
+  Alcotest.(check bool) "bad char" true (fails "#")
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_component () =
+  let decls =
+    Parser.parse_string
+      {|
+      component C {
+        state s = { a, f(b, 1) }
+        shared net
+        action go: take s(_x), read net(_y) when _x != _y -> put net(_x)
+      }
+      |}
+  in
+  match decls with
+  | [ Ast.D_component cd ] ->
+    Alcotest.(check string) "name" "C" cd.Ast.cd_name;
+    Alcotest.(check int) "items" 3 (List.length cd.Ast.cd_items)
+  | _ -> Alcotest.fail "one component expected"
+
+let test_parse_instances_and_clusters () =
+  let decls =
+    Parser.parse_string
+      {|
+      instance V1 = Vehicle(1) { esp = { sW }, gps = { pos1 } }
+      instance V2 = Vehicle(2) { }
+      cluster netA = { V1, V2 }
+      |}
+  in
+  match decls with
+  | [ Ast.D_instance i1; Ast.D_instance i2; Ast.D_cluster c ] ->
+    Alcotest.(check int) "id" 1 i1.Ast.in_id;
+    Alcotest.(check int) "overrides" 2 (List.length i1.Ast.in_overrides);
+    Alcotest.(check int) "empty overrides" 0 (List.length i2.Ast.in_overrides);
+    Alcotest.(check (list string)) "members" [ "V1"; "V2" ] c.Ast.cl_members
+  | _ -> Alcotest.fail "unexpected declarations"
+
+let test_parse_model_and_sos () =
+  let decls =
+    Parser.parse_string
+      {|
+      model M(i) {
+        action a(ESP_i, sW)
+        action b
+        flow a -> b [policy "perf"]
+      }
+      sos s {
+        use M(1) as X
+        use M(2) as Y
+        link X.b -> Y.a
+      }
+      |}
+  in
+  match decls with
+  | [ Ast.D_model md; Ast.D_sos sd ] ->
+    Alcotest.(check (option string)) "param" (Some "i") md.Ast.md_param;
+    Alcotest.(check int) "actions" 2 (List.length md.Ast.md_actions);
+    (match md.Ast.md_flows with
+    | [ f ] -> Alcotest.(check (option string)) "policy" (Some "perf") f.Ast.mf_policy
+    | _ -> Alcotest.fail "one flow expected");
+    Alcotest.(check int) "uses" 2 (List.length sd.Ast.sd_uses);
+    Alcotest.(check int) "links" 1 (List.length sd.Ast.sd_links)
+  | _ -> Alcotest.fail "model and sos expected"
+
+let test_parse_errors_located () =
+  let error_line input =
+    match Parser.parse_string input with
+    | _ -> None
+    | exception Loc.Error (loc, _) -> Some loc.Loc.line
+  in
+  Alcotest.(check (option int)) "unknown declaration" (Some 1)
+    (error_line "garbage");
+  Alcotest.(check (option int)) "error on the right line" (Some 2)
+    (error_line "component C {\n  bogus\n}")
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let two_vehicle_spec =
+  {|
+  component Vehicle {
+    state esp = { }
+    state gps = { }
+    state bus = { }
+    state hmi = { }
+    shared net
+    action sense: take esp(_x) -> put bus(_x)
+    action pos:   take gps(_p) -> put bus(_p)
+    action send:  take bus(sW), take bus(_p) when position(_p)
+                  -> put net(cam(self, _p))
+    action rec:   take net(cam(_v, _p)) when _v != self -> put bus(warn(_p))
+    action show:  take bus(warn(_p)), take bus(_q)
+                  when position(_q) && near(_p, _q) -> put hmi(warn)
+  }
+  instance V1 = Vehicle(1) { esp = { sW }, gps = { pos1 } }
+  instance V2 = Vehicle(2) { gps = { pos2 } }
+  |}
+
+let test_elaborate_two_vehicles () =
+  let spec = Parser.parse_string two_vehicle_spec in
+  let apa = Elaborate.apa_of_spec spec in
+  let lts = Lts.explore apa in
+  Alcotest.(check int) "13 states" 13 (Lts.nb_states lts);
+  Alcotest.(check int) "1 dead" 1 (List.length (Lts.deadlocks lts))
+
+let test_elaborate_clusters () =
+  (* four vehicles, two radio clusters: 13^2 states *)
+  let spec =
+    Parser.parse_string
+      (two_vehicle_spec
+       ^ {|
+      instance V3 = Vehicle(3) { esp = { sW }, gps = { pos3 } }
+      instance V4 = Vehicle(4) { gps = { pos4 } }
+      cluster netA = { V1, V2 }
+      cluster netB = { V3, V4 }
+      |})
+  in
+  let apa = Elaborate.apa_of_spec spec in
+  let lts = Lts.explore apa in
+  Alcotest.(check int) "169 states with clusters" 169 (Lts.nb_states lts)
+
+let test_elaborate_shared_when_unclustered () =
+  (* without clusters all four vehicles share one net: receivers compete
+     for messages, so the state space differs from 169 *)
+  let spec =
+    Parser.parse_string
+      (two_vehicle_spec
+       ^ {|
+      instance V3 = Vehicle(3) { esp = { sW }, gps = { pos3 } }
+      instance V4 = Vehicle(4) { gps = { pos4 } }
+      |})
+  in
+  let apa = Elaborate.apa_of_spec spec in
+  let lts = Lts.explore apa in
+  Alcotest.(check bool) "shared medium changes the behaviour" true
+    (Lts.nb_states lts <> 169)
+
+let test_elaborate_errors () =
+  let fails input =
+    match Elaborate.apa_of_spec (Parser.parse_string input) with
+    | _ -> false
+    | exception Loc.Error _ -> true
+  in
+  Alcotest.(check bool) "unknown component" true
+    (fails "instance X = Nope(1)");
+  Alcotest.(check bool) "variable in initial content" true
+    (fails
+       "component C { state s = { _x } action a: take s(_y) -> put s(_y) }\n\
+        instance X = C(1)");
+  Alcotest.(check bool) "unknown state override" true
+    (fails
+       "component C { state s action a: take s(_x) -> put s(_x) }\n\
+        instance X = C(1) { bogus = { a } }");
+  (* an unknown guard predicate surfaces (at latest) when the guard is
+     evaluated during execution *)
+  let guard_spec =
+    "component C { state s = { a } action a: take s(_x) when mystery(_x) -> \
+     put s(_x) }\n\
+     instance X = C(1)"
+  in
+  let caught_at_elaboration =
+    match Elaborate.apa_of_spec (Parser.parse_string guard_spec) with
+    | apa -> (
+      match Fsa_apa.Apa.step apa (Fsa_apa.Apa.initial_state apa) with
+      | _ -> false
+      | exception Loc.Error _ -> true)
+    | exception Loc.Error _ -> true
+  in
+  Alcotest.(check bool) "unknown guard predicate" true caught_at_elaboration
+
+let test_elaborate_duplicate_decls () =
+  let fails input =
+    match Elaborate.env_of_spec (Parser.parse_string input) with
+    | _ -> false
+    | exception Loc.Error _ -> true
+  in
+  Alcotest.(check bool) "duplicate component" true
+    (fails "component C { state s }\ncomponent C { state s }");
+  Alcotest.(check bool) "duplicate instance" true
+    (fails
+       "component C { state s }\ninstance X = C(1)\ninstance X = C(2)")
+
+let test_elaborate_sos () =
+  let spec =
+    Parser.parse_string
+      {|
+      model Warner(i) {
+        action sense(ESP_i, sW)
+        action send(CU_i, cam(pos))
+        flow sense -> send
+      }
+      model Receiver(i) {
+        action rec(CU_i, cam(pos))
+        action show(HMI_i, warn)
+        flow rec -> show
+      }
+      sos pair {
+        use Warner(1) as W
+        use Receiver(2) as R
+        link W.send -> R.rec
+      }
+      |}
+  in
+  let sos = Elaborate.sos_of_spec spec "pair" in
+  let reqs = Fsa_requirements.Derive.of_sos sos in
+  Alcotest.(check int) "one requirement" 1 (List.length reqs);
+  Alcotest.(check string) "the sensing must be authentic"
+    "auth(sense(ESP_1, sW), show(HMI_2, warn), D_2)"
+    (Fsa_requirements.Auth.to_string (List.hd reqs));
+  match Elaborate.sos_of_spec spec "nope" with
+  | _ -> Alcotest.fail "unknown sos must fail"
+  | exception Invalid_argument _ -> ()
+
+let test_sterm_elaboration () =
+  let t =
+    Elaborate.term_of_sterm ~self:(Some (Fsa_term.Term.sym "V1"))
+      ~loc:Loc.dummy
+      (Ast.S_app ("cam", [ Ast.S_self; Ast.S_app ("_p", []) ]))
+  in
+  Alcotest.(check string) "self and var" "cam(V1, ?p)"
+    (Fsa_term.Term.to_string t);
+  match
+    Elaborate.term_of_sterm ~self:None ~loc:Loc.dummy Ast.S_self
+  with
+  | _ -> Alcotest.fail "self outside component must fail"
+  | exception Loc.Error _ -> ()
+
+let spec_dir () =
+  (* tests run from the dune sandbox; reach back to the source tree *)
+  List.find_opt Sys.file_exists
+    [ "examples/specs"; "../../../examples/specs"; "../../../../examples/specs" ]
+
+let test_example_spec_file () =
+  (* the shipped example specs parse and reproduce the paper's graphs *)
+  match spec_dir () with
+  | None -> ()
+  | Some dir ->
+    let spec = Parser.parse_file (Filename.concat dir "two_vehicles.fsa") in
+    let lts = Lts.explore (Elaborate.apa_of_spec spec) in
+    Alcotest.(check int) "13 states" 13 (Lts.nb_states lts);
+    let spec4 = Parser.parse_file (Filename.concat dir "four_vehicles.fsa") in
+    let lts4 = Lts.explore (Elaborate.apa_of_spec spec4) in
+    Alcotest.(check int) "169 states" 169 (Lts.nb_states lts4);
+    (* the smart-grid spec reproduces the programmatic grid APA *)
+    let specg = Parser.parse_file (Filename.concat dir "smart_grid.fsa") in
+    let ltsg = Lts.explore (Elaborate.apa_of_spec specg) in
+    Alcotest.(check int) "80 grid states"
+      (Lts.nb_states (Lts.explore (Fsa_grid.Grid_apa.demand_response ())))
+      (Lts.nb_states ltsg)
+
+let test_evita_spec_file () =
+  (* the spec-language EVITA model matches the programmatic one *)
+  match spec_dir () with
+  | None -> ()
+  | Some dir ->
+    let spec = Parser.parse_file (Filename.concat dir "evita_onboard.fsa") in
+    let sos = Elaborate.sos_of_spec spec "evita_onboard" in
+    let stats = Fsa_model.Sos.stats sos in
+    Alcotest.(check int) "38 component boundary actions" 38
+      stats.Fsa_model.Sos.nb_component_boundary;
+    Alcotest.(check int) "16 system boundary actions" 16
+      stats.Fsa_model.Sos.nb_system_boundary;
+    Alcotest.(check int) "9 maximal" 9 stats.Fsa_model.Sos.nb_maximal;
+    Alcotest.(check int) "7 minimal" 7 stats.Fsa_model.Sos.nb_minimal;
+    Alcotest.(check int) "29 requirements" 29
+      (List.length (Fsa_requirements.Derive.of_sos sos));
+    (* and the requirement pairs coincide with the programmatic model's *)
+    let pairs s =
+      List.map
+        (fun r ->
+          (Fsa_term.Action.label (Fsa_requirements.Auth.cause r),
+           Fsa_term.Action.label (Fsa_requirements.Auth.effect r)))
+        (Fsa_requirements.Derive.of_sos s)
+      |> List.sort_uniq compare
+    in
+    Alcotest.(check (list (pair string string)))
+      "same dependence pairs as the programmatic model"
+      (pairs Fsa_vanet.Evita.model) (pairs sos)
+
+(* Robustness: the front end must never crash on arbitrary input — it
+   either parses or raises a located error. *)
+let prop_frontend_total =
+  QCheck2.Test.make ~name:"parser is total (parses or raises Loc.Error)"
+    ~count:500
+    QCheck2.Gen.(string_size ~gen:printable (int_bound 60))
+    (fun input ->
+      match Parser.parse_string input with
+      | _ -> true
+      | exception Loc.Error _ -> true)
+
+let suite =
+  [ Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer locations" `Quick test_lexer_locations;
+    Alcotest.test_case "lexer string escapes" `Quick test_lexer_string_escapes;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse component" `Quick test_parse_component;
+    Alcotest.test_case "parse instances/clusters" `Quick test_parse_instances_and_clusters;
+    Alcotest.test_case "parse model/sos" `Quick test_parse_model_and_sos;
+    Alcotest.test_case "parse errors located" `Quick test_parse_errors_located;
+    Alcotest.test_case "elaborate two vehicles" `Quick test_elaborate_two_vehicles;
+    Alcotest.test_case "elaborate clusters (169)" `Quick test_elaborate_clusters;
+    Alcotest.test_case "shared medium differs" `Quick test_elaborate_shared_when_unclustered;
+    Alcotest.test_case "elaborate errors" `Quick test_elaborate_errors;
+    Alcotest.test_case "duplicate declarations" `Quick test_elaborate_duplicate_decls;
+    Alcotest.test_case "elaborate sos" `Quick test_elaborate_sos;
+    Alcotest.test_case "sterm elaboration" `Quick test_sterm_elaboration;
+    Alcotest.test_case "example spec file" `Quick test_example_spec_file;
+    Alcotest.test_case "EVITA spec file" `Quick test_evita_spec_file;
+    QCheck_alcotest.to_alcotest prop_frontend_total ]

@@ -1,0 +1,292 @@
+(* Tests for Fsa_term: terms, agents, actions, substitutions, parsing. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+
+let term = Alcotest.testable Term.pp Term.equal
+let agent = Alcotest.testable Agent.pp Agent.equal
+let action = Alcotest.testable Action.pp Action.equal
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_term_construction () =
+  Alcotest.check term "app with no args collapses to symbol" (Term.Sym "a")
+    (Term.app "a" []);
+  Alcotest.check term "app keeps args"
+    (Term.App ("f", [ Term.Sym "a" ]))
+    (Term.app "f" [ Term.sym "a" ])
+
+let test_term_compare_total () =
+  let terms =
+    [ Term.sym "a"; Term.sym "b"; Term.int 1; Term.var "x";
+      Term.app "f" [ Term.sym "a" ]; Term.app "f" [ Term.sym "b" ];
+      Term.app "g" [ Term.sym "a"; Term.int 2 ] ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Term.compare a b and ba = Term.compare b a in
+          Alcotest.(check bool)
+            "antisymmetry" true
+            ((ab = 0 && ba = 0) || (ab < 0 && ba > 0) || (ab > 0 && ba < 0)))
+        terms)
+    terms
+
+let test_term_vars () =
+  let t = Term.app "f" [ Term.var "x"; Term.app "g" [ Term.var "y"; Term.sym "a" ] ] in
+  Alcotest.(check (list string))
+    "vars" [ "x"; "y" ]
+    (Term.String_set.elements (Term.vars t));
+  Alcotest.(check bool) "not ground" false (Term.is_ground t);
+  Alcotest.(check bool) "ground" true (Term.is_ground (Term.sym "a"))
+
+let test_term_size () =
+  Alcotest.(check int) "size of leaf" 1 (Term.size (Term.sym "a"));
+  Alcotest.(check int) "size of nested" 4
+    (Term.size (Term.app "f" [ Term.sym "a"; Term.app "g" [ Term.int 1 ] ]))
+
+let test_term_parse () =
+  Alcotest.check term "symbol" (Term.sym "sW") (Term.of_string_exn "sW");
+  Alcotest.check term "int" (Term.int 42) (Term.of_string_exn "42");
+  Alcotest.check term "app"
+    (Term.app "cam" [ Term.sym "pos1" ])
+    (Term.of_string_exn "cam(pos1)");
+  Alcotest.check term "nested"
+    (Term.app "cam" [ Term.sym "V1"; Term.app "warn" [ Term.sym "pos2" ] ])
+    (Term.of_string_exn "cam(V1, warn(pos2))");
+  Alcotest.check term "variable via underscore" (Term.var "p")
+    (Term.of_string_exn "_p")
+
+let test_term_parse_errors () =
+  let is_error s =
+    match Term.of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unbalanced" true (is_error "f(a");
+  Alcotest.(check bool) "trailing" true (is_error "a b");
+  Alcotest.(check bool) "empty args" true (is_error "f()");
+  Alcotest.(check bool) "bad char" true (is_error "f(@)")
+
+let test_subst_basics () =
+  let s = Term.Subst.singleton "x" (Term.sym "a") in
+  Alcotest.check term "apply binds"
+    (Term.app "f" [ Term.sym "a"; Term.var "y" ])
+    (Term.Subst.apply s (Term.app "f" [ Term.var "x"; Term.var "y" ]));
+  (match Term.Subst.add "x" (Term.sym "b") s with
+  | Some _ -> Alcotest.fail "conflicting add must be rejected"
+  | None -> ());
+  match Term.Subst.add "x" (Term.sym "a") s with
+  | Some s' -> Alcotest.(check bool) "idempotent add" true (Term.Subst.find "x" s' = Some (Term.sym "a"))
+  | None -> Alcotest.fail "consistent add must succeed"
+
+let test_subst_merge () =
+  let s1 = Term.Subst.singleton "x" (Term.sym "a") in
+  let s2 = Term.Subst.singleton "y" (Term.sym "b") in
+  (match Term.Subst.merge s1 s2 with
+  | Some s ->
+    Alcotest.check term "merged x" (Term.sym "a")
+      (Term.Subst.apply s (Term.var "x"));
+    Alcotest.check term "merged y" (Term.sym "b")
+      (Term.Subst.apply s (Term.var "y"))
+  | None -> Alcotest.fail "disjoint merge must succeed");
+  let s3 = Term.Subst.singleton "x" (Term.sym "c") in
+  match Term.Subst.merge s1 s3 with
+  | Some _ -> Alcotest.fail "conflicting merge must fail"
+  | None -> ()
+
+let test_match () =
+  let pattern = Term.app "cam" [ Term.var "v"; Term.var "p" ] in
+  let target = Term.app "cam" [ Term.sym "V1"; Term.sym "pos1" ] in
+  (match Term.match_ ~pattern ~target with
+  | Some s ->
+    Alcotest.check term "v" (Term.sym "V1") (Term.Subst.apply s (Term.var "v"));
+    Alcotest.check term "p" (Term.sym "pos1") (Term.Subst.apply s (Term.var "p"))
+  | None -> Alcotest.fail "must match");
+  (* nonlinear pattern: both occurrences must agree *)
+  let nonlinear = Term.app "f" [ Term.var "x"; Term.var "x" ] in
+  Alcotest.(check bool) "nonlinear mismatch" true
+    (Term.match_ ~pattern:nonlinear
+       ~target:(Term.app "f" [ Term.sym "a"; Term.sym "b" ])
+     = None);
+  Alcotest.(check bool) "nonlinear match" true
+    (Term.match_ ~pattern:nonlinear
+       ~target:(Term.app "f" [ Term.sym "a"; Term.sym "a" ])
+     <> None);
+  Alcotest.(check bool) "no match on head" true
+    (Term.match_ ~pattern:(Term.app "g" [ Term.var "x" ]) ~target:target = None)
+
+let test_unify () =
+  let x = Term.var "x" and y = Term.var "y" in
+  (match Term.unify (Term.app "f" [ x; Term.sym "b" ]) (Term.app "f" [ Term.sym "a"; y ]) with
+  | Some s ->
+    Alcotest.check term "x=a" (Term.sym "a") (Term.Subst.apply s x);
+    Alcotest.check term "y=b" (Term.sym "b") (Term.Subst.apply s y)
+  | None -> Alcotest.fail "must unify");
+  (* occurs check *)
+  Alcotest.(check bool) "occurs check" true
+    (Term.unify x (Term.app "f" [ x ]) = None);
+  (* variable chains *)
+  match Term.unify (Term.app "f" [ x; x ]) (Term.app "f" [ y; Term.sym "c" ]) with
+  | Some s ->
+    Alcotest.check term "x resolved" (Term.sym "c") (Term.Subst.apply s x);
+    Alcotest.check term "y resolved" (Term.sym "c") (Term.Subst.apply s y)
+  | None -> Alcotest.fail "chain must unify"
+
+(* ------------------------------------------------------------------ *)
+(* Agents                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_agent_of_string () =
+  Alcotest.check agent "concrete" (Agent.concrete "ESP" 1) (Agent.of_string "ESP_1");
+  Alcotest.check agent "symbolic" (Agent.symbolic "GPS" "w") (Agent.of_string "GPS_w");
+  Alcotest.check agent "unindexed" (Agent.unindexed "RSU") (Agent.of_string "RSU");
+  Alcotest.check agent "multi-underscore role"
+    (Agent.concrete "road_side" 2)
+    (Agent.of_string "road_side_2");
+  Alcotest.check agent "long suffix stays role"
+    (Agent.unindexed "V_forward")
+    (Agent.of_string "V_forward")
+
+let test_agent_pp_roundtrip () =
+  let agents =
+    [ Agent.concrete "ESP" 3; Agent.symbolic "HMI" "w"; Agent.unindexed "RSU" ]
+  in
+  List.iter
+    (fun a -> Alcotest.check agent "roundtrip" a (Agent.of_string (Agent.to_string a)))
+    agents
+
+let test_agent_reindex () =
+  let a = Agent.concrete "GPS" 1 in
+  Alcotest.check agent "reindex concrete"
+    (Agent.concrete "GPS" 7)
+    (Agent.reindex (fun _ -> Agent.Concrete 7) a);
+  Alcotest.check agent "unindexed unchanged"
+    (Agent.unindexed "RSU")
+    (Agent.reindex (fun _ -> Agent.Concrete 7) (Agent.unindexed "RSU"))
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_action_pp () =
+  let a =
+    Action.make ~actor:(Agent.concrete "ESP" 1) ~args:[ Term.sym "sW" ] "sense"
+  in
+  Alcotest.(check string) "paper notation" "sense(ESP_1, sW)" (Action.to_string a);
+  let rsu = Action.make ~args:[ Term.app "cam" [ Term.sym "pos" ] ] "send" in
+  Alcotest.(check string) "actor-less" "send(cam(pos))" (Action.to_string rsu);
+  Alcotest.(check string) "bare" "tick" (Action.to_string (Action.make "tick"))
+
+let test_action_parse () =
+  Alcotest.check action "actor recognised"
+    (Action.make ~actor:(Agent.concrete "ESP" 1) ~args:[ Term.sym "sW" ] "sense")
+    (Action.of_string_exn "sense(ESP_1, sW)");
+  Alcotest.check action "no actor"
+    (Action.make ~args:[ Term.app "cam" [ Term.sym "pos" ] ] "send")
+    (Action.of_string_exn "send(cam(pos))");
+  Alcotest.check action "bare label" (Action.make "tick")
+    (Action.of_string_exn "tick")
+
+let test_action_roundtrip () =
+  let actions =
+    [ Action.of_string_exn "sense(ESP_1, sW)";
+      Action.of_string_exn "show(HMI_w, warn)";
+      Action.of_string_exn "send(cam(pos))";
+      Action.of_string_exn "pos(GPS_2, pos)" ]
+  in
+  List.iter
+    (fun a ->
+      Alcotest.check action "roundtrip" a (Action.of_string_exn (Action.to_string a)))
+    actions
+
+let test_action_shape () =
+  let a1 = Action.of_string_exn "pos(GPS_1, pos)" in
+  let a2 = Action.of_string_exn "pos(GPS_2, pos)" in
+  let b = Action.of_string_exn "pos(GPS_1, warn)" in
+  Alcotest.(check int) "same family" 0
+    (Action.compare_shape (Action.shape a1) (Action.shape a2));
+  Alcotest.(check bool) "different args differ" true
+    (Action.compare_shape (Action.shape a1) (Action.shape b) <> 0)
+
+let test_action_tool_name () =
+  let a = Action.of_string_exn "sense(ESP_1, sW)" in
+  Alcotest.(check string) "from actor" "ESP_1_sense" (Action.tool_name a);
+  Alcotest.(check string) "with system" "V1_sense"
+    (Action.tool_name ~system:"V1" a)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_term =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ map (fun s -> Term.sym ("s" ^ string_of_int s)) (int_bound 5);
+        map Term.int (int_bound 100);
+        map (fun v -> Term.var ("v" ^ string_of_int v)) (int_bound 3) ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then leaf
+         else
+           oneof
+             [ leaf;
+               map2
+                 (fun f args -> Term.app ("f" ^ string_of_int f) args)
+                 (int_bound 3)
+                 (list_size (int_range 1 3) (self (n / 4))) ])
+
+let prop_parse_roundtrip =
+  QCheck2.Test.make ~name:"term print/parse roundtrip" ~count:500 gen_term
+    (fun t ->
+      (* printed variables use ?v, parsed ones use _v; rename before print *)
+      let printable =
+        Term.map_vars (fun v -> Some (Term.sym ("VAR" ^ v))) t
+      in
+      Term.equal printable (Term.of_string_exn (Term.to_string printable)))
+
+let prop_unify_sound =
+  QCheck2.Test.make ~name:"unify produces a unifier" ~count:500
+    (QCheck2.Gen.pair gen_term gen_term) (fun (a, b) ->
+      match Term.unify a b with
+      | None -> true
+      | Some s -> Term.equal (Term.Subst.apply s a) (Term.Subst.apply s b))
+
+let prop_match_sound =
+  QCheck2.Test.make ~name:"match produces a matcher" ~count:500
+    (QCheck2.Gen.pair gen_term gen_term) (fun (pattern, target) ->
+      match Term.match_ ~pattern ~target with
+      | None -> true
+      | Some s -> Term.equal (Term.Subst.apply s pattern) target)
+
+let prop_compare_reflexive =
+  QCheck2.Test.make ~name:"compare is reflexive" ~count:200 gen_term (fun t ->
+      Term.compare t t = 0)
+
+let suite =
+  [ Alcotest.test_case "term construction" `Quick test_term_construction;
+    Alcotest.test_case "term compare total" `Quick test_term_compare_total;
+    Alcotest.test_case "term vars" `Quick test_term_vars;
+    Alcotest.test_case "term size" `Quick test_term_size;
+    Alcotest.test_case "term parse" `Quick test_term_parse;
+    Alcotest.test_case "term parse errors" `Quick test_term_parse_errors;
+    Alcotest.test_case "subst basics" `Quick test_subst_basics;
+    Alcotest.test_case "subst merge" `Quick test_subst_merge;
+    Alcotest.test_case "match" `Quick test_match;
+    Alcotest.test_case "unify" `Quick test_unify;
+    Alcotest.test_case "agent of_string" `Quick test_agent_of_string;
+    Alcotest.test_case "agent pp roundtrip" `Quick test_agent_pp_roundtrip;
+    Alcotest.test_case "agent reindex" `Quick test_agent_reindex;
+    Alcotest.test_case "action pp" `Quick test_action_pp;
+    Alcotest.test_case "action parse" `Quick test_action_parse;
+    Alcotest.test_case "action roundtrip" `Quick test_action_roundtrip;
+    Alcotest.test_case "action shape" `Quick test_action_shape;
+    Alcotest.test_case "action tool name" `Quick test_action_tool_name;
+    QCheck_alcotest.to_alcotest prop_parse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_unify_sound;
+    QCheck_alcotest.to_alcotest prop_match_sound;
+    QCheck_alcotest.to_alcotest prop_compare_reflexive ]

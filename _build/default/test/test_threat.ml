@@ -1,0 +1,93 @@
+(* Tests for Fsa_refine.Threat: threat-tree generation. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Auth = Fsa_requirements.Auth
+module Refine = Fsa_refine.Refine
+module Threat = Fsa_refine.Threat
+module S = Fsa_vanet.Scenario
+module Evita = Fsa_vanet.Evita
+
+let w = Agent.Symbolic "w"
+
+let sense_req =
+  Auth.make
+    ~cause:(S.sense (Agent.Concrete 1))
+    ~effect:(S.show w) ~stakeholder:(S.driver w)
+
+let contains s sub =
+  let rec go i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || go (i + 1))
+  in
+  go 0
+
+let test_tree_structure () =
+  let tree = Threat.of_requirement S.two_vehicles sense_req in
+  (match tree with
+  | Threat.Goal { gate = Threat.Or; children; _ } ->
+    Alcotest.(check int) "three refinement branches" 3 (List.length children)
+  | Threat.Goal _ | Threat.Leaf _ -> Alcotest.fail "root must be an OR goal");
+  (* leaves: one per surface flow + origin + sink compromise *)
+  let surface = Refine.channels S.two_vehicles (Auth.cause sense_req) (Auth.effect sense_req) in
+  Alcotest.(check int) "vector count = surface + 2 endpoints"
+    (List.length surface + 2)
+    (Threat.nb_vectors tree)
+
+let test_residual_vectors () =
+  let tree = Threat.of_requirement S.two_vehicles sense_req in
+  let residual = Threat.residual_after_channel_protection tree in
+  (* channel protection leaves exactly the endpoint compromises open —
+     the paper's Sect. 2 observation about trust-zone analyses *)
+  Alcotest.(check int) "two residual vectors" 2 (List.length residual);
+  Alcotest.(check bool) "origin compromise present" true
+    (List.exists
+       (function Threat.Compromise_origin _ -> true | _ -> false)
+       residual);
+  Alcotest.(check bool) "sink compromise present" true
+    (List.exists
+       (function Threat.Compromise_sink _ -> true | _ -> false)
+       residual)
+
+let test_leaves_cover_attack_surface () =
+  let tree = Threat.of_requirement S.two_vehicles sense_req in
+  let forged_flows =
+    List.filter_map
+      (function Threat.Forge_flow f -> Some f | _ -> None)
+      (Threat.leaves tree)
+  in
+  let surface =
+    Refine.channels S.two_vehicles (Auth.cause sense_req) (Auth.effect sense_req)
+  in
+  Alcotest.(check bool) "every surface flow is a leaf" true
+    (List.for_all
+       (fun f -> List.exists (Fsa_model.Flow.equal f) forged_flows)
+       surface)
+
+let test_evita_trees () =
+  let reqs =
+    Fsa_requirements.Derive.of_sos ~stakeholder:Evita.stakeholder Evita.model
+  in
+  let trees = List.map (Threat.of_requirement Evita.model) reqs in
+  Alcotest.(check int) "one tree per requirement" 29 (List.length trees);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "every tree has at least three vectors" true
+        (Threat.nb_vectors t >= 3))
+    trees
+
+let test_rendering () =
+  let tree = Threat.of_requirement S.two_vehicles sense_req in
+  let text = Fmt.str "%a" Threat.pp_tree tree in
+  Alcotest.(check bool) "text mentions forge" true (contains text "forge");
+  Alcotest.(check bool) "text mentions OR gate" true (contains text "[OR]");
+  let dot = Threat.dot tree in
+  Alcotest.(check bool) "dot header" true (contains dot "digraph");
+  Alcotest.(check bool) "dot mentions compromise" true (contains dot "compromise")
+
+let suite =
+  [ Alcotest.test_case "tree structure" `Quick test_tree_structure;
+    Alcotest.test_case "residual vectors" `Quick test_residual_vectors;
+    Alcotest.test_case "leaves cover the surface" `Quick test_leaves_cover_attack_surface;
+    Alcotest.test_case "EVITA trees" `Quick test_evita_trees;
+    Alcotest.test_case "rendering" `Quick test_rendering ]

@@ -1,0 +1,265 @@
+(* Tests for Fsa_vanet: geography, scenario builders, the EVITA-scale
+   model. *)
+
+module Term = Fsa_term.Term
+module Agent = Fsa_term.Agent
+module Action = Fsa_term.Action
+module Geo = Fsa_vanet.Geo
+module S = Fsa_vanet.Scenario
+module V = Fsa_vanet.Vehicle_apa
+module Evita = Fsa_vanet.Evita
+
+(* ------------------------------------------------------------------ *)
+(* Geo                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_geo_positions () =
+  Alcotest.(check int) "four abstract positions" 4 (List.length Geo.positions);
+  Alcotest.(check bool) "pos1 is a position" true
+    (Geo.is_position (Term.sym "pos1"));
+  Alcotest.(check bool) "sW is not" false (Geo.is_position (Term.sym "sW"));
+  Alcotest.(check bool) "compound is not" false
+    (Geo.is_position (Term.app "warn" [ Term.sym "pos1" ]))
+
+let test_geo_distance () =
+  Alcotest.(check (option int)) "pos1-pos2 close" (Some 1)
+    (Geo.distance (Term.sym "pos1") (Term.sym "pos2"));
+  Alcotest.(check (option int)) "pos1-pos1 zero" (Some 0)
+    (Geo.distance (Term.sym "pos1") (Term.sym "pos1"));
+  Alcotest.(check (option int)) "unknown term" None
+    (Geo.distance (Term.sym "pos1") (Term.sym "nowhere"))
+
+let test_geo_range () =
+  Alcotest.(check bool) "pair A in range" true
+    (Geo.in_range (Term.sym "pos1") (Term.sym "pos2"));
+  Alcotest.(check bool) "pair B in range" true
+    (Geo.in_range (Term.sym "pos3") (Term.sym "pos4"));
+  Alcotest.(check bool) "across pairs out of range" false
+    (Geo.in_range (Term.sym "pos1") (Term.sym "pos3"));
+  Alcotest.(check bool) "custom range" true
+    (Geo.in_range ~range:1000 (Term.sym "pos1") (Term.sym "pos3"));
+  Alcotest.(check bool) "non-position" false
+    (Geo.in_range (Term.sym "sW") (Term.sym "pos1"))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario (manual path)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1 () =
+  Alcotest.(check int) "seven action rows" 7 (List.length S.table1);
+  List.iter
+    (fun (_, expl) ->
+      Alcotest.(check bool) "every row has an explanation" true
+        (String.length expl > 10))
+    S.table1
+
+let test_vehicle_template () =
+  let c = S.vehicle_template in
+  Alcotest.(check bool) "is a template" true (Fsa_model.Component.is_template c);
+  Alcotest.(check int) "six actions" 6 (List.length (Fsa_model.Component.actions c));
+  Alcotest.(check int) "six flows" 6 (List.length (Fsa_model.Component.flows c));
+  (* exactly one flow carries the forwarding policy *)
+  Alcotest.(check int) "one policy flow" 1
+    (List.length
+       (List.filter Fsa_model.Flow.is_policy_induced
+          (Fsa_model.Component.flows c)))
+
+let test_role_restriction () =
+  let check_roles mk labels =
+    let c = mk (Agent.Concrete 1) in
+    Alcotest.(check (list string)) "actions restricted" (List.sort compare labels)
+      (List.sort compare
+         (List.map Action.label (Fsa_model.Component.actions c)))
+  in
+  check_roles S.warning_vehicle [ "sense"; "pos"; "send" ];
+  check_roles S.receiving_vehicle [ "pos"; "rec"; "show" ];
+  check_roles S.forwarding_vehicle [ "pos"; "rec"; "fwd" ]
+
+let test_chain_construction () =
+  let sos = S.chain 5 in
+  Alcotest.(check int) "five components" 5
+    (List.length (Fsa_model.Sos.components sos));
+  Alcotest.(check int) "four links" 4 (List.length (Fsa_model.Sos.links sos));
+  Alcotest.(check (list int)) "forwarders" [ 2; 3; 4 ] (S.forwarders_of_chain 5);
+  (match S.chain 1 with
+  | _ -> Alcotest.fail "chain of one must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* chain 2 coincides with the two_vehicles instance *)
+  Alcotest.(check bool) "chain 2 = two_vehicles (requirements)" true
+    (Fsa_requirements.Auth.equal_set
+       (Fsa_requirements.Derive.of_sos (S.chain 2))
+       (Fsa_requirements.Derive.of_sos S.two_vehicles))
+
+let test_v_forward_domain () =
+  Alcotest.(check (option string)) "forwarder GPS in domain"
+    (Some "V_forward")
+    (S.v_forward_domain (Agent.concrete "GPS" 2));
+  Alcotest.(check (option string)) "warner GPS outside" None
+    (S.v_forward_domain (Agent.concrete "GPS" 1));
+  Alcotest.(check (option string)) "other roles outside" None
+    (S.v_forward_domain (Agent.concrete "ESP" 2))
+
+let test_enumeration_dedup () =
+  let instances = S.enumerate_two_component_instances () in
+  Alcotest.(check int) "six structurally different combinations" 6
+    (List.length instances);
+  (* pairwise non-isomorphic *)
+  let rec pairwise = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter
+        (fun y ->
+          Alcotest.(check bool) "non-isomorphic" false
+            (Fsa_model.Sos.isomorphic x y))
+        rest;
+      pairwise rest
+  in
+  pairwise instances
+
+(* ------------------------------------------------------------------ *)
+(* Vehicle APA builders                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_apa_roles () =
+  let count role = List.length (Fsa_apa.Apa.rules (V.vehicle ~role 1)) in
+  Alcotest.(check int) "full vehicle rules" 6 (count V.Full);
+  Alcotest.(check int) "warner rules" 3 (count V.Warner);
+  Alcotest.(check int) "receiver rules" 3 (count V.Receiver);
+  Alcotest.(check int) "forwarder rules" 3 (count V.Forwarder)
+
+let test_apa_components () =
+  (* Fig. 5: esp, gps, bus, hmi + net *)
+  let apa = V.vehicle 1 in
+  Alcotest.(check (list string)) "state components (Fig. 5)"
+    [ "bus1"; "esp1"; "gps1"; "hmi1"; "net" ]
+    (List.sort compare (List.map fst (Fsa_apa.Apa.components apa)))
+
+let test_two_vehicles_components () =
+  (* Example 5: 9 state components, 6 elementary automata for the
+     restricted roles (3 + 3) *)
+  let apa = V.two_vehicles () in
+  Alcotest.(check int) "9 state components" 9
+    (List.length (Fsa_apa.Apa.components apa));
+  Alcotest.(check int) "6 elementary automata" 6
+    (List.length (Fsa_apa.Apa.rules apa))
+
+let test_stakeholder () =
+  Alcotest.(check string) "driver of shows" "D_2"
+    (Agent.to_string (V.stakeholder (V.v_show 2)));
+  Alcotest.(check string) "system otherwise" "SYS"
+    (Agent.to_string (V.stakeholder (V.v_sense 1)))
+
+let test_manual_action_of_label () =
+  let check label expected =
+    match V.manual_action_of_label (Action.make label) with
+    | Some a -> Alcotest.(check string) label expected (Action.to_string a)
+    | None -> Alcotest.fail ("no mapping for " ^ label)
+  in
+  check "V1_sense" "sense(ESP_1, sW)";
+  check "V2_show" "show(HMI_2, warn)";
+  check "V3_fwd" "fwd(CU_3, cam(pos))";
+  Alcotest.(check bool) "unknown label unmapped" true
+    (V.manual_action_of_label (Action.make "bogus") = None);
+  Alcotest.(check bool) "unknown verb unmapped" true
+    (V.manual_action_of_label (Action.make "V1_jump") = None)
+
+let test_rsu_tool_path () =
+  (* Fig. 2 on the tool path: the RSU warns vehicle 1 *)
+  let apa = V.rsu_and_vehicle () in
+  let lts = Fsa_lts.Lts.explore apa in
+  Alcotest.(check int) "seven states" 7 (Fsa_lts.Lts.nb_states lts);
+  let report =
+    Fsa_core.Analysis.tool ~stakeholder:V.stakeholder apa
+  in
+  Alcotest.(check (list string)) "Example 2 requirements (tool labels)"
+    [ "auth(RSU_send, V1_show, D_1)"; "auth(V1_pos, V1_show, D_1)" ]
+    (List.map Fsa_requirements.Auth.to_string
+       report.Fsa_core.Analysis.t_requirements);
+  (* cross-validate against the concrete manual instance *)
+  let manual_sos =
+    Fsa_model.Sos.make "rsu_concrete"
+      ~components:[ S.rsu_component; S.receiving_vehicle (Agent.Concrete 1) ]
+      ~links:
+        [ Fsa_model.Flow.external_ S.rsu_send (S.cu_rec (Agent.Concrete 1)) ]
+  in
+  let manual = Fsa_core.Analysis.manual manual_sos in
+  let c =
+    Fsa_core.Analysis.crosscheck ~map:V.manual_action_of_label
+      ~manual_requirements:manual.Fsa_core.Analysis.m_requirements
+      ~tool_requirements:report.Fsa_core.Analysis.t_requirements
+  in
+  Alcotest.(check bool) "Fig. 2 paths agree" true c.Fsa_core.Analysis.c_agree
+
+(* ------------------------------------------------------------------ *)
+(* EVITA                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_evita_profile () =
+  (* the paper's Sect. 4.4 statistics, exactly *)
+  let m = Evita.measured_profile () in
+  let p = Evita.paper_profile in
+  Alcotest.(check int) "29 requirements" p.Evita.requirements m.Evita.requirements;
+  Alcotest.(check int) "38 component boundary actions"
+    p.Evita.component_boundary_actions m.Evita.component_boundary_actions;
+  Alcotest.(check int) "16 system boundary actions"
+    p.Evita.system_boundary_actions m.Evita.system_boundary_actions;
+  Alcotest.(check int) "9 maximal" p.Evita.maximal m.Evita.maximal;
+  Alcotest.(check int) "7 minimal" p.Evita.minimal m.Evita.minimal
+
+let test_evita_model_valid () =
+  match Fsa_model.Sos.validate Evita.model with
+  | Ok () -> ()
+  | Error errs ->
+    Alcotest.fail
+      (Fmt.str "EVITA model invalid: %a"
+         Fmt.(list ~sep:comma Fsa_model.Sos.pp_error)
+         errs)
+
+let test_evita_known_dependencies () =
+  let reqs = Fsa_requirements.Derive.of_sos ~stakeholder:Evita.stakeholder Evita.model in
+  let has cause effect =
+    List.exists
+      (fun r ->
+        Action.label (Fsa_requirements.Auth.cause r) = cause
+        && Action.label (Fsa_requirements.Auth.effect r) = effect)
+      reqs
+  in
+  Alcotest.(check bool) "brake depends on pedal" true
+    (has "pedal_press" "brake_actuate");
+  Alcotest.(check bool) "brake depends on esp" true
+    (has "esp_sense" "brake_actuate");
+  Alcotest.(check bool) "dash depends on gps only" true
+    (has "gps_acquire" "dash_status" && not (has "v2x_receive" "dash_status"));
+  Alcotest.(check bool) "diagnostics isolated" true
+    (has "diag_request" "diag_response" && not (has "diag_request" "brake_actuate"));
+  Alcotest.(check bool) "engine does not depend on pedal" true
+    (not (has "pedal_press" "engine_limit"))
+
+let test_evita_stakeholders () =
+  Alcotest.(check string) "driver" "Driver"
+    (Agent.to_string (Evita.stakeholder (Action.of_string_exn "hmi_show(HMI)")));
+  Alcotest.(check string) "backend" "Backend"
+    (Agent.to_string (Evita.stakeholder (Action.of_string_exn "log_write(LOG)")));
+  Alcotest.(check string) "tester" "Tester"
+    (Agent.to_string (Evita.stakeholder (Action.of_string_exn "diag_response(DIAG)")))
+
+let suite =
+  [ Alcotest.test_case "geo positions" `Quick test_geo_positions;
+    Alcotest.test_case "geo distance" `Quick test_geo_distance;
+    Alcotest.test_case "geo range" `Quick test_geo_range;
+    Alcotest.test_case "table 1" `Quick test_table1;
+    Alcotest.test_case "vehicle template (Fig. 1b)" `Quick test_vehicle_template;
+    Alcotest.test_case "role restriction" `Quick test_role_restriction;
+    Alcotest.test_case "chain construction" `Quick test_chain_construction;
+    Alcotest.test_case "V_forward domain" `Quick test_v_forward_domain;
+    Alcotest.test_case "instance enumeration dedup" `Quick test_enumeration_dedup;
+    Alcotest.test_case "APA roles" `Quick test_apa_roles;
+    Alcotest.test_case "APA components (Fig. 5)" `Quick test_apa_components;
+    Alcotest.test_case "two-vehicle APA (Example 5)" `Quick test_two_vehicles_components;
+    Alcotest.test_case "stakeholder" `Quick test_stakeholder;
+    Alcotest.test_case "label correspondence" `Quick test_manual_action_of_label;
+    Alcotest.test_case "RSU tool path (Fig. 2)" `Quick test_rsu_tool_path;
+    Alcotest.test_case "EVITA profile (Sect. 4.4)" `Quick test_evita_profile;
+    Alcotest.test_case "EVITA model validity" `Quick test_evita_model_valid;
+    Alcotest.test_case "EVITA known dependencies" `Quick test_evita_known_dependencies;
+    Alcotest.test_case "EVITA stakeholders" `Quick test_evita_stakeholders ]
