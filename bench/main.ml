@@ -655,9 +655,68 @@ let benchmarks () =
     (List.sort compare rows)
 
 (* =================================================================== *)
+(* Machine-readable kernel benchmarks (BENCH_fsa.json)                  *)
+(* =================================================================== *)
+
+(* One wall-clock measurement per pipeline kernel, with the key counters
+   of the run (states explored, transitions, requirements derived,
+   APA rules tried, dedup hits).  Written as JSON so later PRs have a
+   perf trajectory to compare against. *)
+let bench_json path =
+  section "JSON" (Printf.sprintf "machine-readable kernel benchmarks -> %s" path);
+  let module Metrics = Fsa_obs.Metrics in
+  let rules_tried = Metrics.counter "apa.rules_tried" in
+  let dedup_hits = Metrics.counter "lts.dedup_hits" in
+  Metrics.set_enabled true;
+  let kernels =
+    [ ("tool/two-vehicles", fun () -> Analysis.tool ~stakeholder:V.stakeholder (V.two_vehicles ()));
+      ("tool/four-vehicles", fun () -> Analysis.tool ~stakeholder:V.stakeholder (V.four_vehicles ()));
+      ("tool/pairs-3", fun () -> Analysis.tool ~stakeholder:V.stakeholder (V.pairs 3));
+      ("tool/chain-5", fun () -> Analysis.tool ~stakeholder:V.stakeholder (V.chain 5));
+      ("tool/grid", fun () ->
+         Analysis.tool ~stakeholder:Fsa_grid.Grid_apa.stakeholder
+           (Fsa_grid.Grid_apa.demand_response ())) ]
+  in
+  let rows =
+    List.map
+      (fun (name, kernel) ->
+        Metrics.reset ();
+        let t0 = Fsa_obs.Span.now_ns () in
+        let report = kernel () in
+        let wall_ns = Int64.sub (Fsa_obs.Span.now_ns ()) t0 in
+        Fmt.pr "  %-24s %a@." name Fsa_obs.Span.pp_dur wall_ns;
+        Printf.sprintf
+          "    \"%s\": {\"wall_ns\": %Ld, \"states\": %d, \"transitions\": %d, \
+           \"requirements\": %d, \"rules_tried\": %d, \"dedup_hits\": %d}"
+          name wall_ns
+          (Lts.nb_states report.Analysis.t_lts)
+          (Lts.nb_transitions report.Analysis.t_lts)
+          (List.length report.Analysis.t_requirements)
+          (Metrics.counter_value rules_tried)
+          (Metrics.counter_value dedup_hits))
+      kernels
+  in
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"schema\": \"fsa-bench/1\",\n  \"kernels\": {\n";
+      output_string oc (String.concat ",\n" rows);
+      output_string oc "\n  }\n}\n");
+  Fmt.pr "  wrote %s@." path
 
 let () =
   let run_perf = not (Array.exists (String.equal "--no-perf") Sys.argv) in
+  let json_out =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   Fmt.pr
     "Functional security analysis — experiment reproduction harness@.\
      Paper: Fuchs & Rieke, DSN-W 2009.@.";
@@ -681,6 +740,7 @@ let () =
   exp_platoon ();
   exp_refinement ();
   if run_perf then benchmarks ();
+  Option.iter bench_json json_out;
   Fmt.pr "@.===== summary =====@.";
   if !failures = 0 then Fmt.pr "All experiment checks passed.@."
   else begin

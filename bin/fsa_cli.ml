@@ -22,6 +22,17 @@ let verbose_arg =
   let doc = "Enable verbose logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Enable observability and write a JSON metrics dump to $(docv).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable observability and write Chrome trace-event JSON to \
+                 $(docv) (open in chrome://tracing or Perfetto).")
+
 let spec_arg =
   let doc = "Specification file (.fsa)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
@@ -48,20 +59,56 @@ let write_or_print ~out content =
       (fun () -> output_string oc content);
     Fmt.pr "wrote %s@." path
 
+(* Observability plumbing: either output flag switches the process-wide
+   registry on; the dumps are written even if the command dies halfway
+   through, so a long exploration that hits the state bound still leaves a
+   usable trace behind. *)
+let with_obs ~metrics_out ~trace_out f =
+  let wanted = metrics_out <> None || trace_out <> None in
+  if not wanted then f ()
+  else begin
+    Fsa_obs.Metrics.reset ();
+    Fsa_obs.Span.reset ();
+    Fsa_obs.Metrics.set_enabled true;
+    let dump () =
+      Fsa_obs.Metrics.set_enabled false;
+      try
+        Option.iter
+          (fun path ->
+            write_or_print ~out:(Some path) (Fsa_obs.Metrics.to_json ()))
+          metrics_out;
+        Option.iter
+          (fun path ->
+            write_or_print ~out:(Some path) (Fsa_obs.Span.to_chrome_json ()))
+          trace_out
+      with Sys_error msg -> or_die (Error msg)
+    in
+    Fun.protect ~finally:dump f
+  end
+
+let elaborate_apa spec =
+  Fsa_obs.Span.with_ ~cat:"core" "elaborate" @@ fun () ->
+  try Fsa_spec.Elaborate.apa_of_spec spec with
+  | Fsa_spec.Loc.Error (loc, msg) ->
+    or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+
+let explore_progress spec_path =
+  Fsa_obs.Progress.stderr_reporter
+    ~label:(Filename.remove_extension (Filename.basename spec_path))
+    ()
+
 (* --------------------------------------------------------------- *)
 (* fsa reach                                                        *)
 (* --------------------------------------------------------------- *)
 
 let reach_cmd =
-  let run verbose spec_path max_states dot_out =
+  let run verbose spec_path max_states dot_out metrics_out trace_out =
     setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = or_die (load_spec spec_path) in
-    let apa =
-      try Fsa_spec.Elaborate.apa_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
-    in
-    let lts = Lts.explore ~max_states apa in
+    let apa = elaborate_apa spec in
+    let progress = explore_progress spec_path in
+    let lts = Lts.explore ~max_states ~progress apa in
     Fmt.pr "%a@." Lts.pp_stats (Lts.stats lts);
     Fmt.pr "%a@." Lts.pp_min_max lts;
     Option.iter (fun path -> write_or_print ~out:(Some path) (Lts.dot lts)) dot_out
@@ -75,7 +122,8 @@ let reach_cmd =
   in
   Cmd.v
     (Cmd.info "reach" ~doc:"Compute the reachability graph of a specification's APA model.")
-    Term.(const run $ verbose_arg $ spec_arg $ max_states $ dot_out)
+    Term.(const run $ verbose_arg $ spec_arg $ max_states $ dot_out
+          $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa requirements                                                 *)
@@ -94,16 +142,14 @@ let meth_conv =
   Arg.conv (parse, print)
 
 let requirements_cmd =
-  let run verbose spec_path meth max_states =
+  let run verbose spec_path meth max_states metrics_out trace_out =
     setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = or_die (load_spec spec_path) in
-    let apa =
-      try Fsa_spec.Elaborate.apa_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
-    in
+    let apa = elaborate_apa spec in
+    let progress = explore_progress spec_path in
     let report =
-      Analysis.tool ~meth ~max_states
+      Analysis.tool ~meth ~max_states ~progress
         ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
     in
     Fmt.pr "%a@." Analysis.pp_tool_report report
@@ -118,15 +164,17 @@ let requirements_cmd =
   Cmd.v
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
-    Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states)
+    Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states
+          $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa analyze (manual path over sos declarations)                  *)
 (* --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run verbose spec_path sos_name =
+  let run verbose spec_path sos_name metrics_out trace_out =
     setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = or_die (load_spec spec_path) in
     let soses =
       try
@@ -150,7 +198,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Derive authenticity requirements from functional models (manual path).")
-    Term.(const run $ verbose_arg $ spec_arg $ sos_name)
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ metrics_out_arg
+          $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa abstract                                                     *)

@@ -17,6 +17,16 @@ module Term = Fsa_term.Term
 module Action = Fsa_term.Action
 module Smap = Map.Make (String)
 
+let log_src = Logs.Src.create "fsa.apa" ~doc:"APA rule matching and composition"
+
+module Log = (val Logs.src_log log_src)
+
+module Metrics = Fsa_obs.Metrics
+
+let m_rules_tried = Metrics.counter "apa.rules_tried"
+let m_bindings = Metrics.counter "apa.bindings_found"
+let m_terms = Metrics.counter "apa.terms_allocated"
+
 (* ------------------------------------------------------------------ *)
 (* States                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -192,7 +202,11 @@ let validate t =
 let make ~components ~rules name =
   let t = { name; components; rules } in
   match validate t with
-  | Ok () -> t
+  | Ok () ->
+    Log.debug (fun m ->
+        m "APA %s: %d state components, %d elementary automata" name
+          (List.length components) (List.length rules));
+    t
   | Error (e :: _) -> invalid_arg (Fmt.str "Apa.make %s: %a" name pp_error e)
   | Error [] -> assert false
 
@@ -261,11 +275,20 @@ let apply_binding rule state b =
 
 (* All transitions enabled in [state]: (rule, action label, successor). *)
 let step t state =
+  let obs = Metrics.enabled () in
   List.concat_map
     (fun r ->
+      if obs then Metrics.incr m_rules_tried;
+      let bindings = interpretations r state in
+      if obs then begin
+        Metrics.incr ~by:(List.length bindings) m_bindings;
+        Metrics.incr
+          ~by:(List.length bindings * List.length r.r_puts)
+          m_terms
+      end;
       List.map
         (fun b -> (r, r.r_label b.subst, apply_binding r state b))
-        (interpretations r state))
+        bindings)
     t.rules
 
 let enabled_rules t state =

@@ -10,6 +10,18 @@
 
 module Int_set = Set.Make (Int)
 
+let log_src = Logs.Src.create "fsa.automata" ~doc:"finite-automata algorithms"
+
+module Log = (val Logs.src_log log_src)
+
+module Metrics = Fsa_obs.Metrics
+
+let m_minimize_runs = Metrics.counter "automata.minimize_runs"
+let m_refinement_rounds = Metrics.counter "automata.refinement_rounds"
+let m_hopcroft_splits = Metrics.counter "automata.hopcroft_splits"
+let g_minimize_in = Metrics.gauge "automata.minimize_states_in"
+let g_minimize_out = Metrics.gauge "automata.minimize_states_out"
+
 module type LABEL = sig
   type t
 
@@ -303,6 +315,7 @@ module Make (L : LABEL) = struct
       let changed = ref true in
       while !changed do
         changed := false;
+        if Metrics.enabled () then Metrics.incr m_refinement_rounds;
         (* signature of a state: its block plus successor blocks *)
         let module Sig = Map.Make (struct
           type t = int * (int option) list
@@ -356,6 +369,11 @@ module Make (L : LABEL) = struct
        range, and the "process the smaller half" rule bounds the work at
        O(n log n) block movements per letter. *)
     let minimize t =
+      let obs = Metrics.enabled () in
+      if obs then begin
+        Metrics.incr m_minimize_runs;
+        Metrics.set_gauge g_minimize_in (float_of_int t.nb_states)
+      end;
       let t = trim t in
       let sigma = alphabet t in
       let t = complete ~alphabet:sigma t in
@@ -470,6 +488,7 @@ module Make (L : LABEL) = struct
               let m = marked.(b) in
               marked.(b) <- 0;
               if m > 0 && m < block_size.(b) then begin
+                if obs then Metrics.incr m_hopcroft_splits;
                 (* new block: the marked prefix or the remainder, whichever
                    is smaller *)
                 let nb = !nb_blocks in
@@ -512,9 +531,17 @@ module Make (L : LABEL) = struct
             (fun s acc -> Int_set.add block_of.(s) acc)
             t.finals Int_set.empty
         in
-        trim
-          (create ~nb_states:!nb_blocks ~start:block_of.(t.start)
-             ~finals:finals_q ~delta)
+        let result =
+          trim
+            (create ~nb_states:!nb_blocks ~start:block_of.(t.start)
+               ~finals:finals_q ~delta)
+        in
+        if obs then
+          Metrics.set_gauge g_minimize_out (float_of_int result.nb_states);
+        Log.debug (fun m ->
+            m "hopcroft: minimised %d -> %d states over %d letters" n
+              result.nb_states nl);
+        result
       end
 
 

@@ -24,6 +24,12 @@ module Classify = Fsa_requirements.Classify
 module Lts = Fsa_lts.Lts
 module Hom = Fsa_hom.Hom
 
+let log_src = Logs.Src.create "fsa.core" ~doc:"analysis pipeline phases"
+
+module Log = (val Logs.src_log log_src)
+
+module Span = Fsa_obs.Span
+
 (* ------------------------------------------------------------------ *)
 (* Manual path                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -38,14 +44,25 @@ type manual_report = {
 }
 
 let manual ?(stakeholder = Derive.default_stakeholder) sos =
-  let poset = Sos.poset sos in
-  let requirements = Derive.of_sos ~stakeholder sos in
+  Span.with_ ~cat:"core" "manual" @@ fun () ->
+  let poset = Span.with_ ~cat:"core" "manual.poset" (fun () -> Sos.poset sos) in
+  let requirements =
+    Span.with_ ~cat:"core" "manual.derive" (fun () ->
+        Derive.of_sos ~stakeholder sos)
+  in
+  let classified =
+    Span.with_ ~cat:"core" "manual.classify" (fun () ->
+        Classify.classify_all sos requirements)
+  in
+  Log.debug (fun m ->
+      m "manual path %s: %d requirements" (Sos.name sos)
+        (List.length requirements));
   { m_sos = sos;
     m_stats = Sos.stats sos;
     m_boundary = Sos.boundary sos;
     m_chi = Fsa_model.Action_graph.P.chi poset;
     m_requirements = requirements;
-    m_classified = Classify.classify_all sos requirements }
+    m_classified = classified }
 
 let pp_manual_report ppf r =
   Fmt.pf ppf
@@ -84,11 +101,20 @@ let dependence ~meth lts ~min_action ~max_action =
   | Direct -> Lts.depends_on lts ~max_action ~min_action
   | Abstract -> Hom.depends_abstract lts ~min_action ~max_action
 
-let tool ?(meth = Abstract) ?(max_states = 1_000_000) ~stakeholder apa =
-  let lts = Lts.explore ~max_states apa in
-  let minima = Action.Set.elements (Lts.minima lts) in
-  let maxima = Action.Set.elements (Lts.maxima lts) in
+let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?progress ~stakeholder
+    apa =
+  Span.with_ ~cat:"core" "tool" @@ fun () ->
+  let lts =
+    Span.with_ ~cat:"core" "tool.explore" (fun () ->
+        Lts.explore ~max_states ?progress apa)
+  in
+  let minima, maxima =
+    Span.with_ ~cat:"core" "tool.min_max" (fun () ->
+        ( Action.Set.elements (Lts.minima lts),
+          Action.Set.elements (Lts.maxima lts) ))
+  in
   let matrix =
+    Span.with_ ~cat:"core" "tool.dependence_matrix" @@ fun () ->
     List.map
       (fun mx ->
         (mx,
@@ -98,6 +124,7 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ~stakeholder apa =
       maxima
   in
   let requirements =
+    Span.with_ ~cat:"core" "tool.derive" @@ fun () ->
     List.concat_map
       (fun (mx, row) ->
         List.filter_map
@@ -109,6 +136,11 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ~stakeholder apa =
       matrix
     |> Auth.normalise
   in
+  Log.debug (fun m ->
+      m "tool path %s: %d states, %d minima x %d maxima, %d requirements"
+        (Lts.name lts) (Lts.nb_states lts) (List.length minima)
+        (List.length maxima)
+        (List.length requirements));
   { t_lts = lts;
     t_stats = Lts.stats lts;
     t_minima = minima;

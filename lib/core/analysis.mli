@@ -53,9 +53,14 @@ val dependence :
 val tool :
   ?meth:dependence_method ->
   ?max_states:int ->
+  ?progress:Fsa_obs.Progress.t ->
   stakeholder:(Action.t -> Agent.t) ->
   Fsa_apa.Apa.t ->
   tool_report
+(** With observability enabled ({!Fsa_obs.Metrics.set_enabled}), each
+    pipeline phase runs inside its own span ([tool.explore],
+    [tool.min_max], [tool.dependence_matrix], [tool.derive]);
+    [progress] is threaded through the state-space exploration. *)
 
 val pp_tool_report : tool_report Fmt.t
 

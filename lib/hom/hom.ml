@@ -12,6 +12,17 @@
 module Action = Fsa_term.Action
 module Lts = Fsa_lts.Lts
 
+let log_src =
+  Logs.Src.create "fsa.hom" ~doc:"homomorphic abstraction and minimisation"
+
+module Log = (val Logs.src_log log_src)
+
+module Metrics = Fsa_obs.Metrics
+module Span = Fsa_obs.Span
+
+let m_minimal_automata = Metrics.counter "hom.minimal_automata"
+let m_dependence_tests = Metrics.counter "hom.dependence_tests"
+
 module Action_label = struct
   type t = Action.t
 
@@ -61,7 +72,14 @@ let image_nfa (h : t) lts =
     ~finals:all ~edges
 
 (* The minimal deterministic automaton of the homomorphic image. *)
-let minimal_automaton (h : t) lts = A.Dfa.minimize (A.Dfa.determinize (image_nfa h lts))
+let minimal_automaton (h : t) lts =
+  Span.with_ ~cat:"hom" "hom.minimal_automaton" @@ fun () ->
+  Metrics.incr m_minimal_automata;
+  let dfa = A.Dfa.minimize (A.Dfa.determinize (image_nfa h lts)) in
+  Log.debug (fun m ->
+      m "minimal automaton of %s image: %d states, %d transitions"
+        (Lts.name lts) (A.Dfa.nb_states dfa) (A.Dfa.nb_transitions dfa));
+  dfa
 
 (* ------------------------------------------------------------------ *)
 (* Functional dependence by abstraction                                 *)
@@ -96,6 +114,7 @@ let dfa_has_target_before_avoid dfa ~avoid ~target =
   go IS.empty [ A.Dfa.start dfa ]
 
 let depends_abstract lts ~min_action ~max_action =
+  Metrics.incr m_dependence_tests;
   let dfa = minimal_automaton (preserve [ min_action; max_action ]) lts in
   not (dfa_has_target_before_avoid dfa ~avoid:min_action ~target:max_action)
 

@@ -27,6 +27,20 @@ let log_src = Logs.Src.create "fsa.lts" ~doc:"state-space exploration"
 
 module Log = (val Logs.src_log log_src)
 
+module Metrics = Fsa_obs.Metrics
+module Span = Fsa_obs.Span
+module Progress = Fsa_obs.Progress
+
+let m_states = Metrics.counter "lts.states_explored"
+let m_transitions = Metrics.counter "lts.transitions"
+let m_dedup = Metrics.counter "lts.dedup_hits"
+let g_frontier_peak = Metrics.gauge "lts.frontier_peak"
+let g_rate = Metrics.gauge "lts.states_per_sec"
+
+let h_out_degree =
+  Metrics.histogram ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+    "lts.out_degree"
+
 module State_table = Hashtbl.Make (struct
   type t = State.t
 
@@ -34,7 +48,10 @@ module State_table = Hashtbl.Make (struct
   let hash = State.hash
 end)
 
-let explore ?(max_states = 1_000_000) apa =
+let explore ?(max_states = 1_000_000) ?progress apa =
+  Span.with_ ~cat:"lts" "lts.explore" @@ fun () ->
+  let obs = Metrics.enabled () in
+  let t0 = if obs then Span.now_ns () else 0L in
   let initial = Fsa_apa.Apa.initial_state apa in
   let index = State_table.create 1024 in
   State_table.replace index initial 0;
@@ -45,11 +62,23 @@ let explore ?(max_states = 1_000_000) apa =
   Queue.add (0, initial) queue;
   while not (Queue.is_empty queue) do
     let src_id, src = Queue.pop queue in
+    let succs = Fsa_apa.Apa.step apa src in
+    if obs then begin
+      Metrics.incr m_states;
+      Metrics.incr ~by:(List.length succs) m_transitions;
+      Metrics.observe h_out_degree (float_of_int (List.length succs));
+      Metrics.set_gauge_max g_frontier_peak (float_of_int (Queue.length queue))
+    end;
+    (match progress with
+    | Some p -> Progress.tick p ~count:!nb ~frontier:(Queue.length queue)
+    | None -> ());
     List.iter
       (fun (_rule, label, dst) ->
         let dst_id =
           match State_table.find_opt index dst with
-          | Some id -> id
+          | Some id ->
+            if obs then Metrics.incr m_dedup;
+            id
           | None ->
             let id = !nb in
             if id >= max_states then raise (State_space_too_large max_states);
@@ -60,8 +89,14 @@ let explore ?(max_states = 1_000_000) apa =
             id
         in
         edges := { t_src = src_id; t_label = label; t_dst = dst_id } :: !edges)
-      (Fsa_apa.Apa.step apa src)
+      succs
   done;
+  if obs then begin
+    let elapsed = Int64.to_float (Int64.sub (Span.now_ns ()) t0) /. 1e9 in
+    if elapsed > 0. then
+      Metrics.set_gauge g_rate (float_of_int !nb /. elapsed)
+  end;
+  (match progress with Some p -> Progress.finish p ~count:!nb | None -> ());
   Log.debug (fun m ->
       m "explored %s: %d states, %d transitions" (Fsa_apa.Apa.name apa) !nb
         (List.length !edges));

@@ -12,8 +12,13 @@ type t
 
 exception State_space_too_large of int
 
-val explore : ?max_states:int -> Fsa_apa.Apa.t -> t
-(** Breadth-first state-space exploration from the initial state.
+val explore :
+  ?max_states:int -> ?progress:Fsa_obs.Progress.t -> Fsa_apa.Apa.t -> t
+(** Breadth-first state-space exploration from the initial state.  When
+    [progress] is given it is ticked once per expanded state with the
+    number of discovered states and the current frontier size.  With
+    observability enabled ({!Fsa_obs.Metrics.set_enabled}), exploration
+    records the [lts.*] counters and runs inside an [lts.explore] span.
     @raise State_space_too_large beyond [max_states] (default 1e6). *)
 
 val name : t -> string

@@ -1,0 +1,239 @@
+(* Process-wide metrics registry.
+
+   Counters, gauges and fixed-bucket histograms, registered by name in a
+   single global table so that library code can declare its instruments at
+   module-initialisation time and CLI/bench drivers can dump everything at
+   the end of a run.  Recording is O(1) (a field mutation, or a binary
+   search over the bucket bounds for histograms) and is gated on a single
+   process-wide [enabled] flag: with observability off, every record
+   operation is one load and one branch, so instrumented hot paths cost
+   nothing measurable.
+
+   The dump formats are deterministic: instruments are sorted by name and
+   numbers are printed in a locale-independent way, so metric dumps can be
+   compared across runs and asserted on in tests. *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;  (* strictly increasing upper bounds *)
+  h_counts : int array;    (* length = bounds + 1; last bucket = overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is already registered with a different kind"
+       name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace registry name (Counter c);
+    c
+
+let incr ?(by = 1) c = if !enabled_flag then c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+let counter_name c = c.c_name
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let g = { g_name = name; g_value = 0. } in
+    Hashtbl.replace registry name (Gauge g);
+    g
+
+let set_gauge g v = if !enabled_flag then g.g_value <- v
+
+let set_gauge_max g v =
+  if !enabled_flag && v > g.g_value then g.g_value <- v
+
+let gauge_value g = g.g_value
+let gauge_name g = g.g_name
+
+(* 1-2-5 decades: a serviceable default for counts and sizes. *)
+let default_buckets =
+  [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000. |]
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    let n = Array.length buckets in
+    for i = 1 to n - 1 do
+      if buckets.(i - 1) >= buckets.(i) then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s bucket bounds must be strictly increasing"
+             name)
+    done;
+    let h =
+      { h_name = name;
+        h_bounds = Array.copy buckets;
+        h_counts = Array.make (n + 1) 0;
+        h_sum = 0.;
+        h_count = 0 }
+    in
+    Hashtbl.replace registry name (Histogram h);
+    h
+
+(* Index of the first bound >= v (cumulative-le convention); [n] is the
+   overflow bucket. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  if !enabled_flag then begin
+    let i = bucket_index h.h_bounds v in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let histogram_counts h = Array.copy h.h_counts
+let histogram_sum h = h.h_sum
+let histogram_count h = h.h_count
+let histogram_name h = h.h_name
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.
+      | Histogram h ->
+        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+        h.h_sum <- 0.;
+        h.h_count <- 0)
+    registry
+
+let sorted_metrics () =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () =
+  List.filter_map
+    (function name, Counter c -> Some (name, c.c_value) | _ -> None)
+    (sorted_metrics ())
+
+let gauges () =
+  List.filter_map
+    (function name, Gauge g -> Some (name, g.g_value) | _ -> None)
+    (sorted_metrics ())
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape b s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_float v =
+  if not (Float.is_finite v) then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let add_fields b ~add_value fields =
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      Buffer.add_string b "    \"";
+      json_escape b name;
+      Buffer.add_string b "\": ";
+      add_value b v)
+    fields
+
+let to_json () =
+  let b = Buffer.create 1024 in
+  let metrics = sorted_metrics () in
+  let counters =
+    List.filter_map
+      (function name, Counter c -> Some (name, c) | _ -> None)
+      metrics
+  and gauges =
+    List.filter_map
+      (function name, Gauge g -> Some (name, g) | _ -> None)
+      metrics
+  and histograms =
+    List.filter_map
+      (function name, Histogram h -> Some (name, h) | _ -> None)
+      metrics
+  in
+  Buffer.add_string b "{\n  \"counters\": {\n";
+  add_fields b counters ~add_value:(fun b c ->
+      Buffer.add_string b (string_of_int c.c_value));
+  Buffer.add_string b "\n  },\n  \"gauges\": {\n";
+  add_fields b gauges ~add_value:(fun b g ->
+      Buffer.add_string b (json_float g.g_value));
+  Buffer.add_string b "\n  },\n  \"histograms\": {\n";
+  add_fields b histograms ~add_value:(fun b h ->
+      Buffer.add_string b "{\"bounds\": [";
+      Array.iteri
+        (fun i bound ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (json_float bound))
+        h.h_bounds;
+      Buffer.add_string b "], \"counts\": [";
+      Array.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (string_of_int c))
+        h.h_counts;
+      Buffer.add_string b "], \"sum\": ";
+      Buffer.add_string b (json_float h.h_sum);
+      Buffer.add_string b ", \"count\": ";
+      Buffer.add_string b (string_of_int h.h_count);
+      Buffer.add_string b "}");
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+let pp_summary ppf () =
+  let metrics = sorted_metrics () in
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Fmt.pf ppf "%-40s %12d@," name c.c_value
+      | Gauge g -> Fmt.pf ppf "%-40s %12s@," name (json_float g.g_value)
+      | Histogram h ->
+        Fmt.pf ppf "%-40s count=%d sum=%s@," name h.h_count
+          (json_float h.h_sum))
+    metrics;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,129 @@
+(* Wall-time spans with nesting.
+
+   A span measures one phase of the pipeline (elaborate, explore, derive,
+   ...).  Spans nest lexically via [with_]; each completed span is kept in
+   a process-wide buffer and can be exported either as a human-readable
+   indented summary or as Chrome trace_event JSON ("ph":"X" complete
+   events, timestamps in microseconds) that chrome://tracing and Perfetto
+   open directly.
+
+   The clock is pluggable so that tests can inject a deterministic fake;
+   the default derives a never-decreasing nanosecond clock from
+   [Unix.gettimeofday].  Like metrics, recording is gated on
+   [Metrics.enabled]: with observability off, [with_] is a tail call to
+   its body. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_ns : int64;
+  ev_dur_ns : int64;
+  ev_depth : int;
+  ev_seq : int;
+}
+
+(* Rebased to process start: small offsets keep full double precision in
+   [gettimeofday], giving effectively-nanosecond resolution, and trace
+   timestamps start near zero.  Clamped to be non-decreasing. *)
+let default_clock =
+  let epoch = Unix.gettimeofday () in
+  let last = ref 0L in
+  fun () ->
+    let now = Int64.of_float ((Unix.gettimeofday () -. epoch) *. 1e9) in
+    if Int64.compare now !last > 0 then last := now;
+    !last
+
+let clock = ref default_clock
+let set_clock f = clock := f
+let use_default_clock () = clock := default_clock
+let now_ns () = !clock ()
+
+let recorded : event list ref = ref []
+let seq = ref 0
+let depth = ref 0
+
+let reset () =
+  recorded := [];
+  seq := 0;
+  depth := 0
+
+let with_ ?(cat = "fsa") name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let start = now_ns () in
+    let d = !depth in
+    Stdlib.incr depth;
+    let finish () =
+      Stdlib.decr depth;
+      let stop = now_ns () in
+      let s = !seq in
+      Stdlib.incr seq;
+      recorded :=
+        { ev_name = name;
+          ev_cat = cat;
+          ev_start_ns = start;
+          ev_dur_ns = Int64.sub stop start;
+          ev_depth = d;
+          ev_seq = s }
+        :: !recorded
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* Chronological order: by start time, parents before the children that
+   share their start instant, sequence number as the final tiebreak. *)
+let events () =
+  List.sort
+    (fun a b ->
+      let c = Int64.compare a.ev_start_ns b.ev_start_ns in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.ev_depth b.ev_depth in
+        if c <> 0 then c else Stdlib.compare a.ev_seq b.ev_seq)
+    !recorded
+
+(* Fixed-point microseconds with nanosecond precision: deterministic and
+   valid as a JSON number. *)
+let us_of_ns ns =
+  Printf.sprintf "%Ld.%03Ld" (Int64.div ns 1_000L) (Int64.rem ns 1_000L)
+
+let to_chrome_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  let first = ref true in
+  List.iter
+    (fun ev ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      Buffer.add_string b "{\"name\":\"";
+      Metrics.json_escape b ev.ev_name;
+      Buffer.add_string b "\",\"cat\":\"";
+      Metrics.json_escape b ev.ev_cat;
+      Buffer.add_string b "\",\"ph\":\"X\",\"ts\":";
+      Buffer.add_string b (us_of_ns ev.ev_start_ns);
+      Buffer.add_string b ",\"dur\":";
+      Buffer.add_string b (us_of_ns ev.ev_dur_ns);
+      Buffer.add_string b ",\"pid\":0,\"tid\":1,\"args\":{\"depth\":";
+      Buffer.add_string b (string_of_int ev.ev_depth);
+      Buffer.add_string b "}}")
+    (events ());
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let pp_dur ppf ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Fmt.pf ppf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Fmt.pf ppf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Fmt.pf ppf "%.2f us" (f /. 1e3)
+  else Fmt.pf ppf "%Ld ns" ns
+
+let pp_summary ppf () =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun ev ->
+      Fmt.pf ppf "%s%-*s %a@,"
+        (String.make (2 * ev.ev_depth) ' ')
+        (max 1 (40 - (2 * ev.ev_depth)))
+        ev.ev_name pp_dur ev.ev_dur_ns)
+    (events ());
+  Fmt.pf ppf "@]"

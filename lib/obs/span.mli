@@ -1,0 +1,44 @@
+(** Wall-time spans with nesting, exported as human-readable summaries or
+    Chrome trace_event JSON.
+
+    Spans record only while {!Metrics.enabled} holds; otherwise [with_]
+    runs its body directly.  The clock is pluggable ({!set_clock}) so
+    tests can make recorded timings deterministic. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_ns : int64;
+  ev_dur_ns : int64;
+  ev_depth : int;  (** nesting depth, 0 = top-level *)
+  ev_seq : int;  (** completion sequence number *)
+}
+
+val set_clock : (unit -> int64) -> unit
+(** Replace the nanosecond clock (tests inject a fake one here). *)
+
+val use_default_clock : unit -> unit
+
+val now_ns : unit -> int64
+(** Current clock value: nanoseconds, never decreasing. *)
+
+val with_ : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f ()] inside a span named [name]; the span is
+    recorded when [f] returns or raises.  Spans nest. *)
+
+val events : unit -> event list
+(** Completed spans in chronological order (start time, then depth, then
+    completion order). *)
+
+val reset : unit -> unit
+
+val to_chrome_json : unit -> string
+(** The recorded spans as a Chrome trace_event JSON array — one complete
+    ("ph":"X") event per line, timestamps in microseconds.  Open the file
+    in chrome://tracing or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val pp_dur : int64 Fmt.t
+(** Human-readable duration (ns/us/ms/s). *)
+
+val pp_summary : unit Fmt.t
+(** Indented per-span duration summary. *)

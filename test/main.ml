@@ -30,4 +30,5 @@ let () =
       ("prioritise", Test_prioritise.suite);
       ("diff_lint", Test_diff_lint.suite);
       ("platoon", Test_platoon.suite);
-      ("spec_random", Test_spec_random.suite) ]
+      ("spec_random", Test_spec_random.suite);
+      ("obs", Test_obs.suite) ]

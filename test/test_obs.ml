@@ -1,0 +1,216 @@
+(* Tests for Fsa_obs: the metrics registry, spans and progress
+   reporting.  Timing-sensitive assertions use an injected deterministic
+   clock so the expected output is stable. *)
+
+module Metrics = Fsa_obs.Metrics
+module Span = Fsa_obs.Span
+module Progress = Fsa_obs.Progress
+module Lts = Fsa_lts.Lts
+module V = Fsa_vanet.Vehicle_apa
+
+(* The registry and span buffer are process-wide; every test starts from
+   a clean slate and leaves observability switched off. *)
+let with_obs f () =
+  Metrics.reset ();
+  Span.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Span.use_default_clock ();
+      Span.reset ();
+      Metrics.reset ())
+    f
+
+(* A fake clock advancing 1000 ns per reading. *)
+let install_fake_clock () =
+  let t = ref 0L in
+  Span.set_clock (fun () ->
+      t := Int64.add !t 1000L;
+      !t)
+
+let test_counter_arithmetic () =
+  let c = Metrics.counter "obs_test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "1 + 41" 42 (Metrics.counter_value c);
+  let c' = Metrics.counter "obs_test.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "same name, same instrument" 43
+    (Metrics.counter_value c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument
+       "Metrics: obs_test.counter is already registered with a different kind")
+    (fun () -> ignore (Metrics.gauge "obs_test.counter"))
+
+let test_gauge () =
+  let g = Metrics.gauge "obs_test.gauge" in
+  Metrics.set_gauge g 3.5;
+  Alcotest.(check (float 0.)) "set" 3.5 (Metrics.gauge_value g);
+  Metrics.set_gauge_max g 2.0;
+  Alcotest.(check (float 0.)) "max keeps larger" 3.5 (Metrics.gauge_value g);
+  Metrics.set_gauge_max g 7.25;
+  Alcotest.(check (float 0.)) "max raises" 7.25 (Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  let h = Metrics.histogram ~buckets:[| 1.; 2.; 5. |] "obs_test.histogram" in
+  List.iter (Metrics.observe h) [ 0.; 1.; 1.5; 2.; 5.; 5.1; 100. ];
+  (* le convention: a value lands in the first bucket whose bound >= it *)
+  Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 2 |]
+    (Metrics.histogram_counts h);
+  Alcotest.(check int) "count" 7 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 114.6 (Metrics.histogram_sum h)
+
+let test_disabled_records_nothing () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "obs_test.counter" in
+  let g = Metrics.gauge "obs_test.gauge" in
+  let h = Metrics.histogram ~buckets:[| 1.; 2.; 5. |] "obs_test.histogram" in
+  Metrics.incr ~by:10 c;
+  Metrics.set_gauge g 1.0;
+  Metrics.set_gauge_max g 2.0;
+  Metrics.observe h 1.0;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (Metrics.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.histogram_count h);
+  install_fake_clock ();
+  let r = Span.with_ "disabled.span" (fun () -> 7) in
+  Alcotest.(check int) "with_ is transparent" 7 r;
+  Alcotest.(check int) "no span recorded" 0 (List.length (Span.events ()));
+  Metrics.set_enabled true
+
+let test_span_nesting () =
+  install_fake_clock ();
+  let r =
+    Span.with_ "outer" (fun () ->
+        Span.with_ ~cat:"inner-cat" "inner" (fun () -> ());
+        Span.with_ ~cat:"inner-cat" "inner2" (fun () -> ());
+        "result")
+  in
+  Alcotest.(check string) "with_ returns the body's value" "result" r;
+  match Span.events () with
+  | [ outer; inner; inner2 ] ->
+    Alcotest.(check string) "outer first" "outer" outer.Span.ev_name;
+    Alcotest.(check string) "then inner" "inner" inner.Span.ev_name;
+    Alcotest.(check string) "then inner2" "inner2" inner2.Span.ev_name;
+    Alcotest.(check int) "outer depth" 0 outer.Span.ev_depth;
+    Alcotest.(check int) "inner depth" 1 inner.Span.ev_depth;
+    Alcotest.(check string) "category kept" "inner-cat" inner.Span.ev_cat;
+    (* clock readings: outer start 1000, inner 2000..3000,
+       inner2 4000..5000, outer stop 6000 *)
+    Alcotest.(check int64) "inner duration" 1000L inner.Span.ev_dur_ns;
+    Alcotest.(check int64) "outer duration" 5000L outer.Span.ev_dur_ns;
+    Alcotest.(check bool) "chronological order" true
+      (Int64.compare inner.Span.ev_start_ns inner2.Span.ev_start_ns < 0)
+  | evs -> Alcotest.failf "expected 3 spans, got %d" (List.length evs)
+
+let test_span_survives_exceptions () =
+  install_fake_clock ();
+  (try Span.with_ "raising" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (Span.events ()))
+
+let test_chrome_json_deterministic () =
+  install_fake_clock ();
+  Span.with_ "outer" (fun () -> Span.with_ "inner" (fun () -> ()));
+  let expected =
+    "[\n\
+     {\"name\":\"outer\",\"cat\":\"fsa\",\"ph\":\"X\",\"ts\":1.000,\"dur\":3.000,\"pid\":0,\"tid\":1,\"args\":{\"depth\":0}},\n\
+     {\"name\":\"inner\",\"cat\":\"fsa\",\"ph\":\"X\",\"ts\":2.000,\"dur\":1.000,\"pid\":0,\"tid\":1,\"args\":{\"depth\":1}}\n\
+     ]\n"
+  in
+  Alcotest.(check string) "stable trace output" expected
+    (Span.to_chrome_json ());
+  Alcotest.(check string) "export does not consume" expected
+    (Span.to_chrome_json ())
+
+let test_metrics_json_deterministic () =
+  Metrics.incr ~by:3 (Metrics.counter "obs_test.zz_b");
+  Metrics.incr ~by:1 (Metrics.counter "obs_test.zz_a");
+  let json = Metrics.to_json () in
+  Alcotest.(check string) "dump is stable" json (Metrics.to_json ());
+  let index sub =
+    let rec go i =
+      if i + String.length sub > String.length json then
+        Alcotest.failf "%s not found in dump" sub
+      else if String.sub json i (String.length sub) = sub then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "keys sorted by name" true
+    (index "\"obs_test.zz_a\": 1" < index "\"obs_test.zz_b\": 3")
+
+let test_progress_throttling () =
+  install_fake_clock ();
+  let fired = ref [] in
+  let p =
+    Progress.create ~every_n:2 ~every_ns:Int64.max_int (fun u ->
+        fired := (u.Progress.u_count, u.Progress.u_final) :: !fired)
+  in
+  for count = 1 to 6 do
+    Progress.tick p ~count ~frontier:count
+  done;
+  Progress.finish p ~count:6;
+  Alcotest.(check (list (pair int bool)))
+    "fires every 2 items, then a final report"
+    [ (2, false); (4, false); (6, false); (6, true) ]
+    (List.rev !fired)
+
+let test_progress_silent_run () =
+  install_fake_clock ();
+  let fired = ref 0 in
+  let p =
+    Progress.create ~every_n:1_000_000 ~every_ns:Int64.max_int (fun _ ->
+        incr fired)
+  in
+  for count = 1 to 100 do
+    Progress.tick p ~count ~frontier:0
+  done;
+  Progress.finish p ~count:100;
+  Alcotest.(check int) "below both thresholds: fully silent" 0 !fired
+
+let test_explore_instrumented () =
+  let ticks = ref [] in
+  let progress =
+    Progress.create ~every_n:1 ~every_ns:Int64.max_int (fun u ->
+        if not u.Progress.u_final then ticks := u.Progress.u_count :: !ticks)
+  in
+  let lts = Lts.explore ~progress (V.two_vehicles ()) in
+  Alcotest.(check int) "13 states explored" 13 (Lts.nb_states lts);
+  Alcotest.(check int) "progress saw the full count" 13
+    (List.fold_left max 0 !ticks);
+  Alcotest.(check int) "lts.states_explored" 13
+    (Metrics.counter_value (Metrics.counter "lts.states_explored"));
+  Alcotest.(check bool) "apa.rules_tried nonzero" true
+    (Metrics.counter_value (Metrics.counter "apa.rules_tried") > 0);
+  Alcotest.(check bool) "lts.explore span recorded" true
+    (List.exists
+       (fun e -> e.Span.ev_name = "lts.explore")
+       (Span.events ()))
+
+let suite =
+  [ Alcotest.test_case "counter arithmetic" `Quick (with_obs test_counter_arithmetic);
+    Alcotest.test_case "gauge set and max" `Quick (with_obs test_gauge);
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      (with_obs test_histogram_buckets);
+    Alcotest.test_case "disabled registry records nothing" `Quick
+      (with_obs test_disabled_records_nothing);
+    Alcotest.test_case "span nesting and ordering" `Quick
+      (with_obs test_span_nesting);
+    Alcotest.test_case "span survives exceptions" `Quick
+      (with_obs test_span_survives_exceptions);
+    Alcotest.test_case "chrome trace JSON deterministic" `Quick
+      (with_obs test_chrome_json_deterministic);
+    Alcotest.test_case "metrics JSON deterministic and sorted" `Quick
+      (with_obs test_metrics_json_deterministic);
+    Alcotest.test_case "progress throttling" `Quick
+      (with_obs test_progress_throttling);
+    Alcotest.test_case "progress silent below thresholds" `Quick
+      (with_obs test_progress_silent_run);
+    Alcotest.test_case "explore records metrics, spans and progress" `Quick
+      (with_obs test_explore_instrumented) ]
