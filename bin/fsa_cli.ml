@@ -37,17 +37,30 @@ let spec_arg =
   let doc = "Specification file (.fsa)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
 
-let load_spec path =
+(* Exit codes: 0 clean, 1 analysis failure / findings, 2 the input does
+   not even parse or elaborate. *)
+let parse_exit = 2
+
+let die_loc ~file loc msg =
+  Fmt.epr "fsa: %s: %a@." file Fsa_spec.Loc.pp_exn (loc, msg);
+  exit parse_exit
+
+let parse_spec path =
   try Ok (Fsa_spec.Parser.parse_file path) with
-  | Fsa_spec.Loc.Error (loc, msg) ->
-    Error (Fmt.str "%s: %a: %s" path Fsa_spec.Loc.pp loc msg)
-  | Sys_error msg -> Error msg
+  | Fsa_spec.Loc.Error (loc, msg) -> Error (`Parse (loc, msg))
+  | Sys_error msg -> Error (`Sys msg)
 
 let or_die = function
   | Ok v -> v
   | Error msg ->
     Fmt.epr "fsa: %s@." msg;
     exit 1
+
+let load_spec path =
+  match parse_spec path with
+  | Ok spec -> spec
+  | Error (`Parse (loc, msg)) -> die_loc ~file:path loc msg
+  | Error (`Sys msg) -> or_die (Error msg)
 
 let write_or_print ~out content =
   match out with
@@ -86,11 +99,10 @@ let with_obs ~metrics_out ~trace_out f =
     Fun.protect ~finally:dump f
   end
 
-let elaborate_apa spec =
+let elaborate_apa ~file spec =
   Fsa_obs.Span.with_ ~cat:"core" "elaborate" @@ fun () ->
   try Fsa_spec.Elaborate.apa_of_spec spec with
-  | Fsa_spec.Loc.Error (loc, msg) ->
-    or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+  | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file loc msg
 
 let explore_progress spec_path =
   Fsa_obs.Progress.stderr_reporter
@@ -105,8 +117,8 @@ let reach_cmd =
   let run verbose spec_path max_states dot_out metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
-    let spec = or_die (load_spec spec_path) in
-    let apa = elaborate_apa spec in
+    let spec = load_spec spec_path in
+    let apa = elaborate_apa ~file:spec_path spec in
     let progress = explore_progress spec_path in
     let lts = Lts.explore ~max_states ~progress apa in
     Fmt.pr "%a@." Lts.pp_stats (Lts.stats lts);
@@ -145,8 +157,8 @@ let requirements_cmd =
   let run verbose spec_path meth max_states metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
-    let spec = or_die (load_spec spec_path) in
-    let apa = elaborate_apa spec in
+    let spec = load_spec spec_path in
+    let apa = elaborate_apa ~file:spec_path spec in
     let progress = explore_progress spec_path in
     let report =
       Analysis.tool ~meth ~max_states ~progress
@@ -175,15 +187,19 @@ let analyze_cmd =
   let run verbose spec_path sos_name metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
+    (* advisory static pass first: findings go to stderr and never block
+       the analysis (use `fsa check` for a gating run) *)
+    (match Fsa_check.Check.spec ~file:spec_path spec with
+    | [] -> ()
+    | ds -> List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds);
     let soses =
       try
         match sos_name with
         | Some name -> [ Fsa_spec.Elaborate.sos_of_spec spec name ]
         | None -> Fsa_spec.Elaborate.sos_list spec
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     if soses = [] then or_die (Error "the specification declares no sos");
@@ -208,12 +224,20 @@ let analyze_cmd =
 let abstract_cmd =
   let run verbose spec_path keep dot_out =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let apa =
       try Fsa_spec.Elaborate.apa_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
     in
+    (* validate the keep set before paying for the exploration *)
+    (match
+       Fsa_check.Check.keep_set ~file:spec_path
+         ~alphabet:(Fsa_apa.Apa.rule_names apa) keep
+     with
+    | [] -> ()
+    | ds ->
+      List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds;
+      if Fsa_check.Diagnostic.has_errors ds then exit 1);
     let lts = Lts.explore apa in
     let actions = List.map Action.make keep in
     let h = Hom.preserve actions in
@@ -311,7 +335,7 @@ let scenario_cmd =
 let dot_cmd =
   let run verbose spec_path sos_name out =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let sos =
       try
         match sos_name with
@@ -322,8 +346,7 @@ let dot_cmd =
           | [] -> or_die (Error "the specification declares no sos")
           | _ -> or_die (Error "several sos declarations; pick one with --sos"))
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     write_or_print ~out (Fsa_model.Sos.dot sos)
@@ -347,15 +370,14 @@ let dot_cmd =
 let conf_cmd =
   let run verbose spec_path sos_name confidential =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let soses =
       try
         match sos_name with
         | Some name -> [ Fsa_spec.Elaborate.sos_of_spec spec name ]
         | None -> Fsa_spec.Elaborate.sos_list spec
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     if soses = [] then or_die (Error "the specification declares no sos");
@@ -403,11 +425,10 @@ let conf_cmd =
 let simulate_cmd =
   let run verbose spec_path seed monitor =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let apa =
       try Fsa_spec.Elaborate.apa_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
     in
     let sim = Fsa_sim.Sim.create ~seed apa in
     if monitor then begin
@@ -456,7 +477,7 @@ let simulate_cmd =
 let export_cmd =
   let run verbose spec_path sos_name format out =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let sos =
       try
         match sos_name with
@@ -467,8 +488,7 @@ let export_cmd =
           | [] -> or_die (Error "the specification declares no sos")
           | _ -> or_die (Error "several sos declarations; pick one with --sos"))
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     let reqs = Fsa_requirements.Derive.of_sos sos in
@@ -505,7 +525,7 @@ let export_cmd =
 let refine_cmd =
   let run verbose spec_path sos_name cause effect threat =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let sos =
       try
         match sos_name with
@@ -516,8 +536,7 @@ let refine_cmd =
           | [] -> or_die (Error "the specification declares no sos")
           | _ -> or_die (Error "several sos declarations; pick one with --sos"))
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     let reqs = Fsa_requirements.Derive.of_sos sos in
@@ -565,24 +584,79 @@ let refine_cmd =
     Term.(const run $ verbose_arg $ spec_arg $ sos_name $ cause $ effect $ threat)
 
 (* --------------------------------------------------------------- *)
-(* fsa check                                                        *)
+(* fsa check (static analysis)                                      *)
 (* --------------------------------------------------------------- *)
 
 let check_cmd =
+  let run verbose spec_paths format werror metrics_out trace_out =
+    setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
+    let module D = Fsa_check.Diagnostic in
+    let diagnostics =
+      List.concat_map
+        (fun path ->
+          match parse_spec path with
+          | Ok spec -> Fsa_check.Check.spec ~file:path spec
+          | Error (`Parse (loc, msg)) ->
+            [ D.error ~file:path ~loc ~code:"FSA000" "%s" msg ]
+          | Error (`Sys msg) -> or_die (Error msg))
+        spec_paths
+    in
+    let diagnostics =
+      if werror then D.promote_warnings diagnostics else diagnostics
+    in
+    (match format with
+    | `Json -> print_string (D.render_json diagnostics)
+    | `Text ->
+      let sources =
+        List.filter_map
+          (fun path ->
+            try Some (path, In_channel.with_open_bin path In_channel.input_all)
+            with Sys_error _ -> None)
+          spec_paths
+      in
+      print_string (D.render_text ~sources diagnostics));
+    if List.exists (fun d -> d.D.code = "FSA000") diagnostics then
+      exit parse_exit
+    else if D.has_errors diagnostics then exit 1
+  in
+  let specs_arg =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"SPEC" ~doc:"Specification files (.fsa).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let werror_arg =
+    Arg.(value & flag
+         & info [ "werror" ] ~doc:"Treat warnings as errors (notes are unaffected).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically analyse specifications without exploring the state \
+             space: dead rules, unbound variables, APA races, unknown check \
+             actions, modelling smells.")
+    Term.(const run $ verbose_arg $ specs_arg $ format_arg $ werror_arg
+          $ metrics_out_arg $ trace_out_arg)
+
+(* --------------------------------------------------------------- *)
+(* fsa verify (behavioural check declarations)                      *)
+(* --------------------------------------------------------------- *)
+
+let verify_cmd =
   let run verbose spec_path =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let patterns =
       try Fsa_spec.Elaborate.patterns_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
     in
     if patterns = [] then
       or_die (Error "the specification declares no check");
     let apa =
       try Fsa_spec.Elaborate.apa_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
     in
     let lts = Lts.explore apa in
     let failures = ref 0 in
@@ -598,8 +672,10 @@ let check_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "check"
-       ~doc:"Evaluate a specification's check declarations against its behaviour.")
+    (Cmd.info "verify"
+       ~doc:"Evaluate a specification's check declarations against its \
+             behaviour (explores the state space; see $(b,check) for the \
+             static analysis).")
     Term.(const run $ verbose_arg $ spec_arg)
 
 (* --------------------------------------------------------------- *)
@@ -609,11 +685,10 @@ let check_cmd =
 let monitor_cmd =
   let run verbose spec_path trace_path =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let apa =
       try Fsa_spec.Elaborate.apa_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
     in
     let report =
       Analysis.tool ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
@@ -659,7 +734,7 @@ let monitor_cmd =
 let report_cmd =
   let run verbose spec_path sos_name out =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let sos =
       try
         match sos_name with
@@ -670,8 +745,7 @@ let report_cmd =
           | [] -> or_die (Error "the specification declares no sos")
           | _ -> or_die (Error "several sos declarations; pick one with --sos"))
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     write_or_print ~out (Fsa_core.Report.markdown sos)
@@ -696,15 +770,14 @@ let report_cmd =
 let lint_cmd =
   let run verbose spec_path sos_name =
     setup_logs verbose;
-    let spec = or_die (load_spec spec_path) in
+    let spec = load_spec spec_path in
     let soses =
       try
         match sos_name with
         | Some name -> [ Fsa_spec.Elaborate.sos_of_spec spec name ]
         | None -> Fsa_spec.Elaborate.sos_list spec
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%a: %s" Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     if soses = [] then or_die (Error "the specification declares no sos");
@@ -735,7 +808,7 @@ let diff_cmd =
   let run verbose before_path after_path sos_name =
     setup_logs verbose;
     let load path =
-      let spec = or_die (load_spec path) in
+      let spec = load_spec path in
       try
         match sos_name with
         | Some name -> Fsa_spec.Elaborate.sos_of_spec spec name
@@ -747,8 +820,7 @@ let diff_cmd =
             or_die
               (Error (path ^ ": several sos declarations; pick one with --sos")))
       with
-      | Fsa_spec.Loc.Error (loc, msg) ->
-        or_die (Error (Fmt.str "%s: %a: %s" path Fsa_spec.Loc.pp loc msg))
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:path loc msg
       | Invalid_argument msg -> or_die (Error msg)
     in
     let before = load before_path and after = load after_path in
@@ -777,6 +849,6 @@ let main_cmd =
   Cmd.group info
     [ reach_cmd; requirements_cmd; analyze_cmd; abstract_cmd; scenario_cmd;
       dot_cmd; conf_cmd; simulate_cmd; export_cmd; refine_cmd; check_cmd;
-      monitor_cmd; report_cmd; lint_cmd; diff_cmd ]
+      verify_cmd; monitor_cmd; report_cmd; lint_cmd; diff_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

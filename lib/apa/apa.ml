@@ -214,6 +214,33 @@ let name t = t.name
 let components t = t.components
 let rules t = t.rules
 
+(* The action alphabet under the default labelling (one action per rule
+   name) — what spec-level [check] declarations and homomorphism keep
+   sets may refer to. *)
+let rule_names t = List.sort_uniq String.compare (List.map rule_name t.rules)
+
+let consumers t c =
+  List.filter
+    (fun r ->
+      List.exists
+        (fun tk -> tk.t_consume && String.equal tk.t_component c)
+        r.r_takes)
+    t.rules
+
+let readers t c =
+  List.filter
+    (fun r ->
+      List.exists
+        (fun tk -> (not tk.t_consume) && String.equal tk.t_component c)
+        r.r_takes)
+    t.rules
+
+let producers t c =
+  List.filter
+    (fun r ->
+      List.exists (fun p -> String.equal p.p_component c) r.r_puts)
+    t.rules
+
 let initial_state t =
   List.fold_left
     (fun s (c, init) -> State.set c init s)

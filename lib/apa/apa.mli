@@ -80,6 +80,21 @@ val make : components:(string * Term.Set.t) list -> rules:rule list -> string ->
 val name : t -> string
 val components : t -> (string * Term.Set.t) list
 val rules : t -> rule list
+
+val rule_names : t -> string list
+(** The sorted action alphabet under the default labelling (one action
+    per rule name) — what spec-level [check] declarations and
+    homomorphism keep sets may refer to. *)
+
+val consumers : t -> string -> rule list
+(** Rules with a consuming take on the given state component. *)
+
+val readers : t -> string -> rule list
+(** Rules with a non-consuming (read) take on the component. *)
+
+val producers : t -> string -> rule list
+(** Rules with a put into the component. *)
+
 val initial_state : t -> State.t
 
 val step : t -> State.t -> (rule * Action.t * State.t) list

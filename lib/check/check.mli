@@ -1,0 +1,47 @@
+(** Spec-level static analysis of APA models and functional specs.
+
+    All passes run before (and without) any state-space exploration:
+
+    - {b dead rules} (FSA001/FSA006/FSA007): a fixpoint over producible
+      term shapes per state component — seeded from the initial state and
+      closed under every rule's puts — flags rules whose take patterns
+      can never match;
+    - {b binding discipline} (FSA002/FSA003): variables used in put
+      templates or guards but bound by no take pattern;
+    - {b component usage} (FSA004/FSA005): write-only and unused state
+      components;
+    - {b APA races} (FSA010/FSA011): pairs of unguarded rules with
+      consume/consume or consume/read conflicts on unifiable patterns on
+      the same state component — the interleavings the asynchronous
+      product makes order-sensitive;
+    - {b abstraction soundness} (FSA020/FSA021/FSA022/FSA023): check
+      declarations and homomorphism keep sets naming actions outside the
+      APA's alphabet, and vacuous properties over dead actions;
+    - {b manual path} (FSA030–FSA035): [Fsa_model.Lint] findings over
+      every [sos] declaration, re-emitted as unified diagnostics.
+
+    The producible-shape fixpoint over-approximates reachability (guards
+    are ignored and matched terms are never removed), so a rule it calls
+    dead really is dead — which is why FSA001 is an error — while races
+    and vacuity are reported as warnings. *)
+
+module Apa = Fsa_apa.Apa
+module Ast = Fsa_spec.Ast
+
+val spec : ?file:string -> Ast.t -> Diagnostic.t list
+(** Run every static pass over a parsed specification.  Parse-level
+    semantic errors ({!Fsa_spec.Loc.Error} raised during elaboration) are
+    caught and reported as FSA000 diagnostics rather than exceptions. *)
+
+val apa : ?file:string -> Apa.t -> Diagnostic.t list
+(** The structural passes (dead rules, component usage) over a
+    programmatic APA.  Guards and source positions are opaque at this
+    level, so race detection and guard-binding checks are skipped. *)
+
+val keep_set :
+  ?file:string -> alphabet:string list -> string list -> Diagnostic.t list
+(** Validate a homomorphism keep set against the APA's action alphabet
+    (FSA022 per unknown action, FSA023 when nothing at all is kept). *)
+
+val suggest : string -> string list -> string option
+(** Nearest candidate by edit distance, for "did you mean" hints. *)

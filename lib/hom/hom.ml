@@ -51,6 +51,16 @@ let rename assoc : t =
 
 let compose (h2 : t) (h1 : t) : t = fun a -> Option.bind (h1 a) h2
 
+(* Restrictions of a homomorphism to a concrete alphabet, for static
+   soundness checks: an abstraction that erases the whole alphabet (or
+   preserves an action the alphabet does not contain) yields a vacuous
+   minimal automaton and silently meaningless dependence verdicts. *)
+let erased (h : t) alphabet =
+  List.filter (fun a -> Option.is_none (h a)) alphabet
+
+let preserved (h : t) alphabet =
+  List.filter (fun a -> Option.is_some (h a)) alphabet
+
 (* ------------------------------------------------------------------ *)
 (* Application to behaviours                                            *)
 (* ------------------------------------------------------------------ *)

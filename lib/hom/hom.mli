@@ -18,6 +18,14 @@ val preserve : Action.t list -> t
 val rename : (Action.t * Action.t) list -> t
 val compose : t -> t -> t
 
+val erased : t -> Action.t list -> Action.t list
+(** The actions of the given alphabet the homomorphism erases. *)
+
+val preserved : t -> Action.t list -> Action.t list
+(** The actions of the given alphabet the homomorphism keeps.  An
+    abstraction preserving nothing has a single-state minimal automaton
+    and makes every dependence verdict vacuous. *)
+
 val image_nfa : t -> Lts.t -> A.Nfa.t
 (** The homomorphic image of a (prefix-closed) behaviour, with erased
     transitions as epsilon edges; every state accepts. *)

@@ -47,6 +47,16 @@ let severity = function
   | Unconnected_component _ | Singleton_policy _ | External_fan_in _ ->
     `Warning
 
+(* Stable diagnostic codes, the manual-path block (FSA03x) of the unified
+   code space rendered by [Fsa_check.Diagnostic]. *)
+let code = function
+  | Isolated_action _ -> "FSA030"
+  | Unconnected_component _ -> "FSA031"
+  | Degenerate_boundary_action _ -> "FSA032"
+  | Singleton_policy _ -> "FSA033"
+  | Uninfluenced_output _ -> "FSA034"
+  | External_fan_in _ -> "FSA035"
+
 let pp_severity ppf = function
   | `Error -> Fmt.string ppf "error"
   | `Warning -> Fmt.string ppf "warning"

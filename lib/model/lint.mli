@@ -17,6 +17,10 @@ val pp_warning : warning Fmt.t
 val severity : warning -> [ `Error | `Warning ]
 val pp_severity : [ `Error | `Warning ] Fmt.t
 
+val code : warning -> string
+(** Stable diagnostic code (the FSA03x block of the unified code space
+    rendered by [Fsa_check.Diagnostic]). *)
+
 val check : Sos.t -> warning list
 val errors : Sos.t -> warning list
 val pp_report : warning list Fmt.t

@@ -117,8 +117,10 @@ let shared_of_decl cd =
 let rules_of_decl cd =
   List.filter_map (function I_rule r -> Some r | I_state _ | I_shared _ -> None) cd.cd_items
 
-(* Build the APA of one instance declaration. *)
-let build_instance env inst =
+(* Elaboration context of one instance declaration: its component
+   declaration, [self] term and component renaming (shared components map
+   to their radio cluster, local ones get an instance prefix). *)
+let instance_ctx env inst =
   let cd =
     match List.assoc_opt inst.in_comp env.components with
     | Some cd -> cd
@@ -132,36 +134,45 @@ let build_instance env inst =
     else if List.mem c local_names then inst.in_name ^ "_" ^ c
     else c
   in
-  (* initial contents: declared defaults, overridden per instance *)
+  (cd, self, shared, rename)
+
+(* The instance's state components with their initial contents: declared
+   defaults, overridden per instance. *)
+let instance_components env inst =
+  let cd, self, shared, rename = instance_ctx env inst in
+  let local_names = List.map fst (states_of_decl cd) in
   List.iter
     (fun (field, _) ->
       if not (List.mem field local_names) then
         Loc.error inst.in_loc "instance %s overrides unknown state %s"
           inst.in_name field)
     inst.in_overrides;
-  let state_components =
-    List.map
-      (fun (n, default) ->
-        let contents =
-          match List.assoc_opt n inst.in_overrides with
-          | Some terms -> terms
-          | None -> default
-        in
-        let terms =
-          List.map
-            (fun st ->
-              let t = term_of_sterm ~self ~loc:inst.in_loc st in
-              if not (Term.is_ground t) then
-                Loc.error inst.in_loc
-                  "initial content %a of state %s is not ground"
-                  Term.pp t n;
-              t)
-            contents
-        in
-        (rename n, Term.Set.of_list terms))
-      (states_of_decl cd)
-    @ List.map (fun n -> (rename n, Term.Set.empty)) shared
-  in
+  List.map
+    (fun (n, default) ->
+      let contents =
+        match List.assoc_opt n inst.in_overrides with
+        | Some terms -> terms
+        | None -> default
+      in
+      let terms =
+        List.map
+          (fun st ->
+            let t = term_of_sterm ~self ~loc:inst.in_loc st in
+            if not (Term.is_ground t) then
+              Loc.error inst.in_loc
+                "initial content %a of state %s is not ground"
+                Term.pp t n;
+            t)
+          contents
+      in
+      (rename n, Term.Set.of_list terms))
+    (states_of_decl cd)
+  @ List.map (fun n -> (rename n, Term.Set.empty)) shared
+
+(* Build the APA of one instance declaration. *)
+let build_instance env inst =
+  let cd, self, _shared, rename = instance_ctx env inst in
+  let state_components = instance_components env inst in
   let build_rule r =
     let name = inst.in_name ^ "_" ^ r.ru_name in
     let takes =
@@ -190,6 +201,115 @@ let apa_of_spec ?(name = "system") spec =
   match env.instances with
   | [] -> invalid_arg "apa_of_spec: the specification declares no instances"
   | instances -> Apa.compose ~name (List.map (build_instance env) instances)
+
+(* ------------------------------------------------------------------ *)
+(* Located APA skeleton                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The static shape of the elaborated APA — takes, puts and initial
+   contents as first-order terms — with the source location of every
+   construct.  [Fsa_check] analyses this instead of [Apa.t], whose guards
+   and labels are opaque closures without positions. *)
+
+type located_take = {
+  lt_comp : string;
+  lt_pat : Term.t;
+  lt_consume : bool;
+  lt_loc : Loc.t;
+}
+
+type located_put = { lp_comp : string; lp_term : Term.t; lp_loc : Loc.t }
+
+type located_rule = {
+  lr_name : string;  (* full APA rule name, e.g. V1_send *)
+  lr_instance : string;
+  lr_component : string;  (* declaring component, e.g. Vehicle *)
+  lr_takes : located_take list;
+  lr_puts : located_put list;
+  lr_guarded : bool;  (* has a non-trivial [when] clause *)
+  lr_guard_vars : string list;  (* variables occurring in the guard *)
+  lr_loc : Loc.t;
+}
+
+type skeleton = {
+  sk_components : (string * Term.Set.t * Loc.t) list;
+      (* renamed state components with initial contents, located at the
+         declaring component *)
+  sk_rules : located_rule list;
+}
+
+let rec cond_sterms = function
+  | C_true -> []
+  | C_eq (a, b) | C_neq (a, b) -> [ a; b ]
+  | C_call (_, args) -> args
+  | C_and (a, b) | C_or (a, b) -> cond_sterms a @ cond_sterms b
+  | C_not a -> cond_sterms a
+
+let skeleton_instance env inst =
+  let cd, self, _shared, rename = instance_ctx env inst in
+  let components =
+    List.map (fun (n, init) -> (n, init, cd.cd_loc))
+      (instance_components env inst)
+  in
+  let build_rule r =
+    let takes =
+      List.map
+        (fun tk ->
+          { lt_comp = rename tk.tk_comp;
+            lt_pat = term_of_sterm ~self ~loc:tk.tk_loc tk.tk_pat;
+            lt_consume = not tk.tk_read;
+            lt_loc = tk.tk_loc })
+        r.ru_takes
+    in
+    let puts =
+      List.map
+        (fun pt ->
+          { lp_comp = rename pt.pt_comp;
+            lp_term = term_of_sterm ~self ~loc:pt.pt_loc pt.pt_term;
+            lp_loc = pt.pt_loc })
+        r.ru_puts
+    in
+    let guard_vars =
+      List.fold_left
+        (fun acc st ->
+          Term.String_set.union acc
+            (Term.vars (term_of_sterm ~self ~loc:r.ru_loc st)))
+        Term.String_set.empty
+        (cond_sterms r.ru_cond)
+    in
+    { lr_name = inst.in_name ^ "_" ^ r.ru_name;
+      lr_instance = inst.in_name;
+      lr_component = cd.cd_name;
+      lr_takes = takes;
+      lr_puts = puts;
+      lr_guarded = (match r.ru_cond with C_true -> false | _ -> true);
+      lr_guard_vars = Term.String_set.elements guard_vars;
+      lr_loc = r.ru_loc }
+  in
+  (components, List.map build_rule (rules_of_decl cd))
+
+let skeleton_of_spec spec =
+  let env = env_of_spec spec in
+  let per_instance = List.map (skeleton_instance env) env.instances in
+  (* identify equally-named (shared) components, unioning initial sets,
+     mirroring [Apa.compose] *)
+  let components =
+    List.fold_left
+      (fun acc (comps, _) ->
+        List.fold_left
+          (fun acc (n, init, loc) ->
+            match List.assoc_opt n (List.map (fun (n, i, l) -> (n, (i, l))) acc)
+            with
+            | Some (init0, loc0) ->
+              (n, Term.Set.union init0 init, loc0)
+              :: List.filter (fun (m, _, _) -> not (String.equal m n)) acc
+            | None -> (n, init, loc) :: acc)
+          acc comps)
+      [] per_instance
+  in
+  { sk_components =
+      List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) components;
+    sk_rules = List.concat_map snd per_instance }
 
 (* ------------------------------------------------------------------ *)
 (* Functional models                                                   *)

@@ -37,3 +37,42 @@ val sos_of_spec : Ast.t -> string -> Sos.t
 
 val patterns_of_spec : Ast.t -> (string * Fsa_mc.Pattern.t) list
 (** The spec's [check] declarations as named property patterns. *)
+
+(** {1 Located APA skeleton}
+
+    The static shape of the elaborated APA — takes, puts and initial
+    contents as first-order terms — with the source location of every
+    construct.  [Fsa_check] analyses this instead of {!Apa.t}, whose
+    guards and labels are opaque closures without positions. *)
+
+type located_take = {
+  lt_comp : string;
+  lt_pat : Term.t;
+  lt_consume : bool;
+  lt_loc : Loc.t;
+}
+
+type located_put = { lp_comp : string; lp_term : Term.t; lp_loc : Loc.t }
+
+type located_rule = {
+  lr_name : string;  (** full APA rule name, e.g. [V1_send] *)
+  lr_instance : string;
+  lr_component : string;  (** declaring component, e.g. [Vehicle] *)
+  lr_takes : located_take list;
+  lr_puts : located_put list;
+  lr_guarded : bool;  (** has a non-trivial [when] clause *)
+  lr_guard_vars : string list;  (** variables occurring in the guard *)
+  lr_loc : Loc.t;
+}
+
+type skeleton = {
+  sk_components : (string * Term.Set.t * Loc.t) list;
+      (** renamed state components with initial contents, located at the
+          declaring component *)
+  sk_rules : located_rule list;
+}
+
+val skeleton_of_spec : Ast.t -> skeleton
+(** The located skeleton of all declared instances, shared components
+    identified as in {!apa_of_spec}.  Unlike {!apa_of_spec} it accepts a
+    specification with no instances (the skeleton is then empty). *)

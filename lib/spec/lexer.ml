@@ -11,7 +11,14 @@ type t = {
 
 let make input = { input; pos = 0; line = 1; bol = 0; peeked = None }
 
-let location t = { Loc.line = t.line; col = t.pos - t.bol + 1 }
+let location t = Loc.point ~line:t.line ~col:(t.pos - t.bol + 1)
+
+(* The span from [start] (a point at the first character) to the current
+   position, i.e. one past the last consumed character.  Tokens never
+   span lines, so the end line is the current one. *)
+let span_from t (start : Loc.t) =
+  let end_col = max start.Loc.col (t.pos - t.bol) in
+  Loc.span ~line:start.Loc.line ~col:start.Loc.col ~end_line:t.line ~end_col
 
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -118,7 +125,7 @@ let read_token t =
       | c when is_ident_start c -> Token.Ident (lex_while t is_ident_char)
       | c -> Loc.error loc "unexpected character %C" c
     in
-    (tok, loc)
+    (tok, span_from t loc)
   end
 
 let next t =

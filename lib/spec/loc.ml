@@ -1,10 +1,41 @@
-(* Source locations for error reporting in the specification language. *)
+(* Source locations for error reporting in the specification language.
 
-type t = { line : int; col : int }
+   A location is a span: it starts at [line]/[col] (both 1-based) and
+   ends at [end_line]/[end_col] (inclusive).  Point locations have
+   [end_line = line] and [end_col = col]; diagnostics use the full span
+   to underline the offending token rather than a single character. *)
 
-let dummy = { line = 0; col = 0 }
+type t = { line : int; col : int; end_line : int; end_col : int }
 
-let pp ppf { line; col } = Fmt.pf ppf "line %d, column %d" line col
+let dummy = { line = 0; col = 0; end_line = 0; end_col = 0 }
+
+let point ~line ~col = { line; col; end_line = line; end_col = col }
+
+let span ~line ~col ~end_line ~end_col = { line; col; end_line; end_col }
+
+let is_dummy l = l.line = 0
+
+(* The smallest span covering both locations (dummies are absorbing). *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    let start =
+      if (a.line, a.col) <= (b.line, b.col) then a else b
+    and stop =
+      if (a.end_line, a.end_col) >= (b.end_line, b.end_col) then a else b
+    in
+    { line = start.line; col = start.col;
+      end_line = stop.end_line; end_col = stop.end_col }
+
+let compare a b =
+  Stdlib.compare (a.line, a.col, a.end_line, a.end_col)
+    (b.line, b.col, b.end_line, b.end_col)
+
+let pp ppf { line; col; end_line; end_col } =
+  if end_line > line then Fmt.pf ppf "lines %d-%d" line end_line
+  else if end_col > col then Fmt.pf ppf "line %d, columns %d-%d" line col end_col
+  else Fmt.pf ppf "line %d, column %d" line col
 
 exception Error of t * string
 

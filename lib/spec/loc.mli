@@ -1,8 +1,25 @@
-(** Source locations and located errors of the specification language. *)
+(** Source locations and located errors of the specification language.
 
-type t = { line : int; col : int }
+    A location is a span from [line]/[col] to [end_line]/[end_col]
+    (1-based, inclusive), so diagnostics can underline whole tokens and
+    constructs.  [line] and [col] alone identify the start, which keeps
+    point-style consumers working unchanged. *)
+
+type t = { line : int; col : int; end_line : int; end_col : int }
 
 val dummy : t
+
+val point : line:int -> col:int -> t
+(** A single-character span. *)
+
+val span : line:int -> col:int -> end_line:int -> end_col:int -> t
+
+val is_dummy : t -> bool
+
+val merge : t -> t -> t
+(** The smallest span covering both locations; [dummy] is absorbing. *)
+
+val compare : t -> t -> int
 val pp : t Fmt.t
 
 exception Error of t * string

@@ -86,16 +86,16 @@ let parse_take lx =
   let comp = Lexer.ident lx in
   ignore (Lexer.expect lx Token.Lparen);
   let pat = parse_sterm lx in
-  ignore (Lexer.expect lx Token.Rparen);
-  { tk_read = read; tk_comp = comp; tk_pat = pat; tk_loc = loc }
+  let stop = Lexer.expect lx Token.Rparen in
+  { tk_read = read; tk_comp = comp; tk_pat = pat; tk_loc = Loc.merge loc stop }
 
 let parse_put lx =
   let loc = keyword lx "put" in
   let comp = Lexer.ident lx in
   ignore (Lexer.expect lx Token.Lparen);
   let term = parse_sterm lx in
-  ignore (Lexer.expect lx Token.Rparen);
-  { pt_comp = comp; pt_term = term; pt_loc = loc }
+  let stop = Lexer.expect lx Token.Rparen in
+  { pt_comp = comp; pt_term = term; pt_loc = Loc.merge loc stop }
 
 (* action IDENT ":" take ("," take)* ["when" cond] "->" put ("," put)* *)
 let parse_rule lx =
@@ -122,7 +122,11 @@ let parse_rule lx =
     else List.rev (pt :: acc)
   in
   let pts = puts [] in
-  { ru_name = name; ru_takes = tks; ru_cond = cond; ru_puts = pts; ru_loc = loc }
+  let stop =
+    match List.rev pts with pt :: _ -> pt.pt_loc | [] -> loc
+  in
+  { ru_name = name; ru_takes = tks; ru_cond = cond; ru_puts = pts;
+    ru_loc = Loc.merge loc stop }
 
 let parse_comp_item lx =
   match Lexer.peek lx with

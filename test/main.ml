@@ -11,6 +11,7 @@ let () =
       ("hom", Test_hom.suite);
       ("mc", Test_mc.suite);
       ("spec", Test_spec.suite);
+      ("check", Test_check.suite);
       ("vanet", Test_vanet.suite);
       ("core", Test_core.suite);
       ("confidentiality", Test_confidentiality.suite);
