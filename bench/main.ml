@@ -698,12 +698,62 @@ let bench_json path =
   in
   Metrics.set_enabled false;
   Metrics.reset ();
+  (* sequential vs. parallel exploration throughput.  The parallel graph
+     must be identical to the sequential one — a divergence is a
+     correctness failure of explore_par, not a perf regression, and fails
+     the harness. *)
+  let jobs = 4 in
+  let explorations =
+    [ ("pairs-4", fun () -> V.pairs 4);
+      ("grid", fun () -> Fsa_grid.Grid_apa.demand_response ()) ]
+  in
+  let exploration_rows =
+    List.map
+      (fun (name, mk) ->
+        let apa = mk () in
+        let t0 = Fsa_obs.Span.now_ns () in
+        let seq = Lts.explore apa in
+        let seq_ns = Int64.sub (Fsa_obs.Span.now_ns ()) t0 in
+        let t0 = Fsa_obs.Span.now_ns () in
+        let par = Lts.explore_par ~jobs apa in
+        let par_ns = Int64.sub (Fsa_obs.Span.now_ns ()) t0 in
+        let equal =
+          Lts.nb_states seq = Lts.nb_states par
+          && Lts.transitions seq = Lts.transitions par
+        in
+        if not equal then incr failures;
+        let rate ns =
+          let s = Int64.to_float ns /. 1e9 in
+          if s > 0. then float_of_int (Lts.nb_states seq) /. s else 0.
+        in
+        let speedup =
+          if Int64.compare par_ns 0L > 0 then
+            Int64.to_float seq_ns /. Int64.to_float par_ns
+          else 0.
+        in
+        Fmt.pr "  %-24s seq %a  par(%d) %a  speedup %.2fx  identical: %s@."
+          name Fsa_obs.Span.pp_dur seq_ns jobs Fsa_obs.Span.pp_dur par_ns
+          speedup
+          (if equal then "OK" else "MISMATCH");
+        Printf.sprintf
+          "    \"%s\": {\"seq_wall_ns\": %Ld, \"par_wall_ns\": %Ld, \
+           \"states\": %d, \"seq_states_per_sec\": %.1f, \
+           \"par_states_per_sec\": %.1f, \"speedup\": %.3f, \
+           \"par_equal\": %b}"
+          name seq_ns par_ns (Lts.nb_states seq) (rate seq_ns) (rate par_ns)
+          speedup equal)
+      explorations
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc "{\n  \"schema\": \"fsa-bench/1\",\n  \"kernels\": {\n";
       output_string oc (String.concat ",\n" rows);
+      output_string oc "\n  },\n";
+      output_string oc
+        (Printf.sprintf "  \"exploration\": {\n    \"jobs\": %d,\n" jobs);
+      output_string oc (String.concat ",\n" exploration_rows);
       output_string oc "\n  }\n}\n");
   Fmt.pr "  wrote %s@." path
 

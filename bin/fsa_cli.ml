@@ -37,6 +37,17 @@ let spec_arg =
   let doc = "Specification file (.fsa)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Explore the state space with $(docv) parallel domains; the \
+                 resulting graph (state numbering included) is identical to \
+                 the sequential exploration.")
+
+let explore ~max_states ?progress ~jobs apa =
+  if jobs > 1 then Lts.explore_par ~max_states ?progress ~jobs apa
+  else Lts.explore ~max_states ?progress apa
+
 (* Exit codes: 0 clean, 1 analysis failure / findings, 2 the input does
    not even parse or elaborate. *)
 let parse_exit = 2
@@ -114,13 +125,13 @@ let explore_progress spec_path =
 (* --------------------------------------------------------------- *)
 
 let reach_cmd =
-  let run verbose spec_path max_states dot_out metrics_out trace_out =
+  let run verbose spec_path max_states jobs dot_out metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
     let apa = elaborate_apa ~file:spec_path spec in
     let progress = explore_progress spec_path in
-    let lts = Lts.explore ~max_states ~progress apa in
+    let lts = explore ~max_states ~progress ~jobs apa in
     Fmt.pr "%a@." Lts.pp_stats (Lts.stats lts);
     Fmt.pr "%a@." Lts.pp_min_max lts;
     Option.iter (fun path -> write_or_print ~out:(Some path) (Lts.dot lts)) dot_out
@@ -134,7 +145,7 @@ let reach_cmd =
   in
   Cmd.v
     (Cmd.info "reach" ~doc:"Compute the reachability graph of a specification's APA model.")
-    Term.(const run $ verbose_arg $ spec_arg $ max_states $ dot_out
+    Term.(const run $ verbose_arg $ spec_arg $ max_states $ jobs_arg $ dot_out
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -154,14 +165,14 @@ let meth_conv =
   Arg.conv (parse, print)
 
 let requirements_cmd =
-  let run verbose spec_path meth max_states metrics_out trace_out =
+  let run verbose spec_path meth max_states jobs metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
     let apa = elaborate_apa ~file:spec_path spec in
     let progress = explore_progress spec_path in
     let report =
-      Analysis.tool ~meth ~max_states ~progress
+      Analysis.tool ~meth ~max_states ~jobs ~progress
         ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
     in
     Fmt.pr "%a@." Analysis.pp_tool_report report
@@ -176,7 +187,7 @@ let requirements_cmd =
   Cmd.v
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
-    Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states
+    Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states $ jobs_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -222,7 +233,7 @@ let analyze_cmd =
 (* --------------------------------------------------------------- *)
 
 let abstract_cmd =
-  let run verbose spec_path keep dot_out =
+  let run verbose spec_path keep jobs dot_out =
     setup_logs verbose;
     let spec = load_spec spec_path in
     let apa =
@@ -238,7 +249,7 @@ let abstract_cmd =
     | ds ->
       List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds;
       if Fsa_check.Diagnostic.has_errors ds then exit 1);
-    let lts = Lts.explore apa in
+    let lts = explore ~max_states:1_000_000 ~jobs apa in
     let actions = List.map Action.make keep in
     let h = Hom.preserve actions in
     let dfa = Hom.minimal_automaton h lts in
@@ -265,7 +276,7 @@ let abstract_cmd =
   Cmd.v
     (Cmd.info "abstract"
        ~doc:"Compute the minimal automaton of a homomorphic image (Sect. 5.5).")
-    Term.(const run $ verbose_arg $ spec_arg $ keep $ dot_out)
+    Term.(const run $ verbose_arg $ spec_arg $ keep $ jobs_arg $ dot_out)
 
 (* --------------------------------------------------------------- *)
 (* fsa scenario                                                     *)
@@ -645,7 +656,7 @@ let check_cmd =
 (* --------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run verbose spec_path =
+  let run verbose spec_path jobs =
     setup_logs verbose;
     let spec = load_spec spec_path in
     let patterns =
@@ -658,7 +669,7 @@ let verify_cmd =
       try Fsa_spec.Elaborate.apa_of_spec spec with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
     in
-    let lts = Lts.explore apa in
+    let lts = explore ~max_states:1_000_000 ~jobs apa in
     let failures = ref 0 in
     List.iter
       (fun (description, pattern) ->
@@ -676,7 +687,7 @@ let verify_cmd =
        ~doc:"Evaluate a specification's check declarations against its \
              behaviour (explores the state space; see $(b,check) for the \
              static analysis).")
-    Term.(const run $ verbose_arg $ spec_arg)
+    Term.(const run $ verbose_arg $ spec_arg $ jobs_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa monitor                                                      *)

@@ -33,25 +33,32 @@ let m_terms = Metrics.counter "apa.terms_allocated"
 
 module State = struct
   (* A global state maps each state component name to its current set of
-     data terms.  The map always contains every declared component. *)
-  type t = Term.Set.t Smap.t
+     data terms.  The map always contains every declared component.
 
-  let empty = Smap.empty
+     The structural hash is memoized: state-space exploration hashes every
+     state once per table lookup, and recomputing the fold over all
+     components dominated the sequential profile.  [-1] marks "not yet
+     computed"; the cached value is deterministic, so the benign race of
+     two domains filling the cache concurrently writes the same word. *)
+  type t = { m : Term.Set.t Smap.t; mutable h : int }
+
+  let of_map m = { m; h = -1 }
+  let empty = of_map Smap.empty
 
   let get name s =
-    match Smap.find_opt name s with Some set -> set | None -> Term.Set.empty
+    match Smap.find_opt name s.m with Some set -> set | None -> Term.Set.empty
 
-  let set name v s = Smap.add name v s
+  let set name v s = of_map (Smap.add name v s.m)
 
   let add_elt name e s = set name (Term.Set.add e (get name s)) s
   let remove_elt name e s = set name (Term.Set.remove e (get name s)) s
   let mem_elt name e s = Term.Set.mem e (get name s)
 
-  let compare = Smap.compare Term.Set.compare
-  let equal a b = compare a b = 0
+  let compare a b =
+    if a == b then 0 else Smap.compare Term.Set.compare a.m b.m
 
   (* Hash consistent with [equal]: folded over components and elements. *)
-  let hash s =
+  let structural_hash m =
     Smap.fold
       (fun name set acc ->
         let h =
@@ -59,9 +66,21 @@ module State = struct
             (Hashtbl.hash name)
         in
         ((acc * 31) + h) land max_int)
-      s 17
+      m 17
 
-  let components s = List.map fst (Smap.bindings s)
+  let hash s =
+    if s.h >= 0 then s.h
+    else begin
+      let h = structural_hash s.m in
+      s.h <- h;
+      h
+    end
+
+  let equal a b =
+    a == b
+    || ((a.h < 0 || b.h < 0 || a.h = b.h) && compare a b = 0)
+
+  let components s = List.map fst (Smap.bindings s.m)
 
   let pp ppf s =
     let pp_comp ppf (name, set) =
@@ -69,7 +88,7 @@ module State = struct
         Fmt.(list ~sep:comma Term.pp)
         (Term.Set.elements set)
     in
-    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_comp) (Smap.bindings s)
+    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_comp) (Smap.bindings s.m)
 
     let to_string s = Fmt.str "%a" pp s
 end
@@ -243,7 +262,7 @@ let producers t c =
 
 let initial_state t =
   List.fold_left
-    (fun s (c, init) -> State.set c init s)
+    (fun s (c, init) -> State.set c (Term.Set.map Term.intern init) s)
     State.empty t.components
 
 (* ------------------------------------------------------------------ *)
@@ -296,8 +315,14 @@ let apply_binding rule state b =
       (fun s (c, e) -> State.remove_elt c e s)
       state b.consumed
   in
+  (* Interning the produced terms makes recurring data items physically
+     shared, so state comparisons during exploration hit the [==] fast
+     paths of [Term.compare]. *)
   List.fold_left
-    (fun s p -> State.add_elt p.p_component (Term.Subst.apply b.subst p.p_template) s)
+    (fun s p ->
+      State.add_elt p.p_component
+        (Term.intern (Term.Subst.apply b.subst p.p_template))
+        s)
     state rule.r_puts
 
 (* All transitions enabled in [state]: (rule, action label, successor). *)

@@ -11,9 +11,12 @@ module Term = Fsa_term.Term
 module Action = Fsa_term.Action
 module Smap : Map.S with type key = string
 
-(** Global states: one set of ground terms per state component. *)
+(** Global states: one set of ground terms per state component.  The
+    representation carries a memoized structural hash, so states are
+    hashed at most once however often the exploration's state table looks
+    them up. *)
 module State : sig
-  type t = Term.Set.t Smap.t
+  type t
 
   val empty : t
   val get : string -> t -> Term.Set.t

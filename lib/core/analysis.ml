@@ -101,12 +101,13 @@ let dependence ~meth lts ~min_action ~max_action =
   | Direct -> Lts.depends_on lts ~max_action ~min_action
   | Abstract -> Hom.depends_abstract lts ~min_action ~max_action
 
-let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?progress ~stakeholder
-    apa =
+let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1) ?progress
+    ~stakeholder apa =
   Span.with_ ~cat:"core" "tool" @@ fun () ->
   let lts =
     Span.with_ ~cat:"core" "tool.explore" (fun () ->
-        Lts.explore ~max_states ?progress apa)
+        if jobs > 1 then Lts.explore_par ~max_states ?progress ~jobs apa
+        else Lts.explore ~max_states ?progress apa)
   in
   let minima, maxima =
     Span.with_ ~cat:"core" "tool.min_max" (fun () ->

@@ -53,6 +53,7 @@ val dependence :
 val tool :
   ?meth:dependence_method ->
   ?max_states:int ->
+  ?jobs:int ->
   ?progress:Fsa_obs.Progress.t ->
   stakeholder:(Action.t -> Agent.t) ->
   Fsa_apa.Apa.t ->
@@ -60,7 +61,9 @@ val tool :
 (** With observability enabled ({!Fsa_obs.Metrics.set_enabled}), each
     pipeline phase runs inside its own span ([tool.explore],
     [tool.min_max], [tool.dependence_matrix], [tool.derive]);
-    [progress] is threaded through the state-space exploration. *)
+    [progress] is threaded through the state-space exploration.  With
+    [jobs > 1] the exploration runs on {!Lts.explore_par} over that many
+    domains — the resulting graph is identical to the sequential one. *)
 
 val pp_tool_report : tool_report Fmt.t
 

@@ -39,15 +39,25 @@ let identity : t = fun a -> Some a
 
 (* Preserve exactly the listed actions, erase everything else — the
    homomorphism used in the paper to focus on one (minimum, maximum)
-   pair. *)
+   pair.  The set is built once, when the homomorphism is constructed:
+   the closure is applied once per transition of the behaviour, and a
+   per-call list scan shows up in abstraction profiles. *)
 let preserve actions : t =
- fun a -> if List.exists (Action.equal a) actions then Some a else None
+  let keep = Action.Set.of_list actions in
+  fun a -> if Action.Set.mem a keep then Some a else None
 
 let rename assoc : t =
- fun a ->
-  match List.find_opt (fun (x, _) -> Action.equal a x) assoc with
-  | Some (_, y) -> Some y
-  | None -> Some a
+  (* first binding wins, matching the order semantics of an assoc list *)
+  let table =
+    List.fold_left
+      (fun m (x, y) ->
+        if Action.Map.mem x m then m else Action.Map.add x y m)
+      Action.Map.empty assoc
+  in
+  fun a ->
+    match Action.Map.find_opt a table with
+    | Some y -> Some y
+    | None -> Some a
 
 let compose (h2 : t) (h1 : t) : t = fun a -> Option.bind (h1 a) h2
 
@@ -71,10 +81,12 @@ let preserved (h : t) alphabet =
 let image_nfa (h : t) lts =
   let n = Lts.nb_states lts in
   let edges =
-    List.map
-      (fun tr ->
-        (tr.Lts.t_src, h tr.Lts.t_label, tr.Lts.t_dst))
-      (Lts.transitions lts)
+    (* fold + rev keeps the edge order of [Lts.transitions] without
+       materializing the transition list *)
+    Lts.fold_transitions
+      (fun tr acc -> (tr.Lts.t_src, h tr.Lts.t_label, tr.Lts.t_dst) :: acc)
+      lts []
+    |> List.rev
   in
   let all = List.init n Fun.id |> Fsa_automata.Automata.Int_set.of_list in
   A.Nfa.create ~nb_states:n
@@ -103,6 +115,9 @@ let minimal_automaton (h : t) lts =
    as a diamond (Fig. 11). *)
 let dfa_has_target_before_avoid dfa ~avoid ~target =
   let module IS = Fsa_automata.Automata.Int_set in
+  (* [delta] is the DFA's per-state adjacency array — no rescan of the
+     full transition list per visited state *)
+  let delta = A.Dfa.delta dfa in
   let rec go visited frontier =
     match frontier with
     | [] -> false
@@ -112,12 +127,11 @@ let dfa_has_target_before_avoid dfa ~avoid ~target =
         let visited = IS.add s visited in
         let hit = ref false in
         let next = ref rest in
-        List.iter
-          (fun (s', l, d) ->
-            if s' = s then
-              if Action.equal l target then hit := true
-              else if not (Action.equal l avoid) then next := d :: !next)
-          (A.Dfa.transitions dfa);
+        A.Lmap.iter
+          (fun l d ->
+            if Action.equal l target then hit := true
+            else if not (Action.equal l avoid) then next := d :: !next)
+          delta.(s);
         !hit || go visited !next
       end
   in
@@ -159,17 +173,11 @@ let dependence_matrix lts ~minima ~maxima =
 let is_simple (h : t) lts =
   let dfa = minimal_automaton h lts in
   let module IS = Fsa_automata.Automata.Int_set in
-  (* concrete transition list indexed by state *)
-  let succ = Array.make (Lts.nb_states lts) [] in
-  List.iter
-    (fun tr -> succ.(tr.Lts.t_src) <- tr :: succ.(tr.Lts.t_src))
-    (Lts.transitions lts);
+  (* the graph already indexes transitions by source state *)
+  let succ = Lts.succ lts in
+  let delta = A.Dfa.delta dfa in
   (* abstract letters enabled in a DFA state *)
-  let enabled m =
-    List.filter_map
-      (fun (s, l, _) -> if s = m then Some l else None)
-      (A.Dfa.transitions dfa)
-  in
+  let enabled m = List.map fst (A.Lmap.bindings delta.(m)) in
   (* can concrete state q produce abstract letter x after erased steps? *)
   let can_produce q x =
     let rec go visited = function
@@ -186,7 +194,7 @@ let is_simple (h : t) lts =
               | Some y when Action.equal y x -> hit := true
               | Some _ -> ()
               | None -> next := tr.Lts.t_dst :: !next)
-            succ.(s);
+            (succ s);
           !hit || go visited !next
         end
     in
@@ -218,7 +226,7 @@ let is_simple (h : t) lts =
             match step_abstract m x with
             | Some m' -> Queue.add (tr.Lts.t_dst, m') queue
             | None -> ok := false (* image outside abstract language *)))
-        succ.(q)
+        (succ q)
     end
   done;
   !ok

@@ -34,8 +34,10 @@ module Progress = Fsa_obs.Progress
 let m_states = Metrics.counter "lts.states_explored"
 let m_transitions = Metrics.counter "lts.transitions"
 let m_dedup = Metrics.counter "lts.dedup_hits"
+let m_shard_conflicts = Metrics.counter "lts.shard_conflicts"
 let g_frontier_peak = Metrics.gauge "lts.frontier_peak"
 let g_rate = Metrics.gauge "lts.states_per_sec"
+let g_domains = Metrics.gauge "lts.domains"
 
 let h_out_degree =
   Metrics.histogram ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
@@ -48,6 +50,56 @@ module State_table = Hashtbl.Make (struct
   let hash = State.hash
 end)
 
+(* Growable arrays for the exploration accumulators.  The previous list
+   accumulators were built reversed and re-walked at the end; appending
+   into a doubling array keeps the hot loop allocation-light and the
+   final assembly a plain [Array.sub]. *)
+module Buf = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+  let length b = b.len
+  let get b i = b.data.(i)
+
+  let push b x =
+    let cap = Array.length b.data in
+    if b.len = cap then begin
+      let data = Array.make (max 16 (2 * cap)) x in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let to_array b = Array.sub b.data 0 b.len
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f b.data.(i)
+    done
+end
+
+(* Keep transition lists deterministically ordered. *)
+let order_transition a b =
+  let c = Stdlib.compare a.t_src b.t_src in
+  if c <> 0 then c
+  else
+    let c = Action.compare a.t_label b.t_label in
+    if c <> 0 then c else Stdlib.compare a.t_dst b.t_dst
+
+(* Shared final assembly: both the sequential and the parallel explorer
+   hand their states (in canonical BFS order) and edges to this, so the
+   resulting structures are constructed identically. *)
+let assemble ~apa_name ~states ~iter_edges =
+  let succs = Array.make (Array.length states) [] in
+  let preds = Array.make (Array.length states) [] in
+  iter_edges (fun tr ->
+      succs.(tr.t_src) <- tr :: succs.(tr.t_src);
+      preds.(tr.t_dst) <- tr :: preds.(tr.t_dst));
+  Array.iteri (fun i l -> succs.(i) <- List.sort order_transition l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.sort order_transition l) preds;
+  { apa_name; states; initial = 0; succs; preds }
+
 let explore ?(max_states = 1_000_000) ?progress apa =
   Span.with_ ~cat:"lts" "lts.explore" @@ fun () ->
   let obs = Metrics.enabled () in
@@ -55,22 +107,42 @@ let explore ?(max_states = 1_000_000) ?progress apa =
   let initial = Fsa_apa.Apa.initial_state apa in
   let index = State_table.create 1024 in
   State_table.replace index initial 0;
-  let states = ref [ initial ] in
-  let nb = ref 1 in
-  let edges = ref [] in
-  let queue = Queue.create () in
-  Queue.add (0, initial) queue;
-  while not (Queue.is_empty queue) do
-    let src_id, src = Queue.pop queue in
+  (* the states buffer doubles as the BFS queue: states are appended in
+     discovery order and expanded in append order *)
+  let states = Buf.create () in
+  Buf.push states initial;
+  let edges = Buf.create () in
+  let cursor = ref 0 in
+  (* Progress and the rate gauge are finalized on every exit path:
+     aborting on State_space_too_large used to leave the live progress
+     line dangling and [lts.states_per_sec] unset. *)
+  Fun.protect
+    ~finally:(fun () ->
+      if obs then begin
+        let elapsed = Int64.to_float (Int64.sub (Span.now_ns ()) t0) /. 1e9 in
+        if elapsed > 0. then
+          Metrics.set_gauge g_rate (float_of_int (Buf.length states) /. elapsed)
+      end;
+      match progress with
+      | Some p -> Progress.finish p ~count:(Buf.length states)
+      | None -> ())
+  @@ fun () ->
+  while !cursor < Buf.length states do
+    let src_id = !cursor in
+    let src = Buf.get states src_id in
+    incr cursor;
     let succs = Fsa_apa.Apa.step apa src in
     if obs then begin
       Metrics.incr m_states;
       Metrics.incr ~by:(List.length succs) m_transitions;
       Metrics.observe h_out_degree (float_of_int (List.length succs));
-      Metrics.set_gauge_max g_frontier_peak (float_of_int (Queue.length queue))
+      Metrics.set_gauge_max g_frontier_peak
+        (float_of_int (Buf.length states - !cursor))
     end;
     (match progress with
-    | Some p -> Progress.tick p ~count:!nb ~frontier:(Queue.length queue)
+    | Some p ->
+      Progress.tick p ~count:(Buf.length states)
+        ~frontier:(Buf.length states - !cursor)
     | None -> ());
     List.iter
       (fun (_rule, label, dst) ->
@@ -80,45 +152,265 @@ let explore ?(max_states = 1_000_000) ?progress apa =
             if obs then Metrics.incr m_dedup;
             id
           | None ->
-            let id = !nb in
+            let id = Buf.length states in
             if id >= max_states then raise (State_space_too_large max_states);
             State_table.replace index dst id;
-            states := dst :: !states;
-            incr nb;
-            Queue.add (id, dst) queue;
+            Buf.push states dst;
             id
         in
-        edges := { t_src = src_id; t_label = label; t_dst = dst_id } :: !edges)
+        Buf.push edges { t_src = src_id; t_label = label; t_dst = dst_id })
       succs
   done;
-  if obs then begin
-    let elapsed = Int64.to_float (Int64.sub (Span.now_ns ()) t0) /. 1e9 in
-    if elapsed > 0. then
-      Metrics.set_gauge g_rate (float_of_int !nb /. elapsed)
-  end;
-  (match progress with Some p -> Progress.finish p ~count:!nb | None -> ());
   Log.debug (fun m ->
-      m "explored %s: %d states, %d transitions" (Fsa_apa.Apa.name apa) !nb
-        (List.length !edges));
-  let states = Array.of_list (List.rev !states) in
-  let succs = Array.make (Array.length states) [] in
-  let preds = Array.make (Array.length states) [] in
-  List.iter
-    (fun tr ->
-      succs.(tr.t_src) <- tr :: succs.(tr.t_src);
-      preds.(tr.t_dst) <- tr :: preds.(tr.t_dst))
-    !edges;
-  (* Keep transition lists deterministically ordered. *)
-  let order a b =
-    let c = Stdlib.compare a.t_src b.t_src in
-    if c <> 0 then c
-    else
-      let c = Action.compare a.t_label b.t_label in
-      if c <> 0 then c else Stdlib.compare a.t_dst b.t_dst
-  in
-  Array.iteri (fun i l -> succs.(i) <- List.sort order l) succs;
-  Array.iteri (fun i l -> preds.(i) <- List.sort order l) preds;
-  { apa_name = Fsa_apa.Apa.name apa; states; initial = 0; succs; preds }
+      m "explored %s: %d states, %d transitions" (Fsa_apa.Apa.name apa)
+        (Buf.length states) (Buf.length edges));
+  assemble ~apa_name:(Fsa_apa.Apa.name apa) ~states:(Buf.to_array states)
+    ~iter_edges:(fun f -> Buf.iter f edges)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Domain-based level-synchronous BFS.
+
+   Each level's frontier is expanded by [jobs] domains that self-schedule
+   chunks off a shared atomic cursor (cheap work-stealing); discovered
+   states are deduplicated in a sharded hash table — one mutex per shard,
+   shard chosen by the state's memoized hash — and numbered provisionally
+   by an atomic counter, so provisional numbers depend on domain
+   interleaving.  A final sequential renumbering pass replays the
+   discovery in canonical BFS order over the recorded per-state successor
+   lists (which preserve [Apa.step] order), making the result
+   bit-identical to {!explore}: same M-k numbering, same sorted
+   transition lists.  The expensive work — rule matching in [Apa.step] —
+   happens in the parallel phase; renumbering is a linear scan. *)
+
+type shard = {
+  sh_lock : Mutex.t;
+  sh_table : int State_table.t;
+  mutable sh_members : (int * State.t) list;
+}
+
+let explore_par ?(max_states = 1_000_000) ?progress ?shards ~jobs apa =
+  if jobs <= 1 then explore ~max_states ?progress apa
+  else begin
+    Span.with_ ~cat:"lts" "lts.explore_par" @@ fun () ->
+    let obs = Metrics.enabled () in
+    let t0 = if obs then Span.now_ns () else 0L in
+    (* instruments are registered here, on the main domain: the metrics
+       registry itself is not safe for concurrent registration *)
+    let domain_rate =
+      Array.init jobs (fun i ->
+          Metrics.gauge (Printf.sprintf "lts.d%d.states_per_sec" i))
+    in
+    let nshards =
+      let requested =
+        match shards with Some s -> max 1 s | None -> 64 * jobs
+      in
+      let rec pow2 n = if n >= requested then n else pow2 (2 * n) in
+      pow2 1
+    in
+    let mask = nshards - 1 in
+    let shards =
+      Array.init nshards (fun _ ->
+          { sh_lock = Mutex.create ();
+            sh_table = State_table.create 256;
+            sh_members = [] })
+    in
+    let next_id = Atomic.make 0 in
+    let too_large = Atomic.make false in
+    let conflicts = Atomic.make 0 in
+    let total_transitions = Atomic.make 0 in
+    let total_dedup = Atomic.make 0 in
+    (* insert into the sharded table; returns the id, whether the state is
+       new, and whether the shard lock was contended *)
+    let insert st =
+      let sh = shards.(State.hash st land mask) in
+      let contended =
+        if obs then
+          if Mutex.try_lock sh.sh_lock then false
+          else begin
+            Mutex.lock sh.sh_lock;
+            true
+          end
+        else begin
+          Mutex.lock sh.sh_lock;
+          false
+        end
+      in
+      let res =
+        match State_table.find_opt sh.sh_table st with
+        | Some id -> (id, false)
+        | None ->
+          let id = Atomic.fetch_and_add next_id 1 in
+          if id >= max_states then begin
+            Atomic.set too_large true;
+            (id, false)
+          end
+          else begin
+            State_table.replace sh.sh_table st id;
+            sh.sh_members <- (id, st) :: sh.sh_members;
+            (id, true)
+          end
+      in
+      Mutex.unlock sh.sh_lock;
+      (res, contended)
+    in
+    let initial = Fsa_apa.Apa.initial_state apa in
+    let (id0, _), _ = insert initial in
+    assert (id0 = 0);
+    let frontier = ref [| (0, initial) |] in
+    (* per-domain accumulators; index [w] is touched only by worker [w]
+       while domains run, and by the main domain after the join *)
+    let all_records : (int * (Action.t * int) list) list array =
+      Array.make jobs []
+    in
+    let domain_expanded = Array.make jobs 0 in
+    let domain_busy_ns = Array.make jobs 0L in
+    let exception Abort in
+    Fun.protect
+      ~finally:(fun () ->
+        if obs then begin
+          Metrics.set_gauge g_domains (float_of_int jobs);
+          let elapsed =
+            Int64.to_float (Int64.sub (Span.now_ns ()) t0) /. 1e9
+          in
+          if elapsed > 0. then
+            Metrics.set_gauge g_rate
+              (float_of_int (Atomic.get next_id) /. elapsed)
+        end;
+        match progress with
+        | Some p -> Progress.finish p ~count:(Atomic.get next_id)
+        | None -> ())
+    @@ fun () ->
+    while Array.length !frontier > 0 do
+      let fr = !frontier in
+      let len = Array.length fr in
+      if obs then Metrics.set_gauge_max g_frontier_peak (float_of_int len);
+      let cursor = Atomic.make 0 in
+      let chunk = max 1 (min 64 (len / (jobs * 4))) in
+      let next_frontiers = Array.make jobs [] in
+      let worker w =
+        let t_start = Span.now_ns () in
+        let my_records = ref [] in
+        let my_next = ref [] in
+        let my_expanded = ref 0 in
+        let my_conflicts = ref 0 in
+        let my_transitions = ref 0 in
+        let my_dedup = ref 0 in
+        (try
+           let continue = ref true in
+           while !continue do
+             if Atomic.get too_large then raise Abort;
+             let i0 = Atomic.fetch_and_add cursor chunk in
+             if i0 >= len then continue := false
+             else
+               for i = i0 to min (len - 1) (i0 + chunk - 1) do
+                 let src_id, src = fr.(i) in
+                 let succs = Fsa_apa.Apa.step apa src in
+                 incr my_expanded;
+                 my_transitions := !my_transitions + List.length succs;
+                 let dsts =
+                   List.map
+                     (fun (_rule, label, dst) ->
+                       let (id, fresh), contended = insert dst in
+                       if contended then incr my_conflicts;
+                       if Atomic.get too_large then raise Abort;
+                       if fresh then my_next := (id, dst) :: !my_next
+                       else incr my_dedup;
+                       (label, id))
+                     succs
+                 in
+                 my_records := (src_id, dsts) :: !my_records
+               done
+           done
+         with Abort -> ());
+        all_records.(w) <- List.rev_append !my_records all_records.(w);
+        next_frontiers.(w) <- !my_next;
+        domain_expanded.(w) <- domain_expanded.(w) + !my_expanded;
+        domain_busy_ns.(w) <-
+          Int64.add domain_busy_ns.(w)
+            (Int64.sub (Span.now_ns ()) t_start);
+        ignore (Atomic.fetch_and_add conflicts !my_conflicts);
+        ignore (Atomic.fetch_and_add total_transitions !my_transitions);
+        ignore (Atomic.fetch_and_add total_dedup !my_dedup)
+      in
+      let doms =
+        Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+      in
+      worker 0;
+      Array.iter Domain.join doms;
+      if Atomic.get too_large then raise (State_space_too_large max_states);
+      frontier :=
+        Array.concat (Array.to_list (Array.map Array.of_list next_frontiers));
+      match progress with
+      | Some p ->
+        Progress.tick p ~count:(Atomic.get next_id)
+          ~frontier:(Array.length !frontier)
+      | None -> ()
+    done;
+    let total = Atomic.get next_id in
+    let prov_states = Array.make total initial in
+    Array.iter
+      (fun sh ->
+        List.iter (fun (id, st) -> prov_states.(id) <- st) sh.sh_members)
+      shards;
+    let prov_succ = Array.make total [] in
+    Array.iter
+      (List.iter (fun (src, dsts) -> prov_succ.(src) <- dsts))
+      all_records;
+    (* canonical renumbering: replay the BFS deterministically — expand in
+       canonical id order, successors in recorded Apa.step order *)
+    let canon = Array.make total (-1) in
+    let order = Array.make total 0 in
+    canon.(0) <- 0;
+    let nb = ref 1 in
+    let c = ref 0 in
+    while !c < !nb do
+      let p = order.(!c) in
+      List.iter
+        (fun (_label, d) ->
+          if canon.(d) < 0 then begin
+            canon.(d) <- !nb;
+            order.(!nb) <- d;
+            incr nb
+          end)
+        prov_succ.(p);
+      incr c
+    done;
+    assert (!nb = total);
+    let states = Array.init total (fun cid -> prov_states.(order.(cid))) in
+    let iter_edges f =
+      for cid = 0 to total - 1 do
+        List.iter
+          (fun (label, d) ->
+            f { t_src = cid; t_label = label; t_dst = canon.(d) })
+          prov_succ.(order.(cid))
+      done
+    in
+    if obs then begin
+      Metrics.incr ~by:total m_states;
+      Metrics.incr ~by:(Atomic.get total_transitions) m_transitions;
+      Metrics.incr ~by:(Atomic.get total_dedup) m_dedup;
+      Metrics.incr ~by:(Atomic.get conflicts) m_shard_conflicts;
+      Array.iter
+        (fun succs ->
+          Metrics.observe h_out_degree (float_of_int (List.length succs)))
+        prov_succ;
+      Array.iteri
+        (fun w busy ->
+          let busy_s = Int64.to_float busy /. 1e9 in
+          if busy_s > 0. then
+            Metrics.set_gauge domain_rate.(w)
+              (float_of_int domain_expanded.(w) /. busy_s))
+        domain_busy_ns
+    end;
+    Log.debug (fun m ->
+        m "explored %s with %d domains: %d states, %d transitions"
+          (Fsa_apa.Apa.name apa) jobs total
+          (Atomic.get total_transitions));
+    assemble ~apa_name:(Fsa_apa.Apa.name apa) ~states ~iter_edges
+  end
 
 let name t = t.apa_name
 let nb_states t = Array.length t.states
@@ -130,6 +422,29 @@ let pred t i = t.preds.(i)
 
 let transitions t = Array.to_list t.succs |> List.concat
 
+let iter_transitions f t = Array.iter (fun l -> List.iter f l) t.succs
+
+let fold_transitions f t acc =
+  Array.fold_left
+    (fun acc l -> List.fold_left (fun acc tr -> f tr acc) acc l)
+    acc t.succs
+
+(* Synthetic / imported graphs: states carry no APA content.  Intended
+   for tests and for ingesting externally computed reachability graphs;
+   state 0 is the initial state. *)
+let of_edges ?(name = "imported") ~nb_states edges =
+  if nb_states <= 0 then invalid_arg "Lts.of_edges: nb_states must be positive";
+  List.iter
+    (fun tr ->
+      if
+        tr.t_src < 0 || tr.t_src >= nb_states || tr.t_dst < 0
+        || tr.t_dst >= nb_states
+      then invalid_arg "Lts.of_edges: transition endpoint out of range")
+    edges;
+  assemble ~apa_name:name
+    ~states:(Array.make nb_states State.empty)
+    ~iter_edges:(fun f -> List.iter f edges)
+
 let state_name i = Printf.sprintf "M-%d" (i + 1)
 
 let fold_states f t acc =
@@ -138,9 +453,9 @@ let fold_states f t acc =
   !acc
 
 let alphabet t =
-  List.fold_left
-    (fun acc tr -> Action.Set.add tr.t_label acc)
-    Action.Set.empty (transitions t)
+  fold_transitions
+    (fun tr acc -> Action.Set.add tr.t_label acc)
+    t Action.Set.empty
 
 (* Dead states: no outgoing transition ("+++ dead +++" in the tool). *)
 let deadlocks t =
@@ -246,28 +561,45 @@ let depends_on t ~max_action ~min_action =
 (* The number of complete runs (maximal paths from the initial state to a
    dead state); [None] when the graph has a cycle.  For the paper's
    every-action-once scenarios this equals the number of linear
-   extensions of the event poset. *)
+   extensions of the event poset.
+
+   Iterative with an explicit stack: the natural recursion is one frame
+   per path edge and overflows the OCaml stack on long-chain graphs. *)
 let count_complete_runs t =
   let n = nb_states t in
-  let colour = Array.make n 0 in
+  let colour = Array.make n 0 in (* 0 unvisited, 1 on stack, 2 done *)
   let memo = Array.make n (-1) in
   let exception Cyclic in
-  let rec count s =
-    if memo.(s) >= 0 then memo.(s)
-    else if colour.(s) = 1 then raise Cyclic
-    else begin
-      colour.(s) <- 1;
-      let total =
-        match t.succs.(s) with
-        | [] -> 1
-        | succs -> List.fold_left (fun acc tr -> acc + count tr.t_dst) 0 succs
-      in
-      colour.(s) <- 2;
-      memo.(s) <- total;
-      total
-    end
+  (* frame: state, successors not yet accounted, partial sum *)
+  let stack : (int * transition list ref * int ref) Stack.t =
+    Stack.create ()
   in
-  match count t.initial with total -> Some total | exception Cyclic -> None
+  let enter s =
+    colour.(s) <- 1;
+    Stack.push (s, ref t.succs.(s), ref 0) stack
+  in
+  try
+    enter t.initial;
+    while not (Stack.is_empty stack) do
+      let s, rest, acc = Stack.top stack in
+      match !rest with
+      | [] ->
+        ignore (Stack.pop stack);
+        let total = if t.succs.(s) = [] then 1 else !acc in
+        colour.(s) <- 2;
+        memo.(s) <- total;
+        (match Stack.top_opt stack with
+        | Some (_, _, acc') -> acc' := !acc' + total
+        | None -> ())
+      | tr :: tl ->
+        rest := tl;
+        let d = tr.t_dst in
+        if memo.(d) >= 0 then acc := !acc + memo.(d)
+        else if colour.(d) = 1 then raise Cyclic
+        else enter d
+    done;
+    Some memo.(t.initial)
+  with Cyclic -> None
 
 (* Classify dead states into complete runs and stuck (incomplete) ones by
    a caller-supplied completion predicate on states — a modelling-error
@@ -310,12 +642,12 @@ let dot ?(name = "reachability") t =
       in
       Fsa_graph.Dot.node ~attrs d (state_name i))
     t.states;
-  List.iter
+  iter_transitions
     (fun tr ->
       Fsa_graph.Dot.edge
         ~attrs:[ ("label", Action.to_string tr.t_label) ]
         d (state_name tr.t_src) (state_name tr.t_dst))
-    (transitions t);
+    t;
   Fsa_graph.Dot.to_string d
 
 (* The tool's summary of minima and maxima (Example 6): minima with the

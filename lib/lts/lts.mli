@@ -21,6 +21,25 @@ val explore :
     records the [lts.*] counters and runs inside an [lts.explore] span.
     @raise State_space_too_large beyond [max_states] (default 1e6). *)
 
+val explore_par :
+  ?max_states:int ->
+  ?progress:Fsa_obs.Progress.t ->
+  ?shards:int ->
+  jobs:int ->
+  Fsa_apa.Apa.t ->
+  t
+(** Parallel breadth-first exploration over [jobs] domains: a
+    level-synchronous BFS with a sharded state table and chunked
+    self-scheduling over each frontier, followed by a canonical
+    renumbering pass.  The result is bit-identical to {!explore} — same
+    [M-k] state numbering, same sorted transition lists — so parallel
+    and sequential analyses are interchangeable.  [shards] rounds up to
+    a power of two (default [64 * jobs]).  [jobs <= 1] falls back to
+    {!explore}.  With observability enabled, additionally records
+    [lts.domains], [lts.shard_conflicts] and per-domain
+    [lts.d<i>.states_per_sec].
+    @raise State_space_too_large beyond [max_states] (default 1e6). *)
+
 val name : t -> string
 val nb_states : t -> int
 val nb_transitions : t -> int
@@ -29,6 +48,19 @@ val state : t -> int -> State.t
 val succ : t -> int -> transition list
 val pred : t -> int -> transition list
 val transitions : t -> transition list
+(** All transitions as a fresh list; prefer {!iter_transitions} or
+    {!fold_transitions} on hot paths — they do not materialize the
+    list. *)
+
+val iter_transitions : (transition -> unit) -> t -> unit
+val fold_transitions : (transition -> 'a -> 'a) -> t -> 'a -> 'a
+
+val of_edges : ?name:string -> nb_states:int -> transition list -> t
+(** A synthetic graph over states [0 .. nb_states - 1] (state [0]
+    initial, all states carrying {!State.empty}), for tests and for
+    ingesting externally computed reachability graphs.
+    @raise Invalid_argument on out-of-range endpoints. *)
+
 val state_name : int -> string
 val fold_states : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val alphabet : t -> Action.Set.t

@@ -17,8 +17,13 @@ let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+(* Counters and gauges are atomic so that worker domains (parallel
+   state-space exploration) can record into shared instruments without a
+   lock.  Registration and histograms stay main-domain-only: the registry
+   table is unsynchronised, and histogram recording mutates several
+   fields. *)
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -42,12 +47,14 @@ let counter name =
   | Some (Counter c) -> c
   | Some _ -> kind_error name
   | None ->
-    let c = { c_name = name; c_value = 0 } in
+    let c = { c_name = name; c_value = Atomic.make 0 } in
     Hashtbl.replace registry name (Counter c);
     c
 
-let incr ?(by = 1) c = if !enabled_flag then c.c_value <- c.c_value + by
-let counter_value c = c.c_value
+let incr ?(by = 1) c =
+  if !enabled_flag then ignore (Atomic.fetch_and_add c.c_value by)
+
+let counter_value c = Atomic.get c.c_value
 let counter_name c = c.c_name
 
 let gauge name =
@@ -55,16 +62,23 @@ let gauge name =
   | Some (Gauge g) -> g
   | Some _ -> kind_error name
   | None ->
-    let g = { g_name = name; g_value = 0. } in
+    let g = { g_name = name; g_value = Atomic.make 0. } in
     Hashtbl.replace registry name (Gauge g);
     g
 
-let set_gauge g v = if !enabled_flag then g.g_value <- v
+let set_gauge g v = if !enabled_flag then Atomic.set g.g_value v
 
 let set_gauge_max g v =
-  if !enabled_flag && v > g.g_value then g.g_value <- v
+  if !enabled_flag then begin
+    let rec raise_to () =
+      let cur = Atomic.get g.g_value in
+      if v > cur && not (Atomic.compare_and_set g.g_value cur v) then
+        raise_to ()
+    in
+    raise_to ()
+  end
 
-let gauge_value g = g.g_value
+let gauge_value g = Atomic.get g.g_value
 let gauge_name g = g.g_name
 
 (* 1-2-5 decades: a serviceable default for counts and sizes. *)
@@ -122,8 +136,8 @@ let reset () =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0.
       | Histogram h ->
         Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
         h.h_sum <- 0.;
@@ -136,12 +150,12 @@ let sorted_metrics () =
 
 let counters () =
   List.filter_map
-    (function name, Counter c -> Some (name, c.c_value) | _ -> None)
+    (function name, Counter c -> Some (name, Atomic.get c.c_value) | _ -> None)
     (sorted_metrics ())
 
 let gauges () =
   List.filter_map
-    (function name, Gauge g -> Some (name, g.g_value) | _ -> None)
+    (function name, Gauge g -> Some (name, Atomic.get g.g_value) | _ -> None)
     (sorted_metrics ())
 
 (* ------------------------------------------------------------------ *)
@@ -198,10 +212,10 @@ let to_json () =
   in
   Buffer.add_string b "{\n  \"counters\": {\n";
   add_fields b counters ~add_value:(fun b c ->
-      Buffer.add_string b (string_of_int c.c_value));
+      Buffer.add_string b (string_of_int (Atomic.get c.c_value)));
   Buffer.add_string b "\n  },\n  \"gauges\": {\n";
   add_fields b gauges ~add_value:(fun b g ->
-      Buffer.add_string b (json_float g.g_value));
+      Buffer.add_string b (json_float (Atomic.get g.g_value)));
   Buffer.add_string b "\n  },\n  \"histograms\": {\n";
   add_fields b histograms ~add_value:(fun b h ->
       Buffer.add_string b "{\"bounds\": [";
@@ -230,8 +244,9 @@ let pp_summary ppf () =
   List.iter
     (fun (name, m) ->
       match m with
-      | Counter c -> Fmt.pf ppf "%-40s %12d@," name c.c_value
-      | Gauge g -> Fmt.pf ppf "%-40s %12s@," name (json_float g.g_value)
+      | Counter c -> Fmt.pf ppf "%-40s %12d@," name (Atomic.get c.c_value)
+      | Gauge g ->
+        Fmt.pf ppf "%-40s %12s@," name (json_float (Atomic.get g.g_value))
       | Histogram h ->
         Fmt.pf ppf "%-40s count=%d sum=%s@," name h.h_count
           (json_float h.h_sum))

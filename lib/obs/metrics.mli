@@ -6,7 +6,12 @@
     different kind raises [Invalid_argument]).  Recording is O(1) and
     gated on a single process-wide flag — when disabled (the default),
     every record operation is one load and one branch and no state is
-    mutated, so instrumented hot paths are effectively free. *)
+    mutated, so instrumented hot paths are effectively free.
+
+    Counter and gauge recording is atomic and may be performed from any
+    domain (parallel exploration workers record into shared
+    instruments).  Registration, histograms, [reset] and the dump
+    functions must stay on the main domain. *)
 
 val set_enabled : bool -> unit
 (** Turn recording on or off (off by default).  Registration is always

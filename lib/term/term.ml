@@ -12,7 +12,12 @@ type t =
   | Var of string
   | App of string * t list
 
+(* Interned terms (below) make physically-equal representatives common on
+   the exploration hot path, so every comparison starts with a pointer
+   check before falling back to the structural walk. *)
 let rec compare a b =
+  if a == b then 0
+  else
   match a, b with
   | Sym x, Sym y -> String.compare x y
   | Sym _, _ -> -1
@@ -36,7 +41,7 @@ and compare_list xs ys =
     let c = compare x y in
     if c <> 0 then c else compare_list xs' ys'
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 (* Deliberately break-free: printed terms serve as stable identifiers
    (DOT node ids, test expectations). *)
@@ -66,6 +71,38 @@ let rec hash = function
       (0x7f1 * Hashtbl.hash f)
       args
     land max_int
+
+(* Hash-consing.  [intern t] returns a canonical representative of [t]
+   whose subterms are themselves canonical, so that repeatedly produced
+   terms (the same message flowing through the same rule on every path of
+   the exploration) become physically equal and the [==] fast paths in
+   [compare]/[equal] fire.  Pools are per-domain (no locking): two domains
+   may intern the same term into distinct representatives, which costs the
+   fast path across domains but never affects correctness — [equal] falls
+   back to the structural walk. *)
+module Pool = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let pool_key = Domain.DLS.new_key (fun () -> Pool.create 1024)
+
+let rec intern t =
+  let pool = Domain.DLS.get pool_key in
+  match Pool.find_opt pool t with
+  | Some u -> u
+  | None ->
+    let u =
+      match t with
+      | Sym _ | Int _ | Var _ -> t
+      | App (f, args) ->
+        let args' = List.map intern args in
+        if List.for_all2 ( == ) args args' then t else App (f, args')
+    in
+    Pool.replace pool u u;
+    u
 
 let rec vars = function
   | Sym _ | Int _ -> String_set.empty

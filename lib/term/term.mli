@@ -30,6 +30,14 @@ val app : string -> t list -> t
 val hash : t -> int
 (** A structural hash consistent with {!equal}. *)
 
+val intern : t -> t
+(** Hash-consing: a canonical, physically-shared representative of the
+    term (subterms included), equal to the argument.  Interned terms make
+    the physical-equality fast paths of {!equal} and {!compare} fire, so
+    the state-space exploration hot path compares pointers instead of
+    walking structures.  Pools are per-domain; cross-domain physical
+    sharing is not guaranteed (and not required for correctness). *)
+
 val vars : t -> String_set.t
 val is_ground : t -> bool
 val size : t -> int

@@ -159,6 +159,113 @@ let test_chain_apa () =
   Alcotest.(check bool) "V3_show depends on the forwarder's position" true
     (Lts.depends_on lts ~max_action:(V.v_show 3) ~min_action:(V.v_pos 2))
 
+let test_progress_finalized_on_abort () =
+  (* Regression: aborting on the state bound used to skip Progress.finish
+     (dangling live status line) and leave lts.states_per_sec unset. *)
+  let module Metrics = Fsa_obs.Metrics in
+  let module Progress = Fsa_obs.Progress in
+  let updates = ref [] in
+  let progress =
+    Progress.create ~every_n:1 ~every_ns:0L (fun u -> updates := u :: !updates)
+  in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+  @@ fun () ->
+  (match Lts.explore ~max_states:5 ~progress (V.two_vehicles ()) with
+  | _ -> Alcotest.fail "bound must trigger"
+  | exception Lts.State_space_too_large 5 -> ());
+  (match !updates with
+  | last :: _ ->
+    Alcotest.(check bool) "last update is final" true last.Progress.u_final
+  | [] -> Alcotest.fail "progress must have reported");
+  Alcotest.(check bool) "rate gauge set despite abort" true
+    (Metrics.gauge_value (Metrics.gauge "lts.states_per_sec") > 0.)
+
+let test_count_runs_long_chain () =
+  (* Regression: counting complete runs recursed once per path edge and
+     blew the stack on long chains. *)
+  let n = 100_001 in
+  let label = Action.make "step" in
+  let edges =
+    List.init (n - 1) (fun i ->
+        { Lts.t_src = i; t_label = label; t_dst = i + 1 })
+  in
+  let lts = Lts.of_edges ~name:"chain" ~nb_states:n edges in
+  Alcotest.(check (option int)) "one maximal run" (Some 1)
+    (Lts.count_complete_runs lts);
+  (* a diamond has two runs; a cycle has none *)
+  let l s = Action.make s in
+  let diamond =
+    Lts.of_edges ~nb_states:4
+      [ { Lts.t_src = 0; t_label = l "a"; t_dst = 1 };
+        { Lts.t_src = 0; t_label = l "b"; t_dst = 2 };
+        { Lts.t_src = 1; t_label = l "b"; t_dst = 3 };
+        { Lts.t_src = 2; t_label = l "a"; t_dst = 3 } ]
+  in
+  Alcotest.(check (option int)) "diamond" (Some 2)
+    (Lts.count_complete_runs diamond);
+  let cycle =
+    Lts.of_edges ~nb_states:2
+      [ { Lts.t_src = 0; t_label = l "a"; t_dst = 1 };
+        { Lts.t_src = 1; t_label = l "b"; t_dst = 0 } ]
+  in
+  Alcotest.(check (option int)) "cyclic" None (Lts.count_complete_runs cycle)
+
+(* The parallel exploration must be bit-identical to the sequential one:
+   same state numbering, same transition lists, same analysis results. *)
+let check_par_matches_seq name apa =
+  let seq = Lts.explore apa in
+  List.iter
+    (fun jobs ->
+      let par = Lts.explore_par ~jobs apa in
+      let ctx = Printf.sprintf "%s jobs=%d" name jobs in
+      Alcotest.(check int) (ctx ^ ": states") (Lts.nb_states seq)
+        (Lts.nb_states par);
+      Alcotest.(check int)
+        (ctx ^ ": transitions")
+        (Lts.nb_transitions seq) (Lts.nb_transitions par);
+      let triples lts =
+        List.map
+          (fun tr -> (tr.Lts.t_src, Action.to_string tr.Lts.t_label, tr.Lts.t_dst))
+          (Lts.transitions lts)
+      in
+      Alcotest.(check (list (triple int string int)))
+        (ctx ^ ": identical transition lists")
+        (triples seq) (triples par);
+      List.iter
+        (fun i ->
+          Alcotest.(check string)
+            (ctx ^ ": state " ^ string_of_int i)
+            (Apa.State.to_string (Lts.state seq i))
+            (Apa.State.to_string (Lts.state par i)))
+        (List.init (Lts.nb_states seq) Fun.id);
+      Alcotest.(check (list string)) (ctx ^ ": minima")
+        (action_list (Lts.minima seq))
+        (action_list (Lts.minima par));
+      Alcotest.(check (list string)) (ctx ^ ": maxima")
+        (action_list (Lts.maxima seq))
+        (action_list (Lts.maxima par));
+      Alcotest.(check (list int)) (ctx ^ ": deadlocks") (Lts.deadlocks seq)
+        (Lts.deadlocks par))
+    [ 1; 2; 4 ]
+
+let test_par_matches_seq_vanet () =
+  check_par_matches_seq "two_vehicles" (V.two_vehicles ());
+  check_par_matches_seq "four_vehicles" (V.four_vehicles ());
+  check_par_matches_seq "pairs3" (V.pairs 3)
+
+let test_par_matches_seq_grid () =
+  check_par_matches_seq "grid" (Fsa_grid.Grid_apa.demand_response ())
+
+let test_par_state_space_bound () =
+  match Lts.explore_par ~max_states:5 ~jobs:2 (V.two_vehicles ()) with
+  | _ -> Alcotest.fail "bound must trigger"
+  | exception Lts.State_space_too_large 5 -> ()
+
 let suite =
   [ Alcotest.test_case "two-vehicle graph (Fig. 7)" `Quick test_two_vehicle_graph;
     Alcotest.test_case "four-vehicle graph (Fig. 9)" `Quick test_four_vehicle_graph;
@@ -170,4 +277,14 @@ let suite =
     Alcotest.test_case "stats and dot" `Quick test_stats_and_dot;
     Alcotest.test_case "state space bound" `Quick test_state_space_bound;
     Alcotest.test_case "pairs scaling 13^k" `Quick test_pairs_scaling;
-    Alcotest.test_case "forwarding chain APA" `Quick test_chain_apa ]
+    Alcotest.test_case "forwarding chain APA" `Quick test_chain_apa;
+    Alcotest.test_case "progress finalized on abort" `Quick
+      test_progress_finalized_on_abort;
+    Alcotest.test_case "count runs on a 100k chain" `Quick
+      test_count_runs_long_chain;
+    Alcotest.test_case "parallel = sequential (vanet)" `Quick
+      test_par_matches_seq_vanet;
+    Alcotest.test_case "parallel = sequential (grid)" `Quick
+      test_par_matches_seq_grid;
+    Alcotest.test_case "parallel state space bound" `Quick
+      test_par_state_space_bound ]
