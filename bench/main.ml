@@ -658,6 +658,76 @@ let benchmarks () =
 (* Machine-readable kernel benchmarks (BENCH_fsa.json)                  *)
 (* =================================================================== *)
 
+(* A known-good APA spec for the store round-trip benchmark: the
+   two-vehicle scenario's behavioural part, parsed from source so the
+   measurement covers the same digest path the CLI and server use. *)
+let store_spec_source =
+  {|
+component Vehicle {
+  state esp = { }
+  state gps = { }
+  state bus = { }
+  state hmi = { }
+  shared net
+
+  action sense: take esp(_x) -> put bus(_x)
+  action pos:   take gps(_p) -> put bus(_p)
+  action send:  take bus(sW), take bus(_p) when position(_p)
+                -> put net(cam(self, _p))
+  action rec:   take net(cam(_v, _p)) when _v != self
+                -> put bus(warn(_p))
+  action show:  take bus(warn(_p)), take bus(_q)
+                when position(_q) && near(_p, _q)
+                -> put hmi(warn)
+}
+
+instance V1 = Vehicle(1) { esp = { sW }, gps = { pos1 } }
+instance V2 = Vehicle(2) { gps = { pos2 } }
+|}
+
+(* Cold vs. warm result-cache round-trip.  The warm run must be a cache
+   hit that replays the stored outcome byte-for-byte without touching
+   the state space — a miss or a divergent replay is a correctness
+   failure of the store, not a perf regression, and fails the harness. *)
+let bench_store () =
+  let module Server = Fsa_server.Server in
+  let module Store = Fsa_store.Store in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fsa-bench-store-%Ld" (Fsa_obs.Span.now_ns ()))
+  in
+  let store = Store.open_ ~dir () in
+  let cfg = Server.config ~store () in
+  let spec = Fsa_spec.Parser.parse_string store_spec_source in
+  let time f =
+    let t0 = Fsa_obs.Span.now_ns () in
+    let r = f () in
+    (r, Int64.sub (Fsa_obs.Span.now_ns ()) t0)
+  in
+  let run () = Server.Exec.run cfg ~op:Server.Exec.Reach ~file:"<bench>" spec in
+  let cold, cold_ns = time run in
+  let warm, warm_ns = time run in
+  let hit = (not cold.Server.Exec.oc_cached) && warm.Server.Exec.oc_cached in
+  let identical =
+    String.equal cold.Server.Exec.oc_output warm.Server.Exec.oc_output
+  in
+  if not (hit && identical) then incr failures;
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir);
+     Sys.rmdir dir
+   with Sys_error _ -> ());
+  Fmt.pr "  %-24s cold %a  warm %a  hit: %s  identical: %s@." "store/reach"
+    Fsa_obs.Span.pp_dur cold_ns Fsa_obs.Span.pp_dur warm_ns
+    (if hit then "OK" else "MISS")
+    (if identical then "OK" else "MISMATCH");
+  Printf.sprintf
+    "    \"reach\": {\"cold_wall_ns\": %Ld, \"warm_wall_ns\": %Ld, \
+     \"warm_hit\": %b, \"replay_identical\": %b}"
+    cold_ns warm_ns hit identical
+
 (* One wall-clock measurement per pipeline kernel, with the key counters
    of the run (states explored, transitions, requirements derived,
    APA rules tried, dedup hits).  Written as JSON so later PRs have a
@@ -744,6 +814,7 @@ let bench_json path =
           speedup equal)
       explorations
   in
+  let store_row = bench_store () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -754,6 +825,8 @@ let bench_json path =
       output_string oc
         (Printf.sprintf "  \"exploration\": {\n    \"jobs\": %d,\n" jobs);
       output_string oc (String.concat ",\n" exploration_rows);
+      output_string oc "\n  },\n  \"store\": {\n";
+      output_string oc store_row;
       output_string oc "\n  }\n}\n");
   Fmt.pr "  wrote %s@." path
 

@@ -67,6 +67,12 @@ let or_die = function
     Fmt.epr "fsa: %s@." msg;
     exit 1
 
+(* usage-level failure (bad invocation, unknown name/format): same exit
+   code as a spec that does not parse, distinct from analysis findings *)
+let die_usage msg =
+  Fmt.epr "fsa: %s@." msg;
+  exit parse_exit
+
 let load_spec path =
   match parse_spec path with
   | Ok spec -> spec
@@ -76,12 +82,16 @@ let load_spec path =
 let write_or_print ~out content =
   match out with
   | None -> print_string content
-  | Some path ->
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc content);
-    Fmt.pr "wrote %s@." path
+  | Some path -> (
+    try
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc content);
+      Fmt.pr "wrote %s@." path
+    with Sys_error msg ->
+      (* the message names the offending path *)
+      or_die (Error msg))
 
 (* Observability plumbing: either output flag switches the process-wide
    registry on; the dumps are written even if the command dies halfway
@@ -121,20 +131,83 @@ let explore_progress spec_path =
     ()
 
 (* --------------------------------------------------------------- *)
+(* Result cache plumbing                                            *)
+(* --------------------------------------------------------------- *)
+
+module Server = Fsa_server.Server
+
+let cache_arg =
+  Arg.(value & flag
+       & info [ "cache" ]
+           ~doc:"Reuse (and populate) the content-addressed result cache.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Bypass the result cache even where it is on by default.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Cache directory (implies $(b,--cache); default \
+                 \\$FSA_CACHE_DIR, else \\$XDG_CACHE_HOME/fsa).")
+
+let open_store ~cache ~no_cache ~cache_dir =
+  let enabled = (cache || cache_dir <> None) && not no_cache in
+  if not enabled then None
+  else
+    let dir =
+      match cache_dir with
+      | Some dir -> dir
+      | None -> Fsa_store.Store.default_dir ()
+    in
+    match Fsa_store.Store.open_ ~dir () with
+    | store -> Some store
+    | exception Sys_error msg -> or_die (Error msg)
+
+(* Run one analysis through the shared executor (cache-aware when the
+   config carries a store) and print its report; on a hit the marker
+   goes to stderr so stdout stays byte-identical to a fresh run. *)
+let run_exec cfg ~op ?meth ?max_states ?jobs ?sos ?keep ?progress ~file spec =
+  match
+    Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?sos ?keep ?progress
+      ~file spec
+  with
+  | outcome ->
+    if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
+    print_string outcome.Server.Exec.oc_output;
+    outcome
+  | exception Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file loc msg
+  | exception Server.Usage_error msg -> die_usage msg
+
+(* --------------------------------------------------------------- *)
 (* fsa reach                                                        *)
 (* --------------------------------------------------------------- *)
 
 let reach_cmd =
-  let run verbose spec_path max_states jobs dot_out metrics_out trace_out =
+  let run verbose spec_path max_states jobs dot_out cache no_cache cache_dir
+      metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
-    let apa = elaborate_apa ~file:spec_path spec in
-    let progress = explore_progress spec_path in
-    let lts = explore ~max_states ~progress ~jobs apa in
-    Fmt.pr "%a@." Lts.pp_stats (Lts.stats lts);
-    Fmt.pr "%a@." Lts.pp_min_max lts;
-    Option.iter (fun path -> write_or_print ~out:(Some path) (Lts.dot lts)) dot_out
+    match dot_out with
+    | Some _ ->
+      (* the DOT export needs the graph itself: bypass the cache *)
+      let apa = elaborate_apa ~file:spec_path spec in
+      let progress = explore_progress spec_path in
+      let lts = explore ~max_states ~progress ~jobs apa in
+      Fmt.pr "%a@." Lts.pp_stats (Lts.stats lts);
+      Fmt.pr "%a@." Lts.pp_min_max lts;
+      Option.iter
+        (fun path -> write_or_print ~out:(Some path) (Lts.dot lts))
+        dot_out
+    | None ->
+      let store = open_store ~cache ~no_cache ~cache_dir in
+      let cfg = Server.config ?store () in
+      let progress = explore_progress spec_path in
+      ignore
+        (run_exec cfg ~op:Server.Exec.Reach ~max_states ~jobs ~progress
+           ~file:spec_path spec)
   in
   let max_states =
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State bound.")
@@ -146,6 +219,7 @@ let reach_cmd =
   Cmd.v
     (Cmd.info "reach" ~doc:"Compute the reachability graph of a specification's APA model.")
     Term.(const run $ verbose_arg $ spec_arg $ max_states $ jobs_arg $ dot_out
+          $ cache_arg $ no_cache_arg $ cache_dir_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -165,17 +239,19 @@ let meth_conv =
   Arg.conv (parse, print)
 
 let requirements_cmd =
-  let run verbose spec_path meth max_states jobs metrics_out trace_out =
+  let run verbose spec_path meth max_states jobs cache no_cache cache_dir
+      metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
-    let apa = elaborate_apa ~file:spec_path spec in
-    let progress = explore_progress spec_path in
-    let report =
-      Analysis.tool ~meth ~max_states ~jobs ~progress
-        ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
+    let store = open_store ~cache ~no_cache ~cache_dir in
+    let cfg =
+      Server.config ?store ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
     in
-    Fmt.pr "%a@." Analysis.pp_tool_report report
+    let progress = explore_progress spec_path in
+    ignore
+      (run_exec cfg ~op:Server.Exec.Requirements ~meth ~max_states ~jobs
+         ~progress ~file:spec_path spec)
   in
   let meth =
     Arg.(value & opt meth_conv Analysis.Abstract
@@ -188,6 +264,7 @@ let requirements_cmd =
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
     Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states $ jobs_arg
+          $ cache_arg $ no_cache_arg $ cache_dir_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -195,7 +272,8 @@ let requirements_cmd =
 (* --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run verbose spec_path sos_name metrics_out trace_out =
+  let run verbose spec_path sos_name cache no_cache cache_dir metrics_out
+      trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -204,19 +282,11 @@ let analyze_cmd =
     (match Fsa_check.Check.spec ~file:spec_path spec with
     | [] -> ()
     | ds -> List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds);
-    let soses =
-      try
-        match sos_name with
-        | Some name -> [ Fsa_spec.Elaborate.sos_of_spec spec name ]
-        | None -> Fsa_spec.Elaborate.sos_list spec
-      with
-      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
-    in
-    if soses = [] then or_die (Error "the specification declares no sos");
-    List.iter
-      (fun sos -> Fmt.pr "%a@." Analysis.pp_manual_report (Analysis.manual sos))
-      soses
+    let store = open_store ~cache ~no_cache ~cache_dir in
+    let cfg = Server.config ?store () in
+    ignore
+      (run_exec cfg ~op:Server.Exec.Analyze ?sos:sos_name ~file:spec_path
+         spec)
   in
   let sos_name =
     Arg.(value & opt (some string) None
@@ -225,7 +295,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Derive authenticity requirements from functional models (manual path).")
-    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ metrics_out_arg
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name
+          $ cache_arg $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
           $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -233,7 +304,7 @@ let analyze_cmd =
 (* --------------------------------------------------------------- *)
 
 let abstract_cmd =
-  let run verbose spec_path keep jobs dot_out =
+  let run verbose spec_path keep jobs dot_out cache no_cache cache_dir =
     setup_logs verbose;
     let spec = load_spec spec_path in
     let apa =
@@ -249,20 +320,31 @@ let abstract_cmd =
     | ds ->
       List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds;
       if Fsa_check.Diagnostic.has_errors ds then exit 1);
-    let lts = explore ~max_states:1_000_000 ~jobs apa in
-    let actions = List.map Action.make keep in
-    let h = Hom.preserve actions in
-    let dfa = Hom.minimal_automaton h lts in
-    Fmt.pr "minimal automaton: %s@." (Hom.describe_dfa dfa);
-    Fmt.pr "homomorphism simple on this behaviour: %b@." (Hom.is_simple h lts);
-    (match actions with
-    | [ mn; mx ] ->
-      Fmt.pr "functional dependence %a -> %a: %b@." Action.pp mn Action.pp mx
-        (Hom.depends_abstract lts ~min_action:mn ~max_action:mx)
-    | _ -> ());
-    Option.iter
-      (fun path -> write_or_print ~out:(Some path) (Hom.A.Dfa.dot dfa))
-      dot_out
+    match dot_out with
+    | Some _ ->
+      (* the DOT export needs the automaton itself: bypass the cache *)
+      let lts = explore ~max_states:1_000_000 ~jobs apa in
+      let actions = List.map Action.make keep in
+      let h = Hom.preserve actions in
+      let dfa = Hom.minimal_automaton h lts in
+      Fmt.pr "minimal automaton: %s@." (Hom.describe_dfa dfa);
+      Fmt.pr "homomorphism simple on this behaviour: %b@."
+        (Hom.is_simple h lts);
+      (match actions with
+      | [ mn; mx ] ->
+        Fmt.pr "functional dependence %a -> %a: %b@." Action.pp mn Action.pp
+          mx
+          (Hom.depends_abstract lts ~min_action:mn ~max_action:mx)
+      | _ -> ());
+      Option.iter
+        (fun path -> write_or_print ~out:(Some path) (Hom.A.Dfa.dot dfa))
+        dot_out
+    | None ->
+      let store = open_store ~cache ~no_cache ~cache_dir in
+      let cfg = Server.config ?store () in
+      ignore
+        (run_exec cfg ~op:Server.Exec.Abstract ~keep ~jobs ~file:spec_path
+           spec)
   in
   let keep =
     Arg.(non_empty & opt (list string) []
@@ -276,7 +358,8 @@ let abstract_cmd =
   Cmd.v
     (Cmd.info "abstract"
        ~doc:"Compute the minimal automaton of a homomorphic image (Sect. 5.5).")
-    Term.(const run $ verbose_arg $ spec_arg $ keep $ jobs_arg $ dot_out)
+    Term.(const run $ verbose_arg $ spec_arg $ keep $ jobs_arg $ dot_out
+          $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa scenario                                                     *)
@@ -327,7 +410,7 @@ let scenario_cmd =
         "fsa: unknown scenario %S \
          (two-vehicles|four-vehicles|rsu|fig3|fig4|evita|grid|platoon)@."
         s;
-      exit 1
+      exit parse_exit
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None
@@ -354,11 +437,11 @@ let dot_cmd =
         | None -> (
           match Fsa_spec.Elaborate.sos_list spec with
           | [ sos ] -> sos
-          | [] -> or_die (Error "the specification declares no sos")
-          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+          | [] -> die_usage "the specification declares no sos"
+          | _ -> die_usage "several sos declarations; pick one with --sos")
       with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
+      | Invalid_argument msg -> die_usage msg
     in
     write_or_print ~out (Fsa_model.Sos.dot sos)
   in
@@ -389,9 +472,9 @@ let conf_cmd =
         | None -> Fsa_spec.Elaborate.sos_list spec
       with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
+      | Invalid_argument msg -> die_usage msg
     in
-    if soses = [] then or_die (Error "the specification declares no sos");
+    if soses = [] then die_usage "the specification declares no sos";
     let module Conf = Fsa_requirements.Confidentiality in
     let labelling =
       match confidential with
@@ -496,11 +579,11 @@ let export_cmd =
         | None -> (
           match Fsa_spec.Elaborate.sos_list spec with
           | [ sos ] -> sos
-          | [] -> or_die (Error "the specification declares no sos")
-          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+          | [] -> die_usage "the specification declares no sos"
+          | _ -> die_usage "several sos declarations; pick one with --sos")
       with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
+      | Invalid_argument msg -> die_usage msg
     in
     let reqs = Fsa_requirements.Derive.of_sos sos in
     let classify = Fsa_requirements.Classify.classify sos in
@@ -509,7 +592,7 @@ let export_cmd =
       | "json" -> Fsa_requirements.Export.to_json ~classify reqs
       | "csv" -> Fsa_requirements.Export.to_csv ~classify reqs
       | "md" | "markdown" -> Fsa_requirements.Export.to_markdown ~classify reqs
-      | f -> or_die (Error (Printf.sprintf "unknown format %S (json|csv|md)" f))
+      | f -> die_usage (Printf.sprintf "unknown format %S (json|csv|md)" f)
     in
     write_or_print ~out content
   in
@@ -544,11 +627,11 @@ let refine_cmd =
         | None -> (
           match Fsa_spec.Elaborate.sos_list spec with
           | [ sos ] -> sos
-          | [] -> or_die (Error "the specification declares no sos")
-          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+          | [] -> die_usage "the specification declares no sos"
+          | _ -> die_usage "several sos declarations; pick one with --sos")
       with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
+      | Invalid_argument msg -> die_usage msg
     in
     let reqs = Fsa_requirements.Derive.of_sos sos in
     let selected =
@@ -656,30 +739,20 @@ let check_cmd =
 (* --------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run verbose spec_path jobs =
+  let run verbose spec_path jobs cache no_cache cache_dir =
     setup_logs verbose;
     let spec = load_spec spec_path in
-    let patterns =
-      try Fsa_spec.Elaborate.patterns_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
+    let store = open_store ~cache ~no_cache ~cache_dir in
+    let cfg = Server.config ?store () in
+    let outcome =
+      run_exec cfg ~op:Server.Exec.Verify ~jobs ~file:spec_path spec
     in
-    if patterns = [] then
-      or_die (Error "the specification declares no check");
-    let apa =
-      try Fsa_spec.Elaborate.apa_of_spec spec with
-      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-    in
-    let lts = explore ~max_states:1_000_000 ~jobs apa in
-    let failures = ref 0 in
-    List.iter
-      (fun (description, pattern) ->
-        let result = Fsa_mc.Pattern.check lts pattern in
-        if not result.Fsa_mc.Pattern.holds_ then incr failures;
-        Fmt.pr "%-50s %a@." description Fsa_mc.Pattern.pp_result result)
-      patterns;
-    if !failures > 0 then begin
-      Fmt.epr "fsa: %d check(s) failed@." !failures;
-      exit 1
+    if outcome.Server.Exec.oc_exit <> 0 then begin
+      (match Fsa_store.Json.member "failed" outcome.Server.Exec.oc_result with
+      | Some (Fsa_store.Json.Int n) ->
+        Fmt.epr "fsa: %d check(s) failed@." n
+      | _ -> ());
+      exit outcome.Server.Exec.oc_exit
     end
   in
   Cmd.v
@@ -687,7 +760,8 @@ let verify_cmd =
        ~doc:"Evaluate a specification's check declarations against its \
              behaviour (explores the state space; see $(b,check) for the \
              static analysis).")
-    Term.(const run $ verbose_arg $ spec_arg $ jobs_arg)
+    Term.(const run $ verbose_arg $ spec_arg $ jobs_arg
+          $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa monitor                                                      *)
@@ -753,11 +827,11 @@ let report_cmd =
         | None -> (
           match Fsa_spec.Elaborate.sos_list spec with
           | [ sos ] -> sos
-          | [] -> or_die (Error "the specification declares no sos")
-          | _ -> or_die (Error "several sos declarations; pick one with --sos"))
+          | [] -> die_usage "the specification declares no sos"
+          | _ -> die_usage "several sos declarations; pick one with --sos")
       with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
+      | Invalid_argument msg -> die_usage msg
     in
     write_or_print ~out (Fsa_core.Report.markdown sos)
   in
@@ -789,9 +863,9 @@ let lint_cmd =
         | None -> Fsa_spec.Elaborate.sos_list spec
       with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
+      | Invalid_argument msg -> die_usage msg
     in
-    if soses = [] then or_die (Error "the specification declares no sos");
+    if soses = [] then die_usage "the specification declares no sos";
     let had_errors = ref false in
     List.iter
       (fun sos ->
@@ -826,13 +900,13 @@ let diff_cmd =
         | None -> (
           match Fsa_spec.Elaborate.sos_list spec with
           | [ sos ] -> sos
-          | [] -> or_die (Error (path ^ ": the specification declares no sos"))
+          | [] -> die_usage (path ^ ": the specification declares no sos")
           | _ ->
-            or_die
-              (Error (path ^ ": several sos declarations; pick one with --sos")))
+            die_usage
+              (path ^ ": several sos declarations; pick one with --sos"))
       with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:path loc msg
-      | Invalid_argument msg -> or_die (Error msg)
+      | Invalid_argument msg -> die_usage msg
     in
     let before = load before_path and after = load after_path in
     let d = Fsa_requirements.Diff.compare_models ~before ~after () in
@@ -854,12 +928,117 @@ let diff_cmd =
        ~doc:"Change-impact analysis: requirement differences between two model versions.")
     Term.(const run $ verbose_arg $ before_arg $ after_arg $ sos_name)
 
+(* --------------------------------------------------------------- *)
+(* fsa serve                                                        *)
+(* --------------------------------------------------------------- *)
+
+let op_names = "reach|requirements|analyze|abstract|verify|check"
+
+let serve_cmd =
+  let run verbose socket workers timeout_ms max_states no_cache cache_dir
+      metrics_out trace_out =
+    setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
+    (* the daemon caches by default; --no-cache switches it off *)
+    let store = open_store ~cache:true ~no_cache ~cache_dir in
+    let cfg =
+      Server.config ~workers ~max_states ~timeout_ms ?store
+        ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
+    in
+    let stop _ = Server.request_shutdown () in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    match socket with
+    | Some path -> Server.serve_unix_socket cfg ~path
+    | None -> Server.serve_channels cfg ~fd_in:Unix.stdin stdout
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let workers =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains handling requests in parallel.")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 0
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request wall-clock budget (0 = unlimited).")
+  in
+  let max_states =
+    Arg.(value & opt int 1_000_000
+         & info [ "max-states" ] ~doc:"Per-request state bound.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve analysis requests as newline-delimited JSON, one \
+             request per line (op: reach, requirements, analyze, \
+             abstract, verify or check), from stdin or a Unix-domain \
+             socket.  SIGTERM drains in-flight requests and exits.")
+    Term.(const run $ verbose_arg $ socket $ workers $ timeout_ms
+          $ max_states $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
+          $ trace_out_arg)
+
+(* --------------------------------------------------------------- *)
+(* fsa batch                                                        *)
+(* --------------------------------------------------------------- *)
+
+let batch_cmd =
+  let run verbose op_name jobs max_states timeout_ms no_cache cache_dir
+      metrics_out trace_out spec_paths =
+    setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
+    let op =
+      match Server.Exec.op_of_string op_name with
+      | Some op -> op
+      | None ->
+        die_usage (Printf.sprintf "unknown op %S (%s)" op_name op_names)
+    in
+    (* batch runs cache by default; --no-cache switches it off *)
+    let store = open_store ~cache:true ~no_cache ~cache_dir in
+    let cfg =
+      Server.config ~max_states ~timeout_ms ?store
+        ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
+    in
+    exit (Server.Batch.run cfg ~op ~jobs spec_paths)
+  in
+  let op_name =
+    Arg.(value & opt string "requirements"
+         & info [ "op" ] ~docv:"OP"
+             ~doc:"Analysis to run over each file: reach, requirements, \
+                   analyze, abstract, verify or check.")
+  in
+  let max_states =
+    Arg.(value & opt int 1_000_000
+         & info [ "max-states" ] ~doc:"Per-file state bound.")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 0
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-file wall-clock budget (0 = unlimited).")
+  in
+  let specs_arg =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"SPEC" ~doc:"Specification files (.fsa).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run one analysis over many specification files in parallel, \
+             cache-aware; prints one JSON result line per file, in input \
+             order.")
+    Term.(const run $ verbose_arg $ op_name $ jobs_arg $ max_states
+          $ timeout_ms $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
+          $ trace_out_arg $ specs_arg)
+
 let main_cmd =
   let doc = "functional security analysis for systems of systems" in
   let info = Cmd.info "fsa" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ reach_cmd; requirements_cmd; analyze_cmd; abstract_cmd; scenario_cmd;
       dot_cmd; conf_cmd; simulate_cmd; export_cmd; refine_cmd; check_cmd;
-      verify_cmd; monitor_cmd; report_cmd; lint_cmd; diff_cmd ]
+      verify_cmd; monitor_cmd; report_cmd; lint_cmd; diff_cmd; serve_cmd;
+      batch_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -18,10 +18,12 @@ let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
 (* Counters and gauges are atomic so that worker domains (parallel
-   state-space exploration) can record into shared instruments without a
-   lock.  Registration and histograms stay main-domain-only: the registry
-   table is unsynchronised, and histogram recording mutates several
-   fields. *)
+   state-space exploration, server request workers) can record into
+   shared instruments without a lock.  Registration and histogram
+   recording are serialised by [lock]: both are far off any hot path
+   (registration happens once per instrument, a histogram observation
+   once per request or state expansion), and taking the uncontended
+   mutex keeps them safe from any domain. *)
 type counter = { c_name : string; c_value : int Atomic.t }
 type gauge = { g_name : string; g_value : float Atomic.t }
 
@@ -36,6 +38,7 @@ type histogram = {
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
 
 let kind_error name =
   invalid_arg
@@ -43,6 +46,7 @@ let kind_error name =
        name)
 
 let counter name =
+  Mutex.protect lock @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> c
   | Some _ -> kind_error name
@@ -58,6 +62,7 @@ let counter_value c = Atomic.get c.c_value
 let counter_name c = c.c_name
 
 let gauge name =
+  Mutex.protect lock @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Gauge g) -> g
   | Some _ -> kind_error name
@@ -86,6 +91,7 @@ let default_buckets =
   [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000. |]
 
 let histogram ?(buckets = default_buckets) name =
+  Mutex.protect lock @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> h
   | Some _ -> kind_error name
@@ -120,12 +126,12 @@ let bucket_index bounds v =
   go 0 n
 
 let observe h v =
-  if !enabled_flag then begin
-    let i = bucket_index h.h_bounds v in
-    h.h_counts.(i) <- h.h_counts.(i) + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1
-  end
+  if !enabled_flag then
+    Mutex.protect lock (fun () ->
+        let i = bucket_index h.h_bounds v in
+        h.h_counts.(i) <- h.h_counts.(i) + 1;
+        h.h_sum <- h.h_sum +. v;
+        h.h_count <- h.h_count + 1)
 
 let histogram_counts h = Array.copy h.h_counts
 let histogram_sum h = h.h_sum
@@ -133,6 +139,7 @@ let histogram_count h = h.h_count
 let histogram_name h = h.h_name
 
 let reset () =
+  Mutex.protect lock @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
@@ -145,7 +152,8 @@ let reset () =
     registry
 
 let sorted_metrics () =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counters () =

@@ -8,10 +8,11 @@
     every record operation is one load and one branch and no state is
     mutated, so instrumented hot paths are effectively free.
 
-    Counter and gauge recording is atomic and may be performed from any
-    domain (parallel exploration workers record into shared
-    instruments).  Registration, histograms, [reset] and the dump
-    functions must stay on the main domain. *)
+    Counter and gauge recording is atomic and lock-free; registration,
+    histogram recording, [reset] and the dump functions are serialised
+    by an internal mutex.  All operations may therefore be performed
+    from any domain (parallel exploration workers and server request
+    workers record into shared instruments). *)
 
 val set_enabled : bool -> unit
 (** Turn recording on or off (off by default).  Registration is always

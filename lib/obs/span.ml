@@ -38,34 +38,42 @@ let set_clock f = clock := f
 let use_default_clock () = clock := default_clock
 let now_ns () = !clock ()
 
+(* The completed-span buffer is shared across domains (server workers
+   record request spans concurrently) and protected by a mutex; the
+   nesting depth is per-domain state, so spans nest lexically within
+   each domain without cross-talk. *)
 let recorded : event list ref = ref []
 let seq = ref 0
-let depth = ref 0
+let lock = Mutex.create ()
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let reset () =
-  recorded := [];
-  seq := 0;
-  depth := 0
+  Mutex.protect lock (fun () ->
+      recorded := [];
+      seq := 0);
+  Domain.DLS.get depth_key := 0
 
 let with_ ?(cat = "fsa") name f =
   if not (Metrics.enabled ()) then f ()
   else begin
     let start = now_ns () in
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     Stdlib.incr depth;
     let finish () =
       Stdlib.decr depth;
       let stop = now_ns () in
-      let s = !seq in
-      Stdlib.incr seq;
-      recorded :=
-        { ev_name = name;
-          ev_cat = cat;
-          ev_start_ns = start;
-          ev_dur_ns = Int64.sub stop start;
-          ev_depth = d;
-          ev_seq = s }
-        :: !recorded
+      Mutex.protect lock (fun () ->
+          let s = !seq in
+          Stdlib.incr seq;
+          recorded :=
+            { ev_name = name;
+              ev_cat = cat;
+              ev_start_ns = start;
+              ev_dur_ns = Int64.sub stop start;
+              ev_depth = d;
+              ev_seq = s }
+            :: !recorded)
     in
     Fun.protect ~finally:finish f
   end
@@ -80,7 +88,7 @@ let events () =
       else
         let c = Stdlib.compare a.ev_depth b.ev_depth in
         if c <> 0 then c else Stdlib.compare a.ev_seq b.ev_seq)
-    !recorded
+    (Mutex.protect lock (fun () -> !recorded))
 
 (* Fixed-point microseconds with nanosecond precision: deterministic and
    valid as a JSON number. *)

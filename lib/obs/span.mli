@@ -3,7 +3,12 @@
 
     Spans record only while {!Metrics.enabled} holds; otherwise [with_]
     runs its body directly.  The clock is pluggable ({!set_clock}) so
-    tests can make recorded timings deterministic. *)
+    tests can make recorded timings deterministic.
+
+    [with_] may be called from any domain: the completed-span buffer is
+    mutex-protected, and the nesting depth is tracked per domain, so
+    concurrent workers (e.g. server request handlers) record correctly
+    nested spans without interfering with each other. *)
 
 type event = {
   ev_name : string;

@@ -1,0 +1,695 @@
+(* Batch and daemon serving layer.
+
+   The interesting design point is [Exec]: one executor shared by the
+   CLI subcommands, the batch runner and the daemon, so all three agree
+   on what an analysis result *is* (a structured JSON value, the
+   rendered human report and an exit code) and all three share the same
+   content-addressed cache entries.  The cache replays the stored
+   report string verbatim, which makes cached CLI output byte-identical
+   to a fresh run by construction.
+
+   The daemon pipes requests through a small pipeline:
+
+     reader (select loop) -> work queue -> worker domains -> writer
+
+   The reader polls with a short select timeout so a SIGTERM-driven
+   [request_shutdown] is noticed promptly even with no input pending;
+   on shutdown the queue is drained — every request already read gets
+   its response before the loop returns.  Workers push results tagged
+   with their request sequence number and the writer holds them in a
+   reorder buffer, so responses always come out in request order no
+   matter which worker finishes first. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Auth = Fsa_requirements.Auth
+module Lts = Fsa_lts.Lts
+module Hom = Fsa_hom.Hom
+module Pattern = Fsa_mc.Pattern
+module Analysis = Fsa_core.Analysis
+module Elaborate = Fsa_spec.Elaborate
+module Parser = Fsa_spec.Parser
+module Loc = Fsa_spec.Loc
+module Sos = Fsa_model.Sos
+module Json = Fsa_store.Json
+module Store = Fsa_store.Store
+module Metrics = Fsa_obs.Metrics
+module Span = Fsa_obs.Span
+module Progress = Fsa_obs.Progress
+
+type config = {
+  sv_workers : int;
+  sv_max_states : int;
+  sv_timeout_ms : int;
+  sv_store : Store.t option;
+  sv_stakeholder : Action.t -> Agent.t;
+}
+
+let config ?(workers = 1) ?(max_states = 1_000_000) ?(timeout_ms = 0) ?store
+    ?(stakeholder = Fsa_requirements.Derive.default_stakeholder) () =
+  { sv_workers = workers;
+    sv_max_states = max_states;
+    sv_timeout_ms = timeout_ms;
+    sv_store = store;
+    sv_stakeholder = stakeholder }
+
+exception Request_timeout
+exception Usage_error of string
+
+let m_requests = Metrics.counter "server.requests"
+let m_errors = Metrics.counter "server.errors"
+
+let h_latency =
+  Metrics.histogram
+    ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.;
+                5000.; 10000. |]
+    "server.latency_ms"
+
+(* ------------------------------------------------------------------ *)
+(* Shared executor                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Exec = struct
+  type op = Reach | Requirements | Analyze | Abstract | Verify | Check
+
+  let op_to_string = function
+    | Reach -> "reach"
+    | Requirements -> "requirements"
+    | Analyze -> "analyze"
+    | Abstract -> "abstract"
+    | Verify -> "verify"
+    | Check -> "check"
+
+  let op_of_string = function
+    | "reach" -> Some Reach
+    | "requirements" -> Some Requirements
+    | "analyze" -> Some Analyze
+    | "abstract" -> Some Abstract
+    | "verify" -> Some Verify
+    | "check" -> Some Check
+    | _ -> None
+
+  type outcome = {
+    oc_result : Json.t;
+    oc_output : string;
+    oc_exit : int;
+    oc_cached : bool;
+  }
+
+  let meth_string = function
+    | Analysis.Direct -> "direct"
+    | Analysis.Abstract -> "abstract"
+
+  (* A cooperative timeout: exploration progress ticks double as
+     deadline checks.  The final tick must not raise — [Progress.finish]
+     runs inside the explorer's [Fun.protect ~finally], where a raise
+     would surface as [Finally_raised] instead of the timeout. *)
+  let deadline_progress deadline_ns =
+    Progress.create ~every_n:256 ~every_ns:5_000_000L (fun u ->
+        if
+          (not u.Progress.u_final)
+          && Int64.compare (Span.now_ns ()) deadline_ns > 0
+        then raise Request_timeout)
+
+  let explore_lts ~max_states ~jobs ~progress apa =
+    if jobs > 1 then Lts.explore_par ~max_states ?progress ~jobs apa
+    else Lts.explore ~max_states ?progress apa
+
+  let actions_json set =
+    Json.List
+      (List.map
+         (fun a -> Json.Str (Action.to_string a))
+         (Action.Set.elements set))
+
+  let summary_of_lts lts =
+    let { Lts.nb_states; nb_transitions; nb_deadlocks; nb_labels } =
+      Lts.stats lts
+    in
+    Json.Obj
+      [ ("states", Json.Int nb_states);
+        ("transitions", Json.Int nb_transitions);
+        ("labels", Json.Int nb_labels);
+        ( "deadlocks",
+          Json.Obj
+            [ ("count", Json.Int nb_deadlocks);
+              ( "states",
+                Json.List (List.map (fun i -> Json.Int i) (Lts.deadlocks lts))
+              ) ] );
+        ("minima", actions_json (Lts.minima lts));
+        ("maxima", actions_json (Lts.maxima lts)) ]
+
+  let requirements_json reqs =
+    Json.List
+      (List.map
+         (fun r ->
+           Json.Obj
+             [ ("cause", Json.Str (Action.to_string (Auth.cause r)));
+               ("effect", Json.Str (Action.to_string (Auth.effect r)));
+               ( "stakeholder",
+                 Json.Str (Agent.to_string (Auth.stakeholder r)) ) ])
+         reqs)
+
+  let run_reach ~max_states ~jobs ~progress spec =
+    let apa = Elaborate.apa_of_spec spec in
+    let lts = explore_lts ~max_states ~jobs ~progress apa in
+    let output =
+      Fmt.str "%a@.%a@." Lts.pp_stats (Lts.stats lts) Lts.pp_min_max lts
+    in
+    (summary_of_lts lts, output, 0)
+
+  let run_requirements cfg ~meth ~max_states ~jobs ~progress spec =
+    let apa = Elaborate.apa_of_spec spec in
+    let report =
+      Analysis.tool ~meth ~max_states ~jobs ?progress
+        ~stakeholder:cfg.sv_stakeholder apa
+    in
+    let result =
+      Json.Obj
+        [ ("summary", summary_of_lts report.Analysis.t_lts);
+          ( "requirements",
+            requirements_json report.Analysis.t_requirements ) ]
+    in
+    (result, Fmt.str "%a@." Analysis.pp_tool_report report, 0)
+
+  (* The manual path keeps the paper's default stakeholder assignment
+     (driver for HMI actions): [sv_stakeholder] parameterises only the
+     tool path, mirroring the CLI. *)
+  let run_analyze ~sos spec =
+    let soses =
+      match sos with
+      | Some name -> (
+        try [ Elaborate.sos_of_spec spec name ]
+        with Invalid_argument msg -> raise (Usage_error msg))
+      | None -> Elaborate.sos_list spec
+    in
+    if soses = [] then
+      raise (Usage_error "the specification declares no sos");
+    let reports = List.map (fun s -> (s, Analysis.manual s)) soses in
+    let output =
+      String.concat ""
+        (List.map
+           (fun (_, r) -> Fmt.str "%a@." Analysis.pp_manual_report r)
+           reports)
+    in
+    let result =
+      Json.Obj
+        [ ( "soses",
+            Json.List
+              (List.map
+                 (fun (s, r) ->
+                   Json.Obj
+                     [ ("name", Json.Str (Sos.name s));
+                       ( "requirements",
+                         requirements_json r.Analysis.m_requirements ) ])
+                 reports) ) ]
+    in
+    (result, output, 0)
+
+  let run_abstract ~keep ~max_states ~jobs ~progress spec =
+    let keep =
+      match keep with
+      | Some (_ :: _ as ks) -> ks
+      | _ -> raise (Usage_error "abstract requires a non-empty keep set")
+    in
+    let apa = Elaborate.apa_of_spec spec in
+    let lts = explore_lts ~max_states ~jobs ~progress apa in
+    let actions = List.map Action.make keep in
+    let h = Hom.preserve actions in
+    let dfa = Hom.minimal_automaton h lts in
+    let desc = Hom.describe_dfa dfa in
+    let simple = Hom.is_simple h lts in
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Fmt.str "minimal automaton: %s@." desc);
+    Buffer.add_string b
+      (Fmt.str "homomorphism simple on this behaviour: %b@." simple);
+    let dependence =
+      match actions with
+      | [ mn; mx ] ->
+        let d = Hom.depends_abstract lts ~min_action:mn ~max_action:mx in
+        Buffer.add_string b
+          (Fmt.str "functional dependence %a -> %a: %b@." Action.pp mn
+             Action.pp mx d);
+        Json.Bool d
+      | _ -> Json.Null
+    in
+    let result =
+      Json.Obj
+        [ ("dfa", Json.Str desc);
+          ("simple", Json.Bool simple);
+          ("dependence", dependence) ]
+    in
+    (result, Buffer.contents b, 0)
+
+  let run_verify ~max_states ~jobs ~progress spec =
+    let patterns = Elaborate.patterns_of_spec spec in
+    if patterns = [] then
+      raise (Usage_error "the specification declares no check");
+    let apa = Elaborate.apa_of_spec spec in
+    let lts = explore_lts ~max_states ~jobs ~progress apa in
+    let results =
+      List.map (fun (d, p) -> (d, Pattern.check lts p)) patterns
+    in
+    let failures =
+      List.length
+        (List.filter (fun (_, r) -> not r.Pattern.holds_) results)
+    in
+    let output =
+      String.concat ""
+        (List.map
+           (fun (d, r) -> Fmt.str "%-50s %a@." d Pattern.pp_result r)
+           results)
+    in
+    let result =
+      Json.Obj
+        [ ( "checks",
+            Json.List
+              (List.map
+                 (fun (d, r) ->
+                   Json.Obj
+                     [ ("check", Json.Str d);
+                       ("holds", Json.Bool r.Pattern.holds_) ])
+                 results) );
+          ("failed", Json.Int failures) ]
+    in
+    (result, output, if failures > 0 then 1 else 0)
+
+  let run_check ~file spec =
+    let module D = Fsa_check.Diagnostic in
+    let ds = Fsa_check.Check.spec ~file spec in
+    let rendered = D.render_json ds in
+    let result =
+      match Json.parse rendered with Ok j -> j | Error _ -> Json.Str rendered
+    in
+    (result, rendered, if D.has_errors ds then 1 else 0)
+
+  let digest_parts = function
+    | Reach | Requirements | Abstract -> [ `Apa ]
+    | Verify -> [ `Apa; `Checks ]
+    | Analyze -> [ `Models ]
+    | Check -> [ `Apa; `Checks; `Models ]
+
+  let run cfg ~op ?(meth = Analysis.Abstract) ?(max_states = 1_000_000)
+      ?(jobs = 1) ?sos ?keep ?progress ?deadline_ns ?(cache = true) ~file
+      spec =
+    let progress =
+      match (progress, deadline_ns) with
+      | (Some _ as p), _ -> p
+      | None, Some d -> Some (deadline_progress d)
+      | None, None -> None
+    in
+    let compute () =
+      match op with
+      | Reach -> run_reach ~max_states ~jobs ~progress spec
+      | Requirements ->
+        run_requirements cfg ~meth ~max_states ~jobs ~progress spec
+      | Analyze -> run_analyze ~sos spec
+      | Abstract -> run_abstract ~keep ~max_states ~jobs ~progress spec
+      | Verify -> run_verify ~max_states ~jobs ~progress spec
+      | Check -> run_check ~file spec
+    in
+    let fresh () =
+      let result, output, exit_ = compute () in
+      { oc_result = result; oc_output = output; oc_exit = exit_;
+        oc_cached = false }
+    in
+    (* check is uncacheable: diagnostics carry source locations, which
+       the location-free digest deliberately abstracts away *)
+    let store = if cache && op <> Check then cfg.sv_store else None in
+    match store with
+    | None -> fresh ()
+    | Some st -> (
+      let digest = Elaborate.digest_of_spec ~parts:(digest_parts op) spec in
+      let params =
+        let ms = ("max_states", string_of_int max_states) in
+        match op with
+        | Reach -> [ ms ]
+        | Requirements -> [ ms; ("method", meth_string meth) ]
+        | Analyze -> (
+          match sos with Some s -> [ ("sos", s) ] | None -> [])
+        | Abstract ->
+          [ ms; ("keep", String.concat "," (Option.value keep ~default:[])) ]
+        | Verify -> [ ms ]
+        | Check -> []
+      in
+      let key = Store.cache_key ~digest ~kind:(op_to_string op) ~params in
+      match Store.find st ~key with
+      | Some e ->
+        { oc_result = e.Store.e_result;
+          oc_output = e.Store.e_output;
+          oc_exit = e.Store.e_exit;
+          oc_cached = true }
+      | None ->
+        let o = fresh () in
+        Store.add st
+          { Store.e_key = key;
+            e_kind = op_to_string op;
+            e_result = o.oc_result;
+            e_output = o.oc_output;
+            e_exit = o.oc_exit };
+        o)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let error_of_exn = function
+  | Request_timeout ->
+    Some ("timeout", "request exceeded its wall-clock budget")
+  | Lts.State_space_too_large n ->
+    Some
+      ( "too_large",
+        Printf.sprintf "state space exceeds the bound of %d states" n )
+  | Usage_error msg -> Some ("bad_request", msg)
+  | Invalid_argument msg -> Some ("bad_request", msg)
+  | Loc.Error (loc, msg) ->
+    Some ("parse_error", Fmt.str "%a" Loc.pp_exn (loc, msg))
+  | Sys_error msg -> Some ("io_error", msg)
+  | _ -> None
+
+let error_response ~id kind message =
+  Json.Obj
+    [ ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [ ("kind", Json.Str kind); ("message", Json.Str message) ] ) ]
+
+let ok_response ~id (o : Exec.outcome) =
+  Json.Obj
+    [ ("id", id);
+      ("ok", Json.Bool true);
+      ("cached", Json.Bool o.Exec.oc_cached);
+      ("exit", Json.Int o.Exec.oc_exit);
+      ("result", o.Exec.oc_result) ]
+
+let req_str req k = Option.bind (Json.member k req) Json.to_str
+let req_int req k = Option.bind (Json.member k req) Json.to_int
+let req_bool req k = Option.bind (Json.member k req) Json.to_bool
+
+(* [keep] accepts both a JSON list of names and a comma-separated
+   string, matching the CLI's --keep. *)
+let req_keep req =
+  match Json.member "keep" req with
+  | Some (Json.List vs) ->
+    Some (List.filter_map Json.to_str vs)
+  | Some (Json.Str s) ->
+    Some (List.filter (( <> ) "") (String.split_on_char ',' s))
+  | _ -> None
+
+let handle_request cfg req =
+  let id = Option.value (Json.member "id" req) ~default:Json.Null in
+  try
+    let op =
+      match req_str req "op" with
+      | None -> raise (Usage_error "missing or non-string \"op\"")
+      | Some s -> (
+        match Exec.op_of_string s with
+        | Some op -> op
+        | None -> raise (Usage_error (Printf.sprintf "unknown op %S" s)))
+    in
+    let file, spec =
+      match (req_str req "source", req_str req "spec") with
+      | Some src, _ -> ("<request>", Parser.parse_string src)
+      | None, Some path -> (path, Parser.parse_file path)
+      | None, None ->
+        raise (Usage_error "missing \"source\" or \"spec\"")
+    in
+    let max_states =
+      match req_int req "max_states" with
+      | Some n when n > 0 -> min n cfg.sv_max_states
+      | Some _ -> raise (Usage_error "\"max_states\" must be positive")
+      | None -> cfg.sv_max_states
+    in
+    let timeout_ms =
+      match req_int req "timeout_ms" with
+      | Some t when t > 0 ->
+        if cfg.sv_timeout_ms > 0 then min t cfg.sv_timeout_ms else t
+      | Some _ -> raise (Usage_error "\"timeout_ms\" must be positive")
+      | None -> cfg.sv_timeout_ms
+    in
+    let deadline_ns =
+      if timeout_ms > 0 then
+        Some
+          (Int64.add (Span.now_ns ())
+             (Int64.mul (Int64.of_int timeout_ms) 1_000_000L))
+      else None
+    in
+    let meth =
+      match req_str req "method" with
+      | Some "direct" -> Analysis.Direct
+      | Some "abstract" -> Analysis.Abstract
+      | Some s ->
+        raise
+          (Usage_error
+             (Printf.sprintf "unknown method %S (direct|abstract)" s))
+      | None -> Analysis.Abstract
+    in
+    let outcome =
+      Exec.run cfg ~op ~meth ~max_states ?sos:(req_str req "sos")
+        ?keep:(req_keep req) ?deadline_ns
+        ~cache:(Option.value (req_bool req "cache") ~default:true)
+        ~file spec
+    in
+    ok_response ~id outcome
+  with e -> (
+    Metrics.incr m_errors;
+    match error_of_exn e with
+    | Some (kind, message) -> error_response ~id kind message
+    | None -> error_response ~id "internal" (Printexc.to_string e))
+
+let handle_line cfg line =
+  Metrics.incr m_requests;
+  let t0 = Span.now_ns () in
+  let resp =
+    Span.with_ ~cat:"server" "server.request" @@ fun () ->
+    match Json.parse line with
+    | Error msg ->
+      Metrics.incr m_errors;
+      error_response ~id:Json.Null "parse_error" msg
+    | Ok req -> handle_request cfg req
+  in
+  Metrics.observe h_latency
+    (Int64.to_float (Int64.sub (Span.now_ns ()) t0) /. 1e6);
+  Json.to_string resp
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A minimal multi-domain channel; [None] is the poison pill. *)
+module Chan = struct
+  type 'a t = { q : 'a Queue.t; m : Mutex.t; c : Condition.t }
+
+  let make () =
+    { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+
+  let push t v =
+    Mutex.protect t.m (fun () ->
+        Queue.push v t.q;
+        Condition.signal t.c)
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let v = Queue.pop t.q in
+    Mutex.unlock t.m;
+    v
+end
+
+let shutdown_flag = Atomic.make false
+let request_shutdown () = Atomic.set shutdown_flag true
+
+let serve_loop cfg ~fd_in oc =
+  let work : (int * string) option Chan.t = Chan.make () in
+  let results : (int * string) option Chan.t = Chan.make () in
+  let nworkers = max 1 cfg.sv_workers in
+  let workers =
+    Array.init nworkers (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Chan.pop work with
+              | None -> ()
+              | Some (seq, line) ->
+                Chan.push results (Some (seq, handle_line cfg line));
+                loop ()
+            in
+            loop ()))
+  in
+  (* Responses leave in request order: the writer parks out-of-order
+     results until their predecessors have been written. *)
+  let writer =
+    Domain.spawn (fun () ->
+        let pending = Hashtbl.create 16 in
+        let next = ref 0 in
+        let rec flush_ready () =
+          match Hashtbl.find_opt pending !next with
+          | Some resp ->
+            Hashtbl.remove pending !next;
+            output_string oc resp;
+            output_char oc '\n';
+            flush oc;
+            incr next;
+            flush_ready ()
+          | None -> ()
+        in
+        let rec loop () =
+          match Chan.pop results with
+          | None -> ()
+          | Some (seq, resp) ->
+            Hashtbl.replace pending seq resp;
+            flush_ready ();
+            loop ()
+        in
+        loop ())
+  in
+  let seq = ref 0 in
+  let submit line =
+    if String.trim line <> "" then begin
+      Chan.push work (Some (!seq, line));
+      incr seq
+    end
+  in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec split_lines () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | None -> ()
+    | Some i ->
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+      submit (String.sub s 0 i);
+      split_lines ()
+  in
+  (* Short select timeouts keep the loop responsive to
+     [request_shutdown] even when no input is pending. *)
+  let rec read_loop () =
+    if not (Atomic.get shutdown_flag) then
+      match Unix.select [ fd_in ] [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop ()
+      | [], _, _ -> read_loop ()
+      | _ -> (
+        match Unix.read fd_in chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop ()
+        | 0 -> if Buffer.length buf > 0 then submit (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          split_lines ();
+          read_loop ())
+  in
+  read_loop ();
+  (* graceful drain: poison the workers, wait for every accepted
+     request's response, then stop the writer *)
+  for _ = 1 to nworkers do
+    Chan.push work None
+  done;
+  Array.iter Domain.join workers;
+  Chan.push results None;
+  Domain.join writer
+
+let serve_channels cfg ~fd_in oc =
+  Atomic.set shutdown_flag false;
+  serve_loop cfg ~fd_in oc
+
+let serve_unix_socket cfg ~path =
+  Atomic.set shutdown_flag false;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (try Sys.remove path with Sys_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let rec accept_loop () =
+    if not (Atomic.get shutdown_flag) then
+      match Unix.select [ sock ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | [], _, _ -> accept_loop ()
+      | _ ->
+        let client, _ = Unix.accept sock in
+        let oc = Unix.out_channel_of_descr client in
+        Fun.protect
+          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+          (fun () -> serve_loop cfg ~fd_in:client oc);
+        accept_loop ()
+  in
+  accept_loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Batch runs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = struct
+  let result_of_path cfg ~op path =
+    try
+      let spec = Parser.parse_file path in
+      let deadline_ns =
+        if cfg.sv_timeout_ms > 0 then
+          Some
+            (Int64.add (Span.now_ns ())
+               (Int64.mul (Int64.of_int cfg.sv_timeout_ms) 1_000_000L))
+        else None
+      in
+      let o =
+        Exec.run cfg ~op ~max_states:cfg.sv_max_states ?deadline_ns
+          ~file:path spec
+      in
+      Json.Obj
+        [ ("spec", Json.Str path);
+          ("ok", Json.Bool true);
+          ("cached", Json.Bool o.Exec.oc_cached);
+          ("exit", Json.Int o.Exec.oc_exit);
+          ("result", o.Exec.oc_result) ]
+    with e ->
+      let kind, message =
+        match error_of_exn e with
+        | Some km -> km
+        | None -> ("internal", Printexc.to_string e)
+      in
+      Json.Obj
+        [ ("spec", Json.Str path);
+          ("ok", Json.Bool false);
+          ( "error",
+            Json.Obj
+              [ ("kind", Json.Str kind); ("message", Json.Str message) ] ) ]
+
+  let run cfg ~op ~jobs paths =
+    let arr = Array.of_list paths in
+    let n = Array.length arr in
+    let out = Array.make n Json.Null in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- result_of_path cfg ~op arr.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let jobs = max 1 (min jobs n) in
+    let doms = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join doms;
+    let ok = ref 0 and cached = ref 0 and failed = ref 0 in
+    Array.iter
+      (fun r ->
+        print_string (Json.to_string r);
+        print_newline ();
+        let good =
+          Json.member "ok" r = Some (Json.Bool true)
+          && Json.member "exit" r = Some (Json.Int 0)
+        in
+        if good then incr ok else incr failed;
+        if Json.member "cached" r = Some (Json.Bool true) then incr cached)
+      out;
+    Fmt.epr "fsa: batch: %d spec(s), %d ok, %d cached, %d failed@." n !ok
+      !cached !failed;
+    if !failed > 0 then 1 else 0
+  end

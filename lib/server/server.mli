@@ -1,0 +1,150 @@
+(** Batch and daemon serving layer over the analysis pipeline.
+
+    [Exec] is the shared executor: every analysis the CLI and the server
+    both offer (reach, requirements, analyze, abstract, verify, check)
+    runs through {!Exec.run}, which consults the content-addressed
+    result cache ({!Fsa_store.Store}) before paying for an exploration
+    and stores fresh results for the next caller — so a result computed
+    by [fsa reach --cache] is served to a later [fsa serve] request over
+    the same model, and vice versa.
+
+    The server itself speaks newline-delimited JSON.  One request per
+    line:
+
+    {v
+    {"id": .., "op": "reach", "source": "..", "max_states": 10000}
+    {"id": .., "op": "requirements", "spec": "path.fsa", "method": "direct"}
+    v}
+
+    [op] is one of [reach], [requirements], [analyze], [abstract],
+    [verify], [check]; the model comes either inline ([source]) or from
+    a file ([spec]).  Optional members: [max_states] (clamped to the
+    server's bound), [timeout_ms] (clamped to the server's budget),
+    [method] ([direct]|[abstract], requirements only), [sos] (analyze),
+    [keep] (list of action names, abstract only) and [cache] (set
+    [false] to bypass the store for one request).
+
+    Each response is a single line, in request order:
+
+    {v
+    {"id": .., "ok": true, "cached": false, "exit": 0, "result": {..}}
+    {"id": .., "ok": false, "error": {"kind": "timeout", "message": ".."}}
+    v}
+
+    Error kinds: [parse_error], [bad_request], [too_large], [timeout],
+    [io_error], [internal].
+
+    With observability enabled the layer records [server.requests],
+    [server.errors], a [server.latency_ms] histogram and one
+    [server.request] span per request. *)
+
+module Action = Fsa_term.Action
+module Agent = Fsa_term.Agent
+module Json = Fsa_store.Json
+module Store = Fsa_store.Store
+
+type config = {
+  sv_workers : int;  (** worker domains handling requests *)
+  sv_max_states : int;  (** hard state-space bound per request *)
+  sv_timeout_ms : int;  (** wall-clock budget per request; 0 = none *)
+  sv_store : Store.t option;  (** result cache; [None] disables caching *)
+  sv_stakeholder : Action.t -> Agent.t;
+      (** stakeholder assignment for the tool path (requirements) *)
+}
+
+val config :
+  ?workers:int ->
+  ?max_states:int ->
+  ?timeout_ms:int ->
+  ?store:Store.t ->
+  ?stakeholder:(Action.t -> Agent.t) ->
+  unit ->
+  config
+(** Defaults: 1 worker, 1_000_000 states, no timeout, no store, the
+    paper's default stakeholder assignment. *)
+
+exception Request_timeout
+(** A request exceeded its wall-clock budget (checked cooperatively
+    during state-space exploration). *)
+
+exception Usage_error of string
+(** The request or invocation is malformed at the analysis level
+    (unknown sos, empty keep set, no check declarations, ...). *)
+
+(** {1 Shared executor} *)
+
+module Exec : sig
+  type op = Reach | Requirements | Analyze | Abstract | Verify | Check
+
+  val op_of_string : string -> op option
+  val op_to_string : op -> string
+
+  type outcome = {
+    oc_result : Json.t;  (** structured result (summary, requirements, ...) *)
+    oc_output : string;  (** rendered human report, byte-identical replay *)
+    oc_exit : int;  (** exit code the CLI should use: 0 clean, 1 findings *)
+    oc_cached : bool;
+  }
+
+  val run :
+    config ->
+    op:op ->
+    ?meth:Fsa_core.Analysis.dependence_method ->
+    ?max_states:int ->
+    ?jobs:int ->
+    ?sos:string ->
+    ?keep:string list ->
+    ?progress:Fsa_obs.Progress.t ->
+    ?deadline_ns:int64 ->
+    ?cache:bool ->
+    file:string ->
+    Fsa_spec.Ast.t ->
+    outcome
+  (** Run one analysis, cache-aware.  On a hit the stored outcome is
+      replayed without touching the state space; on a miss the analysis
+      runs and (if it completes) its outcome is stored.  [Check] is
+      never cached: its diagnostics carry source locations, which the
+      location-free digest deliberately ignores.  Timeouts and other
+      errors propagate as exceptions and are never cached.
+      [deadline_ns] (absolute, {!Fsa_obs.Span.now_ns} clock) arms a
+      cooperative timeout checked during exploration; it is only used
+      when no [progress] reporter is supplied.
+      @raise Fsa_spec.Loc.Error on specs that do not elaborate
+      @raise Usage_error on analysis-level misuse
+      @raise Request_timeout past the deadline
+      @raise Fsa_lts.Lts.State_space_too_large beyond [max_states] *)
+end
+
+(** {1 Request handling} *)
+
+val handle_line : config -> string -> string
+(** Map one request line to one response line (no trailing newline).
+    Never raises: every failure becomes a structured error response. *)
+
+(** {1 Serving} *)
+
+val request_shutdown : unit -> unit
+(** Ask a running server loop to stop reading, drain the requests
+    already accepted, flush their responses and return.  Safe to call
+    from a signal handler. *)
+
+val serve_channels : config -> fd_in:Unix.file_descr -> out_channel -> unit
+(** Serve newline-delimited JSON requests from [fd_in] until end of
+    file or {!request_shutdown}, writing one response line per request,
+    in request order, to the output channel.  Requests are handled by
+    [sv_workers] worker domains. *)
+
+val serve_unix_socket : config -> path:string -> unit
+(** Bind a Unix-domain stream socket at [path] and serve connections
+    (serially) until {!request_shutdown}; the socket file is removed on
+    exit. *)
+
+(** {1 Batch runs} *)
+
+module Batch : sig
+  val run : config -> op:Exec.op -> jobs:int -> string list -> int
+  (** Run the analysis over each spec file, [jobs] files in parallel,
+      cache-aware.  Prints one JSON result line per file to stdout, in
+      input order, and a summary to stderr; returns the exit code (0 if
+      every file succeeded with exit 0, 1 otherwise). *)
+end

@@ -436,3 +436,167 @@ let patterns_of_spec spec =
       in
       (description, Pattern.make ~scope body))
     env.checks
+
+(* ------------------------------------------------------------------ *)
+(* Canonical model digests                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A content address for analysis results (lib/store): a location-free,
+   declaration-order-independent rendering of the *elaborated* model.
+   Working on elaborated terms (after variable/self resolution and
+   component renaming) rather than the surface syntax makes the digest
+   stable across re-parses, comment and whitespace edits, and permuted
+   declarations, while staying sensitive to everything that changes the
+   model — initial contents, takes/puts, guard structure, clusters
+   (folded in through the component renaming). *)
+
+type digest_part = [ `Apa | `Checks | `Models ]
+
+let canon_sterm ~self ~loc st = Term.to_string (term_of_sterm ~self ~loc st)
+
+let rec canon_cond ~self ~loc = function
+  | C_true -> "true"
+  | C_eq (a, b) ->
+    Printf.sprintf "(eq %s %s)" (canon_sterm ~self ~loc a)
+      (canon_sterm ~self ~loc b)
+  | C_neq (a, b) ->
+    Printf.sprintf "(neq %s %s)" (canon_sterm ~self ~loc a)
+      (canon_sterm ~self ~loc b)
+  | C_call (f, args) ->
+    Printf.sprintf "(%s %s)" f
+      (String.concat " " (List.map (canon_sterm ~self ~loc) args))
+  | C_and (a, b) ->
+    Printf.sprintf "(and %s %s)" (canon_cond ~self ~loc a)
+      (canon_cond ~self ~loc b)
+  | C_or (a, b) ->
+    Printf.sprintf "(or %s %s)" (canon_cond ~self ~loc a)
+      (canon_cond ~self ~loc b)
+  | C_not a -> Printf.sprintf "(not %s)" (canon_cond ~self ~loc a)
+
+let canon_apa env =
+  let instances =
+    List.sort
+      (fun a b -> String.compare a.in_name b.in_name)
+      env.instances
+  in
+  List.concat_map
+    (fun inst ->
+      let cd, self, _shared, rename = instance_ctx env inst in
+      let components =
+        instance_components env inst
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (n, init) ->
+               Printf.sprintf "  state %s = {%s}" n
+                 (String.concat ", "
+                    (List.map Term.to_string (Term.Set.elements init))))
+      in
+      let rules =
+        List.map
+          (fun r ->
+            let takes =
+              List.map
+                (fun tk ->
+                  Printf.sprintf "%s %s(%s)"
+                    (if tk.tk_read then "read" else "take")
+                    (rename tk.tk_comp)
+                    (canon_sterm ~self ~loc:tk.tk_loc tk.tk_pat))
+                r.ru_takes
+            in
+            let puts =
+              List.map
+                (fun pt ->
+                  Printf.sprintf "put %s(%s)" (rename pt.pt_comp)
+                    (canon_sterm ~self ~loc:pt.pt_loc pt.pt_term))
+                r.ru_puts
+            in
+            Printf.sprintf "  rule %s_%s: %s when %s -> %s" inst.in_name
+              r.ru_name
+              (String.concat ", " takes)
+              (canon_cond ~self ~loc:r.ru_loc r.ru_cond)
+              (String.concat ", " puts))
+          (rules_of_decl cd)
+      in
+      Printf.sprintf "instance %s = %s(%d)" inst.in_name inst.in_comp
+        inst.in_id
+      :: (components @ rules))
+    instances
+
+let canon_checks env =
+  List.sort String.compare
+    (List.map
+       (fun ck ->
+         Printf.sprintf "check %s %s%s" ck.ck_kind
+           (String.concat " " ck.ck_args)
+           (match ck.ck_scope with
+           | None -> ""
+           | Some (s, a) -> Printf.sprintf " %s %s" s a))
+       env.checks)
+
+let canon_models env =
+  let self = None in
+  let models =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) env.models
+    |> List.concat_map (fun (name, md) ->
+           let actions =
+             List.map
+               (fun ma ->
+                 Printf.sprintf "  action %s(%s)" ma.ma_label
+                   (String.concat ", "
+                      (List.map (canon_sterm ~self ~loc:ma.ma_loc)
+                         ma.ma_args)))
+               md.md_actions
+           in
+           let flows =
+             List.sort String.compare
+               (List.map
+                  (fun mf ->
+                    Printf.sprintf "  flow %s -> %s%s" mf.mf_src mf.mf_dst
+                      (match mf.mf_policy with
+                      | None -> ""
+                      | Some p -> " [" ^ p ^ "]"))
+                  md.md_flows)
+           in
+           Printf.sprintf "model %s(%s)" name
+             (Option.value ~default:"" md.md_param)
+           :: (actions @ flows))
+  in
+  let soses =
+    List.sort (fun a b -> String.compare a.sd_name b.sd_name) env.soses
+    |> List.concat_map (fun sd ->
+           let uses =
+             List.sort String.compare
+               (List.map
+                  (fun u ->
+                    Printf.sprintf "  use %s(%s) as %s" u.us_model
+                      (match u.us_index with
+                      | None -> ""
+                      | Some i -> string_of_int i)
+                      u.us_alias)
+                  sd.sd_uses)
+           in
+           let links =
+             List.sort String.compare
+               (List.map
+                  (fun lk ->
+                    Printf.sprintf "  link %s.%s -> %s.%s%s" (fst lk.lk_src)
+                      (snd lk.lk_src) (fst lk.lk_dst) (snd lk.lk_dst)
+                      (match lk.lk_policy with
+                      | None -> ""
+                      | Some p -> " [" ^ p ^ "]"))
+                  sd.sd_links)
+           in
+           Printf.sprintf "sos %s" sd.sd_name :: (uses @ links))
+  in
+  models @ soses
+
+let digest_of_spec ~parts spec =
+  let env = env_of_spec spec in
+  let parts = List.sort_uniq Stdlib.compare parts in
+  let section p =
+    match p with
+    | `Apa -> "[apa]" :: canon_apa env
+    | `Checks -> "[checks]" :: canon_checks env
+    | `Models -> "[models]" :: canon_models env
+  in
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.concat_map section parts)))

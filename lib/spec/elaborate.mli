@@ -76,3 +76,20 @@ val skeleton_of_spec : Ast.t -> skeleton
 (** The located skeleton of all declared instances, shared components
     identified as in {!apa_of_spec}.  Unlike {!apa_of_spec} it accepts a
     specification with no instances (the skeleton is then empty). *)
+
+(** {1 Canonical model digests}
+
+    Content addresses for the analysis cache ({!Fsa_store.Store}). *)
+
+type digest_part = [ `Apa | `Checks | `Models ]
+(** Which halves of the specification the digest covers: the elaborated
+    APA model (instances, components, clusters), the behavioural [check]
+    declarations, and the functional models ([model]/[sos]). *)
+
+val digest_of_spec : parts:digest_part list -> Ast.t -> string
+(** Hex digest of a canonical, location-free rendering of the selected
+    parts of the {e elaborated} model.  Stable across re-parses, comment
+    and layout edits, permuted declarations and the exploration job
+    count; sensitive to initial contents, takes/puts, guard structure
+    and cluster-induced component renamings.
+    @raise Loc.Error on specs that do not elaborate. *)

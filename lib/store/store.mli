@@ -1,0 +1,75 @@
+(** Content-addressed, on-disk cache of analysis results.
+
+    Entries are keyed by a canonical digest of the elaborated model (see
+    {!Fsa_spec.Elaborate.digest_of_spec}) combined with the analysis
+    kind and its result-relevant parameters — never by file name,
+    declaration order or exploration job count, so a spec re-parsed,
+    re-ordered or explored in parallel hits the same entry.
+
+    Entries are single JSON files written atomically (temp file in the
+    cache directory + [rename]) and validated on read: a format-version
+    mismatch, a checksum mismatch, a key mismatch or any parse failure
+    makes {!find} report a miss, silently falling back to recomputation
+    — a corrupt cache can cost time, never correctness.  The directory
+    is bounded: after each {!add} the least-recently-used entries (by
+    file mtime, which {!find} refreshes on every hit) are evicted until
+    the total size is within budget.
+
+    With observability enabled, the store records [store.hits],
+    [store.misses] and [store.evictions]. *)
+
+type t
+
+val format_version : int
+(** Bumped whenever the entry schema or the digest definition changes;
+    entries written by other versions are ignored. *)
+
+val default_dir : unit -> string
+(** [$FSA_CACHE_DIR], else [$XDG_CACHE_HOME/fsa], else
+    [$HOME/.cache/fsa], else [_fsa_cache] in the working directory. *)
+
+val open_ : ?max_bytes:int -> dir:string -> unit -> t
+(** Open (and create if needed) a cache directory.  [max_bytes]
+    (default 64 MiB) bounds the total size of the stored entries.
+    @raise Sys_error if the directory cannot be created. *)
+
+val dir : t -> string
+
+(** {1 Keys} *)
+
+val digest_hex : string -> string
+(** Hex digest of a string (the content-addressing primitive). *)
+
+val cache_key :
+  digest:string -> kind:string -> params:(string * string) list -> string
+(** The entry key for analysis [kind] over a model with canonical
+    [digest] under result-relevant [params] (sorted internally, so the
+    caller's order is irrelevant). *)
+
+(** {1 Entries} *)
+
+type entry = {
+  e_key : string;  (** the cache key the entry answers *)
+  e_kind : string;  (** analysis kind, e.g. ["requirements"] *)
+  e_result : Json.t;
+      (** structured result: the reachability summary (state/transition
+          counts, minima, maxima, deadlocks) and the derived requirement
+          set, as produced by the executor *)
+  e_output : string;  (** rendered human report, byte-identical replay *)
+  e_exit : int;  (** exit code of the run that produced the entry *)
+}
+
+val find : t -> key:string -> entry option
+(** Look the key up; validates version and checksum, refreshes the
+    entry's LRU clock on a hit, and never raises — I/O errors and
+    corrupt entries are misses. *)
+
+val add : t -> entry -> unit
+(** Write the entry atomically, then evict least-recently-used entries
+    beyond the size budget.  Write failures are silently ignored (the
+    cache is an optimisation, not a stateful dependency). *)
+
+(**/**)
+
+val entry_to_json : entry -> Json.t
+(** The on-disk representation (checksum included), exposed for tests. *)

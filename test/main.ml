@@ -32,4 +32,6 @@ let () =
       ("diff_lint", Test_diff_lint.suite);
       ("platoon", Test_platoon.suite);
       ("spec_random", Test_spec_random.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("store", Test_store.suite);
+      ("server", Test_server.suite) ]

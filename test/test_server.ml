@@ -1,0 +1,320 @@
+(* Tests for Fsa_server: the shared executor (cache-aware analysis
+   runs), the request/response protocol and the serving loop (EOF and
+   shutdown drains, response ordering). *)
+
+module Server = Fsa_server.Server
+module Exec = Fsa_server.Server.Exec
+module Json = Fsa_store.Json
+module Store = Fsa_store.Store
+module Parser = Fsa_spec.Parser
+
+(* Known-good model shared with the store tests. *)
+let spec_text = Test_store.spec_text
+let spec_text_permuted = Test_store.spec_text_permuted
+
+(* A spec whose check set contains one failing property. *)
+let spec_text_failing_check =
+  spec_text ^ "\ncheck absence V1_sense before V2_show\n"
+
+(* 2^18 reachable states: enough that a millisecond budget cannot
+   finish, while --max-states keeps the failure mode bounded. *)
+let bomb_spec =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "component Flip {\n\
+    \  state a = { t }\n\
+    \  state b = { }\n\
+    \  action go: take a(_x) -> put b(_x)\n\
+    \  action back: take b(_x) -> put a(_x)\n\
+     }\n";
+  for i = 1 to 18 do
+    Buffer.add_string b
+      (Printf.sprintf "instance F%d = Flip(%d) { a = { t } }\n" i i)
+  done;
+  Buffer.contents b
+
+let request fields = Json.to_string (Json.Obj fields)
+
+let source_request ?(source = spec_text) ~id ~op extra =
+  request
+    ([ ("id", Json.Int id); ("op", Json.Str op); ("source", Json.Str source) ]
+    @ extra)
+
+let parse_response line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "response is not JSON (%s): %s" msg line
+
+let is_ok resp = Json.member "ok" resp = Some (Json.Bool true)
+
+let error_kind resp =
+  Option.bind (Json.member "error" resp) (fun e ->
+      Option.bind (Json.member "kind" e) Json.to_str)
+
+let result_member k resp =
+  Option.bind (Json.member "result" resp) (Json.member k)
+
+let with_store_dir f () =
+  let dir = Test_store.tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> Test_store.rm_rf dir)
+    (fun () -> f (Store.open_ ~dir ()))
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips per request type                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrips () =
+  let cfg = Server.config () in
+  let reply line = parse_response (Server.handle_line cfg line) in
+  (* reach *)
+  let r = reply (source_request ~id:1 ~op:"reach" []) in
+  Alcotest.(check bool) "reach ok" true (is_ok r);
+  Alcotest.(check bool) "reach states" true
+    (result_member "states" r = Some (Json.Int 13));
+  (* requirements *)
+  let r =
+    reply
+      (source_request ~id:2 ~op:"requirements"
+         [ ("method", Json.Str "direct") ])
+  in
+  Alcotest.(check bool) "requirements ok" true (is_ok r);
+  (match Option.bind (result_member "requirements" r) Json.to_list with
+  | Some reqs -> Alcotest.(check int) "three requirements" 3 (List.length reqs)
+  | None -> Alcotest.fail "requirements missing");
+  (* analyze *)
+  let r = reply (source_request ~id:3 ~op:"analyze" []) in
+  Alcotest.(check bool) "analyze ok" true (is_ok r);
+  (match Option.bind (result_member "soses" r) Json.to_list with
+  | Some [ sos ] ->
+    Alcotest.(check bool) "sos name" true
+      (Json.member "name" sos = Some (Json.Str "two_vehicles"))
+  | _ -> Alcotest.fail "one sos expected");
+  (* abstract *)
+  let r =
+    reply
+      (source_request ~id:4 ~op:"abstract"
+         [ ("keep", Json.List [ Json.Str "V1_sense"; Json.Str "V2_show" ]) ])
+  in
+  Alcotest.(check bool) "abstract ok" true (is_ok r);
+  Alcotest.(check bool) "abstract dependence" true
+    (result_member "dependence" r = Some (Json.Bool true));
+  (* verify *)
+  let r = reply (source_request ~id:5 ~op:"verify" []) in
+  Alcotest.(check bool) "verify ok" true (is_ok r);
+  Alcotest.(check bool) "verify clean" true
+    (result_member "failed" r = Some (Json.Int 0));
+  (* check *)
+  let r = reply (source_request ~id:6 ~op:"check" []) in
+  Alcotest.(check bool) "check ok" true (is_ok r)
+
+let test_protocol_errors () =
+  let cfg = Server.config () in
+  let reply line = parse_response (Server.handle_line cfg line) in
+  let r = reply "this is not json" in
+  Alcotest.(check bool) "malformed not ok" false (is_ok r);
+  Alcotest.(check (option string)) "malformed kind" (Some "parse_error")
+    (error_kind r);
+  let r = reply (source_request ~id:1 ~op:"frobnicate" []) in
+  Alcotest.(check (option string)) "unknown op" (Some "bad_request")
+    (error_kind r);
+  let r = reply (request [ ("id", Json.Int 2); ("op", Json.Str "reach") ]) in
+  Alcotest.(check (option string)) "missing source" (Some "bad_request")
+    (error_kind r);
+  let r = reply (source_request ~id:3 ~op:"reach" ~source:"component {" []) in
+  Alcotest.(check (option string)) "bad spec" (Some "parse_error")
+    (error_kind r);
+  let r =
+    reply (source_request ~id:4 ~op:"reach" [ ("max_states", Json.Int 3) ])
+  in
+  Alcotest.(check (option string)) "over limit" (Some "too_large")
+    (error_kind r);
+  (* the id is echoed even on errors *)
+  Alcotest.(check bool) "id echoed" true (Json.member "id" r = Some (Json.Int 4))
+
+let test_timeout_reply () =
+  let cfg = Server.config ~max_states:400_000 () in
+  let r =
+    parse_response
+      (Server.handle_line cfg
+         (source_request ~id:9 ~op:"reach" ~source:bomb_spec
+            [ ("timeout_ms", Json.Int 1) ]))
+  in
+  Alcotest.(check (option string)) "timeout kind" (Some "timeout")
+    (error_kind r)
+
+(* ------------------------------------------------------------------ *)
+(* Executor caching                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_exec_cache_jobs_and_reparse_independent =
+  with_store_dir @@ fun store ->
+  let cfg = Server.config ~store () in
+  let o1 =
+    Exec.run cfg ~op:Exec.Reach ~jobs:1 ~file:"a.fsa"
+      (Parser.parse_string spec_text)
+  in
+  Alcotest.(check bool) "first run computes" false o1.Exec.oc_cached;
+  (* different parse, permuted declarations, different job count and a
+     different file name must all hit the same entry *)
+  let o2 =
+    Exec.run cfg ~op:Exec.Reach ~jobs:4 ~file:"b.fsa"
+      (Parser.parse_string spec_text_permuted)
+  in
+  Alcotest.(check bool) "second run hits" true o2.Exec.oc_cached;
+  Alcotest.(check string) "byte-identical replay" o1.Exec.oc_output
+    o2.Exec.oc_output;
+  Alcotest.(check int) "exit replayed" o1.Exec.oc_exit o2.Exec.oc_exit;
+  (* a cache bypass still computes *)
+  let o3 =
+    Exec.run cfg ~op:Exec.Reach ~cache:false ~file:"a.fsa"
+      (Parser.parse_string spec_text)
+  in
+  Alcotest.(check bool) "bypass computes" false o3.Exec.oc_cached;
+  Alcotest.(check string) "bypass output agrees" o1.Exec.oc_output
+    o3.Exec.oc_output
+
+let test_exec_caches_verify_failures =
+  with_store_dir @@ fun store ->
+  let cfg = Server.config ~store () in
+  let spec = Parser.parse_string spec_text_failing_check in
+  let o1 = Exec.run cfg ~op:Exec.Verify ~file:"f.fsa" spec in
+  Alcotest.(check int) "failing checks exit 1" 1 o1.Exec.oc_exit;
+  Alcotest.(check bool) "computed" false o1.Exec.oc_cached;
+  let o2 = Exec.run cfg ~op:Exec.Verify ~file:"f.fsa" spec in
+  Alcotest.(check bool) "replayed" true o2.Exec.oc_cached;
+  Alcotest.(check int) "exit code replayed" 1 o2.Exec.oc_exit;
+  Alcotest.(check string) "report replayed" o1.Exec.oc_output o2.Exec.oc_output
+
+let test_exec_usage_errors () =
+  let cfg = Server.config () in
+  let spec = Parser.parse_string spec_text in
+  (try
+     ignore (Exec.run cfg ~op:Exec.Analyze ~sos:"nope" ~file:"a.fsa" spec);
+     Alcotest.fail "unknown sos must raise"
+   with Server.Usage_error _ -> ());
+  try
+    ignore (Exec.run cfg ~op:Exec.Abstract ~file:"a.fsa" spec);
+    Alcotest.fail "missing keep set must raise"
+  with Server.Usage_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sustained mixed traffic                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hundred_mixed_requests =
+  with_store_dir @@ fun store ->
+  let cfg = Server.config ~store () in
+  let ops = [| "reach"; "requirements"; "analyze"; "verify"; "check" |] in
+  let errors = ref 0 in
+  for i = 0 to 99 do
+    let line =
+      if i = 50 then "{not json"
+      else if i = 75 then
+        source_request ~id:i ~op:"reach" [ ("max_states", Json.Int 2) ]
+      else source_request ~id:i ~op:ops.(i mod Array.length ops) []
+    in
+    let resp = parse_response (Server.handle_line cfg line) in
+    if not (is_ok resp) then incr errors
+  done;
+  Alcotest.(check int) "exactly the two poisoned requests fail" 2 !errors
+
+(* ------------------------------------------------------------------ *)
+(* Serving loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines path =
+  In_channel.with_open_bin path (fun ic ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some l -> go (l :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let response_file () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fsa_server_test_%d_%d.out" (Unix.getpid ())
+       (Test_store.tmp_counter_next ()))
+
+let test_serve_channels_eof_drain () =
+  let n = 6 in
+  let rd, wr = Unix.pipe () in
+  let requests =
+    String.concat ""
+      (List.init n (fun i ->
+           source_request ~id:i ~op:"reach" [] ^ "\n"))
+  in
+  (* the whole stream fits in the pipe buffer, so writing before serving
+     cannot block *)
+  let len = String.length requests in
+  assert (Unix.write_substring wr requests 0 len = len);
+  Unix.close wr;
+  let out = response_file () in
+  let oc = open_out out in
+  let cfg = Server.config ~workers:2 () in
+  Server.serve_channels cfg ~fd_in:rd oc;
+  close_out oc;
+  Unix.close rd;
+  let lines = read_lines out in
+  Sys.remove out;
+  Alcotest.(check int) "one response per request" n (List.length lines);
+  (* responses come back in request order even with two workers *)
+  List.iteri
+    (fun i line ->
+      let resp = parse_response line in
+      Alcotest.(check bool)
+        (Printf.sprintf "response %d in order" i)
+        true
+        (Json.member "id" resp = Some (Json.Int i) && is_ok resp))
+    lines
+
+let test_serve_channels_shutdown_drain () =
+  let n = 3 in
+  let rd, wr = Unix.pipe () in
+  let requests =
+    String.concat ""
+      (List.init n (fun i -> source_request ~id:i ~op:"reach" [] ^ "\n"))
+  in
+  let len = String.length requests in
+  assert (Unix.write_substring wr requests 0 len = len);
+  (* the write end stays open: only request_shutdown can end the loop *)
+  let stopper =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.4;
+        Server.request_shutdown ())
+  in
+  let out = response_file () in
+  let oc = open_out out in
+  let cfg = Server.config ~workers:2 () in
+  Server.serve_channels cfg ~fd_in:rd oc;
+  close_out oc;
+  Domain.join stopper;
+  Unix.close wr;
+  Unix.close rd;
+  let lines = read_lines out in
+  Sys.remove out;
+  Alcotest.(check int) "accepted requests drained before exit" n
+    (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "drained response ok" true
+        (is_ok (parse_response line)))
+    lines
+
+let suite =
+  [ Alcotest.test_case "request round-trips" `Quick test_roundtrips;
+    Alcotest.test_case "protocol errors" `Quick test_protocol_errors;
+    Alcotest.test_case "timeout reply" `Quick test_timeout_reply;
+    Alcotest.test_case "exec cache ignores jobs and reparse" `Quick
+      test_exec_cache_jobs_and_reparse_independent;
+    Alcotest.test_case "exec caches verify failures" `Quick
+      test_exec_caches_verify_failures;
+    Alcotest.test_case "exec usage errors" `Quick test_exec_usage_errors;
+    Alcotest.test_case "hundred mixed requests" `Quick
+      test_hundred_mixed_requests;
+    Alcotest.test_case "serve drains on eof" `Quick
+      test_serve_channels_eof_drain;
+    Alcotest.test_case "serve drains on shutdown" `Quick
+      test_serve_channels_shutdown_drain ]

@@ -1,0 +1,365 @@
+(* Tests for Fsa_store: the JSON codec, the canonical model digest and
+   the content-addressed on-disk cache (round-trip, corruption fallback,
+   version fencing, LRU eviction). *)
+
+module Json = Fsa_store.Json
+module Store = Fsa_store.Store
+module Elaborate = Fsa_spec.Elaborate
+module Parser = Fsa_spec.Parser
+
+(* A known-good specification exercising every declaration kind (the
+   paper's two-vehicle scenario). *)
+let spec_text =
+  {|
+component Vehicle {
+  state esp = { }
+  state gps = { }
+  state bus = { }
+  state hmi = { }
+  shared net
+
+  action sense: take esp(_x) -> put bus(_x)
+  action pos:   take gps(_p) -> put bus(_p)
+  action send:  take bus(sW), take bus(_p) when position(_p)
+                -> put net(cam(self, _p))
+  action rec:   take net(cam(_v, _p)) when _v != self
+                -> put bus(warn(_p))
+  action show:  take bus(warn(_p)), take bus(_q)
+                when position(_q) && near(_p, _q)
+                -> put hmi(warn)
+}
+
+instance V1 = Vehicle(1) { esp = { sW }, gps = { pos1 } }
+instance V2 = Vehicle(2) { gps = { pos2 } }
+
+model Warner(i) {
+  action sense(ESP_i, sW)
+  action pos(GPS_i, pos)
+  action send(CU_i, cam(pos))
+  flow sense -> send
+  flow pos -> send
+}
+
+model Receiver(i) {
+  action pos(GPS_i, pos)
+  action rec(CU_i, cam(pos))
+  action show(HMI_i, warn)
+  flow rec -> show
+  flow pos -> show
+}
+
+sos two_vehicles {
+  use Warner(1) as V1
+  use Receiver(2) as V2
+  link V1.send -> V2.rec
+}
+
+check precedence V1_sense V2_show
+check existence V2_show
+|}
+
+(* The same declarations in a different top-level order, with different
+   layout and comments. *)
+let spec_text_permuted =
+  {|
+// layout and declaration order changed; the model is the same
+check existence V2_show
+
+instance V2 = Vehicle(2) { gps = { pos2 } }
+
+model Receiver(i) {
+  action pos(GPS_i, pos)
+  action rec(CU_i, cam(pos))
+  action show(HMI_i, warn)
+  flow rec -> show
+  flow pos -> show
+}
+
+sos two_vehicles {
+  use Warner(1) as V1
+  use Receiver(2) as V2
+  link V1.send -> V2.rec
+}
+
+component Vehicle {
+  state esp = { }
+  state gps = { }
+  state bus = { }
+  state hmi = { }
+  shared net
+  action sense: take esp(_x) -> put bus(_x)
+  action pos:   take gps(_p) -> put bus(_p)
+  action send:  take bus(sW), take bus(_p) when position(_p) -> put net(cam(self, _p))
+  action rec:   take net(cam(_v, _p)) when _v != self -> put bus(warn(_p))
+  action show:  take bus(warn(_p)), take bus(_q) when position(_q) && near(_p, _q) -> put hmi(warn)
+}
+
+instance V1 = Vehicle(1) { esp = { sW }, gps = { pos1 } }
+
+model Warner(i) {
+  action sense(ESP_i, sW)
+  action pos(GPS_i, pos)
+  action send(CU_i, cam(pos))
+  flow sense -> send
+  flow pos -> send
+}
+
+check precedence V1_sense V2_show
+|}
+
+let replace_first ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i ->
+    String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+(* One guard flipped: same shape, different semantics. *)
+let spec_text_guard_changed =
+  replace_first ~sub:"when _v != self" ~by:"when _v == self" spec_text
+
+let all_parts = [ `Apa; `Checks; `Models ]
+
+let tmp_counter = ref 0
+
+let tmp_counter_next () =
+  incr tmp_counter;
+  !tmp_counter
+
+let tmp_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fsa_store_test_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let rm_rf dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let with_store ?max_bytes f () =
+  let dir = tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () -> f (Store.open_ ?max_bytes ~dir ()) dir)
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 2.5);
+        ("str", Json.Str "line\nbreak \"quoted\" \\ tab\t");
+        ("list", Json.List [ Json.Int 1; Json.Str "x"; Json.Bool false ]);
+        ("nested", Json.Obj [ ("k", Json.List []) ]) ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (Json.equal v v')
+  | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+
+let test_json_parse_forms () =
+  (match Json.parse {|  {"a": [1, 2.5, "A\n", true, null]}  |} with
+  | Ok v ->
+    Alcotest.(check bool) "unicode escape" true
+      (Json.equal
+         (Json.member "a" v |> Option.get)
+         (Json.List
+            [ Json.Int 1; Json.Float 2.5; Json.Str "A\n"; Json.Bool true;
+              Json.Null ]))
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  (match Json.parse "{} trailing" with
+  | Ok _ -> Alcotest.fail "trailing input must be rejected"
+  | Error _ -> ());
+  match Json.parse "not json" with
+  | Ok _ -> Alcotest.fail "garbage must be rejected"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Canonical digests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let digest ?(parts = all_parts) text =
+  Elaborate.digest_of_spec ~parts (Parser.parse_string text)
+
+let test_digest_stable_across_reparse () =
+  Alcotest.(check string) "two parses, one digest" (digest spec_text)
+    (digest spec_text)
+
+let test_digest_ignores_declaration_order () =
+  Alcotest.(check string) "permuted declarations, one digest"
+    (digest spec_text) (digest spec_text_permuted);
+  List.iter
+    (fun part ->
+      Alcotest.(check string) "per part" (digest ~parts:[ part ] spec_text)
+        (digest ~parts:[ part ] spec_text_permuted))
+    all_parts
+
+let test_digest_sensitive_to_guards () =
+  Alcotest.(check bool) "guard change, new digest" false
+    (String.equal (digest spec_text) (digest spec_text_guard_changed));
+  (* the functional models did not change, so the `Models digest holds *)
+  Alcotest.(check string) "models digest unchanged"
+    (digest ~parts:[ `Models ] spec_text)
+    (digest ~parts:[ `Models ] spec_text_guard_changed)
+
+let test_cache_key_params () =
+  let d = digest spec_text in
+  let k1 =
+    Store.cache_key ~digest:d ~kind:"reach"
+      ~params:[ ("max_states", "10"); ("method", "direct") ]
+  in
+  let k2 =
+    Store.cache_key ~digest:d ~kind:"reach"
+      ~params:[ ("method", "direct"); ("max_states", "10") ]
+  in
+  let k3 =
+    Store.cache_key ~digest:d ~kind:"reach"
+      ~params:[ ("max_states", "11"); ("method", "direct") ]
+  in
+  Alcotest.(check string) "param order is canonicalised" k1 k2;
+  Alcotest.(check bool) "params are significant" false (String.equal k1 k3);
+  Alcotest.(check bool) "kind is significant" false
+    (String.equal k1
+       (Store.cache_key ~digest:d ~kind:"verify"
+          ~params:[ ("max_states", "10"); ("method", "direct") ]))
+
+(* ------------------------------------------------------------------ *)
+(* On-disk entries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let entry key =
+  { Store.e_key = key;
+    e_kind = "reach";
+    e_result =
+      Json.Obj [ ("states", Json.Int 13); ("transitions", Json.Int 19) ];
+    e_output = "states: 13, transitions: 19\n";
+    e_exit = 0 }
+
+let key_of i =
+  Store.cache_key ~digest:(Store.digest_hex (string_of_int i)) ~kind:"reach"
+    ~params:[]
+
+let entry_file dir key = Filename.concat dir (key ^ ".json")
+
+let test_entry_roundtrip =
+  with_store @@ fun st dir ->
+  let key = key_of 0 in
+  Alcotest.(check bool) "miss before add" true (Store.find st ~key = None);
+  Store.add st (entry key);
+  (match Store.find st ~key with
+  | None -> Alcotest.fail "hit expected after add"
+  | Some e ->
+    Alcotest.(check string) "kind survives" "reach" e.Store.e_kind;
+    Alcotest.(check string) "output survives" "states: 13, transitions: 19\n"
+      e.Store.e_output;
+    Alcotest.(check int) "exit survives" 0 e.Store.e_exit;
+    Alcotest.(check bool) "result survives" true
+      (Json.equal (entry key).Store.e_result e.Store.e_result));
+  (* a fresh handle over the same directory sees the entry *)
+  let st' = Store.open_ ~dir () in
+  Alcotest.(check bool) "persistent across handles" true
+    (Store.find st' ~key <> None)
+
+let test_corrupt_entry_is_a_miss =
+  with_store @@ fun st dir ->
+  let key = key_of 1 in
+  Store.add st (entry key);
+  let path = entry_file dir key in
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  (* truncation *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub content 0 (String.length content / 2)));
+  Alcotest.(check bool) "truncated entry is a miss" true
+    (Store.find st ~key = None);
+  (* flipped payload byte: checksum must catch it *)
+  let flipped = replace_first ~sub:"\"exit\":0" ~by:"\"exit\":1" content in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc flipped);
+  Alcotest.(check bool) "checksum mismatch is a miss" true
+    (Store.find st ~key = None);
+  (* stale format version *)
+  let stale =
+    replace_first
+      ~sub:(Printf.sprintf "\"format\":%d" Store.format_version)
+      ~by:"\"format\":999" content
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc stale);
+  Alcotest.(check bool) "future format version is a miss" true
+    (Store.find st ~key = None)
+
+let test_eviction_bounds_the_store =
+  (* each entry is a few hundred bytes; a 1 KiB budget forces eviction *)
+  with_store ~max_bytes:1024 @@ fun st dir ->
+  for i = 0 to 9 do
+    Store.add st (entry (key_of i));
+    (* mtime separation so the LRU order is unambiguous *)
+    Unix.sleepf 0.01
+  done;
+  let files = Sys.readdir dir in
+  let entries, tmp =
+    Array.fold_left
+      (fun (e, t) f ->
+        if Filename.check_suffix f ".json" && f.[0] <> '.' then (e + 1, t)
+        else (e, t + 1))
+      (0, 0) files
+  in
+  Alcotest.(check int) "no temp residue" 0 tmp;
+  Alcotest.(check bool) "evicted down to the budget" true
+    (entries < 10 && entries >= 1);
+  (* the newest entry survives, the oldest is gone *)
+  Alcotest.(check bool) "newest kept" true (Store.find st ~key:(key_of 9) <> None);
+  Alcotest.(check bool) "oldest evicted" true (Store.find st ~key:(key_of 0) = None)
+
+let test_lru_bump_on_find () =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* size the budget off a real entry: room for two entries, not three *)
+  let probe = Store.open_ ~dir () in
+  Store.add probe (entry (key_of 0));
+  let size = (Unix.stat (entry_file dir (key_of 0))).Unix.st_size in
+  let st = Store.open_ ~max_bytes:((2 * size) + (size / 2)) ~dir () in
+  Unix.sleepf 0.01;
+  Store.add st (entry (key_of 1));
+  Unix.sleepf 0.01;
+  (* touch 0, making 1 the LRU entry *)
+  ignore (Store.find st ~key:(key_of 0));
+  Unix.sleepf 0.01;
+  Store.add st (entry (key_of 2));
+  Alcotest.(check bool) "recently used entry kept" true
+    (Store.find st ~key:(key_of 0) <> None);
+  Alcotest.(check bool) "least recently used entry evicted" true
+    (Store.find st ~key:(key_of 1) = None)
+
+let suite =
+  [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse forms" `Quick test_json_parse_forms;
+    Alcotest.test_case "digest stable across reparse" `Quick
+      test_digest_stable_across_reparse;
+    Alcotest.test_case "digest ignores declaration order" `Quick
+      test_digest_ignores_declaration_order;
+    Alcotest.test_case "digest sensitive to guards" `Quick
+      test_digest_sensitive_to_guards;
+    Alcotest.test_case "cache key params" `Quick test_cache_key_params;
+    Alcotest.test_case "entry round-trip" `Quick test_entry_roundtrip;
+    Alcotest.test_case "corrupt entry is a miss" `Quick
+      test_corrupt_entry_is_a_miss;
+    Alcotest.test_case "eviction bounds the store" `Quick
+      test_eviction_bounds_the_store;
+    Alcotest.test_case "lru bump on find" `Quick test_lru_bump_on_find ]
