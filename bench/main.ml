@@ -728,6 +728,53 @@ let bench_store () =
      \"warm_hit\": %b, \"replay_identical\": %b}"
     cold_ns warm_ns hit identical
 
+(* Static dependence pruning: run the tool path with and without
+   --prune-static over the example systems.  The pruned report must be
+   identical — pruning only skips (min, max) pairs whose dependence the
+   token-flow analysis proves negative — so a divergence is a soundness
+   failure of Fsa_struct, not a perf regression, and fails the harness. *)
+let bench_struct () =
+  let module Metrics = Fsa_obs.Metrics in
+  let module Structural = Fsa_struct.Structural in
+  let pairs_pruned = Structural.pairs_pruned in
+  Metrics.set_enabled true;
+  let systems =
+    [ ("two-vehicles", V.stakeholder, fun () -> V.two_vehicles ());
+      ("four-vehicles", V.stakeholder, fun () -> V.four_vehicles ());
+      ("grid", Fsa_grid.Grid_apa.stakeholder,
+       fun () -> Fsa_grid.Grid_apa.demand_response ()) ]
+  in
+  let rows =
+    List.map
+      (fun (name, stakeholder, mk) ->
+        let apa = mk () in
+        let t0 = Fsa_obs.Span.now_ns () in
+        let plain = Analysis.tool ~stakeholder apa in
+        let plain_ns = Int64.sub (Fsa_obs.Span.now_ns ()) t0 in
+        Metrics.reset ();
+        let t0 = Fsa_obs.Span.now_ns () in
+        let pruned = Analysis.tool ~prune:true ~stakeholder apa in
+        let pruned_ns = Int64.sub (Fsa_obs.Span.now_ns ()) t0 in
+        let skipped = Metrics.counter_value pairs_pruned in
+        let equal =
+          Auth.equal_set plain.Analysis.t_requirements
+            pruned.Analysis.t_requirements
+        in
+        if not equal then incr failures;
+        Fmt.pr "  %-24s plain %a  pruned %a  skipped %d  identical: %s@."
+          name Fsa_obs.Span.pp_dur plain_ns Fsa_obs.Span.pp_dur pruned_ns
+          skipped
+          (if equal then "OK" else "MISMATCH");
+        Printf.sprintf
+          "    \"%s\": {\"wall_ns_unpruned\": %Ld, \"wall_ns_pruned\": %Ld, \
+           \"pairs_pruned\": %d, \"pruned_equal\": %b}"
+          name plain_ns pruned_ns skipped equal)
+      systems
+  in
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  rows
+
 (* One wall-clock measurement per pipeline kernel, with the key counters
    of the run (states explored, transitions, requirements derived,
    APA rules tried, dedup hits).  Written as JSON so later PRs have a
@@ -814,6 +861,7 @@ let bench_json path =
           speedup equal)
       explorations
   in
+  let struct_rows = bench_struct () in
   let store_row = bench_store () in
   let oc = open_out path in
   Fun.protect
@@ -825,6 +873,8 @@ let bench_json path =
       output_string oc
         (Printf.sprintf "  \"exploration\": {\n    \"jobs\": %d,\n" jobs);
       output_string oc (String.concat ",\n" exploration_rows);
+      output_string oc "\n  },\n  \"struct\": {\n";
+      output_string oc (String.concat ",\n" struct_rows);
       output_string oc "\n  },\n  \"store\": {\n";
       output_string oc store_row;
       output_string oc "\n  }\n}\n");

@@ -136,6 +136,14 @@ let explore_progress spec_path =
 
 module Server = Fsa_server.Server
 
+let prune_arg =
+  Arg.(value & flag
+       & info [ "prune-static" ]
+           ~doc:"Skip the dependence test for action pairs the structural \
+                 pre-analysis proves independent (no token-flow path). \
+                 Sound: the derived requirements are identical to an \
+                 unpruned run.")
+
 let cache_arg =
   Arg.(value & flag
        & info [ "cache" ]
@@ -168,10 +176,11 @@ let open_store ~cache ~no_cache ~cache_dir =
 (* Run one analysis through the shared executor (cache-aware when the
    config carries a store) and print its report; on a hit the marker
    goes to stderr so stdout stays byte-identical to a fresh run. *)
-let run_exec cfg ~op ?meth ?max_states ?jobs ?sos ?keep ?progress ~file spec =
+let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?progress
+    ~file spec =
   match
-    Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?sos ?keep ?progress
-      ~file spec
+    Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep
+      ?progress ~file spec
   with
   | outcome ->
     if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
@@ -179,6 +188,11 @@ let run_exec cfg ~op ?meth ?max_states ?jobs ?sos ?keep ?progress ~file spec =
     outcome
   | exception Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file loc msg
   | exception Server.Usage_error msg -> die_usage msg
+  | exception Server.Too_large (n, hint) ->
+    or_die
+      (Error
+         (Printf.sprintf "state space exceeds the bound of %d states%s" n
+            hint))
 
 (* --------------------------------------------------------------- *)
 (* fsa reach                                                        *)
@@ -239,8 +253,8 @@ let meth_conv =
   Arg.conv (parse, print)
 
 let requirements_cmd =
-  let run verbose spec_path meth max_states jobs cache no_cache cache_dir
-      metrics_out trace_out =
+  let run verbose spec_path meth max_states jobs prune cache no_cache
+      cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -251,7 +265,7 @@ let requirements_cmd =
     let progress = explore_progress spec_path in
     ignore
       (run_exec cfg ~op:Server.Exec.Requirements ~meth ~max_states ~jobs
-         ~progress ~file:spec_path spec)
+         ~prune ~progress ~file:spec_path spec)
   in
   let meth =
     Arg.(value & opt meth_conv Analysis.Abstract
@@ -264,7 +278,7 @@ let requirements_cmd =
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
     Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states $ jobs_arg
-          $ cache_arg $ no_cache_arg $ cache_dir_arg
+          $ prune_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -272,8 +286,8 @@ let requirements_cmd =
 (* --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run verbose spec_path sos_name cache no_cache cache_dir metrics_out
-      trace_out =
+  let run verbose spec_path sos_name prune cache no_cache cache_dir
+      metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -284,9 +298,11 @@ let analyze_cmd =
     | ds -> List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds);
     let store = open_store ~cache ~no_cache ~cache_dir in
     let cfg = Server.config ?store () in
+    (* the manual path never runs the dependence matrix, so pruning is a
+       no-op here; the flag is accepted for symmetry with requirements *)
     ignore
-      (run_exec cfg ~op:Server.Exec.Analyze ?sos:sos_name ~file:spec_path
-         spec)
+      (run_exec cfg ~op:Server.Exec.Analyze ?sos:sos_name ~prune
+         ~file:spec_path spec)
   in
   let sos_name =
     Arg.(value & opt (some string) None
@@ -295,7 +311,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Derive authenticity requirements from functional models (manual path).")
-    Term.(const run $ verbose_arg $ spec_arg $ sos_name
+    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ prune_arg
           $ cache_arg $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
           $ trace_out_arg)
 
@@ -682,7 +698,7 @@ let refine_cmd =
 (* --------------------------------------------------------------- *)
 
 let check_cmd =
-  let run verbose spec_paths format werror metrics_out trace_out =
+  let run verbose spec_paths format werror deep budget metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let module D = Fsa_check.Diagnostic in
@@ -690,7 +706,7 @@ let check_cmd =
       List.concat_map
         (fun path ->
           match parse_spec path with
-          | Ok spec -> Fsa_check.Check.spec ~file:path spec
+          | Ok spec -> Fsa_check.Check.spec ~file:path ~deep ?budget spec
           | Error (`Parse (loc, msg)) ->
             [ D.error ~file:path ~loc ~code:"FSA000" "%s" msg ]
           | Error (`Sys msg) -> or_die (Error msg))
@@ -726,12 +742,70 @@ let check_cmd =
     Arg.(value & flag
          & info [ "werror" ] ~doc:"Treat warnings as errors (notes are unaffected).")
   in
+  let deep_arg =
+    Arg.(value & flag
+         & info [ "deep" ]
+             ~doc:"Also run the structural analysis of the net skeleton: \
+                   invariant bounds, unboundedness certificates, siphon/trap \
+                   deadlock verdicts, static independence (FSA040-FSA048).")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Search-node budget for siphon/trap enumeration under \
+                   $(b,--deep) (default 10000).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Statically analyse specifications without exploring the state \
              space: dead rules, unbound variables, APA races, unknown check \
-             actions, modelling smells.")
+             actions, modelling smells; $(b,--deep) adds structural \
+             invariant, siphon and independence analysis.")
     Term.(const run $ verbose_arg $ specs_arg $ format_arg $ werror_arg
+          $ deep_arg $ budget_arg $ metrics_out_arg $ trace_out_arg)
+
+(* --------------------------------------------------------------- *)
+(* fsa struct (structural analysis report)                          *)
+(* --------------------------------------------------------------- *)
+
+let struct_cmd =
+  let run verbose spec_path format budget metrics_out trace_out =
+    setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
+    let module Structural = Fsa_struct.Structural in
+    let spec = load_spec spec_path in
+    let net =
+      try
+        Fsa_check.Check.net_of_skeleton
+          (Fsa_spec.Elaborate.skeleton_of_spec spec)
+      with Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
+    in
+    if net.Structural.n_places = [] then
+      die_usage
+        (Printf.sprintf "%s declares no state components to analyse"
+           spec_path);
+    let report = Structural.analyse ?budget net in
+    match format with
+    | `Json -> print_string (Structural.report_to_json report)
+    | `Text -> Fmt.pr "%a@." Structural.pp_report report
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Search-node budget for siphon/trap enumeration \
+                   (default 10000).")
+  in
+  Cmd.v
+    (Cmd.info "struct"
+       ~doc:"Structural analysis of a specification's net skeleton, \
+             without exploring the state space: incidence matrix, place \
+             and transition invariants, component bounds, siphons, traps, \
+             deadlock verdict and static action independence.")
+    Term.(const run $ verbose_arg $ spec_arg $ format_arg $ budget_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -935,14 +1009,14 @@ let diff_cmd =
 let op_names = "reach|requirements|analyze|abstract|verify|check"
 
 let serve_cmd =
-  let run verbose socket workers timeout_ms max_states no_cache cache_dir
-      metrics_out trace_out =
+  let run verbose socket workers timeout_ms max_states prune no_cache
+      cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     (* the daemon caches by default; --no-cache switches it off *)
     let store = open_store ~cache:true ~no_cache ~cache_dir in
     let cfg =
-      Server.config ~workers ~max_states ~timeout_ms ?store
+      Server.config ~workers ~max_states ~timeout_ms ?store ~prune
         ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
     in
     let stop _ = Server.request_shutdown () in
@@ -978,15 +1052,15 @@ let serve_cmd =
              abstract, verify or check), from stdin or a Unix-domain \
              socket.  SIGTERM drains in-flight requests and exits.")
     Term.(const run $ verbose_arg $ socket $ workers $ timeout_ms
-          $ max_states $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
-          $ trace_out_arg)
+          $ max_states $ prune_arg $ no_cache_arg $ cache_dir_arg
+          $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa batch                                                        *)
 (* --------------------------------------------------------------- *)
 
 let batch_cmd =
-  let run verbose op_name jobs max_states timeout_ms no_cache cache_dir
+  let run verbose op_name jobs max_states timeout_ms prune no_cache cache_dir
       metrics_out trace_out spec_paths =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
@@ -999,7 +1073,7 @@ let batch_cmd =
     (* batch runs cache by default; --no-cache switches it off *)
     let store = open_store ~cache:true ~no_cache ~cache_dir in
     let cfg =
-      Server.config ~max_states ~timeout_ms ?store
+      Server.config ~max_states ~timeout_ms ?store ~prune
         ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
     in
     exit (Server.Batch.run cfg ~op ~jobs spec_paths)
@@ -1029,8 +1103,8 @@ let batch_cmd =
              cache-aware; prints one JSON result line per file, in input \
              order.")
     Term.(const run $ verbose_arg $ op_name $ jobs_arg $ max_states
-          $ timeout_ms $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
-          $ trace_out_arg $ specs_arg)
+          $ timeout_ms $ prune_arg $ no_cache_arg $ cache_dir_arg
+          $ metrics_out_arg $ trace_out_arg $ specs_arg)
 
 let main_cmd =
   let doc = "functional security analysis for systems of systems" in
@@ -1038,7 +1112,7 @@ let main_cmd =
   Cmd.group info
     [ reach_cmd; requirements_cmd; analyze_cmd; abstract_cmd; scenario_cmd;
       dot_cmd; conf_cmd; simulate_cmd; export_cmd; refine_cmd; check_cmd;
-      verify_cmd; monitor_cmd; report_cmd; lint_cmd; diff_cmd; serve_cmd;
-      batch_cmd ]
+      struct_cmd; verify_cmd; monitor_cmd; report_cmd; lint_cmd; diff_cmd;
+      serve_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -109,6 +109,7 @@ type rule = {
   r_name : string;
   r_takes : take list;
   r_guard : Term.Subst.t -> bool;
+  r_trivial_guard : bool;
   r_puts : put list;
   r_label : Term.Subst.t -> Action.t;
 }
@@ -125,7 +126,9 @@ let rule ?guard ?label ~takes ~puts name =
   let r_label =
     match label with Some l -> l | None -> fun _ -> Action.make name
   in
-  { r_name = name; r_takes = takes; r_guard; r_puts = puts; r_label = r_label }
+  { r_name = name; r_takes = takes; r_guard;
+    r_trivial_guard = Option.is_none guard; r_puts = puts;
+    r_label = r_label }
 
 let rule_name r = r.r_name
 

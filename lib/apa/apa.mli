@@ -42,6 +42,10 @@ type rule = {
   r_name : string;
   r_takes : take list;
   r_guard : Term.Subst.t -> bool;
+  r_trivial_guard : bool;
+      (** [true] when no guard was supplied to {!rule}: the guard closure
+          is the constant [true].  Structural analyses use this to tell
+          genuinely unguarded rules from opaque guard closures. *)
   r_puts : put list;
   r_label : Term.Subst.t -> Action.t;
 }

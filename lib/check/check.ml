@@ -360,6 +360,134 @@ let pass_soses ?file ast (env : Elab.env) add =
     env.soses
 
 (* ------------------------------------------------------------------ *)
+(* Deep pass: structural net analysis (FSA040-FSA048)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Structural = Fsa_struct.Structural
+
+let net_of_skeleton sk =
+  { Structural.n_places =
+      List.map
+        (fun (c, init, _) ->
+          { Structural.pl_name = c; pl_initial = init })
+        sk.sk_components;
+    n_rules =
+      List.map
+        (fun r ->
+          { Structural.rs_name = r.lr_name;
+            rs_takes =
+              List.map
+                (fun tk -> (tk.lt_comp, tk.lt_pat, tk.lt_consume))
+                r.lr_takes;
+            rs_puts = List.map (fun pt -> (pt.lp_comp, pt.lp_term)) r.lr_puts;
+            rs_guarded = r.lr_guarded })
+        sk.sk_rules }
+
+(* The structural findings are advisory (the skeleton forgets patterns,
+   guards and the set semantics of components), so everything here is a
+   note — except FSA041, whose certificate is sound for the APA itself:
+   an unguarded self-regenerating rule with a strictly growing term
+   really does make the state space infinite. *)
+let pass_deep ?file ?budget sk add =
+  let net = net_of_skeleton sk in
+  if net.Structural.n_places <> [] then begin
+    let comp_loc c =
+      List.find_map
+        (fun (c', _, loc) -> if String.equal c c' then Some loc else None)
+        sk.sk_components
+    in
+    let rule_loc n =
+      List.find_map
+        (fun r -> if String.equal r.lr_name n then Some r.lr_loc else None)
+        sk.sk_rules
+    in
+    let r = Structural.analyse ?budget net in
+    let hint = Structural.growth_hint net in
+    List.iter
+      (fun (c, b) ->
+        add
+          (D.info ?file ?loc:(comp_loc c) ~code:"FSA040"
+             "state component %s is bounded: a place invariant of the net \
+              skeleton keeps its size at most %d"
+             c b))
+      r.Structural.r_bounds;
+    List.iter
+      (fun (rl, c, why) ->
+        add
+          (D.warning ?file ?loc:(rule_loc rl) ~code:"FSA041"
+             "rule %s makes the state space infinite: %s in component %s"
+             rl why c))
+      r.Structural.r_certified;
+    List.iter
+      (fun (c, s) ->
+        add
+          (D.info ?file ?loc:(comp_loc c) ~code:"FSA042"
+             "state component %s is potentially unbounded: net production \
+              +%d per firing round and no covering place invariant%s"
+             c s hint))
+      r.Structural.r_unbounded;
+    List.iter
+      (fun v ->
+        let combo =
+          List.filter_map Fun.id
+            (Array.to_list
+               (Array.mapi
+                  (fun i n ->
+                    if n = 0 then None
+                    else if n = 1 then Some r.Structural.r_rules.(i)
+                    else
+                      Some (Printf.sprintf "%d*%s" n r.Structural.r_rules.(i)))
+                  v))
+        in
+        add
+          (D.info ?file ~code:"FSA043"
+             "transition invariant: firing {%s} returns the net skeleton to \
+              the same marking (cyclic behaviour)"
+             (String.concat ", " combo)))
+      r.Structural.r_t_invariants;
+    (match r.Structural.r_verdict with
+    | Structural.May_deadlock bad ->
+      List.iter
+        (fun s ->
+          add
+            (D.info ?file ?loc:(Option.bind (List.nth_opt s 0) comp_loc)
+               ~code:"FSA044"
+               "components {%s} form a siphon with no initially marked \
+                trap: once drained, every rule taking from them is \
+                permanently disabled"
+               (String.concat ", " s)))
+        bad
+    | Structural.Deadlock_free_skeleton ->
+      add
+        (D.info ?file ~code:"FSA045"
+           "no structural deadlock at skeleton level: every one of the %d \
+            minimal siphon(s) contains an initially marked trap"
+           (List.length r.Structural.r_siphons))
+    | Structural.Unknown_budget ->
+      add
+        (D.info ?file ~code:"FSA048"
+           "structural deadlock analysis truncated: siphon enumeration \
+            exceeded its budget"));
+    if r.Structural.r_independent_pairs > 0 then
+      add
+        (D.info ?file ~code:"FSA046"
+           "%d of %d ordered rule pairs have no token flow between them: \
+            their functional dependence tests are skipped under \
+            --prune-static"
+           r.Structural.r_independent_pairs r.Structural.r_rule_pairs);
+    List.iter
+      (fun t ->
+        if Structural.initially_marked net t then
+          add
+            (D.info ?file ?loc:(Option.bind (List.nth_opt t 0) comp_loc)
+               ~code:"FSA047"
+               "components {%s} form an initially marked trap: they can \
+                never all drain"
+               (String.concat ", " t)))
+      r.Structural.r_traps
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -372,7 +500,7 @@ let skeleton_passes ?file sk add =
   pass_races ?file sk add;
   dead
 
-let spec ?file ast =
+let spec ?file ?(deep = false) ?budget ast =
   Fsa_obs.Span.with_ ~cat:"check" "check.spec" @@ fun () ->
   let t0 = Fsa_obs.Span.now_ns () in
   let ds = ref [] in
@@ -383,7 +511,8 @@ let spec ?file ast =
         let sk = Elab.skeleton_of_spec ast in
         let dead = skeleton_passes ?file sk add in
         let alphabet = List.map (fun r -> r.lr_name) sk.sk_rules in
-        pass_checks ?file ~alphabet ~dead env.checks add
+        pass_checks ?file ~alphabet ~dead env.checks add;
+        if deep then pass_deep ?file ?budget sk add
       with Loc.Error (loc, msg) ->
         add (D.error ?file ~loc ~code:"FSA000" "%s" msg));
      pass_soses ?file ast env add

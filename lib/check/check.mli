@@ -18,20 +18,38 @@
       declarations and homomorphism keep sets naming actions outside the
       APA's alphabet, and vacuous properties over dead actions;
     - {b manual path} (FSA030–FSA035): [Fsa_model.Lint] findings over
-      every [sos] declaration, re-emitted as unified diagnostics.
+      every [sos] declaration, re-emitted as unified diagnostics;
+    - {b structural analysis} (FSA040–FSA048, [deep] only):
+      {!Fsa_struct.Structural} over the APA's net skeleton — place
+      invariants certifying bounded components, the certified-infinite
+      self-growth warning, potentially unbounded components, transition
+      invariants, siphon/trap deadlock certificates and static
+      dependence counts.
 
     The producible-shape fixpoint over-approximates reachability (guards
     are ignored and matched terms are never removed), so a rule it calls
     dead really is dead — which is why FSA001 is an error — while races
-    and vacuity are reported as warnings. *)
+    and vacuity are reported as warnings.  Deep findings are advisory
+    notes, except FSA041 whose unboundedness certificate is sound for
+    the APA itself. *)
 
 module Apa = Fsa_apa.Apa
 module Ast = Fsa_spec.Ast
 
-val spec : ?file:string -> Ast.t -> Diagnostic.t list
+val spec :
+  ?file:string -> ?deep:bool -> ?budget:int -> Ast.t -> Diagnostic.t list
 (** Run every static pass over a parsed specification.  Parse-level
     semantic errors ({!Fsa_spec.Loc.Error} raised during elaboration) are
-    caught and reported as FSA000 diagnostics rather than exceptions. *)
+    caught and reported as FSA000 diagnostics rather than exceptions.
+    [deep] (default [false]) additionally runs the structural net
+    analysis (FSA040–FSA048); [budget] bounds its siphon/trap
+    enumeration. *)
+
+val net_of_skeleton :
+  Fsa_spec.Elaborate.skeleton -> Fsa_struct.Structural.net
+(** The structural net of a located skeleton (initial contents, take and
+    put signatures, guardedness) — what the deep pass and [fsa struct]
+    analyse. *)
 
 val apa : ?file:string -> Apa.t -> Diagnostic.t list
 (** The structural passes (dead rules, component usage) over a

@@ -41,11 +41,15 @@ let compare a b =
     let loc_cmp = Option.compare Loc.compare a.loc b.loc in
     if loc_cmp <> 0 then loc_cmp
     else
-      let sev_cmp = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
-      if sev_cmp <> 0 then sev_cmp
+      (* code before severity: two findings on the same line keep a
+         stable code order instead of interleaving by severity *)
+      let code_cmp = String.compare a.code b.code in
+      if code_cmp <> 0 then code_cmp
       else
-        let code_cmp = String.compare a.code b.code in
-        if code_cmp <> 0 then code_cmp
+        let sev_cmp =
+          Int.compare (severity_rank a.severity) (severity_rank b.severity)
+        in
+        if sev_cmp <> 0 then sev_cmp
         else String.compare a.message b.message
 
 let sort ds = List.sort compare ds
@@ -107,7 +111,32 @@ let registry =
     ("FSA032", Error, "action is both a system input and a system output");
     ("FSA033", Info, "policy tag used by a single flow (typo?)");
     ("FSA034", Error, "system output influenced by no system input");
-    ("FSA035", Info, "heavy external fan-in (undocumented merge logic?)") ]
+    ("FSA035", Info, "heavy external fan-in (undocumented merge logic?)");
+    ("FSA040", Info,
+     "component bounded by a place invariant of the net skeleton");
+    ("FSA041", Warning,
+     "state space certified infinite: an unguarded rule re-enables itself \
+      with a strictly growing term");
+    ("FSA042", Info,
+     "potentially unbounded component: positive net production and no \
+      covering place invariant");
+    ("FSA043", Info,
+     "transition invariant: a multiset of rules whose firing leaves the \
+      skeleton marking unchanged (cyclic behaviour)");
+    ("FSA044", Info,
+     "structurally dead-lockable: a siphon without an initially marked \
+      trap can drain and permanently disable its consumers");
+    ("FSA045", Info,
+     "deadlock-free at skeleton level: every minimal siphon contains an \
+      initially marked trap");
+    ("FSA046", Info,
+     "statically independent rule pairs: no token flow connects them, so \
+      their dependence tests can be skipped under --prune-static");
+    ("FSA047", Info,
+     "initially marked trap: these components can never all drain");
+    ("FSA048", Info,
+     "structural analysis truncated: siphon/trap enumeration exceeded its \
+      budget") ]
 
 let describe code =
   List.find_map

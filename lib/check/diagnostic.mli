@@ -43,8 +43,9 @@ val info :
   ('a, Format.formatter, unit, t) format4 -> 'a
 
 val compare : t -> t -> int
-(** Orders by file, then location, then code, then message — the render
-    order of every report. *)
+(** Orders by file, then location (line, col), then code, then severity,
+    then message — the render order of every report, text and JSON
+    alike. *)
 
 val sort : t list -> t list
 

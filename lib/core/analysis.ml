@@ -101,8 +101,39 @@ let dependence ~meth lts ~min_action ~max_action =
   | Direct -> Lts.depends_on lts ~max_action ~min_action
   | Abstract -> Hom.depends_abstract lts ~min_action ~max_action
 
-let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1) ?progress
-    ~stakeholder apa =
+module Structural = Fsa_struct.Structural
+
+(* Static dependence pruning.  [prune mn mx] answers [true] only when it
+   is sound to skip the dependence test and record "independent": the
+   LTS must be labelled by rule names (the default labelling — an action
+   with an actor, arguments or a label outside the rule names disables
+   pruning for the whole run), and the token-flow graph of the net
+   skeleton must admit no path from [mn]'s rule to [mx]'s rule.  Then no
+   firing of [mx] can consume or read (transitively) anything [mn]
+   produced: deleting [mn]'s firings and their downward flow closure
+   from any run leaves a valid run still containing [mx], so the
+   functional dependence test is negative by construction and pruning
+   cannot change the result. *)
+let static_pruner apa lts =
+  let rule_names = Fsa_apa.Apa.rule_names apa in
+  let default_labelled =
+    Action.Set.for_all
+      (fun a ->
+        Action.equal a (Action.make (Action.label a))
+        && List.mem (Action.label a) rule_names)
+      (Lts.alphabet lts)
+  in
+  if not default_labelled then fun _ _ -> false
+  else
+    let indep = Structural.independent_all (Structural.of_apa apa) in
+    fun mn mx ->
+      not (Action.equal mn mx)
+      && Lazy.force indep (Action.label mn) (Action.label mx)
+
+let c_pairs_pruned = Structural.pairs_pruned
+
+let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
+    ?(prune = false) ?progress ~stakeholder apa =
   Span.with_ ~cat:"core" "tool" @@ fun () ->
   let lts =
     Span.with_ ~cat:"core" "tool.explore" (fun () ->
@@ -114,13 +145,20 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1) ?progress
         ( Action.Set.elements (Lts.minima lts),
           Action.Set.elements (Lts.maxima lts) ))
   in
+  let pruned = if prune then static_pruner apa lts else fun _ _ -> false in
   let matrix =
     Span.with_ ~cat:"core" "tool.dependence_matrix" @@ fun () ->
     List.map
       (fun mx ->
         (mx,
          List.map
-           (fun mn -> (mn, dependence ~meth lts ~min_action:mn ~max_action:mx))
+           (fun mn ->
+             if pruned mn mx then begin
+               Fsa_obs.Metrics.incr c_pairs_pruned;
+               (mn, false)
+             end
+             else
+               (mn, dependence ~meth lts ~min_action:mn ~max_action:mx))
            minima))
       maxima
   in

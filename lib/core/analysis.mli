@@ -54,6 +54,7 @@ val tool :
   ?meth:dependence_method ->
   ?max_states:int ->
   ?jobs:int ->
+  ?prune:bool ->
   ?progress:Fsa_obs.Progress.t ->
   stakeholder:(Action.t -> Agent.t) ->
   Fsa_apa.Apa.t ->
@@ -63,7 +64,16 @@ val tool :
     [tool.min_max], [tool.dependence_matrix], [tool.derive]);
     [progress] is threaded through the state-space exploration.  With
     [jobs > 1] the exploration runs on {!Lts.explore_par} over that many
-    domains — the resulting graph is identical to the sequential one. *)
+    domains — the resulting graph is identical to the sequential one.
+
+    [prune] (default [false]) skips the dependence test for (min, max)
+    pairs {!Fsa_struct.Structural} proves statically independent (no
+    token-flow path from the min's rule to the max's rule), recording
+    them as independent directly and counting each skip in the
+    [struct.pairs_pruned] metric.  The pruning is sound — a pair with no
+    token flow can never test dependent — and it is automatically
+    disabled when the LTS is not labelled by plain rule names, so the
+    report (matrix included) is identical with and without it. *)
 
 val pp_tool_report : tool_report Fmt.t
 

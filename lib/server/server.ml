@@ -34,6 +34,7 @@ module Sos = Fsa_model.Sos
 module Json = Fsa_store.Json
 module Store = Fsa_store.Store
 module Metrics = Fsa_obs.Metrics
+module Structural = Fsa_struct.Structural
 module Span = Fsa_obs.Span
 module Progress = Fsa_obs.Progress
 
@@ -43,18 +44,25 @@ type config = {
   sv_timeout_ms : int;
   sv_store : Store.t option;
   sv_stakeholder : Action.t -> Agent.t;
+  sv_prune : bool;
 }
 
 let config ?(workers = 1) ?(max_states = 1_000_000) ?(timeout_ms = 0) ?store
-    ?(stakeholder = Fsa_requirements.Derive.default_stakeholder) () =
+    ?(stakeholder = Fsa_requirements.Derive.default_stakeholder)
+    ?(prune = false) () =
   { sv_workers = workers;
     sv_max_states = max_states;
     sv_timeout_ms = timeout_ms;
     sv_store = store;
-    sv_stakeholder = stakeholder }
+    sv_stakeholder = stakeholder;
+    sv_prune = prune }
 
 exception Request_timeout
 exception Usage_error of string
+
+exception Too_large of int * string
+(* [Lts.State_space_too_large], enriched with the structural growth hint
+   (computed where the spec is still in scope) *)
 
 let m_requests = Metrics.counter "server.requests"
 let m_errors = Metrics.counter "server.errors"
@@ -157,10 +165,10 @@ module Exec = struct
     in
     (summary_of_lts lts, output, 0)
 
-  let run_requirements cfg ~meth ~max_states ~jobs ~progress spec =
+  let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress spec =
     let apa = Elaborate.apa_of_spec spec in
     let report =
-      Analysis.tool ~meth ~max_states ~jobs ?progress
+      Analysis.tool ~meth ~max_states ~jobs ~prune ?progress
         ~stakeholder:cfg.sv_stakeholder apa
     in
     let result =
@@ -289,8 +297,9 @@ module Exec = struct
     | Check -> [ `Apa; `Checks; `Models ]
 
   let run cfg ~op ?(meth = Analysis.Abstract) ?(max_states = 1_000_000)
-      ?(jobs = 1) ?sos ?keep ?progress ?deadline_ns ?(cache = true) ~file
-      spec =
+      ?(jobs = 1) ?prune ?sos ?keep ?progress ?deadline_ns ?(cache = true)
+      ~file spec =
+    let prune = Option.value prune ~default:cfg.sv_prune in
     let progress =
       match (progress, deadline_ns) with
       | (Some _ as p), _ -> p
@@ -298,14 +307,26 @@ module Exec = struct
       | None, None -> None
     in
     let compute () =
-      match op with
-      | Reach -> run_reach ~max_states ~jobs ~progress spec
-      | Requirements ->
-        run_requirements cfg ~meth ~max_states ~jobs ~progress spec
-      | Analyze -> run_analyze ~sos spec
-      | Abstract -> run_abstract ~keep ~max_states ~jobs ~progress spec
-      | Verify -> run_verify ~max_states ~jobs ~progress spec
-      | Check -> run_check ~file spec
+      try
+        match op with
+        | Reach -> run_reach ~max_states ~jobs ~progress spec
+        | Requirements ->
+          run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress spec
+        | Analyze -> run_analyze ~sos spec
+        | Abstract -> run_abstract ~keep ~max_states ~jobs ~progress spec
+        | Verify -> run_verify ~max_states ~jobs ~progress spec
+        | Check -> run_check ~file spec
+      with Lts.State_space_too_large n ->
+        (* enrich with the structural growth hint while the spec is still
+           in scope; never let the hint computation mask the error *)
+        let hint =
+          try
+            Structural.growth_hint
+              (Fsa_check.Check.net_of_skeleton
+                 (Elaborate.skeleton_of_spec spec))
+          with _ -> ""
+        in
+        raise (Too_large (n, hint))
     in
     let fresh () =
       let result, output, exit_ = compute () in
@@ -319,6 +340,10 @@ module Exec = struct
     | None -> fresh ()
     | Some st -> (
       let digest = Elaborate.digest_of_spec ~parts:(digest_parts op) spec in
+      (* [jobs] and [prune] are deliberately not part of the key: neither
+         may change the result (pruning only skips pairs whose dependence
+         is provably negative), so a cached unpruned outcome serves a
+         pruned request and vice versa *)
       let params =
         let ms = ("max_states", string_of_int max_states) in
         match op with
@@ -360,6 +385,11 @@ let error_of_exn = function
     Some
       ( "too_large",
         Printf.sprintf "state space exceeds the bound of %d states" n )
+  | Too_large (n, hint) ->
+    Some
+      ( "too_large",
+        Printf.sprintf "state space exceeds the bound of %d states%s" n hint
+      )
   | Usage_error msg -> Some ("bad_request", msg)
   | Invalid_argument msg -> Some ("bad_request", msg)
   | Loc.Error (loc, msg) ->
@@ -446,8 +476,8 @@ let handle_request cfg req =
       | None -> Analysis.Abstract
     in
     let outcome =
-      Exec.run cfg ~op ~meth ~max_states ?sos:(req_str req "sos")
-        ?keep:(req_keep req) ?deadline_ns
+      Exec.run cfg ~op ~meth ~max_states ?prune:(req_bool req "prune")
+        ?sos:(req_str req "sos") ?keep:(req_keep req) ?deadline_ns
         ~cache:(Option.value (req_bool req "cache") ~default:true)
         ~file spec
     in

@@ -20,9 +20,11 @@
     [verify], [check]; the model comes either inline ([source]) or from
     a file ([spec]).  Optional members: [max_states] (clamped to the
     server's bound), [timeout_ms] (clamped to the server's budget),
-    [method] ([direct]|[abstract], requirements only), [sos] (analyze),
-    [keep] (list of action names, abstract only) and [cache] (set
-    [false] to bypass the store for one request).
+    [method] ([direct]|[abstract], requirements only), [prune]
+    (requirements only: skip dependence tests for statically independent
+    action pairs — never changes the result), [sos] (analyze), [keep]
+    (list of action names, abstract only) and [cache] (set [false] to
+    bypass the store for one request).
 
     Each response is a single line, in request order:
 
@@ -50,6 +52,9 @@ type config = {
   sv_store : Store.t option;  (** result cache; [None] disables caching *)
   sv_stakeholder : Action.t -> Agent.t;
       (** stakeholder assignment for the tool path (requirements) *)
+  sv_prune : bool;
+      (** default for static dependence pruning (requirements); requests
+          may override it with a ["prune"] member *)
 }
 
 val config :
@@ -58,10 +63,11 @@ val config :
   ?timeout_ms:int ->
   ?store:Store.t ->
   ?stakeholder:(Action.t -> Agent.t) ->
+  ?prune:bool ->
   unit ->
   config
 (** Defaults: 1 worker, 1_000_000 states, no timeout, no store, the
-    paper's default stakeholder assignment. *)
+    paper's default stakeholder assignment, no pruning. *)
 
 exception Request_timeout
 (** A request exceeded its wall-clock budget (checked cooperatively
@@ -70,6 +76,12 @@ exception Request_timeout
 exception Usage_error of string
 (** The request or invocation is malformed at the analysis level
     (unknown sos, empty keep set, no check declarations, ...). *)
+
+exception Too_large of int * string
+(** {!Fsa_lts.Lts.State_space_too_large} raised from {!Exec.run},
+    enriched with the structural growth hint of
+    {!Fsa_struct.Structural.growth_hint} naming the fastest-growing
+    state components (possibly [""]). *)
 
 (** {1 Shared executor} *)
 
@@ -92,6 +104,7 @@ module Exec : sig
     ?meth:Fsa_core.Analysis.dependence_method ->
     ?max_states:int ->
     ?jobs:int ->
+    ?prune:bool ->
     ?sos:string ->
     ?keep:string list ->
     ?progress:Fsa_obs.Progress.t ->
@@ -106,13 +119,17 @@ module Exec : sig
       never cached: its diagnostics carry source locations, which the
       location-free digest deliberately ignores.  Timeouts and other
       errors propagate as exceptions and are never cached.
+      [prune] (default [sv_prune]) enables static dependence pruning on
+      the requirements path; it cannot change the result and is
+      therefore not part of the cache key — a cached unpruned outcome
+      serves a pruned request and vice versa.
       [deadline_ns] (absolute, {!Fsa_obs.Span.now_ns} clock) arms a
       cooperative timeout checked during exploration; it is only used
       when no [progress] reporter is supplied.
       @raise Fsa_spec.Loc.Error on specs that do not elaborate
       @raise Usage_error on analysis-level misuse
       @raise Request_timeout past the deadline
-      @raise Fsa_lts.Lts.State_space_too_large beyond [max_states] *)
+      @raise Too_large beyond [max_states] *)
 end
 
 (** {1 Request handling} *)

@@ -189,8 +189,15 @@ let build_instance env inst =
             (term_of_sterm ~self ~loc:pt.pt_loc pt.pt_term))
         r.ru_puts
     in
-    let guard = compile_cond ~self ~loc:r.ru_loc r.ru_cond in
-    Apa.rule name ~takes ~puts ~guard ~label:(fun _ -> Action.make name)
+    let label _ = Action.make name in
+    (* omit trivial guards so [Apa.rule] records them as such — the
+       structural unboundedness certificate only applies to rules it can
+       prove unguarded *)
+    match r.ru_cond with
+    | C_true -> Apa.rule name ~takes ~puts ~label
+    | _ ->
+      let guard = compile_cond ~self ~loc:r.ru_loc r.ru_cond in
+      Apa.rule name ~takes ~puts ~guard ~label
   in
   Apa.make ~components:state_components
     ~rules:(List.map build_rule (rules_of_decl cd))

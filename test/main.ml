@@ -12,6 +12,7 @@ let () =
       ("mc", Test_mc.suite);
       ("spec", Test_spec.suite);
       ("check", Test_check.suite);
+      ("struct", Test_struct.suite);
       ("vanet", Test_vanet.suite);
       ("core", Test_core.suite);
       ("confidentiality", Test_confidentiality.suite);

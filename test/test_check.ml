@@ -288,7 +288,9 @@ let test_registry_complete () =
       | None -> Alcotest.failf "code %s not registered" code)
     [ "FSA000"; "FSA001"; "FSA002"; "FSA003"; "FSA004"; "FSA005"; "FSA006";
       "FSA007"; "FSA010"; "FSA011"; "FSA020"; "FSA021"; "FSA022"; "FSA023";
-      "FSA030"; "FSA031"; "FSA032"; "FSA033"; "FSA034"; "FSA035" ];
+      "FSA030"; "FSA031"; "FSA032"; "FSA033"; "FSA034"; "FSA035";
+      "FSA040"; "FSA041"; "FSA042"; "FSA043"; "FSA044"; "FSA045"; "FSA046";
+      "FSA047"; "FSA048" ];
   (* lint codes map into the registry *)
   List.iter
     (fun w ->

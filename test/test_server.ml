@@ -174,6 +174,61 @@ let test_exec_cache_jobs_and_reparse_independent =
   Alcotest.(check string) "bypass output agrees" o1.Exec.oc_output
     o3.Exec.oc_output
 
+(* Pruning may not affect results, so it is excluded from the cache key:
+   a cached unpruned requirements outcome must be served to a pruned
+   request, and vice versa. *)
+let test_exec_cache_ignores_prune =
+  with_store_dir @@ fun store ->
+  let cfg = Server.config ~store () in
+  let spec () = Parser.parse_string spec_text in
+  let plain =
+    Exec.run cfg ~op:Exec.Requirements ~prune:false ~file:"a.fsa" (spec ())
+  in
+  Alcotest.(check bool) "unpruned run computes" false plain.Exec.oc_cached;
+  let pruned =
+    Exec.run cfg ~op:Exec.Requirements ~prune:true ~file:"a.fsa" (spec ())
+  in
+  Alcotest.(check bool) "pruned request served from cache" true
+    pruned.Exec.oc_cached;
+  Alcotest.(check string) "identical replay" plain.Exec.oc_output
+    pruned.Exec.oc_output;
+  (* other direction, against a fresh store *)
+  let dir = Test_store.tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> Test_store.rm_rf dir)
+    (fun () ->
+      let cfg2 = Server.config ~store:(Store.open_ ~dir ()) () in
+      let pruned2 =
+        Exec.run cfg2 ~op:Exec.Requirements ~prune:true ~file:"a.fsa"
+          (spec ())
+      in
+      Alcotest.(check bool) "pruned run computes" false pruned2.Exec.oc_cached;
+      let plain2 =
+        Exec.run cfg2 ~op:Exec.Requirements ~prune:false ~file:"a.fsa"
+          (spec ())
+      in
+      Alcotest.(check bool) "unpruned request served from cache" true
+        plain2.Exec.oc_cached;
+      Alcotest.(check string) "identical replay" pruned2.Exec.oc_output
+        plain2.Exec.oc_output;
+      (* the pruned computation and the unpruned one agree byte for byte *)
+      Alcotest.(check string) "pruned result equals unpruned" plain.Exec.oc_output
+        pruned2.Exec.oc_output)
+
+(* A state-space overflow reaches the caller as [Too_large] carrying the
+   structural growth hint naming the runaway components. *)
+let test_too_large_hint () =
+  let cfg = Server.config () in
+  match
+    Exec.run cfg ~op:Exec.Reach ~max_states:5 ~file:"a.fsa"
+      (Parser.parse_string spec_text)
+  with
+  | _ -> Alcotest.fail "expected Too_large"
+  | exception Server.Too_large (n, hint) ->
+    Alcotest.(check int) "bound carried" 5 n;
+    Alcotest.(check bool) "hint names a component" true
+      (String.length hint > 0)
+
 let test_exec_caches_verify_failures =
   with_store_dir @@ fun store ->
   let cfg = Server.config ~store () in
@@ -309,6 +364,10 @@ let suite =
     Alcotest.test_case "timeout reply" `Quick test_timeout_reply;
     Alcotest.test_case "exec cache ignores jobs and reparse" `Quick
       test_exec_cache_jobs_and_reparse_independent;
+    Alcotest.test_case "exec cache ignores prune" `Quick
+      test_exec_cache_ignores_prune;
+    Alcotest.test_case "too large carries growth hint" `Quick
+      test_too_large_hint;
     Alcotest.test_case "exec caches verify failures" `Quick
       test_exec_caches_verify_failures;
     Alcotest.test_case "exec usage errors" `Quick test_exec_usage_errors;
