@@ -685,11 +685,18 @@ instance V1 = Vehicle(1) { esp = { sW }, gps = { pos1 } }
 instance V2 = Vehicle(2) { gps = { pos2 } }
 |}
 
+(* Millisecond buckets for wall-clock quantiles of whole kernel runs;
+   the metrics default buckets top out too low for explorations. *)
+let ms_buckets =
+  [| 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.;
+     10000.; 30000. |]
+
 (* Cold vs. warm result-cache round-trip.  The warm run must be a cache
    hit that replays the stored outcome byte-for-byte without touching
    the state space — a miss or a divergent replay is a correctness
    failure of the store, not a perf regression, and fails the harness. *)
 let bench_store () =
+  let module Metrics = Fsa_obs.Metrics in
   let module Server = Fsa_server.Server in
   let module Store = Fsa_store.Store in
   let dir =
@@ -713,20 +720,37 @@ let bench_store () =
     String.equal cold.Server.Exec.oc_output warm.Server.Exec.oc_output
   in
   if not (hit && identical) then incr failures;
+  (* warm-read latency distribution: repeated cache hits over the same
+     entry, reported as interpolated quantiles *)
+  let warm_reads = 12 in
+  let h_warm = Metrics.histogram ~buckets:ms_buckets "bench.store.warm_ms" in
+  let was_enabled = Metrics.enabled () in
+  Metrics.set_enabled true;
+  for _ = 1 to warm_reads do
+    let _, ns = time run in
+    Metrics.observe h_warm (Int64.to_float ns /. 1e6)
+  done;
+  let warm_p50 = Metrics.quantile h_warm 0.5 in
+  let warm_p99 = Metrics.quantile h_warm 0.99 in
+  Metrics.set_enabled was_enabled;
   (try
      Array.iter
        (fun f -> Sys.remove (Filename.concat dir f))
        (Sys.readdir dir);
      Sys.rmdir dir
    with Sys_error _ -> ());
-  Fmt.pr "  %-24s cold %a  warm %a  hit: %s  identical: %s@." "store/reach"
-    Fsa_obs.Span.pp_dur cold_ns Fsa_obs.Span.pp_dur warm_ns
+  Fmt.pr
+    "  %-24s cold %a  warm %a  warm p50 %.2f ms  p99 %.2f ms  hit: %s  \
+     identical: %s@."
+    "store/reach" Fsa_obs.Span.pp_dur cold_ns Fsa_obs.Span.pp_dur warm_ns
+    warm_p50 warm_p99
     (if hit then "OK" else "MISS")
     (if identical then "OK" else "MISMATCH");
   Printf.sprintf
     "    \"reach\": {\"cold_wall_ns\": %Ld, \"warm_wall_ns\": %Ld, \
-     \"warm_hit\": %b, \"replay_identical\": %b}"
-    cold_ns warm_ns hit identical
+     \"warm_hit\": %b, \"replay_identical\": %b, \"warm_reads\": %d, \
+     \"warm_p50_ms\": %.3f, \"warm_p99_ms\": %.3f}"
+    cold_ns warm_ns hit identical warm_reads warm_p50 warm_p99
 
 (* Static dependence pruning: run the tool path with and without
    --prune-static over the example systems.  The pruned report must be
@@ -774,6 +798,105 @@ let bench_struct () =
   Metrics.set_enabled false;
   Metrics.reset ();
   rows
+
+(* Provenance stamp: a benchmark number without the revision, host and
+   core count that produced it cannot be compared against later runs. *)
+let bench_meta () =
+  let git_rev =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "unknown" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> line
+      | _ -> "unknown"
+    with Unix.Unix_error _ | Sys_error _ -> "unknown"
+  in
+  let hostname = try Unix.gethostname () with Unix.Unix_error _ -> "unknown" in
+  let tm = Unix.gmtime (Unix.time ()) in
+  let timestamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  Printf.sprintf
+    "    \"git_rev\": %S,\n    \"hostname\": %S,\n    \"domains\": %d,\n\
+    \    \"timestamp\": %S"
+    git_rev hostname
+    (Domain.recommended_domain_count ())
+    timestamp
+
+(* Observability overhead on the vanet pairs-4 exploration, three
+   configurations interleaved (min-of-N keeps scheduler noise out):
+
+     disabled  the whole stack off — the reference cost
+     base      metrics, spans and the flight recorder on (the registry
+               the pre-tracing code already paid for)
+     traced    base plus a live per-request trace context, as the
+               serving layer runs it
+
+   The gate is traced vs. base: the request tracing and flight-recorder
+   machinery must stay within a few percent of the plain instrumented
+   run, or it is a regression and fails the harness. *)
+let bench_obs () =
+  let module Metrics = Fsa_obs.Metrics in
+  let module Span = Fsa_obs.Span in
+  let module Recorder = Fsa_obs.Recorder in
+  let apa = V.pairs 4 in
+  let runs = 3 in
+  let time f =
+    let t0 = Span.now_ns () in
+    f ();
+    Int64.sub (Span.now_ns ()) t0
+  in
+  let clean () =
+    Metrics.reset ();
+    Span.reset ();
+    Recorder.reset ()
+  in
+  let disabled = ref Int64.max_int in
+  let base = ref Int64.max_int in
+  let traced = ref Int64.max_int in
+  let keep_min cell ns = if Int64.compare ns !cell < 0 then cell := ns in
+  for _ = 1 to runs do
+    Metrics.set_enabled false;
+    keep_min disabled (time (fun () -> ignore (Lts.explore apa)));
+    clean ();
+    Metrics.set_enabled true;
+    keep_min base (time (fun () -> ignore (Lts.explore apa)));
+    clean ();
+    keep_min traced
+      (time (fun () ->
+           Span.with_trace ~trace_id:"bench-obs" (fun () ->
+               ignore (Lts.explore apa))))
+  done;
+  Metrics.set_enabled false;
+  clean ();
+  let ratio =
+    if Int64.compare !base 0L > 0 then
+      Int64.to_float !traced /. Int64.to_float !base
+    else 1.
+  in
+  (* absolute slack shields short runs, where a single scheduler blip
+     dwarfs any plausible instrumentation cost *)
+  let ok =
+    ratio <= 1.05
+    || Int64.compare (Int64.sub !traced !base) 50_000_000L <= 0
+  in
+  if not ok then incr failures;
+  Fmt.pr
+    "  %-24s disabled %a  base %a  traced %a  overhead %.3fx  %s@."
+    "obs/pairs-4" Fsa_obs.Span.pp_dur !disabled Fsa_obs.Span.pp_dur !base
+    Fsa_obs.Span.pp_dur !traced ratio
+    (if ok then "OK" else "REGRESSION");
+  Printf.sprintf
+    "    \"workload\": \"explore/pairs-4\",\n\
+    \    \"runs\": %d,\n\
+    \    \"disabled_wall_ns\": %Ld,\n\
+    \    \"base_wall_ns\": %Ld,\n\
+    \    \"traced_wall_ns\": %Ld,\n\
+    \    \"overhead_ratio\": %.4f,\n\
+    \    \"overhead_ok\": %b"
+    runs !disabled !base !traced ratio ok
 
 (* One wall-clock measurement per pipeline kernel, with the key counters
    of the run (states explored, transitions, requirements derived,
@@ -839,6 +962,27 @@ let bench_json path =
           && Lts.transitions seq = Lts.transitions par
         in
         if not equal then incr failures;
+        (* run-to-run spread of the sequential exploration, as
+           interpolated quantiles over a small sample.  The timed runs
+           themselves stay unmetered: recording is switched on only for
+           the observation itself. *)
+        let h =
+          Metrics.histogram ~buckets:ms_buckets
+            (Printf.sprintf "bench.explore.%s_ms" name)
+        in
+        let observe_ms ns =
+          Metrics.set_enabled true;
+          Metrics.observe h (Int64.to_float ns /. 1e6);
+          Metrics.set_enabled false
+        in
+        observe_ms seq_ns;
+        for _ = 1 to 2 do
+          let t0 = Fsa_obs.Span.now_ns () in
+          ignore (Lts.explore apa);
+          observe_ms (Int64.sub (Fsa_obs.Span.now_ns ()) t0)
+        done;
+        let p50 = Metrics.quantile h 0.5 in
+        let p99 = Metrics.quantile h 0.99 in
         let rate ns =
           let s = Int64.to_float ns /. 1e9 in
           if s > 0. then float_of_int (Lts.nb_states seq) /. s else 0.
@@ -848,26 +992,32 @@ let bench_json path =
             Int64.to_float seq_ns /. Int64.to_float par_ns
           else 0.
         in
-        Fmt.pr "  %-24s seq %a  par(%d) %a  speedup %.2fx  identical: %s@."
+        Fmt.pr
+          "  %-24s seq %a  par(%d) %a  speedup %.2fx  p50 %.1f ms  \
+           p99 %.1f ms  identical: %s@."
           name Fsa_obs.Span.pp_dur seq_ns jobs Fsa_obs.Span.pp_dur par_ns
-          speedup
+          speedup p50 p99
           (if equal then "OK" else "MISMATCH");
         Printf.sprintf
           "    \"%s\": {\"seq_wall_ns\": %Ld, \"par_wall_ns\": %Ld, \
            \"states\": %d, \"seq_states_per_sec\": %.1f, \
            \"par_states_per_sec\": %.1f, \"speedup\": %.3f, \
-           \"par_equal\": %b}"
+           \"seq_p50_ms\": %.3f, \"seq_p99_ms\": %.3f, \"par_equal\": %b}"
           name seq_ns par_ns (Lts.nb_states seq) (rate seq_ns) (rate par_ns)
-          speedup equal)
+          speedup p50 p99 equal)
       explorations
   in
   let struct_rows = bench_struct () in
   let store_row = bench_store () in
+  let obs_row = bench_obs () in
+  let meta_row = bench_meta () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "{\n  \"schema\": \"fsa-bench/1\",\n  \"kernels\": {\n";
+      output_string oc "{\n  \"schema\": \"fsa-bench/1\",\n  \"meta\": {\n";
+      output_string oc meta_row;
+      output_string oc "\n  },\n  \"kernels\": {\n";
       output_string oc (String.concat ",\n" rows);
       output_string oc "\n  },\n";
       output_string oc
@@ -877,6 +1027,8 @@ let bench_json path =
       output_string oc (String.concat ",\n" struct_rows);
       output_string oc "\n  },\n  \"store\": {\n";
       output_string oc store_row;
+      output_string oc "\n  },\n  \"obs\": {\n";
+      output_string oc obs_row;
       output_string oc "\n  }\n}\n");
   Fmt.pr "  wrote %s@." path
 

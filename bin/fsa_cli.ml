@@ -103,6 +103,7 @@ let with_obs ~metrics_out ~trace_out f =
   else begin
     Fsa_obs.Metrics.reset ();
     Fsa_obs.Span.reset ();
+    Fsa_obs.Recorder.reset ();
     Fsa_obs.Metrics.set_enabled true;
     let dump () =
       Fsa_obs.Metrics.set_enabled false;
@@ -700,35 +701,43 @@ let refine_cmd =
 let check_cmd =
   let run verbose spec_paths format werror deep budget metrics_out trace_out =
     setup_logs verbose;
-    with_obs ~metrics_out ~trace_out @@ fun () ->
-    let module D = Fsa_check.Diagnostic in
-    let diagnostics =
-      List.concat_map
-        (fun path ->
-          match parse_spec path with
-          | Ok spec -> Fsa_check.Check.spec ~file:path ~deep ?budget spec
-          | Error (`Parse (loc, msg)) ->
-            [ D.error ~file:path ~loc ~code:"FSA000" "%s" msg ]
-          | Error (`Sys msg) -> or_die (Error msg))
-        spec_paths
-    in
-    let diagnostics =
-      if werror then D.promote_warnings diagnostics else diagnostics
-    in
-    (match format with
-    | `Json -> print_string (D.render_json diagnostics)
-    | `Text ->
-      let sources =
-        List.filter_map
+    (* compute the exit code inside [with_obs] but call [exit] outside
+       it: [Stdlib.exit] does not unwind [Fun.protect], so an exit in
+       the body would skip the metrics/trace dumps *)
+    let code =
+      with_obs ~metrics_out ~trace_out @@ fun () ->
+      let module D = Fsa_check.Diagnostic in
+      let diagnostics =
+        List.concat_map
           (fun path ->
-            try Some (path, In_channel.with_open_bin path In_channel.input_all)
-            with Sys_error _ -> None)
+            match parse_spec path with
+            | Ok spec -> Fsa_check.Check.spec ~file:path ~deep ?budget spec
+            | Error (`Parse (loc, msg)) ->
+              [ D.error ~file:path ~loc ~code:"FSA000" "%s" msg ]
+            | Error (`Sys msg) -> or_die (Error msg))
           spec_paths
       in
-      print_string (D.render_text ~sources diagnostics));
-    if List.exists (fun d -> d.D.code = "FSA000") diagnostics then
-      exit parse_exit
-    else if D.has_errors diagnostics then exit 1
+      let diagnostics =
+        if werror then D.promote_warnings diagnostics else diagnostics
+      in
+      (match format with
+      | `Json -> print_string (D.render_json diagnostics)
+      | `Text ->
+        let sources =
+          List.filter_map
+            (fun path ->
+              try
+                Some (path, In_channel.with_open_bin path In_channel.input_all)
+              with Sys_error _ -> None)
+            spec_paths
+        in
+        print_string (D.render_text ~sources diagnostics));
+      if List.exists (fun d -> d.D.code = "FSA000") diagnostics then
+        parse_exit
+      else if D.has_errors diagnostics then 1
+      else 0
+    in
+    if code <> 0 then exit code
   in
   let specs_arg =
     Arg.(non_empty & pos_all file []
@@ -1010,13 +1019,17 @@ let op_names = "reach|requirements|analyze|abstract|verify|check"
 
 let serve_cmd =
   let run verbose socket workers timeout_ms max_states prune no_cache
-      cache_dir metrics_out trace_out =
+      cache_dir flight_dir slow_ms metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
+    (* a daemon always collects metrics, whether or not it dumps them on
+       exit: the [stats] op serves them live *)
+    Fsa_obs.Metrics.set_enabled true;
     (* the daemon caches by default; --no-cache switches it off *)
     let store = open_store ~cache:true ~no_cache ~cache_dir in
     let cfg =
       Server.config ~workers ~max_states ~timeout_ms ?store ~prune
+        ?flight_dir ~slow_ms
         ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
     in
     let stop _ = Server.request_shutdown () in
@@ -1045,15 +1058,29 @@ let serve_cmd =
     Arg.(value & opt int 1_000_000
          & info [ "max-states" ] ~doc:"Per-request state bound.")
   in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Dump the flight recorder to $(docv)/<trace_id>.json \
+                   for every request that ends in a timeout, too_large \
+                   or internal error.")
+  in
+  let slow_ms =
+    Arg.(value & opt float 0.
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log requests slower than $(docv) milliseconds and \
+                   record them as slow events (0 = off).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve analysis requests as newline-delimited JSON, one \
              request per line (op: reach, requirements, analyze, \
-             abstract, verify or check), from stdin or a Unix-domain \
-             socket.  SIGTERM drains in-flight requests and exits.")
+             abstract, verify, check or stats), from stdin or a \
+             Unix-domain socket.  SIGTERM drains in-flight requests and \
+             exits.  $(b,fsa stats) queries a running daemon.")
     Term.(const run $ verbose_arg $ socket $ workers $ timeout_ms
           $ max_states $ prune_arg $ no_cache_arg $ cache_dir_arg
-          $ metrics_out_arg $ trace_out_arg)
+          $ flight_dir $ slow_ms $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa batch                                                        *)
@@ -1063,20 +1090,26 @@ let batch_cmd =
   let run verbose op_name jobs max_states timeout_ms prune no_cache cache_dir
       metrics_out trace_out spec_paths =
     setup_logs verbose;
-    with_obs ~metrics_out ~trace_out @@ fun () ->
+    (* resolve the op before entering [with_obs], and exit after leaving
+       it: [die_usage] and [exit] do not unwind [Fun.protect], so either
+       one inside the body would skip the metrics/trace dumps *)
     let op =
       match Server.Exec.op_of_string op_name with
       | Some op -> op
       | None ->
         die_usage (Printf.sprintf "unknown op %S (%s)" op_name op_names)
     in
-    (* batch runs cache by default; --no-cache switches it off *)
-    let store = open_store ~cache:true ~no_cache ~cache_dir in
-    let cfg =
-      Server.config ~max_states ~timeout_ms ?store ~prune
-        ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
+    let code =
+      with_obs ~metrics_out ~trace_out @@ fun () ->
+      (* batch runs cache by default; --no-cache switches it off *)
+      let store = open_store ~cache:true ~no_cache ~cache_dir in
+      let cfg =
+        Server.config ~max_states ~timeout_ms ?store ~prune
+          ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
+      in
+      Server.Batch.run cfg ~op ~jobs spec_paths
     in
-    exit (Server.Batch.run cfg ~op ~jobs spec_paths)
+    exit code
   in
   let op_name =
     Arg.(value & opt string "requirements"
@@ -1106,6 +1139,120 @@ let batch_cmd =
           $ timeout_ms $ prune_arg $ no_cache_arg $ cache_dir_arg
           $ metrics_out_arg $ trace_out_arg $ specs_arg)
 
+(* --------------------------------------------------------------- *)
+(* fsa stats (live daemon introspection)                            *)
+(* --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let module Json = Fsa_store.Json in
+  (* numeric members arrive as Int or Float depending on their value *)
+  let num j k =
+    match Option.bind j (Json.member k) with
+    | Some (Json.Int i) -> float_of_int i
+    | Some (Json.Float f) -> f
+    | _ -> 0.
+  in
+  let int j k = int_of_float (num j k) in
+  let bool j k =
+    match Option.bind j (Json.member k) with
+    | Some (Json.Bool b) -> b
+    | _ -> false
+  in
+  let str j k =
+    Option.value ~default:""
+      (Option.bind (Option.bind j (Json.member k)) Json.to_str)
+  in
+  let render_text result =
+    let latency = Json.member "latency_ms" result in
+    Fmt.pr "latency_ms  p50 %.3f  p90 %.3f  p99 %.3f  (%d requests)@."
+      (num latency "p50") (num latency "p90") (num latency "p99")
+      (int latency "count");
+    Fmt.pr "queue_depth %d@."
+      (int (Some result) "queue_depth");
+    (match Option.bind (Json.member "workers" result) Json.to_list with
+    | None | Some [] -> ()
+    | Some workers ->
+      List.iteri
+        (fun i w ->
+          let w = Some w in
+          if bool w "busy" then
+            Fmt.pr "worker %d    domain %d  busy %s trace=%s for %.1f ms  \
+                    (%d handled)@."
+              i (int w "domain") (str w "op") (str w "trace_id")
+              (num w "for_ms") (int w "handled")
+          else
+            Fmt.pr "worker %d    domain %d  idle  (%d handled)@." i
+              (int w "domain") (int w "handled"))
+        workers);
+    (match Json.member "store" result with
+    | None | Some Json.Null -> Fmt.pr "store       disabled@."
+    | Some store ->
+      let store = Some store in
+      Fmt.pr "store       %s  %d entries, %d bytes@." (str store "dir")
+        (int store "entries") (int store "bytes"));
+    let rec_ = Json.member "recorder" result in
+    Fmt.pr "recorder    %d/%d events held, %d dropped@." (int rec_ "size")
+      (int rec_ "capacity") (int rec_ "dropped")
+  in
+  let run socket format =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect sock (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       or_die
+         (Error
+            (Printf.sprintf "%s: cannot connect (%s) — is the daemon \
+                             running with --socket?"
+               socket (Unix.error_message e))));
+    let ic = Unix.in_channel_of_descr sock in
+    let oc = Unix.out_channel_of_descr sock in
+    output_string oc "{\"id\":\"stats\",\"op\":\"stats\"}\n";
+    flush oc;
+    let line =
+      match input_line ic with
+      | line -> line
+      | exception End_of_file ->
+        or_die (Error "server closed the connection without replying")
+    in
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    match format with
+    | `Json -> print_endline line
+    | (`Text | `Prom) as format -> (
+      match Json.parse line with
+      | Error msg -> or_die (Error ("malformed response: " ^ msg))
+      | Ok resp ->
+        if Json.member "ok" resp <> Some (Json.Bool true) then
+          or_die (Error ("server error: " ^ line));
+        let result =
+          Option.value ~default:Json.Null (Json.member "result" resp)
+        in
+        (match format with
+        | `Prom -> (
+          match Option.bind (Json.member "prometheus" result) Json.to_str with
+          | Some text -> print_string text
+          | None -> or_die (Error "response carries no prometheus payload"))
+        | `Text -> render_text result))
+  in
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the running daemon.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json); ("prom", `Prom) ])
+             `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: text (human summary), json (the raw \
+                   response line) or prom (Prometheus text exposition).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Query a running $(b,fsa serve) daemon for live statistics: \
+             latency quantiles, queue depth, per-worker in-flight state, \
+             cache occupancy, flight-recorder fill and the full metrics \
+             registry in Prometheus format.")
+    Term.(const run $ socket $ format_arg)
+
 let main_cmd =
   let doc = "functional security analysis for systems of systems" in
   let info = Cmd.info "fsa" ~version:"1.0.0" ~doc in
@@ -1113,6 +1260,6 @@ let main_cmd =
     [ reach_cmd; requirements_cmd; analyze_cmd; abstract_cmd; scenario_cmd;
       dot_cmd; conf_cmd; simulate_cmd; export_cmd; refine_cmd; check_cmd;
       struct_cmd; verify_cmd; monitor_cmd; report_cmd; lint_cmd; diff_cmd;
-      serve_cmd; batch_cmd ]
+      serve_cmd; batch_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

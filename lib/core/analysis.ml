@@ -87,6 +87,27 @@ type dependence_method =
   | Direct  (* BFS on the reachability graph *)
   | Abstract  (* homomorphism + minimal automaton, as in Sect. 5.5 *)
 
+(* Wall-clock breakdown of one (min, max) dependence test.  For the
+   Direct method the whole BFS is accounted to the compare phase; the
+   erase/determinise/minimise stages exist only under Abstract. *)
+type pair_timing = {
+  pt_min : Action.t;
+  pt_max : Action.t;
+  pt_pruned : bool;
+  pt_erase_ns : int64;
+  pt_determinise_ns : int64;
+  pt_minimise_ns : int64;
+  pt_compare_ns : int64;
+}
+
+type phase_timings = {
+  ph_explore_ns : int64;
+  ph_min_max_ns : int64;
+  ph_matrix_ns : int64;
+  ph_derive_ns : int64;
+  ph_pairs : pair_timing list;
+}
+
 type tool_report = {
   t_lts : Lts.t;
   t_stats : Lts.stats;
@@ -94,12 +115,26 @@ type tool_report = {
   t_maxima : Action.t list;
   t_matrix : (Action.t * (Action.t * bool) list) list;
   t_requirements : Auth.t list;
+  t_timings : phase_timings;
 }
 
 let dependence ~meth lts ~min_action ~max_action =
   match meth with
   | Direct -> Lts.depends_on lts ~max_action ~min_action
   | Abstract -> Hom.depends_abstract lts ~min_action ~max_action
+
+let dependence_timed ~meth lts ~min_action ~max_action =
+  match meth with
+  | Direct ->
+    let t0 = Span.now_ns () in
+    let dep = Lts.depends_on lts ~max_action ~min_action in
+    let t1 = Span.now_ns () in
+    ( dep,
+      { Hom.dt_erase_ns = 0L;
+        dt_determinise_ns = 0L;
+        dt_minimise_ns = 0L;
+        dt_compare_ns = Int64.sub t1 t0 } )
+  | Abstract -> Hom.depends_abstract_timed lts ~min_action ~max_action
 
 module Structural = Fsa_struct.Structural
 
@@ -135,18 +170,27 @@ let c_pairs_pruned = Structural.pairs_pruned
 let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
     ?(prune = false) ?progress ~stakeholder apa =
   Span.with_ ~cat:"core" "tool" @@ fun () ->
-  let lts =
+  let timed f =
+    let t0 = Span.now_ns () in
+    let v = f () in
+    (v, Int64.sub (Span.now_ns ()) t0)
+  in
+  let lts, ph_explore_ns =
+    timed @@ fun () ->
     Span.with_ ~cat:"core" "tool.explore" (fun () ->
         if jobs > 1 then Lts.explore_par ~max_states ?progress ~jobs apa
         else Lts.explore ~max_states ?progress apa)
   in
-  let minima, maxima =
+  let (minima, maxima), ph_min_max_ns =
+    timed @@ fun () ->
     Span.with_ ~cat:"core" "tool.min_max" (fun () ->
         ( Action.Set.elements (Lts.minima lts),
           Action.Set.elements (Lts.maxima lts) ))
   in
   let pruned = if prune then static_pruner apa lts else fun _ _ -> false in
-  let matrix =
+  let pair_timings = ref [] in
+  let matrix, ph_matrix_ns =
+    timed @@ fun () ->
     Span.with_ ~cat:"core" "tool.dependence_matrix" @@ fun () ->
     List.map
       (fun mx ->
@@ -155,14 +199,37 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
            (fun mn ->
              if pruned mn mx then begin
                Fsa_obs.Metrics.incr c_pairs_pruned;
+               pair_timings :=
+                 { pt_min = mn;
+                   pt_max = mx;
+                   pt_pruned = true;
+                   pt_erase_ns = 0L;
+                   pt_determinise_ns = 0L;
+                   pt_minimise_ns = 0L;
+                   pt_compare_ns = 0L }
+                 :: !pair_timings;
                (mn, false)
              end
-             else
-               (mn, dependence ~meth lts ~min_action:mn ~max_action:mx))
+             else begin
+               let dep, dt =
+                 dependence_timed ~meth lts ~min_action:mn ~max_action:mx
+               in
+               pair_timings :=
+                 { pt_min = mn;
+                   pt_max = mx;
+                   pt_pruned = false;
+                   pt_erase_ns = dt.Hom.dt_erase_ns;
+                   pt_determinise_ns = dt.Hom.dt_determinise_ns;
+                   pt_minimise_ns = dt.Hom.dt_minimise_ns;
+                   pt_compare_ns = dt.Hom.dt_compare_ns }
+                 :: !pair_timings;
+               (mn, dep)
+             end)
            minima))
       maxima
   in
-  let requirements =
+  let requirements, ph_derive_ns =
+    timed @@ fun () ->
     Span.with_ ~cat:"core" "tool.derive" @@ fun () ->
     List.concat_map
       (fun (mx, row) ->
@@ -185,7 +252,13 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
     t_minima = minima;
     t_maxima = maxima;
     t_matrix = matrix;
-    t_requirements = requirements }
+    t_requirements = requirements;
+    t_timings =
+      { ph_explore_ns;
+        ph_min_max_ns;
+        ph_matrix_ns;
+        ph_derive_ns;
+        ph_pairs = List.rev !pair_timings } }
 
 let pp_tool_report ppf r =
   let pp_row ppf (mx, row) =

@@ -34,6 +34,32 @@ type dependence_method =
   | Direct  (** BFS on the reachability graph *)
   | Abstract  (** homomorphism + minimal automaton (Sect. 5.5) *)
 
+type pair_timing = {
+  pt_min : Action.t;
+  pt_max : Action.t;
+  pt_pruned : bool;  (** skipped by static pruning, all stages 0 *)
+  pt_erase_ns : int64;
+  pt_determinise_ns : int64;
+  pt_minimise_ns : int64;
+  pt_compare_ns : int64;
+}
+(** Wall-clock breakdown of one (min, max) dependence test, in matrix
+    order.  The erase/determinise/minimise stages are populated by the
+    [Abstract] method; under [Direct] the whole BFS is accounted to
+    [pt_compare_ns]. *)
+
+type phase_timings = {
+  ph_explore_ns : int64;
+  ph_min_max_ns : int64;
+  ph_matrix_ns : int64;
+  ph_derive_ns : int64;
+  ph_pairs : pair_timing list;
+}
+(** Per-phase durations of one {!tool} run.  Always collected — the
+    clock readings are negligible against the phases they measure — so
+    "which phase dominates" is data even without observability
+    enabled. *)
+
 type tool_report = {
   t_lts : Lts.t;
   t_stats : Lts.stats;
@@ -41,6 +67,7 @@ type tool_report = {
   t_maxima : Action.t list;
   t_matrix : (Action.t * (Action.t * bool) list) list;
   t_requirements : Auth.t list;
+  t_timings : phase_timings;
 }
 
 val dependence :

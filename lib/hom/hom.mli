@@ -43,6 +43,23 @@ val depends_abstract :
     minimise, and check that [max_action] cannot occur before
     [min_action]. *)
 
+type dependence_timing = {
+  dt_erase_ns : int64;  (** building the homomorphic image NFA *)
+  dt_determinise_ns : int64;
+  dt_minimise_ns : int64;
+  dt_compare_ns : int64;  (** the target-before-avoid search *)
+}
+(** Wall-clock breakdown of one abstraction-based dependence test. *)
+
+val depends_abstract_timed :
+  Lts.t ->
+  min_action:Action.t ->
+  max_action:Action.t ->
+  bool * dependence_timing
+(** {!depends_abstract} plus the time spent in each sub-phase, so the
+    analysis layer can report which phase dominates per (min, max)
+    pair. *)
+
 val dependence_matrix :
   Lts.t ->
   minima:Action.t list ->

@@ -335,8 +335,13 @@ let explore_par ?(max_states = 1_000_000) ?progress ?shards ~jobs apa =
         ignore (Atomic.fetch_and_add total_transitions !my_transitions);
         ignore (Atomic.fetch_and_add total_dedup !my_dedup)
       in
+      (* spawned workers adopt the caller's trace context, so their
+         recorder events and spans land in the requesting trace's tree
+         instead of an anonymous one *)
+      let ctx = Span.current_context () in
       let doms =
-        Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+        Array.init (jobs - 1) (fun w ->
+            Domain.spawn (fun () -> Span.with_context ctx (fun () -> worker (w + 1))))
       in
       worker 0;
       Array.iter Domain.join doms;

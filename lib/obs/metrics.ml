@@ -138,6 +138,35 @@ let histogram_sum h = h.h_sum
 let histogram_count h = h.h_count
 let histogram_name h = h.h_name
 
+(* Bucket-interpolated quantile: find the bucket holding the rank-th
+   observation and interpolate linearly between its bounds.  Values in
+   the overflow bucket are reported as the last finite bound — the
+   histogram carries no upper limit for them. *)
+let quantile h q =
+  Mutex.protect lock @@ fun () ->
+  let total = h.h_count in
+  if total = 0 then 0.
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = q *. float_of_int total in
+    let n = Array.length h.h_bounds in
+    if n = 0 then h.h_sum /. float_of_int total
+    else
+    let rec go i cum =
+      if i > n then h.h_bounds.(n - 1)
+      else
+        let cum' = cum +. float_of_int h.h_counts.(i) in
+        if cum' >= rank && h.h_counts.(i) > 0 then
+          if i = n then h.h_bounds.(n - 1)
+          else
+            let lo = if i = 0 then 0. else h.h_bounds.(i - 1) in
+            let hi = h.h_bounds.(i) in
+            lo +. ((hi -. lo) *. ((rank -. cum) /. float_of_int h.h_counts.(i)))
+        else go (i + 1) cum'
+    in
+    go 0 0.
+  end
+
 let reset () =
   Mutex.protect lock @@ fun () ->
   Hashtbl.iter
@@ -244,6 +273,58 @@ let to_json () =
       Buffer.add_string b (string_of_int h.h_count);
       Buffer.add_string b "}");
   Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+(* Prometheus text exposition format.  Metric names may not contain
+   dots, so "server.latency_ms" is exposed as "server_latency_ms";
+   histogram buckets follow the cumulative-le convention the registry
+   already uses internally. *)
+let prometheus_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prometheus_float v =
+  if not (Float.is_finite v) then if v > 0. then "+Inf" else "-Inf"
+  else json_float v
+
+let to_prometheus () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      let pname = prometheus_name name in
+      match m with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname
+             (Atomic.get c.c_value))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pname pname
+             (prometheus_float (Atomic.get g.g_value)))
+      | Histogram h ->
+        let bounds, counts, sum, count =
+          Mutex.protect lock (fun () ->
+              (h.h_bounds, Array.copy h.h_counts, h.h_sum, h.h_count))
+        in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" pname);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + counts.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname
+                 (prometheus_float bound) !cum))
+          bounds;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %s\n" pname (prometheus_float sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" pname count))
+    (sorted_metrics ());
   Buffer.contents b
 
 let pp_summary ppf () =

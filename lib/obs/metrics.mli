@@ -65,6 +65,14 @@ val histogram_sum : histogram -> float
 val histogram_count : histogram -> int
 val histogram_name : histogram -> string
 
+val quantile : histogram -> float -> float
+(** [quantile h q] is a bucket-interpolated estimate of the [q]-quantile
+    (e.g. [0.5] for the median) of the observed values: the bucket
+    holding the rank-[q] observation is located and the estimate
+    interpolated linearly between its bounds.  Values that fell in the
+    overflow bucket are reported as the last finite bound.  [0.] on an
+    empty histogram; [q] is clamped to [0, 1]. *)
+
 (** {1 Registry} *)
 
 val reset : unit -> unit
@@ -79,6 +87,13 @@ val to_json : unit -> string
 (** Deterministic JSON dump of the whole registry:
     [{"counters": {..}, "gauges": {..}, "histograms": {..}}], keys sorted
     by name. *)
+
+val to_prometheus : unit -> string
+(** The registry in Prometheus text exposition format.  Names are
+    sanitised for Prometheus ([.] and other illegal characters become
+    [_], so ["server.latency_ms"] is exposed as [server_latency_ms]);
+    histograms are rendered with cumulative [_bucket{le="..."}] series,
+    a [+Inf] bucket, [_sum] and [_count]. *)
 
 val pp_summary : unit Fmt.t
 (** Human-readable table of every instrument. *)

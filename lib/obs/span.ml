@@ -1,4 +1,4 @@
-(* Wall-time spans with nesting.
+(* Wall-time spans with nesting and a propagatable trace context.
 
    A span measures one phase of the pipeline (elaborate, explore, derive,
    ...).  Spans nest lexically via [with_]; each completed span is kept in
@@ -6,6 +6,13 @@
    indented summary or as Chrome trace_event JSON ("ph":"X" complete
    events, timestamps in microseconds) that chrome://tracing and Perfetto
    open directly.
+
+   Each domain carries a trace context — a trace id plus the id of the
+   innermost open span — in domain-local state.  [with_trace] roots a
+   context for one request; [current_context]/[with_context] hand it to a
+   freshly spawned domain, so the spans a worker records attach to the
+   same trace tree as its parent's.  Span ids are drawn from one global
+   counter, so parent links are unambiguous across domains.
 
    The clock is pluggable so that tests can inject a deterministic fake;
    the default derives a never-decreasing nanosecond clock from
@@ -20,7 +27,13 @@ type event = {
   ev_dur_ns : int64;
   ev_depth : int;
   ev_seq : int;
+  ev_trace : string;
+  ev_id : int;
+  ev_parent : int;
+  ev_domain : int;
 }
+
+type context = { ctx_trace : string; ctx_parent : int; ctx_depth : int }
 
 (* Rebased to process start: small offsets keep full double precision in
    [gettimeofday], giving effectively-nanosecond resolution, and trace
@@ -40,29 +53,80 @@ let now_ns () = !clock ()
 
 (* The completed-span buffer is shared across domains (server workers
    record request spans concurrently) and protected by a mutex; the
-   nesting depth is per-domain state, so spans nest lexically within
-   each domain without cross-talk. *)
+   trace context — trace id, innermost open span, nesting depth — is
+   per-domain state, so spans nest lexically within each domain without
+   cross-talk. *)
 let recorded : event list ref = ref []
 let seq = ref 0
 let lock = Mutex.create ()
-let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let next_id = Atomic.make 1
+
+type dstate = {
+  mutable ds_trace : string;
+  mutable ds_parent : int;
+  mutable ds_depth : int;
+}
+
+let dls = Domain.DLS.new_key (fun () -> { ds_trace = ""; ds_parent = 0; ds_depth = 0 })
 
 let reset () =
   Mutex.protect lock (fun () ->
       recorded := [];
       seq := 0);
-  Domain.DLS.get depth_key := 0
+  Atomic.set next_id 1;
+  let st = Domain.DLS.get dls in
+  st.ds_trace <- "";
+  st.ds_parent <- 0;
+  st.ds_depth <- 0
+
+let current_trace () = (Domain.DLS.get dls).ds_trace
+
+let current_context () =
+  let st = Domain.DLS.get dls in
+  { ctx_trace = st.ds_trace; ctx_parent = st.ds_parent; ctx_depth = st.ds_depth }
+
+let with_context ctx f =
+  let st = Domain.DLS.get dls in
+  let saved_trace = st.ds_trace
+  and saved_parent = st.ds_parent
+  and saved_depth = st.ds_depth in
+  st.ds_trace <- ctx.ctx_trace;
+  st.ds_parent <- ctx.ctx_parent;
+  st.ds_depth <- ctx.ctx_depth;
+  Fun.protect
+    ~finally:(fun () ->
+      st.ds_trace <- saved_trace;
+      st.ds_parent <- saved_parent;
+      st.ds_depth <- saved_depth)
+    f
+
+let with_trace ~trace_id f =
+  with_context { ctx_trace = trace_id; ctx_parent = 0; ctx_depth = 0 } f
+
+(* The flight recorder hooks in here to turn span boundaries into
+   phase_start/phase_end ring events; the already-read timestamp is
+   passed along so the hook costs no extra clock reading (and does not
+   perturb injected test clocks). *)
+let phase_hook : ([ `Start | `End ] -> string -> int64 -> unit) ref =
+  ref (fun _ _ _ -> ())
+
+let set_phase_hook f = phase_hook := f
 
 let with_ ?(cat = "fsa") name f =
   if not (Metrics.enabled ()) then f ()
   else begin
+    let st = Domain.DLS.get dls in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = st.ds_parent and d = st.ds_depth in
+    st.ds_parent <- id;
+    st.ds_depth <- d + 1;
     let start = now_ns () in
-    let depth = Domain.DLS.get depth_key in
-    let d = !depth in
-    Stdlib.incr depth;
+    !phase_hook `Start name start;
     let finish () =
-      Stdlib.decr depth;
       let stop = now_ns () in
+      !phase_hook `End name stop;
+      st.ds_parent <- parent;
+      st.ds_depth <- d;
       Mutex.protect lock (fun () ->
           let s = !seq in
           Stdlib.incr seq;
@@ -72,7 +136,11 @@ let with_ ?(cat = "fsa") name f =
               ev_start_ns = start;
               ev_dur_ns = Int64.sub stop start;
               ev_depth = d;
-              ev_seq = s }
+              ev_seq = s;
+              ev_trace = st.ds_trace;
+              ev_id = id;
+              ev_parent = parent;
+              ev_domain = (Domain.self () :> int) }
             :: !recorded)
     in
     Fun.protect ~finally:finish f
@@ -89,6 +157,9 @@ let events () =
         let c = Stdlib.compare a.ev_depth b.ev_depth in
         if c <> 0 then c else Stdlib.compare a.ev_seq b.ev_seq)
     (Mutex.protect lock (fun () -> !recorded))
+
+let events_for_trace trace =
+  List.filter (fun ev -> String.equal ev.ev_trace trace) (events ())
 
 (* Fixed-point microseconds with nanosecond precision: deterministic and
    valid as a JSON number. *)
@@ -111,8 +182,18 @@ let to_chrome_json () =
       Buffer.add_string b (us_of_ns ev.ev_start_ns);
       Buffer.add_string b ",\"dur\":";
       Buffer.add_string b (us_of_ns ev.ev_dur_ns);
-      Buffer.add_string b ",\"pid\":0,\"tid\":1,\"args\":{\"depth\":";
+      Buffer.add_string b ",\"pid\":0,\"tid\":";
+      Buffer.add_string b (string_of_int ev.ev_domain);
+      Buffer.add_string b ",\"args\":{\"depth\":";
       Buffer.add_string b (string_of_int ev.ev_depth);
+      if ev.ev_trace <> "" then begin
+        Buffer.add_string b ",\"trace\":\"";
+        Metrics.json_escape b ev.ev_trace;
+        Buffer.add_string b "\",\"span\":";
+        Buffer.add_string b (string_of_int ev.ev_id);
+        Buffer.add_string b ",\"parent\":";
+        Buffer.add_string b (string_of_int ev.ev_parent)
+      end;
       Buffer.add_string b "}}")
     (events ());
   Buffer.add_string b "\n]\n";

@@ -36,6 +36,7 @@ module Store = Fsa_store.Store
 module Metrics = Fsa_obs.Metrics
 module Structural = Fsa_struct.Structural
 module Span = Fsa_obs.Span
+module Recorder = Fsa_obs.Recorder
 module Progress = Fsa_obs.Progress
 
 type config = {
@@ -45,17 +46,21 @@ type config = {
   sv_store : Store.t option;
   sv_stakeholder : Action.t -> Agent.t;
   sv_prune : bool;
+  sv_flight_dir : string option;
+  sv_slow_ms : float;
 }
 
 let config ?(workers = 1) ?(max_states = 1_000_000) ?(timeout_ms = 0) ?store
     ?(stakeholder = Fsa_requirements.Derive.default_stakeholder)
-    ?(prune = false) () =
+    ?(prune = false) ?flight_dir ?(slow_ms = 0.) () =
   { sv_workers = workers;
     sv_max_states = max_states;
     sv_timeout_ms = timeout_ms;
     sv_store = store;
     sv_stakeholder = stakeholder;
-    sv_prune = prune }
+    sv_prune = prune;
+    sv_flight_dir = flight_dir;
+    sv_slow_ms = slow_ms }
 
 exception Request_timeout
 exception Usage_error of string
@@ -165,6 +170,34 @@ module Exec = struct
     in
     (summary_of_lts lts, output, 0)
 
+  let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+  (* Per-phase wall-clock breakdown of a tool run.  Cached entries
+     replay the timings of the run that produced them — they describe
+     the analysis, not the serving. *)
+  let timings_json (t : Analysis.phase_timings) =
+    Json.Obj
+      [ ("explore_ms", Json.Float (ms_of_ns t.Analysis.ph_explore_ns));
+        ("min_max_ms", Json.Float (ms_of_ns t.Analysis.ph_min_max_ns));
+        ("matrix_ms", Json.Float (ms_of_ns t.Analysis.ph_matrix_ns));
+        ("derive_ms", Json.Float (ms_of_ns t.Analysis.ph_derive_ns));
+        ( "pairs",
+          Json.List
+            (List.map
+               (fun p ->
+                 Json.Obj
+                   [ ("min", Json.Str (Action.to_string p.Analysis.pt_min));
+                     ("max", Json.Str (Action.to_string p.Analysis.pt_max));
+                     ("pruned", Json.Bool p.Analysis.pt_pruned);
+                     ("erase_ms", Json.Float (ms_of_ns p.Analysis.pt_erase_ns));
+                     ( "determinise_ms",
+                       Json.Float (ms_of_ns p.Analysis.pt_determinise_ns) );
+                     ( "minimise_ms",
+                       Json.Float (ms_of_ns p.Analysis.pt_minimise_ns) );
+                     ( "compare_ms",
+                       Json.Float (ms_of_ns p.Analysis.pt_compare_ns) ) ])
+               t.Analysis.ph_pairs) ) ]
+
   let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress spec =
     let apa = Elaborate.apa_of_spec spec in
     let report =
@@ -174,8 +207,8 @@ module Exec = struct
     let result =
       Json.Obj
         [ ("summary", summary_of_lts report.Analysis.t_lts);
-          ( "requirements",
-            requirements_json report.Analysis.t_requirements ) ]
+          ("requirements", requirements_json report.Analysis.t_requirements);
+          ("timings", timings_json report.Analysis.t_timings) ]
     in
     (result, Fmt.str "%a@." Analysis.pp_tool_report report, 0)
 
@@ -397,21 +430,104 @@ let error_of_exn = function
   | Sys_error msg -> Some ("io_error", msg)
   | _ -> None
 
-let error_response ~id kind message =
+(* Every response echoes the request's trace id (generated when the
+   request did not supply one), so clients can line responses up with
+   flight-recorder dumps and trace trees. *)
+let trace_seq = Atomic.make 0
+
+let gen_trace_id () =
+  Printf.sprintf "fsa-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add trace_seq 1)
+
+let error_response ~id ~trace_id kind message =
   Json.Obj
     [ ("id", id);
+      ("trace_id", Json.Str trace_id);
       ("ok", Json.Bool false);
       ( "error",
         Json.Obj
           [ ("kind", Json.Str kind); ("message", Json.Str message) ] ) ]
 
-let ok_response ~id (o : Exec.outcome) =
+let ok_response ~id ~trace_id (o : Exec.outcome) =
   Json.Obj
     [ ("id", id);
+      ("trace_id", Json.Str trace_id);
       ("ok", Json.Bool true);
       ("cached", Json.Bool o.Exec.oc_cached);
       ("exit", Json.Int o.Exec.oc_exit);
       ("result", o.Exec.oc_result) ]
+
+(* ------------------------------------------------------------------ *)
+(* Live introspection state                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One slot per worker domain, mutated by its owner and read (without a
+   lock) by whichever worker serves a [stats] request: the fields are
+   single words, so a racy read sees a slightly stale snapshot, which is
+   exactly what a diagnostic endpoint promises anyway. *)
+type slot = {
+  mutable sl_domain : int;
+  mutable sl_busy : bool;
+  mutable sl_op : string;
+  mutable sl_trace : string;
+  mutable sl_since_ns : int64;
+  mutable sl_handled : int;
+}
+
+let fresh_slot () =
+  { sl_domain = 0;
+    sl_busy = false;
+    sl_op = "";
+    sl_trace = "";
+    sl_since_ns = 0L;
+    sl_handled = 0 }
+
+let slots : slot array Atomic.t = Atomic.make [||]
+let slot_key = Domain.DLS.new_key (fun () -> -1)
+let queue_depth = Atomic.make 0
+
+let my_slot () =
+  let i = Domain.DLS.get slot_key in
+  let arr = Atomic.get slots in
+  if i >= 0 && i < Array.length arr then Some arr.(i) else None
+
+(* ------------------------------------------------------------------ *)
+(* Flight dumps                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let safe_filename s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    s
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Dump everything the recorder still holds about the request.  Failures
+   are swallowed: the flight recorder must never turn a served error
+   into an unserved one. *)
+let flight_dump cfg ~trace_id =
+  match cfg.sv_flight_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      mkdir_p dir;
+      let path = Filename.concat dir (safe_filename trace_id ^ ".json") in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Recorder.dump_trace ~trace_id))
+    with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* An error kind worth a flight dump: the request died inside the
+   analysis, so the phase events around it are the evidence. *)
+let dump_worthy = function
+  | "timeout" | "too_large" | "internal" -> true
+  | _ -> false
 
 let req_str req k = Option.bind (Json.member k req) Json.to_str
 let req_int req k = Option.bind (Json.member k req) Json.to_int
@@ -427,8 +543,79 @@ let req_keep req =
     Some (List.filter (( <> ) "") (String.split_on_char ',' s))
   | _ -> None
 
-let handle_request cfg req =
+(* ------------------------------------------------------------------ *)
+(* The stats op                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A point-in-time snapshot of the server, computed entirely from state
+   the process already maintains: the metrics registry (as Prometheus
+   text plus interpolated latency quantiles), the work queue, the worker
+   slots, the cache directory and the recorder ring. *)
+let stats_json cfg =
+  let now = Span.now_ns () in
+  let quantiles =
+    Json.Obj
+      [ ("p50", Json.Float (Metrics.quantile h_latency 0.5));
+        ("p90", Json.Float (Metrics.quantile h_latency 0.9));
+        ("p99", Json.Float (Metrics.quantile h_latency 0.99));
+        ("count", Json.Int (Metrics.histogram_count h_latency)) ]
+  in
+  let workers =
+    Json.List
+      (Array.to_list (Atomic.get slots)
+      |> List.map (fun sl ->
+             let base =
+               [ ("domain", Json.Int sl.sl_domain);
+                 ("busy", Json.Bool sl.sl_busy);
+                 ("handled", Json.Int sl.sl_handled) ]
+             in
+             let busy =
+               if sl.sl_busy then
+                 [ ("op", Json.Str sl.sl_op);
+                   ("trace_id", Json.Str sl.sl_trace);
+                   ( "for_ms",
+                     Json.Float
+                       (Int64.to_float (Int64.sub now sl.sl_since_ns) /. 1e6)
+                   ) ]
+               else []
+             in
+             Json.Obj (base @ busy)))
+  in
+  let store =
+    match cfg.sv_store with
+    | None -> Json.Null
+    | Some st ->
+      let entries, bytes = Store.occupancy st in
+      Json.Obj
+        [ ("dir", Json.Str (Store.dir st));
+          ("entries", Json.Int entries);
+          ("bytes", Json.Int bytes) ]
+  in
+  let recorder =
+    Json.Obj
+      [ ("capacity", Json.Int (Recorder.capacity ()));
+        ("size", Json.Int (Recorder.size ()));
+        ("dropped", Json.Int (Recorder.dropped ())) ]
+  in
+  Json.Obj
+    [ ("latency_ms", quantiles);
+      ("queue_depth", Json.Int (Atomic.get queue_depth));
+      ("workers", workers);
+      ("store", store);
+      ("recorder", recorder);
+      ("prometheus", Json.Str (Metrics.to_prometheus ())) ]
+
+let handle_request cfg ~trace_id req =
   let id = Option.value (Json.member "id" req) ~default:Json.Null in
+  if req_str req "op" = Some "stats" then
+    Json.Obj
+      [ ("id", id);
+        ("trace_id", Json.Str trace_id);
+        ("ok", Json.Bool true);
+        ("cached", Json.Bool false);
+        ("exit", Json.Int 0);
+        ("result", stats_json cfg) ]
+  else
   try
     let op =
       match req_str req "op" with
@@ -481,26 +668,68 @@ let handle_request cfg req =
         ~cache:(Option.value (req_bool req "cache") ~default:true)
         ~file spec
     in
-    ok_response ~id outcome
-  with e -> (
+    ok_response ~id ~trace_id outcome
+  with e ->
     Metrics.incr m_errors;
-    match error_of_exn e with
-    | Some (kind, message) -> error_response ~id kind message
-    | None -> error_response ~id "internal" (Printexc.to_string e))
+    let kind, message =
+      match error_of_exn e with
+      | Some km -> km
+      | None -> ("internal", Printexc.to_string e)
+    in
+    Recorder.record Recorder.Error (kind ^ ": " ^ message);
+    if dump_worthy kind then flight_dump cfg ~trace_id;
+    error_response ~id ~trace_id kind message
 
-let handle_line cfg line =
+let handle_line ?(seq = -1) cfg line =
   Metrics.incr m_requests;
   let t0 = Span.now_ns () in
+  let parsed = Json.parse line in
+  let trace_id =
+    match parsed with
+    | Ok req -> (
+      match req_str req "trace_id" with
+      | Some t when t <> "" -> t
+      | _ -> gen_trace_id ())
+    | Error _ -> gen_trace_id ()
+  in
+  Span.with_trace ~trace_id @@ fun () ->
+  Recorder.record Recorder.Dequeue
+    (if seq >= 0 then Printf.sprintf "seq=%d" seq else "request");
+  let op_name =
+    match parsed with
+    | Ok req -> Option.value (req_str req "op") ~default:"?"
+    | Error _ -> "?"
+  in
+  let slot = my_slot () in
+  Option.iter
+    (fun sl ->
+      sl.sl_busy <- true;
+      sl.sl_op <- op_name;
+      sl.sl_trace <- trace_id;
+      sl.sl_since_ns <- t0)
+    slot;
   let resp =
     Span.with_ ~cat:"server" "server.request" @@ fun () ->
-    match Json.parse line with
+    match parsed with
     | Error msg ->
       Metrics.incr m_errors;
-      error_response ~id:Json.Null "parse_error" msg
-    | Ok req -> handle_request cfg req
+      Recorder.record Recorder.Error ("parse_error: " ^ msg);
+      error_response ~id:Json.Null ~trace_id "parse_error" msg
+    | Ok req -> handle_request cfg ~trace_id req
   in
-  Metrics.observe h_latency
-    (Int64.to_float (Int64.sub (Span.now_ns ()) t0) /. 1e6);
+  let ms = Int64.to_float (Int64.sub (Span.now_ns ()) t0) /. 1e6 in
+  Metrics.observe h_latency ms;
+  if cfg.sv_slow_ms > 0. && ms > cfg.sv_slow_ms then begin
+    Recorder.record Recorder.Slow (Printf.sprintf "%s %.1fms" op_name ms);
+    Logs.warn (fun m ->
+        m "slow request: op=%s trace=%s %.1f ms (threshold %.1f ms)" op_name
+          trace_id ms cfg.sv_slow_ms)
+  end;
+  Option.iter
+    (fun sl ->
+      sl.sl_busy <- false;
+      sl.sl_handled <- sl.sl_handled + 1)
+    slot;
   Json.to_string resp
 
 (* ------------------------------------------------------------------ *)
@@ -536,14 +765,21 @@ let serve_loop cfg ~fd_in oc =
   let work : (int * string) option Chan.t = Chan.make () in
   let results : (int * string) option Chan.t = Chan.make () in
   let nworkers = max 1 cfg.sv_workers in
+  Atomic.set slots (Array.init nworkers (fun _ -> fresh_slot ()));
+  Atomic.set queue_depth 0;
   let workers =
-    Array.init nworkers (fun _ ->
+    Array.init nworkers (fun w ->
         Domain.spawn (fun () ->
+            Domain.DLS.set slot_key w;
+            Option.iter
+              (fun sl -> sl.sl_domain <- (Domain.self () :> int))
+              (my_slot ());
             let rec loop () =
               match Chan.pop work with
               | None -> ()
               | Some (seq, line) ->
-                Chan.push results (Some (seq, handle_line cfg line));
+                ignore (Atomic.fetch_and_add queue_depth (-1));
+                Chan.push results (Some (seq, handle_line ~seq cfg line));
                 loop ()
             in
             loop ()))
@@ -578,6 +814,8 @@ let serve_loop cfg ~fd_in oc =
   let seq = ref 0 in
   let submit line =
     if String.trim line <> "" then begin
+      Recorder.record Recorder.Enqueue (Printf.sprintf "seq=%d" !seq);
+      ignore (Atomic.fetch_and_add queue_depth 1);
       Chan.push work (Some (!seq, line));
       incr seq
     end

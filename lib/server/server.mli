@@ -17,24 +17,46 @@
     v}
 
     [op] is one of [reach], [requirements], [analyze], [abstract],
-    [verify], [check]; the model comes either inline ([source]) or from
-    a file ([spec]).  Optional members: [max_states] (clamped to the
-    server's bound), [timeout_ms] (clamped to the server's budget),
-    [method] ([direct]|[abstract], requirements only), [prune]
-    (requirements only: skip dependence tests for statically independent
-    action pairs — never changes the result), [sos] (analyze), [keep]
-    (list of action names, abstract only) and [cache] (set [false] to
-    bypass the store for one request).
+    [verify], [check], or the protocol-level [stats] (below); the model
+    comes either inline ([source]) or from a file ([spec]).  Optional
+    members: [max_states] (clamped to the server's bound), [timeout_ms]
+    (clamped to the server's budget), [method] ([direct]|[abstract],
+    requirements only), [prune] (requirements only: skip dependence
+    tests for statically independent action pairs — never changes the
+    result), [sos] (analyze), [keep] (list of action names, abstract
+    only), [cache] (set [false] to bypass the store for one request) and
+    [trace_id] (a client-chosen identifier for the request's trace; one
+    is generated when absent).
 
-    Each response is a single line, in request order:
+    Each response is a single line, in request order, echoing the
+    request's trace id:
 
     {v
-    {"id": .., "ok": true, "cached": false, "exit": 0, "result": {..}}
-    {"id": .., "ok": false, "error": {"kind": "timeout", "message": ".."}}
+    {"id": .., "trace_id": "..", "ok": true, "cached": false, "exit": 0,
+     "result": {..}}
+    {"id": .., "trace_id": "..", "ok": false,
+     "error": {"kind": "timeout", "message": ".."}}
     v}
 
     Error kinds: [parse_error], [bad_request], [too_large], [timeout],
     [io_error], [internal].
+
+    {b Tracing.}  Each request runs under {!Fsa_obs.Span.with_trace}
+    with its trace id, so the spans it records — [server.request] and
+    the analysis phases beneath it — form one tree per request even when
+    several worker domains serve concurrently, and the flight recorder
+    ({!Fsa_obs.Recorder}) attributes queueing, cache and phase events to
+    it.  When a request ends in [timeout], [too_large] or [internal] and
+    the server was configured with a flight directory, everything the
+    recorder still holds for that trace is dumped to
+    [<flight_dir>/<trace_id>.json]; requests slower than [sv_slow_ms]
+    are logged and recorded as [slow] events.
+
+    {b Introspection.}  The [stats] op takes no model and returns a
+    point-in-time snapshot: interpolated p50/p90/p99 latency estimates,
+    queue depth, per-worker in-flight state (op, trace id, busy time),
+    cache occupancy, recorder fill, and the whole metrics registry in
+    Prometheus text exposition format under ["prometheus"].
 
     With observability enabled the layer records [server.requests],
     [server.errors], a [server.latency_ms] histogram and one
@@ -55,6 +77,13 @@ type config = {
   sv_prune : bool;
       (** default for static dependence pruning (requirements); requests
           may override it with a ["prune"] member *)
+  sv_flight_dir : string option;
+      (** where to write flight-recorder dumps for requests ending in
+          [timeout], [too_large] or [internal]; [None] disables dumps *)
+  sv_slow_ms : float;
+      (** slow-request threshold in milliseconds; requests above it are
+          logged and recorded as [slow] events.  [0.] disables the
+          check. *)
 }
 
 val config :
@@ -64,10 +93,13 @@ val config :
   ?store:Store.t ->
   ?stakeholder:(Action.t -> Agent.t) ->
   ?prune:bool ->
+  ?flight_dir:string ->
+  ?slow_ms:float ->
   unit ->
   config
 (** Defaults: 1 worker, 1_000_000 states, no timeout, no store, the
-    paper's default stakeholder assignment, no pruning. *)
+    paper's default stakeholder assignment, no pruning, no flight dumps,
+    no slow-request threshold. *)
 
 exception Request_timeout
 (** A request exceeded its wall-clock budget (checked cooperatively
@@ -134,9 +166,13 @@ end
 
 (** {1 Request handling} *)
 
-val handle_line : config -> string -> string
+val handle_line : ?seq:int -> config -> string -> string
 (** Map one request line to one response line (no trailing newline).
-    Never raises: every failure becomes a structured error response. *)
+    Never raises: every failure becomes a structured error response.
+    The whole request runs under its trace id (accepted from the
+    request's ["trace_id"] member or generated), which the response
+    echoes.  [seq] is the server-side request sequence number, used only
+    to label the flight recorder's dequeue event. *)
 
 (** {1 Serving} *)
 

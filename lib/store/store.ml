@@ -9,10 +9,15 @@
    oldest-first until the directory is back under its size budget. *)
 
 module Metrics = Fsa_obs.Metrics
+module Recorder = Fsa_obs.Recorder
 
 let m_hits = Metrics.counter "store.hits"
 let m_misses = Metrics.counter "store.misses"
 let m_evictions = Metrics.counter "store.evictions"
+
+(* Enough of a key to correlate flight-recorder events with entries
+   without blowing up the ring with full 32-char digests. *)
+let short_key key = if String.length key > 12 then String.sub key 0 12 else key
 
 let format_version = 1
 
@@ -141,9 +146,12 @@ let find t ~key =
   (match entry with
   | Some _ ->
     Metrics.incr m_hits;
+    Recorder.record Recorder.Cache_hit (short_key key);
     (* refresh the LRU clock; failure only weakens eviction ordering *)
     (try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ())
-  | None -> Metrics.incr m_misses);
+  | None ->
+    Metrics.incr m_misses;
+    Recorder.record Recorder.Cache_miss (short_key key));
   entry
 
 (* Oldest-first eviction until the directory fits the budget.  Entries
@@ -180,7 +188,8 @@ let evict t =
             (try
                Sys.remove path;
                excess := !excess - size;
-               Metrics.incr m_evictions
+               Metrics.incr m_evictions;
+               Recorder.record Recorder.Eviction (Filename.basename path)
              with Sys_error _ -> ())
           end)
         by_age
@@ -208,3 +217,19 @@ let add t e =
    with Sys_error _ | Unix.Unix_error _ ->
      (try Sys.remove tmp with Sys_error _ -> ()));
   evict t
+
+(* Directory scan, not bookkeeping: the cache is shared between
+   processes, so the only truthful occupancy is what is on disk now. *)
+let occupancy t =
+  match Sys.readdir t.st_dir with
+  | exception Sys_error _ -> (0, 0)
+  | names ->
+    Array.fold_left
+      (fun (n, bytes) name ->
+        if Filename.check_suffix name ".json" then
+          match Unix.stat (Filename.concat t.st_dir name) with
+          | { Unix.st_kind = Unix.S_REG; st_size; _ } -> (n + 1, bytes + st_size)
+          | _ -> (n, bytes)
+          | exception Unix.Unix_error _ -> (n, bytes)
+        else (n, bytes))
+      (0, 0) names

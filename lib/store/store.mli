@@ -69,6 +69,11 @@ val add : t -> entry -> unit
     beyond the size budget.  Write failures are silently ignored (the
     cache is an optimisation, not a stateful dependency). *)
 
+val occupancy : t -> int * int
+(** [(entries, bytes)] currently on disk, by directory scan — the cache
+    may be shared with other processes, so bookkeeping inside one
+    process would lie.  [(0, 0)] when the directory is unreadable. *)
+
 (**/**)
 
 val entry_to_json : entry -> Json.t

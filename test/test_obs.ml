@@ -4,23 +4,36 @@
 
 module Metrics = Fsa_obs.Metrics
 module Span = Fsa_obs.Span
+module Recorder = Fsa_obs.Recorder
 module Progress = Fsa_obs.Progress
 module Lts = Fsa_lts.Lts
 module V = Fsa_vanet.Vehicle_apa
 
-(* The registry and span buffer are process-wide; every test starts from
-   a clean slate and leaves observability switched off. *)
+(* The registry, span buffer and recorder ring are process-wide; every
+   test starts from a clean slate and leaves observability switched
+   off. *)
 let with_obs f () =
   Metrics.reset ();
   Span.reset ();
+  Recorder.reset ();
   Metrics.set_enabled true;
   Fun.protect
     ~finally:(fun () ->
       Metrics.set_enabled false;
       Span.use_default_clock ();
       Span.reset ();
+      Recorder.reset ();
       Metrics.reset ())
     f
+
+let check_contains what sub s =
+  if not (String.length sub <= String.length s
+         && (let found = ref false in
+             for i = 0 to String.length s - String.length sub do
+               if String.sub s i (String.length sub) = sub then found := true
+             done;
+             !found))
+  then Alcotest.failf "%s: %S not found in %S" what sub s
 
 (* A fake clock advancing 1000 ns per reading. *)
 let install_fake_clock () =
@@ -117,11 +130,14 @@ let test_span_survives_exceptions () =
 let test_chrome_json_deterministic () =
   install_fake_clock ();
   Span.with_ "outer" (fun () -> Span.with_ "inner" (fun () -> ()));
+  let tid = string_of_int (Domain.self () :> int) in
   let expected =
-    "[\n\
-     {\"name\":\"outer\",\"cat\":\"fsa\",\"ph\":\"X\",\"ts\":1.000,\"dur\":3.000,\"pid\":0,\"tid\":1,\"args\":{\"depth\":0}},\n\
-     {\"name\":\"inner\",\"cat\":\"fsa\",\"ph\":\"X\",\"ts\":2.000,\"dur\":1.000,\"pid\":0,\"tid\":1,\"args\":{\"depth\":1}}\n\
-     ]\n"
+    Printf.sprintf
+      "[\n\
+       {\"name\":\"outer\",\"cat\":\"fsa\",\"ph\":\"X\",\"ts\":1.000,\"dur\":3.000,\"pid\":0,\"tid\":%s,\"args\":{\"depth\":0}},\n\
+       {\"name\":\"inner\",\"cat\":\"fsa\",\"ph\":\"X\",\"ts\":2.000,\"dur\":1.000,\"pid\":0,\"tid\":%s,\"args\":{\"depth\":1}}\n\
+       ]\n"
+      tid tid
   in
   Alcotest.(check string) "stable trace output" expected
     (Span.to_chrome_json ());
@@ -144,6 +160,143 @@ let test_metrics_json_deterministic () =
   in
   Alcotest.(check bool) "keys sorted by name" true
     (index "\"obs_test.zz_a\": 1" < index "\"obs_test.zz_b\": 3")
+
+let test_quantile_known_distribution () =
+  let h = Metrics.histogram ~buckets:[| 10.; 20.; 50.; 100. |] "obs_test.q" in
+  Alcotest.(check (float 1e-9)) "empty histogram" 0. (Metrics.quantile h 0.5);
+  for v = 1 to 100 do
+    Metrics.observe h (float_of_int v)
+  done;
+  (* 1..100 uniformly: the interpolated quantiles land on the exact
+     values because bucket populations match the bucket widths. *)
+  Alcotest.(check (float 1e-9)) "p10" 10. (Metrics.quantile h 0.1);
+  Alcotest.(check (float 1e-9)) "p50" 50. (Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p90" 90. (Metrics.quantile h 0.9);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Metrics.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "q clamped above" 100. (Metrics.quantile h 1.5);
+  let h2 = Metrics.histogram ~buckets:[| 1.; 2. |] "obs_test.q_overflow" in
+  List.iter (Metrics.observe h2) [ 5.; 7.; 9. ];
+  Alcotest.(check (float 1e-9)) "overflow reports the last bound" 2.
+    (Metrics.quantile h2 0.5)
+
+let test_prometheus_format () =
+  Metrics.incr ~by:3 (Metrics.counter "obs_test.prom.count");
+  Metrics.set_gauge (Metrics.gauge "obs_test.prom_gauge") 2.5;
+  let h = Metrics.histogram ~buckets:[| 1.; 2. |] "obs_test.prom_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 5. ];
+  let text = Metrics.to_prometheus () in
+  Alcotest.(check string) "export is stable" text (Metrics.to_prometheus ());
+  check_contains "sanitised counter" "# TYPE obs_test_prom_count counter\nobs_test_prom_count 3" text;
+  check_contains "gauge" "obs_test_prom_gauge 2.5" text;
+  check_contains "cumulative bucket 1" "obs_test_prom_hist_bucket{le=\"1\"} 1" text;
+  check_contains "cumulative bucket 2" "obs_test_prom_hist_bucket{le=\"2\"} 2" text;
+  check_contains "+Inf bucket" "obs_test_prom_hist_bucket{le=\"+Inf\"} 3" text;
+  check_contains "sum" "obs_test_prom_hist_sum 7" text;
+  check_contains "count" "obs_test_prom_hist_count 3" text
+
+let test_trace_context () =
+  install_fake_clock ();
+  Span.with_trace ~trace_id:"req-1" (fun () ->
+      Alcotest.(check string) "trace visible inside" "req-1"
+        (Span.current_trace ());
+      Span.with_ "outer" (fun () -> Span.with_ "inner" (fun () -> ())));
+  Span.with_ "untracked" (fun () -> ());
+  Alcotest.(check string) "trace restored outside" "" (Span.current_trace ());
+  let find name = List.find (fun e -> e.Span.ev_name = name) (Span.events ()) in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check string) "outer carries the trace" "req-1" outer.Span.ev_trace;
+  Alcotest.(check string) "inner carries the trace" "req-1" inner.Span.ev_trace;
+  Alcotest.(check int) "outer is a root" 0 outer.Span.ev_parent;
+  Alcotest.(check int) "inner hangs off outer" outer.Span.ev_id
+    inner.Span.ev_parent;
+  Alcotest.(check string) "span outside the trace" ""
+    (find "untracked").Span.ev_trace;
+  Alcotest.(check int) "events_for_trace finds exactly the pair" 2
+    (List.length (Span.events_for_trace "req-1"))
+
+let test_trace_crosses_domains () =
+  install_fake_clock ();
+  Span.with_trace ~trace_id:"xd-1" (fun () ->
+      Span.with_ "outer" (fun () ->
+          let ctx = Span.current_context () in
+          let d =
+            Domain.spawn (fun () ->
+                Span.with_context ctx (fun () ->
+                    Span.with_ "child" (fun () -> ())))
+          in
+          Domain.join d));
+  let find name = List.find (fun e -> e.Span.ev_name = name) (Span.events ()) in
+  let outer = find "outer" and child = find "child" in
+  Alcotest.(check string) "child joined the trace" "xd-1" child.Span.ev_trace;
+  Alcotest.(check int) "child hangs off outer across domains"
+    outer.Span.ev_id child.Span.ev_parent;
+  Alcotest.(check int) "child depth continues the tree" 1 child.Span.ev_depth;
+  Alcotest.(check bool) "recorded by different domains" true
+    (outer.Span.ev_domain <> child.Span.ev_domain)
+
+let test_recorder_wraparound () =
+  Recorder.set_capacity 8;
+  Fun.protect ~finally:(fun () -> Recorder.set_capacity 1024) @@ fun () ->
+  for i = 0 to 19 do
+    Recorder.record Recorder.Error (Printf.sprintf "e%d" i)
+  done;
+  let evs = Recorder.events () in
+  Alcotest.(check int) "ring holds capacity events" 8 (List.length evs);
+  Alcotest.(check int) "dropped the excess" 12 (Recorder.dropped ());
+  Alcotest.(check (list int)) "the last 8 survive, in order"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.Recorder.r_seq) evs);
+  Alcotest.(check string) "oldest survivor" "e12"
+    (List.hd evs).Recorder.r_detail;
+  let dump = Recorder.dump_trace ~trace_id:"" in
+  Alcotest.(check string) "dump is deterministic" dump
+    (Recorder.dump_trace ~trace_id:"")
+
+let test_recorder_multi_domain_wraparound () =
+  Recorder.set_capacity 64;
+  Fun.protect ~finally:(fun () -> Recorder.set_capacity 1024) @@ fun () ->
+  let doms =
+    Array.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to 99 do
+              Recorder.record
+                ~trace:(Printf.sprintf "dom-%d" w)
+                Recorder.Enqueue (string_of_int i)
+            done))
+  in
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "every record counted" 400 (Recorder.recorded ());
+  Alcotest.(check int) "ring full" 64 (Recorder.size ());
+  Alcotest.(check int) "dropped = recorded - capacity" 336
+    (Recorder.dropped ());
+  let evs = Recorder.events () in
+  List.iteri
+    (fun i ev ->
+      Alcotest.(check int) "survivors are the contiguous tail" (336 + i)
+        ev.Recorder.r_seq)
+    evs
+
+let test_recorder_mirrors_spans () =
+  install_fake_clock ();
+  Span.with_trace ~trace_id:"ph-1" (fun () ->
+      Span.with_ "tool.explore" (fun () -> ()));
+  let phases =
+    List.filter
+      (fun e ->
+        e.Recorder.r_kind = Recorder.Phase_start
+        || e.Recorder.r_kind = Recorder.Phase_end)
+      (Recorder.events_for_trace "ph-1")
+  in
+  match phases with
+  | [ s; e ] ->
+    Alcotest.(check string) "phase_start names the span" "tool.explore"
+      s.Recorder.r_detail;
+    Alcotest.(check bool) "start before end" true
+      (s.Recorder.r_kind = Recorder.Phase_start
+      && e.Recorder.r_kind = Recorder.Phase_end);
+    Alcotest.(check bool) "timestamps ordered" true
+      (Int64.compare s.Recorder.r_time_ns e.Recorder.r_time_ns < 0)
+  | evs -> Alcotest.failf "expected 2 phase events, got %d" (List.length evs)
 
 let test_progress_throttling () =
   install_fake_clock ();
@@ -208,6 +361,20 @@ let suite =
       (with_obs test_chrome_json_deterministic);
     Alcotest.test_case "metrics JSON deterministic and sorted" `Quick
       (with_obs test_metrics_json_deterministic);
+    Alcotest.test_case "quantile against a known distribution" `Quick
+      (with_obs test_quantile_known_distribution);
+    Alcotest.test_case "prometheus text exposition" `Quick
+      (with_obs test_prometheus_format);
+    Alcotest.test_case "trace context threads through spans" `Quick
+      (with_obs test_trace_context);
+    Alcotest.test_case "trace context crosses domains" `Quick
+      (with_obs test_trace_crosses_domains);
+    Alcotest.test_case "recorder ring wraparound" `Quick
+      (with_obs test_recorder_wraparound);
+    Alcotest.test_case "recorder wraparound under multi-domain load" `Quick
+      (with_obs test_recorder_multi_domain_wraparound);
+    Alcotest.test_case "recorder mirrors span phases" `Quick
+      (with_obs test_recorder_mirrors_spans);
     Alcotest.test_case "progress throttling" `Quick
       (with_obs test_progress_throttling);
     Alcotest.test_case "progress silent below thresholds" `Quick

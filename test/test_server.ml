@@ -358,6 +358,226 @@ let test_serve_channels_shutdown_drain () =
         (is_ok (parse_response line)))
     lines
 
+(* ------------------------------------------------------------------ *)
+(* Tracing, introspection and the flight recorder                      *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Fsa_obs.Metrics
+module Span = Fsa_obs.Span
+module Recorder = Fsa_obs.Recorder
+
+(* Observability on, from (and back to) a clean slate: these tests read
+   process-global span and recorder state. *)
+let with_tracing f () =
+  Metrics.reset ();
+  Span.reset ();
+  Recorder.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Span.reset ();
+      Recorder.reset ())
+    f
+
+let trace_id_of resp = Option.bind (Json.member "trace_id" resp) Json.to_str
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1))
+  in
+  go 0
+
+let test_trace_echo () =
+  let cfg = Server.config () in
+  let reply line = parse_response (Server.handle_line cfg line) in
+  let r =
+    reply
+      (source_request ~id:1 ~op:"reach" [ ("trace_id", Json.Str "my-trace") ])
+  in
+  Alcotest.(check (option string)) "explicit trace echoed" (Some "my-trace")
+    (trace_id_of r);
+  let r = reply (source_request ~id:2 ~op:"reach" []) in
+  (match trace_id_of r with
+  | Some t ->
+    Alcotest.(check bool) "generated trace id non-empty" true
+      (String.length t > 0)
+  | None -> Alcotest.fail "trace_id missing from response");
+  (* error responses echo the trace id too *)
+  let r =
+    reply
+      (request
+         [ ("id", Json.Int 3); ("op", Json.Str "reach");
+           ("trace_id", Json.Str "err-trace") ])
+  in
+  Alcotest.(check bool) "error response not ok" false (is_ok r);
+  Alcotest.(check (option string)) "error echoes trace" (Some "err-trace")
+    (trace_id_of r)
+
+let test_timings_in_result () =
+  let cfg = Server.config () in
+  let r =
+    parse_response
+      (Server.handle_line cfg (source_request ~id:1 ~op:"requirements" []))
+  in
+  Alcotest.(check bool) "requirements ok" true (is_ok r);
+  let timings = result_member "timings" r in
+  Alcotest.(check bool) "timings present" true (timings <> None);
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " present") true
+        (Option.bind timings (Json.member phase) <> None))
+    [ "explore_ms"; "min_max_ms"; "matrix_ms"; "derive_ms" ];
+  match Option.bind (Option.bind timings (Json.member "pairs")) Json.to_list with
+  | Some (pair :: _) ->
+    Alcotest.(check bool) "pair names min and max" true
+      (Json.member "min" pair <> None && Json.member "max" pair <> None)
+  | _ -> Alcotest.fail "per-pair timings missing"
+
+let test_stats_op =
+  with_tracing @@ fun () ->
+  let cfg = Server.config () in
+  (* serve something first so the latency histogram has an observation *)
+  ignore (Server.handle_line cfg (source_request ~id:1 ~op:"reach" []));
+  let r =
+    parse_response
+      (Server.handle_line cfg
+         (request [ ("id", Json.Int 2); ("op", Json.Str "stats") ]))
+  in
+  Alcotest.(check bool) "stats ok" true (is_ok r);
+  let latency = result_member "latency_ms" r in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) (q ^ " present") true
+        (Option.bind latency (Json.member q) <> None))
+    [ "p50"; "p90"; "p99" ];
+  (match Option.bind (Option.bind latency (Json.member "count")) Json.to_int with
+  | Some n -> Alcotest.(check bool) "latency counted" true (n >= 1)
+  | None -> Alcotest.fail "latency count missing");
+  Alcotest.(check bool) "queue idle" true
+    (result_member "queue_depth" r = Some (Json.Int 0));
+  (* worker slots reflect the last serving loop (none has run inside
+     this test), so only the member's shape is asserted *)
+  (match Option.bind (result_member "workers" r) Json.to_list with
+  | Some _ -> ()
+  | None -> Alcotest.fail "workers missing");
+  (match Option.bind (result_member "recorder" r) (Json.member "capacity") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "recorder state missing");
+  match Option.bind (result_member "prometheus" r) Json.to_str with
+  | Some text ->
+    Alcotest.(check bool) "prometheus exposes the latency histogram" true
+      (contains text "server_latency_ms_bucket{le=")
+  | None -> Alcotest.fail "prometheus payload missing"
+
+let test_flight_dump_on_timeout =
+  with_tracing @@ fun () ->
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fsa_flight_%d_%d" (Unix.getpid ())
+         (Test_store.tmp_counter_next ()))
+  in
+  Fun.protect ~finally:(fun () -> Test_store.rm_rf dir) @@ fun () ->
+  let cfg = Server.config ~max_states:400_000 ~flight_dir:dir () in
+  let r =
+    parse_response
+      (Server.handle_line cfg
+         (source_request ~id:7 ~op:"reach" ~source:bomb_spec
+            [ ("timeout_ms", Json.Int 1); ("trace_id", Json.Str "boom-1") ]))
+  in
+  Alcotest.(check (option string)) "timeout kind" (Some "timeout")
+    (error_kind r);
+  let path = Filename.concat dir "boom-1.json" in
+  Alcotest.(check bool) "flight dump written" true (Sys.file_exists path);
+  let dump =
+    parse_response (In_channel.with_open_bin path In_channel.input_all)
+  in
+  Alcotest.(check (option string)) "dump names the trace" (Some "boom-1")
+    (Option.bind (Json.member "trace_id" dump) Json.to_str);
+  let events =
+    Option.value ~default:[]
+      (Option.bind (Json.member "events" dump) Json.to_list)
+  in
+  Alcotest.(check bool) "dump holds events" true (events <> []);
+  let kinds =
+    List.filter_map
+      (fun e -> Option.bind (Json.member "kind" e) Json.to_str)
+      events
+  in
+  Alcotest.(check bool) "phase events captured" true
+    (List.mem "phase_start" kinds);
+  Alcotest.(check bool) "the failure itself captured" true
+    (List.mem "error" kinds);
+  (* a successful request must not dump *)
+  let r =
+    parse_response
+      (Server.handle_line cfg
+         (source_request ~id:8 ~op:"reach"
+            [ ("trace_id", Json.Str "fine-1") ]))
+  in
+  Alcotest.(check bool) "clean request ok" true (is_ok r);
+  Alcotest.(check bool) "no dump for a clean request" false
+    (Sys.file_exists (Filename.concat dir "fine-1.json"))
+
+(* Concurrent requests under distinct trace ids: each trace's span tree
+   must be self-contained — one server.request root, every other span
+   parented inside the same trace — even with several worker domains
+   interleaving. *)
+let test_concurrent_trace_trees =
+  with_tracing @@ fun () ->
+  let n = 6 in
+  let rd, wr = Unix.pipe () in
+  let requests =
+    String.concat ""
+      (List.init n (fun i ->
+           source_request ~id:i ~op:"reach"
+             [ ("trace_id", Json.Str (Printf.sprintf "t-%d" i)) ]
+           ^ "\n"))
+  in
+  let len = String.length requests in
+  assert (Unix.write_substring wr requests 0 len = len);
+  Unix.close wr;
+  let out = response_file () in
+  let oc = open_out out in
+  let cfg = Server.config ~workers:3 () in
+  Server.serve_channels cfg ~fd_in:rd oc;
+  close_out oc;
+  Unix.close rd;
+  let lines = read_lines out in
+  Sys.remove out;
+  Alcotest.(check int) "one response per request" n (List.length lines);
+  List.iteri
+    (fun i line ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "trace %d echoed" i)
+        (Some (Printf.sprintf "t-%d" i))
+        (trace_id_of (parse_response line)))
+    lines;
+  for i = 0 to n - 1 do
+    let trace = Printf.sprintf "t-%d" i in
+    let evs = Span.events_for_trace trace in
+    (match List.filter (fun e -> e.Span.ev_parent = 0) evs with
+    | [ root ] ->
+      Alcotest.(check string)
+        (trace ^ " rooted at the request span")
+        "server.request" root.Span.ev_name
+    | roots ->
+      Alcotest.failf "%s has %d root spans, wanted 1" trace
+        (List.length roots));
+    let ids = List.map (fun e -> e.Span.ev_id) evs in
+    List.iter
+      (fun e ->
+        if e.Span.ev_parent <> 0 then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s span %d parented in-trace" trace e.Span.ev_id)
+            true
+            (List.mem e.Span.ev_parent ids))
+      evs
+  done
+
 let suite =
   [ Alcotest.test_case "request round-trips" `Quick test_roundtrips;
     Alcotest.test_case "protocol errors" `Quick test_protocol_errors;
@@ -376,4 +596,12 @@ let suite =
     Alcotest.test_case "serve drains on eof" `Quick
       test_serve_channels_eof_drain;
     Alcotest.test_case "serve drains on shutdown" `Quick
-      test_serve_channels_shutdown_drain ]
+      test_serve_channels_shutdown_drain;
+    Alcotest.test_case "trace id echoed" `Quick test_trace_echo;
+    Alcotest.test_case "phase timings in results" `Quick
+      test_timings_in_result;
+    Alcotest.test_case "stats op" `Quick test_stats_op;
+    Alcotest.test_case "flight dump on timeout" `Quick
+      test_flight_dump_on_timeout;
+    Alcotest.test_case "concurrent trace trees" `Quick
+      test_concurrent_trace_trees ]
