@@ -825,6 +825,73 @@ let bench_meta () =
     (Domain.recommended_domain_count ())
     timestamp
 
+(* Symmetry / partial-order reduction: run the tool path unreduced and
+   under --reduce sym+por over uniform pair fleets.  Two gates, both
+   soundness gates of Fsa_sym rather than perf regressions: the reduced
+   requirement set must be identical to the unreduced one, and the
+   quotient must explore at most 25% of the full state count (the
+   reduction claim the docs make for EVITA-scale fleets). *)
+let bench_reduction () =
+  let module Sym = Fsa_sym.Sym in
+  (* the 25% claim is for EVITA-scale fleets (k >= 3 pairs); the k = 2
+     instance is bounded below by C(14,2)/13^2 = 54% for symmetry alone,
+     so it gets a looser bound and mainly guards requirement equality *)
+  let systems =
+    [ ("pairs-2-uniform", 0.50, fun () -> V.pairs ~uniform:true 2);
+      ("pairs-3-uniform", 0.25, fun () -> V.pairs ~uniform:true 3) ]
+  in
+  List.map
+    (fun (name, bound, mk) ->
+      let apa = mk () in
+      let time f =
+        let t0 = Fsa_obs.Span.now_ns () in
+        let r = f () in
+        (r, Int64.sub (Fsa_obs.Span.now_ns ()) t0)
+      in
+      let full, full_ns =
+        time (fun () -> Analysis.tool ~stakeholder:V.stakeholder apa)
+      in
+      let pl = Sym.plan ~guard_sig:V.guard_attest Sym.Sym_por apa in
+      let red, red_ns =
+        time (fun () ->
+            Analysis.tool ~stakeholder:V.stakeholder ~reduce:pl apa)
+      in
+      let full_states = Lts.nb_states full.Analysis.t_lts in
+      let red_states, fallback =
+        match red.Analysis.t_reduction with
+        | Some ri ->
+          (ri.Analysis.ri_reduced_states, ri.Analysis.ri_fallback <> None)
+        | None -> (Lts.nb_states red.Analysis.t_lts, true)
+      in
+      let ratio =
+        if full_states > 0 then
+          float_of_int red_states /. float_of_int full_states
+        else 1.
+      in
+      let reqs r =
+        List.sort String.compare (req_strings r.Analysis.t_requirements)
+      in
+      let identical = reqs full = reqs red in
+      let ok = identical && (not fallback) && ratio <= bound in
+      if not ok then incr failures;
+      Fmt.pr
+        "  %-24s full %d states %a  reduced %d states %a  ratio %.3f  \
+         identical: %s@."
+        name full_states Fsa_obs.Span.pp_dur full_ns red_states
+        Fsa_obs.Span.pp_dur red_ns ratio
+        (if ok then "OK"
+         else if not identical then "MISMATCH"
+         else if fallback then "FALLBACK"
+         else "RATIO");
+      Printf.sprintf
+        "    \"%s\": {\"kind\": \"sym+por\", \"full_states\": %d, \
+         \"reduced_states\": %d, \"ratio\": %.4f, \"ratio_bound\": %.2f, \
+         \"full_wall_ns\": %Ld, \"reduced_wall_ns\": %Ld, \
+         \"requirements_equal\": %b, \"fallback\": %b, \"ok\": %b}"
+        name full_states red_states ratio bound full_ns red_ns identical
+        fallback ok)
+    systems
+
 (* Observability overhead on the vanet pairs-4 exploration, three
    configurations interleaved (min-of-N keeps scheduler noise out):
 
@@ -1008,6 +1075,7 @@ let bench_json path =
       explorations
   in
   let struct_rows = bench_struct () in
+  let reduction_rows = bench_reduction () in
   let store_row = bench_store () in
   let obs_row = bench_obs () in
   let meta_row = bench_meta () in
@@ -1025,6 +1093,8 @@ let bench_json path =
       output_string oc (String.concat ",\n" exploration_rows);
       output_string oc "\n  },\n  \"struct\": {\n";
       output_string oc (String.concat ",\n" struct_rows);
+      output_string oc "\n  },\n  \"reduction\": {\n";
+      output_string oc (String.concat ",\n" reduction_rows);
       output_string oc "\n  },\n  \"store\": {\n";
       output_string oc store_row;
       output_string oc "\n  },\n  \"obs\": {\n";

@@ -12,6 +12,7 @@ module Action = Fsa_term.Action
 module Lts = Fsa_lts.Lts
 module Hom = Fsa_hom.Hom
 module Analysis = Fsa_core.Analysis
+module Sym = Fsa_sym.Sym
 
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
@@ -145,6 +146,27 @@ let prune_arg =
                  Sound: the derived requirements are identical to an \
                  unpruned run.")
 
+let reduce_conv =
+  let parse s =
+    match Sym.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown reduction %S (sym|por|sym+por)" s))
+  in
+  let print ppf k = Fmt.string ppf (Sym.kind_to_string k) in
+  Arg.conv (parse, print)
+
+let reduce_arg =
+  Arg.(value & opt (some reduce_conv) None
+       & info [ "reduce" ] ~docv:"KIND"
+           ~doc:"Explore under reduction: $(b,sym) (component-permutation \
+                 symmetry: interchangeable instances are explored once per \
+                 orbit), $(b,por) (ample-set partial-order reduction over \
+                 static interference modules) or $(b,sym+por). Sound: the \
+                 derived requirement set is identical to an unreduced run; \
+                 models with custom action labels fall back to unreduced \
+                 exploration. See $(b,fsa sym) for the detected orbits.")
+
 let cache_arg =
   Arg.(value & flag
        & info [ "cache" ]
@@ -177,11 +199,11 @@ let open_store ~cache ~no_cache ~cache_dir =
 (* Run one analysis through the shared executor (cache-aware when the
    config carries a store) and print its report; on a hit the marker
    goes to stderr so stdout stays byte-identical to a fresh run. *)
-let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?progress
-    ~file spec =
+let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
+    ?progress ~file spec =
   match
     Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep
-      ?progress ~file spec
+      ?reduce ?progress ~file spec
   with
   | outcome ->
     if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
@@ -200,8 +222,8 @@ let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?progress
 (* --------------------------------------------------------------- *)
 
 let reach_cmd =
-  let run verbose spec_path max_states jobs dot_out cache no_cache cache_dir
-      metrics_out trace_out =
+  let run verbose spec_path max_states jobs reduce dot_out cache no_cache
+      cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -210,7 +232,16 @@ let reach_cmd =
       (* the DOT export needs the graph itself: bypass the cache *)
       let apa = elaborate_apa ~file:spec_path spec in
       let progress = explore_progress spec_path in
-      let lts = explore ~max_states ~progress ~jobs apa in
+      let lts =
+        match reduce with
+        | None -> explore ~max_states ~progress ~jobs apa
+        | Some kind ->
+          let sigs = Fsa_spec.Elaborate.guard_signatures spec in
+          let pl =
+            Sym.plan ~guard_sig:(fun r -> List.assoc_opt r sigs) kind apa
+          in
+          Analysis.quotient ~max_states ~jobs ~progress pl apa
+      in
       Fmt.pr "%a@." Lts.pp_stats (Lts.stats lts);
       Fmt.pr "%a@." Lts.pp_min_max lts;
       Option.iter
@@ -221,8 +252,8 @@ let reach_cmd =
       let cfg = Server.config ?store () in
       let progress = explore_progress spec_path in
       ignore
-        (run_exec cfg ~op:Server.Exec.Reach ~max_states ~jobs ~progress
-           ~file:spec_path spec)
+        (run_exec cfg ~op:Server.Exec.Reach ~max_states ~jobs ?reduce
+           ~progress ~file:spec_path spec)
   in
   let max_states =
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State bound.")
@@ -233,8 +264,8 @@ let reach_cmd =
   in
   Cmd.v
     (Cmd.info "reach" ~doc:"Compute the reachability graph of a specification's APA model.")
-    Term.(const run $ verbose_arg $ spec_arg $ max_states $ jobs_arg $ dot_out
-          $ cache_arg $ no_cache_arg $ cache_dir_arg
+    Term.(const run $ verbose_arg $ spec_arg $ max_states $ jobs_arg
+          $ reduce_arg $ dot_out $ cache_arg $ no_cache_arg $ cache_dir_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -254,7 +285,7 @@ let meth_conv =
   Arg.conv (parse, print)
 
 let requirements_cmd =
-  let run verbose spec_path meth max_states jobs prune cache no_cache
+  let run verbose spec_path meth max_states jobs prune reduce cache no_cache
       cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
@@ -266,7 +297,7 @@ let requirements_cmd =
     let progress = explore_progress spec_path in
     ignore
       (run_exec cfg ~op:Server.Exec.Requirements ~meth ~max_states ~jobs
-         ~prune ~progress ~file:spec_path spec)
+         ~prune ?reduce ~progress ~file:spec_path spec)
   in
   let meth =
     Arg.(value & opt meth_conv Analysis.Abstract
@@ -279,7 +310,7 @@ let requirements_cmd =
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
     Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states $ jobs_arg
-          $ prune_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
+          $ prune_arg $ reduce_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -287,7 +318,7 @@ let requirements_cmd =
 (* --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run verbose spec_path sos_name prune cache no_cache cache_dir
+  let run verbose spec_path sos_name prune reduce cache no_cache cache_dir
       metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
@@ -299,10 +330,11 @@ let analyze_cmd =
     | ds -> List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds);
     let store = open_store ~cache ~no_cache ~cache_dir in
     let cfg = Server.config ?store () in
-    (* the manual path never runs the dependence matrix, so pruning is a
-       no-op here; the flag is accepted for symmetry with requirements *)
+    (* the manual path never explores a state space, so pruning and
+       reduction are no-ops here; the flags are accepted for symmetry
+       with requirements *)
     ignore
-      (run_exec cfg ~op:Server.Exec.Analyze ?sos:sos_name ~prune
+      (run_exec cfg ~op:Server.Exec.Analyze ?sos:sos_name ~prune ?reduce
          ~file:spec_path spec)
   in
   let sos_name =
@@ -313,8 +345,8 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Derive authenticity requirements from functional models (manual path).")
     Term.(const run $ verbose_arg $ spec_arg $ sos_name $ prune_arg
-          $ cache_arg $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
-          $ trace_out_arg)
+          $ reduce_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
+          $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa abstract                                                     *)
@@ -818,17 +850,65 @@ let struct_cmd =
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
+(* fsa sym (symmetry orbits and reduction prognosis)                *)
+(* --------------------------------------------------------------- *)
+
+let sym_cmd =
+  let run verbose spec_path format metrics_out trace_out =
+    setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
+    let spec = load_spec spec_path in
+    let apa = elaborate_apa ~file:spec_path spec in
+    let sigs = Fsa_spec.Elaborate.guard_signatures spec in
+    let report =
+      Sym.detect ~guard_sig:(fun r -> List.assoc_opt r sigs) apa
+    in
+    match format with
+    | `Json -> print_string (Sym.report_to_json report)
+    | `Text ->
+      Fmt.pr "%a@." Sym.pp_report report;
+      let modules =
+        Sym.por_modules
+          (Sym.por_plan apa (Fsa_struct.Structural.of_apa apa))
+      in
+      Fmt.pr "interference modules: %d (%d usable as ample sets)@."
+        (List.length modules)
+        (List.length (List.filter (fun m -> m.Sym.m_reducible) modules));
+      let order = Sym.group_order report in
+      if order > 1. then
+        Fmt.pr "predicted reduction: up to %.0fx fewer states with \
+                --reduce sym@."
+          order
+      else
+        Fmt.pr "no reducible symmetry: --reduce sym explores the full \
+                state space@."
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  Cmd.v
+    (Cmd.info "sym"
+       ~doc:"Detect component-permutation symmetry in a specification's \
+             APA model without exploring the state space: instance \
+             orbits, rejected candidate pairs, attested guards, \
+             interference modules and the predicted reduction factor \
+             for $(b,--reduce).")
+    Term.(const run $ verbose_arg $ spec_arg $ format_arg $ metrics_out_arg
+          $ trace_out_arg)
+
+(* --------------------------------------------------------------- *)
 (* fsa verify (behavioural check declarations)                      *)
 (* --------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run verbose spec_path jobs cache no_cache cache_dir =
+  let run verbose spec_path jobs reduce cache no_cache cache_dir =
     setup_logs verbose;
     let spec = load_spec spec_path in
     let store = open_store ~cache ~no_cache ~cache_dir in
     let cfg = Server.config ?store () in
     let outcome =
-      run_exec cfg ~op:Server.Exec.Verify ~jobs ~file:spec_path spec
+      run_exec cfg ~op:Server.Exec.Verify ~jobs ?reduce ~file:spec_path spec
     in
     if outcome.Server.Exec.oc_exit <> 0 then begin
       (match Fsa_store.Json.member "failed" outcome.Server.Exec.oc_result with
@@ -843,7 +923,7 @@ let verify_cmd =
        ~doc:"Evaluate a specification's check declarations against its \
              behaviour (explores the state space; see $(b,check) for the \
              static analysis).")
-    Term.(const run $ verbose_arg $ spec_arg $ jobs_arg
+    Term.(const run $ verbose_arg $ spec_arg $ jobs_arg $ reduce_arg
           $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 (* --------------------------------------------------------------- *)
@@ -1259,7 +1339,7 @@ let main_cmd =
   Cmd.group info
     [ reach_cmd; requirements_cmd; analyze_cmd; abstract_cmd; scenario_cmd;
       dot_cmd; conf_cmd; simulate_cmd; export_cmd; refine_cmd; check_cmd;
-      struct_cmd; verify_cmd; monitor_cmd; report_cmd; lint_cmd; diff_cmd;
-      serve_cmd; batch_cmd; stats_cmd ]
+      struct_cmd; sym_cmd; verify_cmd; monitor_cmd; report_cmd; lint_cmd;
+      diff_cmd; serve_cmd; batch_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -82,6 +82,24 @@ module State = struct
 
   let components s = List.map fst (Smap.bindings s.m)
 
+  (* Rename component keys and rewrite the stored terms in one pass —
+     the workhorse of symmetry canonicalisation ([Fsa_sym]).  The result
+     is a fresh state with an unset hash cache.  [comp] must be
+     injective on the keys of the state; colliding keys would silently
+     drop a component, so we union defensively. *)
+  let map ~comp ~term s =
+    let m =
+      Smap.fold
+        (fun name set acc ->
+          let set = Term.Set.map term set in
+          let name = comp name in
+          match Smap.find_opt name acc with
+          | None -> Smap.add name set acc
+          | Some prev -> Smap.add name (Term.Set.union prev set) acc)
+        s.m Smap.empty
+    in
+    of_map m
+
   let pp ppf s =
     let pp_comp ppf (name, set) =
       Fmt.pf ppf "%s = {%a}" name
@@ -112,6 +130,7 @@ type rule = {
   r_trivial_guard : bool;
   r_puts : put list;
   r_label : Term.Subst.t -> Action.t;
+  r_default_label : bool;
 }
 
 let take ?(consume = true) component pattern =
@@ -128,7 +147,7 @@ let rule ?guard ?label ~takes ~puts name =
   in
   { r_name = name; r_takes = takes; r_guard;
     r_trivial_guard = Option.is_none guard; r_puts = puts;
-    r_label = r_label }
+    r_label = r_label; r_default_label = Option.is_none label }
 
 let rule_name r = r.r_name
 

@@ -31,6 +31,14 @@ module State : sig
   (** Consistent with [equal]. *)
 
   val components : t -> string list
+
+  val map : comp:(string -> string) -> term:(Term.t -> Term.t) -> t -> t
+  (** [map ~comp ~term s] renames every component key through [comp] and
+      rewrites every stored element through [term].  Used by symmetry
+      reduction ({!Fsa_sym}) to apply a component permutation to a
+      global state; [comp] should be injective on the components of
+      [s]. *)
+
   val pp : t Fmt.t
   val to_string : t -> string
 end
@@ -48,6 +56,11 @@ type rule = {
           genuinely unguarded rules from opaque guard closures. *)
   r_puts : put list;
   r_label : Term.Subst.t -> Action.t;
+  r_default_label : bool;
+      (** [true] when no label closure was supplied to {!rule}: every
+          firing is labelled [Action.make r_name].  Symmetry reduction
+          relies on this — an opaque label closure could leak instance
+          identities the state permutation cannot rewrite. *)
 }
 
 val take : ?consume:bool -> string -> Term.t -> take

@@ -488,6 +488,98 @@ let pass_deep ?file ?budget sk add =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Deep pass: reduction prognosis (FSA050-FSA058)                      *)
+(* ------------------------------------------------------------------ *)
+
+module Sym = Fsa_sym.Sym
+
+(* Everything here is advisory (Info): asymmetric models are perfectly
+   fine, the pass only reports what --reduce could exploit and why it
+   would refuse the rest. *)
+let pass_sym ?file ast add =
+  match
+    try Some (Elab.apa_of_spec ast, Elab.guard_signatures ast)
+    with
+    (* elaboration problems are already reported as FSA000; a spec with
+       no instances (model-only) simply has nothing to reduce *)
+    | Loc.Error _ | Invalid_argument _ ->
+      None
+  with
+  | None -> ()
+  | Some (apa, sigs) ->
+    let rep = Sym.detect ~guard_sig:(fun r -> List.assoc_opt r sigs) apa in
+    let blocks o =
+      String.concat " ~ "
+        (List.map
+           (fun b -> "{" ^ String.concat " " b.Sym.b_instances ^ "}")
+           o.Sym.o_blocks)
+    in
+    List.iter
+      (fun o ->
+        if o.Sym.o_reducible then
+          add
+            (D.info ?file ~code:"FSA050"
+               "instances %s are interchangeable: --reduce sym explores \
+                one representative per class (%d blocks)"
+               (blocks o)
+               (List.length o.Sym.o_blocks))
+        else
+          add
+            (D.info ?file ~code:"FSA052"
+               "orbit %s cannot be canonicalised: %s" (blocks o) o.Sym.o_why))
+      rep.Sym.r_orbits;
+    List.iter
+      (fun j ->
+        let code =
+          match j.Sym.j_reason with `Initial -> "FSA054" | _ -> "FSA051"
+        in
+        add
+          (D.info ?file ~code
+             "instances %s and %s look alike but are not interchangeable: \
+              %s"
+             j.Sym.j_a j.Sym.j_b j.Sym.j_detail))
+      rep.Sym.r_rejected;
+    if rep.Sym.r_attested_guards <> [] then
+      add
+        (D.info ?file ~code:"FSA057"
+           "guard equivalence of %s rests on syntactic signatures: \
+            symmetry soundness assumes the guard builtins treat the \
+            instances alike"
+           (String.concat ", " rep.Sym.r_attested_guards));
+    let modules = Sym.por_modules (Sym.por_plan apa (Structural.of_apa apa)) in
+    let usable = List.filter (fun m -> m.Sym.m_reducible) modules in
+    if List.length modules > 1 then begin
+      add
+        (D.info ?file ~code:"FSA053"
+           "the rules split into %d interference modules (%d usable as \
+            ample sets): --reduce por interleaves them one at a time"
+           (List.length modules) (List.length usable));
+      List.iter
+        (fun m ->
+          if not m.Sym.m_reducible then
+            add
+              (D.info ?file ~code:"FSA056"
+                 "module {%s} cannot serve as an ample set: %s"
+                 (String.concat ", " m.Sym.m_rules)
+                 m.Sym.m_why))
+        modules
+    end;
+    let order = Sym.group_order rep in
+    if order > 1. then
+      add
+        (D.info ?file ~code:"FSA055"
+           "symmetry group order %.0f: --reduce sym explores up to %.0fx \
+            fewer states"
+           order order);
+    if order > 1. || usable <> [] then
+      add
+        (D.info ?file ~code:"FSA058"
+           "this model qualifies for reduced exploration: try --reduce %s"
+           (if order > 1. && usable <> [] then "sym+por"
+            else if order > 1. then "sym"
+            else "por"))
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -512,7 +604,10 @@ let spec ?file ?(deep = false) ?budget ast =
         let dead = skeleton_passes ?file sk add in
         let alphabet = List.map (fun r -> r.lr_name) sk.sk_rules in
         pass_checks ?file ~alphabet ~dead env.checks add;
-        if deep then pass_deep ?file ?budget sk add
+        if deep then begin
+          pass_deep ?file ?budget sk add;
+          pass_sym ?file ast add
+        end
       with Loc.Error (loc, msg) ->
         add (D.error ?file ~loc ~code:"FSA000" "%s" msg));
      pass_soses ?file ast env add

@@ -24,7 +24,12 @@
       invariants certifying bounded components, the certified-infinite
       self-growth warning, potentially unbounded components, transition
       invariants, siphon/trap deadlock certificates and static
-      dependence counts.
+      dependence counts;
+    - {b reduction prognosis} (FSA050–FSA058, [deep] only):
+      {!Fsa_sym.Sym} over the elaborated APA — symmetry orbits, rejected
+      candidate pairs, attested guards, interference modules and the
+      predicted [--reduce] factor.  All advisory: asymmetric models are
+      fine, the pass reports what a reduction could exploit.
 
     The producible-shape fixpoint over-approximates reachability (guards
     are ignored and matched terms are never removed), so a rule it calls
@@ -42,7 +47,8 @@ val spec :
     semantic errors ({!Fsa_spec.Loc.Error} raised during elaboration) are
     caught and reported as FSA000 diagnostics rather than exceptions.
     [deep] (default [false]) additionally runs the structural net
-    analysis (FSA040–FSA048); [budget] bounds its siphon/trap
+    analysis (FSA040–FSA048) and the symmetry / partial-order reduction
+    prognosis (FSA050–FSA058); [budget] bounds the siphon/trap
     enumeration. *)
 
 val net_of_skeleton :

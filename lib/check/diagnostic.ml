@@ -136,7 +136,31 @@ let registry =
      "initially marked trap: these components can never all drain");
     ("FSA048", Info,
      "structural analysis truncated: siphon/trap enumeration exceeded its \
-      budget") ]
+      budget");
+    ("FSA050", Info,
+     "symmetry orbit: interchangeable instances, explored once per \
+      equivalence class under --reduce sym");
+    ("FSA051", Info,
+     "same-shape instances are not interchangeable (guards, rule sets or \
+      ambiguous correspondence)");
+    ("FSA052", Info,
+     "symmetry orbit not reducible: an instance identity leaks outside \
+      the orbit's own components");
+    ("FSA053", Info,
+     "rule interference modules: statically independent subsystems, \
+      usable as ample sets under --reduce por");
+    ("FSA054", Info,
+     "same-shape instances differ in their initial contents");
+    ("FSA055", Info,
+     "predicted symmetry reduction factor for --reduce sym");
+    ("FSA056", Info,
+     "interference module unusable as an ample set: a rule does not \
+      consume, or intra-module token flow is cyclic");
+    ("FSA057", Info,
+     "guard equivalence attested by syntactic signature only: symmetry \
+      soundness assumes the guard builtins treat the instances alike");
+    ("FSA058", Info,
+     "reduction available: the model qualifies for --reduce") ]
 
 let describe code =
   List.find_map

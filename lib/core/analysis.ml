@@ -108,6 +108,18 @@ type phase_timings = {
   ph_pairs : pair_timing list;
 }
 
+(* What --reduce actually did: the size of the reduced exploration (the
+   states and transitions that underwent rule matching), the order of
+   the detected symmetry group, and — when the plan could not be applied
+   soundly — why the run fell back to unreduced exploration. *)
+type reduction_info = {
+  ri_kind : string;  (** ["sym"], ["por"] or ["sym+por"] *)
+  ri_reduced_states : int;
+  ri_reduced_transitions : int;
+  ri_group_order : float;
+  ri_fallback : string option;
+}
+
 type tool_report = {
   t_lts : Lts.t;
   t_stats : Lts.stats;
@@ -116,6 +128,7 @@ type tool_report = {
   t_matrix : (Action.t * (Action.t * bool) list) list;
   t_requirements : Auth.t list;
   t_timings : phase_timings;
+  t_reduction : reduction_info option;
 }
 
 let dependence ~meth lts ~min_action ~max_action =
@@ -137,6 +150,8 @@ let dependence_timed ~meth lts ~min_action ~max_action =
   | Abstract -> Hom.depends_abstract_timed lts ~min_action ~max_action
 
 module Structural = Fsa_struct.Structural
+module Sym = Fsa_sym.Sym
+module Apa = Fsa_apa.Apa
 
 (* Static dependence pruning.  [prune mn mx] answers [true] only when it
    is sound to skip the dependence test and record "independent": the
@@ -148,46 +163,267 @@ module Structural = Fsa_struct.Structural
    produced: deleting [mn]'s firings and their downward flow closure
    from any run leaves a valid run still containing [mx], so the
    functional dependence test is negative by construction and pruning
-   cannot change the result. *)
-let static_pruner apa lts =
-  let rule_names = Fsa_apa.Apa.rule_names apa in
+   cannot change the result.
+
+   [indep] shares a flow-independence matrix already built for the spec
+   (a reduction plan carries one for its ample-set modules) instead of
+   recomputing it here. *)
+let default_labelled_rules apa =
+  List.for_all (fun r -> r.Apa.r_default_label) (Apa.rules apa)
+
+let static_pruner ?indep apa lts =
+  let rule_names = Apa.rule_names apa in
   let default_labelled =
-    Action.Set.for_all
-      (fun a ->
-        Action.equal a (Action.make (Action.label a))
-        && List.mem (Action.label a) rule_names)
-      (Lts.alphabet lts)
+    default_labelled_rules apa
+    || Action.Set.for_all
+         (fun a ->
+           Action.equal a (Action.make (Action.label a))
+           && List.mem (Action.label a) rule_names)
+         (Lts.alphabet lts)
   in
   if not default_labelled then fun _ _ -> false
   else
-    let indep = Structural.independent_all (Structural.of_apa apa) in
+    let indep =
+      match indep with
+      | Some indep -> indep
+      | None -> Structural.independent_all (Structural.of_apa apa)
+    in
     fun mn mx ->
       not (Action.equal mn mx)
       && Lazy.force indep (Action.label mn) (Action.label mx)
 
 let c_pairs_pruned = Structural.pairs_pruned
 
+(* ------------------------------------------------------------------ *)
+(* Reduced exploration (--reduce)                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Stbl = Hashtbl.Make (struct
+  type t = Apa.State.t
+
+  let equal = Apa.State.equal
+  let hash = Apa.State.hash
+end)
+
+let reduction_hooks pl =
+  { Lts.rd_canon = Option.value (Sym.canon_fn pl) ~default:Fun.id;
+    rd_ample = Option.value (Sym.ample_fn pl) ~default:(fun _ succs -> succs) }
+
+let quotient ?(max_states = 1_000_000) ?(jobs = 1) ?progress pl apa =
+  let reduce = reduction_hooks pl in
+  if jobs > 1 then Lts.explore_par ~max_states ~reduce ?progress ~jobs apa
+  else Lts.explore ~max_states ~reduce ?progress apa
+
+(* Exact maxima of the FULL graph, recovered module-locally.
+
+   An ample-reduced graph cannot answer the maxima question directly:
+   its dead states are only ever entered by whatever module the
+   scheduler ran last, so plain [Lts.maxima] loses every other module's
+   final actions (and under sym+por the canonical block re-sorting even
+   shuffles which module that is between steps).  But interference
+   modules are fully independent subsystems — no rule of one can
+   enable, disable or feed another — so the full graph is exactly their
+   product, and the product's maxima decompose:
+
+   - a product state is dead iff every module is locally dead, and by
+     independence every combination of locally reachable states is
+     reachable, so [a] (of module [i]) enters a dead product state iff
+     [a] enters a dead state of module [i]'s local graph and every
+     other module can die;
+   - the reduced graph has a dead state iff every module can locally
+     die (a reduced dead state is a genuine product dead state, and
+     conversely termination of the chosen modules drives every module
+     to a local dead end when it has one).
+
+   So: no dead state in the reduced graph means no full maxima at all;
+   otherwise the full maxima are the union of each module's local
+   maxima, each computed by exploring that module's rules alone — the
+   local graphs are tiny (the product divides into them). *)
+let por_maxima ?(max_states = 1_000_000) po apa lts =
+  if Lts.deadlocks lts = [] then Action.Set.empty
+  else
+    let rules = Apa.rules apa in
+    List.fold_left
+      (fun acc m ->
+        let mrules =
+          List.filter (fun r -> List.mem r.Apa.r_name m.Sym.m_rules) rules
+        in
+        let local =
+          Lts.explore ~max_states
+            (Apa.make ~components:(Apa.components apa) ~rules:mrules
+               (Apa.name apa))
+        in
+        Action.Set.union acc (Lts.maxima local))
+      Action.Set.empty (Sym.por_modules po)
+
+(* Unfold a symmetry quotient back to the full reachability graph.
+
+   Quotient exploration shrinks the expensive part — rule matching runs
+   only on canonical representatives — but the dependence tests need the
+   full graph with per-instance labels: testing over the quotient with
+   its raw labels is unsound, because one representative path can mix
+   transitions of different concrete instances.  The product BFS below
+   enumerates pairs [(rep, sigma)] denoting the concrete state
+   [sigma rep]: the successors of each representative are computed (and
+   ample-filtered) once, then replayed under [sigma] for every concrete
+   state of the orbit — the concrete label of a raw successor [(a, t)]
+   is [sigma a], and the successor's own pair is [(rep', sigma . inv
+   tau)] where [canonical t = (rep', tau)].  Per concrete edge the work
+   is a permutation application, not a rule match.  BFS order is
+   deterministic, so the rebuilt graph is reproducible (though its state
+   numbering may differ from an unreduced exploration's; all set-level
+   results — minima, maxima, dependence, requirements — coincide).
+
+   [max_states] bounds the representatives (the states actually
+   matched); the concrete graph may legitimately be [group_order] times
+   larger, so it gets a proportionally larger safety cap. *)
+let unfolded ?(max_states = 1_000_000) pl apa =
+  let cz =
+    match pl.Sym.pl_canonizer with
+    | Some cz -> cz
+    | None -> invalid_arg "Analysis.unfolded: plan has no canonizer"
+  in
+  if not (default_labelled_rules apa) then
+    raise
+      (Sym.Unsupported
+         "model has custom action labels; the recorded renamings only \
+          rewrite default rule-name labels");
+  let ample = Option.value (Sym.ample_fn pl) ~default:(fun _ succs -> succs) in
+  let full_cap =
+    let order = Sym.group_order pl.Sym.pl_report in
+    let scale = if Float.is_integer order && order <= 4096. then
+        int_of_float order else 4096
+    in
+    max max_states (max_states * scale)
+  in
+  let succs = Stbl.create 1024 in
+  let succ_of q =
+    match Stbl.find_opt succs q with
+    | Some l -> l
+    | None ->
+      if Stbl.length succs >= max_states then
+        raise (Lts.State_space_too_large max_states);
+      let l =
+        List.map (fun (_, a, t) -> (a, t)) (ample q (Apa.step apa q))
+      in
+      Stbl.add succs q l;
+      l
+  in
+  let index = Stbl.create 4096 in
+  let rev_states = ref [] in
+  let nb = ref 0 in
+  let rev_edges = ref [] in
+  let nb_edges = ref 0 in
+  let queue = Queue.create () in
+  let intern s q sigma =
+    match Stbl.find_opt index s with
+    | Some id -> id
+    | None ->
+      if !nb >= full_cap then raise (Lts.State_space_too_large full_cap);
+      let id = !nb in
+      incr nb;
+      Stbl.add index s id;
+      rev_states := s :: !rev_states;
+      Queue.add (id, q, sigma) queue;
+      id
+  in
+  let s0 = Apa.initial_state apa in
+  ignore (intern s0 s0 Sym.Perm.id);
+  while not (Queue.is_empty queue) do
+    let id, q, sigma = Queue.pop queue in
+    List.iter
+      (fun (a, t) ->
+        let label = Sym.Perm.apply_action sigma a in
+        let rep, tau = Sym.canonical cz t in
+        let sigma' = Sym.Perm.compose sigma (Sym.Perm.inverse tau) in
+        let s' = Sym.Perm.apply_state sigma' rep in
+        let id' = intern s' rep sigma' in
+        incr nb_edges;
+        rev_edges := { Lts.t_src = id; t_label = label; t_dst = id' } :: !rev_edges)
+      (succ_of q)
+  done;
+  let states = Array.of_list (List.rev !rev_states) in
+  let edges = List.rev !rev_edges in
+  let reps = Stbl.length succs in
+  let rep_transitions =
+    Stbl.fold (fun _ l acc -> acc + List.length l) succs 0
+  in
+  (Lts.of_graph ~name:(Apa.name apa) ~states edges, reps, rep_transitions)
+
 let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
-    ?(prune = false) ?progress ~stakeholder apa =
+    ?(prune = false) ?reduce ?progress ~stakeholder apa =
   Span.with_ ~cat:"core" "tool" @@ fun () ->
   let timed f =
     let t0 = Span.now_ns () in
     let v = f () in
     (v, Int64.sub (Span.now_ns ()) t0)
   in
+  (* The requirement pipeline needs concrete per-instance labels, so a
+     symmetry plan is applied as quotient-then-unfold; that in turn
+     needs the default rule-name labelling the recorded renamings can
+     rewrite.  Models with custom labels fall back to unreduced
+     exploration (recorded in [ri_fallback]). *)
+  let eff_reduce, fallback =
+    match reduce with
+    | None -> (None, None)
+    | Some pl when default_labelled_rules apa -> (Some pl, None)
+    | Some pl ->
+      let reason =
+        "model has custom action labels; explored unreduced"
+      in
+      Log.warn (fun m ->
+          m "--reduce %s: %s" (Sym.kind_to_string pl.Sym.pl_kind) reason);
+      (None, Some reason)
+  in
+  let quotient_size = ref None in
   let lts, ph_explore_ns =
     timed @@ fun () ->
     Span.with_ ~cat:"core" "tool.explore" (fun () ->
-        if jobs > 1 then Lts.explore_par ~max_states ?progress ~jobs apa
-        else Lts.explore ~max_states ?progress apa)
+        match eff_reduce with
+        | Some pl when Sym.canon_fn pl <> None ->
+          let lts, reps, rep_transitions = unfolded ~max_states pl apa in
+          quotient_size := Some (reps, rep_transitions);
+          lts
+        | Some pl ->
+          (* partial order only: the reduced graph is analysed as-is *)
+          quotient ~max_states ~jobs ?progress pl apa
+        | None ->
+          if jobs > 1 then Lts.explore_par ~max_states ?progress ~jobs apa
+          else Lts.explore ~max_states ?progress apa)
+  in
+  (* An active ample-set reduction drops interleavings of rules from
+     different interference modules, with two consequences downstream:
+     maxima are recovered module-locally ({!por_maxima}), and the direct
+     dependence test on the reduced graph could spuriously report
+     cross-module pairs as dependent, so static pruning is forced on —
+     flow-independent pairs are settled by the (sound) structural
+     argument in both the reduced and the unreduced run, and same-module
+     pairs project to the same module-local runs either way. *)
+  let por_active =
+    match eff_reduce with
+    | Some pl -> Sym.ample_fn pl <> None
+    | None -> false
   in
   let (minima, maxima), ph_min_max_ns =
     timed @@ fun () ->
     Span.with_ ~cat:"core" "tool.min_max" (fun () ->
-        ( Action.Set.elements (Lts.minima lts),
-          Action.Set.elements (Lts.maxima lts) ))
+        let maxima =
+          if por_active then
+            match eff_reduce with
+            | Some { Sym.pl_por = Some po; _ } ->
+              por_maxima ~max_states po apa lts
+            | _ -> Lts.maxima lts
+          else Lts.maxima lts
+        in
+        (Action.Set.elements (Lts.minima lts), Action.Set.elements maxima))
   in
-  let pruned = if prune then static_pruner apa lts else fun _ _ -> false in
+  let pruned =
+    if prune || por_active then
+      static_pruner
+        ?indep:(Option.map (fun pl -> pl.Sym.pl_indep) eff_reduce)
+        apa lts
+    else fun _ _ -> false
+  in
   let pair_timings = ref [] in
   let matrix, ph_matrix_ns =
     timed @@ fun () ->
@@ -247,6 +483,22 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
         (Lts.name lts) (Lts.nb_states lts) (List.length minima)
         (List.length maxima)
         (List.length requirements));
+  let t_reduction =
+    match reduce with
+    | None -> None
+    | Some pl ->
+      let reduced_states, reduced_transitions =
+        match !quotient_size with
+        | Some (s, t) -> (s, t)
+        | None -> (Lts.nb_states lts, Lts.nb_transitions lts)
+      in
+      Some
+        { ri_kind = Sym.kind_to_string pl.Sym.pl_kind;
+          ri_reduced_states = reduced_states;
+          ri_reduced_transitions = reduced_transitions;
+          ri_group_order = Sym.group_order pl.Sym.pl_report;
+          ri_fallback = fallback }
+  in
   { t_lts = lts;
     t_stats = Lts.stats lts;
     t_minima = minima;
@@ -258,7 +510,8 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
         ph_min_max_ns;
         ph_matrix_ns;
         ph_derive_ns;
-        ph_pairs = List.rev !pair_timings } }
+        ph_pairs = List.rev !pair_timings };
+    t_reduction }
 
 let pp_tool_report ppf r =
   let pp_row ppf (mx, row) =

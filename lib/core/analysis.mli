@@ -60,6 +60,21 @@ type phase_timings = {
     "which phase dominates" is data even without observability
     enabled. *)
 
+type reduction_info = {
+  ri_kind : string;  (** ["sym"], ["por"] or ["sym+por"] *)
+  ri_reduced_states : int;
+      (** states that underwent rule matching: symmetry-canonical
+          representatives under [sym], the reduced graph's states under
+          plain [por] *)
+  ri_reduced_transitions : int;
+  ri_group_order : float;
+      (** order of the detected symmetry group (1 without [sym]) *)
+  ri_fallback : string option;
+      (** why the plan could not be applied and the run explored
+          unreduced, when it did *)
+}
+(** What [?reduce] actually did during a {!tool} run. *)
+
 type tool_report = {
   t_lts : Lts.t;
   t_stats : Lts.stats;
@@ -68,6 +83,7 @@ type tool_report = {
   t_matrix : (Action.t * (Action.t * bool) list) list;
   t_requirements : Auth.t list;
   t_timings : phase_timings;
+  t_reduction : reduction_info option;  (** [Some] iff [?reduce] given *)
 }
 
 val dependence :
@@ -77,11 +93,47 @@ val dependence :
   max_action:Action.t ->
   bool
 
+val quotient :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?progress:Fsa_obs.Progress.t ->
+  Fsa_sym.Sym.plan ->
+  Fsa_apa.Apa.t ->
+  Lts.t
+(** Reduced exploration under a {!Fsa_sym.Sym.plan}: successors are
+    canonicalised into orbit representatives and restricted to ample
+    sets per the plan.  The result is the reduced (quotient) graph —
+    right for reachability statistics, not for requirement derivation
+    (its raw labels mix concrete instances along representative
+    paths; use {!unfolded} or {!tool}[ ~reduce] for label-exact
+    analyses). *)
+
+val unfolded :
+  ?max_states:int ->
+  Fsa_sym.Sym.plan ->
+  Fsa_apa.Apa.t ->
+  Lts.t * int * int
+(** [(lts, reps, rep_transitions)]: the {e full} reachability graph
+    (modulo any ample-set restriction in the plan), rebuilt from the
+    symmetry quotient by a product BFS over (representative,
+    permutation) pairs.  Rule matching runs once per representative —
+    [reps] of them, with [rep_transitions] raw successors — and every
+    other concrete state replays its representative's successors
+    through a permutation.  Labels are concrete per-instance labels, so
+    all set-level analyses coincide with an unreduced exploration
+    (state numbering may differ).  [max_states] bounds the
+    representatives, not the concrete states.
+    @raise Invalid_argument when the plan has no symmetry component.
+    @raise Fsa_sym.Sym.Unsupported when the model does not carry the
+    default rule-name labelling.
+    @raise Lts.State_space_too_large beyond the representative budget. *)
+
 val tool :
   ?meth:dependence_method ->
   ?max_states:int ->
   ?jobs:int ->
   ?prune:bool ->
+  ?reduce:Fsa_sym.Sym.plan ->
   ?progress:Fsa_obs.Progress.t ->
   stakeholder:(Action.t -> Agent.t) ->
   Fsa_apa.Apa.t ->
@@ -100,7 +152,20 @@ val tool :
     [struct.pairs_pruned] metric.  The pruning is sound — a pair with no
     token flow can never test dependent — and it is automatically
     disabled when the LTS is not labelled by plain rule names, so the
-    report (matrix included) is identical with and without it. *)
+    report (matrix included) is identical with and without it.
+
+    [reduce] applies a {!Fsa_sym.Sym.plan}.  A symmetry component is
+    applied as quotient-then-{!unfolded}, so the derived requirements
+    are identical to the unreduced run's while rule matching is confined
+    to orbit representatives; an ample-set component restricts the
+    explored interleavings and forces static pruning on (see
+    {!reduction_info} and DESIGN.md §13 for the soundness argument).
+    [jobs] does not parallelise the unfold (the quotient dominates the
+    matching cost).  Models without the default rule-name labelling
+    fall back to unreduced exploration, recorded in [ri_fallback].
+    The soundness gate: on every model completing un-reduced, the
+    reduced run must produce the identical requirement set — the test
+    suite enforces this across the bundled examples. *)
 
 val pp_tool_report : tool_report Fmt.t
 

@@ -79,6 +79,23 @@ module Buf = struct
     done
 end
 
+(* Exploration-time reduction hooks (symmetry / partial order, see
+   Fsa_sym).  Both must be pure functions of their arguments: the
+   sequential and the parallel explorer apply them transition-by-
+   transition and rely on that purity for bit-identical results. *)
+type reduction = {
+  rd_canon : State.t -> State.t;
+      (* canonical orbit representative; applied to every successor
+         before interning (never to the initial state) *)
+  rd_ample :
+    State.t ->
+    (Fsa_apa.Apa.rule * Action.t * State.t) list ->
+    (Fsa_apa.Apa.rule * Action.t * State.t) list;
+      (* restrict a state's enabled transitions to an ample subset *)
+}
+
+let no_reduction = { rd_canon = Fun.id; rd_ample = (fun _ succs -> succs) }
+
 (* Keep transition lists deterministically ordered. *)
 let order_transition a b =
   let c = Stdlib.compare a.t_src b.t_src in
@@ -100,7 +117,7 @@ let assemble ~apa_name ~states ~iter_edges =
   Array.iteri (fun i l -> preds.(i) <- List.sort order_transition l) preds;
   { apa_name; states; initial = 0; succs; preds }
 
-let explore ?(max_states = 1_000_000) ?progress apa =
+let explore ?(max_states = 1_000_000) ?(reduce = no_reduction) ?progress apa =
   Span.with_ ~cat:"lts" "lts.explore" @@ fun () ->
   let obs = Metrics.enabled () in
   let t0 = if obs then Span.now_ns () else 0L in
@@ -131,7 +148,7 @@ let explore ?(max_states = 1_000_000) ?progress apa =
     let src_id = !cursor in
     let src = Buf.get states src_id in
     incr cursor;
-    let succs = Fsa_apa.Apa.step apa src in
+    let succs = reduce.rd_ample src (Fsa_apa.Apa.step apa src) in
     if obs then begin
       Metrics.incr m_states;
       Metrics.incr ~by:(List.length succs) m_transitions;
@@ -146,6 +163,7 @@ let explore ?(max_states = 1_000_000) ?progress apa =
     | None -> ());
     List.iter
       (fun (_rule, label, dst) ->
+        let dst = reduce.rd_canon dst in
         let dst_id =
           match State_table.find_opt index dst with
           | Some id ->
@@ -191,8 +209,9 @@ type shard = {
   mutable sh_members : (int * State.t) list;
 }
 
-let explore_par ?(max_states = 1_000_000) ?progress ?shards ~jobs apa =
-  if jobs <= 1 then explore ~max_states ?progress apa
+let explore_par ?(max_states = 1_000_000) ?(reduce = no_reduction) ?progress
+    ?shards ~jobs apa =
+  if jobs <= 1 then explore ~max_states ~reduce ?progress apa
   else begin
     Span.with_ ~cat:"lts" "lts.explore_par" @@ fun () ->
     let obs = Metrics.enabled () in
@@ -307,13 +326,15 @@ let explore_par ?(max_states = 1_000_000) ?progress ?shards ~jobs apa =
              else
                for i = i0 to min (len - 1) (i0 + chunk - 1) do
                  let src_id, src = fr.(i) in
-                 let succs = Fsa_apa.Apa.step apa src in
+                 let succs = reduce.rd_ample src (Fsa_apa.Apa.step apa src) in
                  incr my_expanded;
                  my_transitions := !my_transitions + List.length succs;
                  let dsts =
                    List.map
                      (fun (_rule, label, dst) ->
-                       let (id, fresh), contended = insert dst in
+                       let (id, fresh), contended =
+                         insert (reduce.rd_canon dst)
+                       in
                        if contended then incr my_conflicts;
                        if Atomic.get too_large then raise Abort;
                        if fresh then my_next := (id, dst) :: !my_next
@@ -449,6 +470,23 @@ let of_edges ?(name = "imported") ~nb_states edges =
   assemble ~apa_name:name
     ~states:(Array.make nb_states State.empty)
     ~iter_edges:(fun f -> List.iter f edges)
+
+(* Like [of_edges], but with caller-supplied state contents — the unfold
+   of a symmetry quotient rebuilds the full graph this way, with real
+   states so that downstream completion predicates and state printing
+   keep working. *)
+let of_graph ?(name = "imported") ~states edges =
+  let nb_states = Array.length states in
+  if nb_states <= 0 then invalid_arg "Lts.of_graph: no states";
+  List.iter
+    (fun tr ->
+      if
+        tr.t_src < 0 || tr.t_src >= nb_states || tr.t_dst < 0
+        || tr.t_dst >= nb_states
+      then invalid_arg "Lts.of_graph: transition endpoint out of range")
+    edges;
+  assemble ~apa_name:name ~states:(Array.copy states) ~iter_edges:(fun f ->
+      List.iter f edges)
 
 let state_name i = Printf.sprintf "M-%d" (i + 1)
 

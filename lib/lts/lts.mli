@@ -12,17 +12,43 @@ type t
 
 exception State_space_too_large of int
 
+(** Exploration-time reduction hooks, supplied by {!Fsa_sym} (the LTS
+    layer itself stays reduction-agnostic).  Both functions must be pure:
+    they are applied transition-by-transition and the bit-identity of
+    sequential and parallel exploration relies on it. *)
+type reduction = {
+  rd_canon : State.t -> State.t;
+      (** canonical orbit representative, applied to every successor
+          before interning (never to the initial state) *)
+  rd_ample :
+    State.t ->
+    (Fsa_apa.Apa.rule * Action.t * State.t) list ->
+    (Fsa_apa.Apa.rule * Action.t * State.t) list;
+      (** restrict a state's enabled transitions to an ample subset *)
+}
+
+val no_reduction : reduction
+(** Identity hooks: full exploration. *)
+
 val explore :
-  ?max_states:int -> ?progress:Fsa_obs.Progress.t -> Fsa_apa.Apa.t -> t
+  ?max_states:int ->
+  ?reduce:reduction ->
+  ?progress:Fsa_obs.Progress.t ->
+  Fsa_apa.Apa.t ->
+  t
 (** Breadth-first state-space exploration from the initial state.  When
     [progress] is given it is ticked once per expanded state with the
     number of discovered states and the current frontier size.  With
     observability enabled ({!Fsa_obs.Metrics.set_enabled}), exploration
     records the [lts.*] counters and runs inside an [lts.explore] span.
+    With [reduce], successor states are canonicalised and successor
+    lists restricted before interning — the result is the reduced
+    (quotient) graph.
     @raise State_space_too_large beyond [max_states] (default 1e6). *)
 
 val explore_par :
   ?max_states:int ->
+  ?reduce:reduction ->
   ?progress:Fsa_obs.Progress.t ->
   ?shards:int ->
   jobs:int ->
@@ -60,6 +86,13 @@ val of_edges : ?name:string -> nb_states:int -> transition list -> t
     initial, all states carrying {!State.empty}), for tests and for
     ingesting externally computed reachability graphs.
     @raise Invalid_argument on out-of-range endpoints. *)
+
+val of_graph : ?name:string -> states:State.t array -> transition list -> t
+(** Like {!of_edges} but with caller-supplied state contents (state [0]
+    initial).  The unfold of a symmetry quotient rebuilds the full
+    reachability graph this way.
+    @raise Invalid_argument on an empty state array or out-of-range
+    endpoints. *)
 
 val state_name : int -> string
 val fold_states : (int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -35,6 +35,7 @@ module Json = Fsa_store.Json
 module Store = Fsa_store.Store
 module Metrics = Fsa_obs.Metrics
 module Structural = Fsa_struct.Structural
+module Sym = Fsa_sym.Sym
 module Span = Fsa_obs.Span
 module Recorder = Fsa_obs.Recorder
 module Progress = Fsa_obs.Progress
@@ -162,13 +163,59 @@ module Exec = struct
                  Json.Str (Agent.to_string (Auth.stakeholder r)) ) ])
          reqs)
 
-  let run_reach ~max_states ~jobs ~progress spec =
+  (* One reduction plan per request: guard signatures come from the
+     spec's own syntax, so spec-driven symmetry detection needs no
+     caller attestation. *)
+  let reduce_plan ~reduce spec apa =
+    match reduce with
+    | None -> None
+    | Some kind ->
+      let sigs = Elaborate.guard_signatures spec in
+      Some (Sym.plan ~guard_sig:(fun r -> List.assoc_opt r sigs) kind apa)
+
+  let reduction_json (ri : Analysis.reduction_info) =
+    Json.Obj
+      [ ("kind", Json.Str ri.Analysis.ri_kind);
+        ("reduced_states", Json.Int ri.Analysis.ri_reduced_states);
+        ( "reduced_transitions",
+          Json.Int ri.Analysis.ri_reduced_transitions );
+        ("group_order", Json.Float ri.Analysis.ri_group_order);
+        ( "fallback",
+          match ri.Analysis.ri_fallback with
+          | None -> Json.Null
+          | Some s -> Json.Str s ) ]
+
+  let run_reach ~max_states ~jobs ~progress ~reduce spec =
     let apa = Elaborate.apa_of_spec spec in
-    let lts = explore_lts ~max_states ~jobs ~progress apa in
-    let output =
-      Fmt.str "%a@.%a@." Lts.pp_stats (Lts.stats lts) Lts.pp_min_max lts
-    in
-    (summary_of_lts lts, output, 0)
+    match reduce_plan ~reduce spec apa with
+    | None ->
+      let lts = explore_lts ~max_states ~jobs ~progress apa in
+      let output =
+        Fmt.str "%a@.%a@." Lts.pp_stats (Lts.stats lts) Lts.pp_min_max lts
+      in
+      (summary_of_lts lts, output, 0)
+    | Some pl ->
+      let lts = Analysis.quotient ~max_states ~jobs ?progress pl apa in
+      let order = Sym.group_order pl.Sym.pl_report in
+      let output =
+        Fmt.str "%a@.%a@.reduction: %s quotient (group order %.0f)@."
+          Lts.pp_stats (Lts.stats lts) Lts.pp_min_max lts
+          (Sym.kind_to_string pl.Sym.pl_kind)
+          order
+      in
+      let summary =
+        match summary_of_lts lts with
+        | Json.Obj fields ->
+          Json.Obj
+            (fields
+            @ [ ( "reduction",
+                  Json.Obj
+                    [ ( "kind",
+                        Json.Str (Sym.kind_to_string pl.Sym.pl_kind) );
+                      ("group_order", Json.Float order) ] ) ])
+        | j -> j
+      in
+      (summary, output, 0)
 
   let ms_of_ns ns = Int64.to_float ns /. 1e6
 
@@ -198,17 +245,25 @@ module Exec = struct
                        Json.Float (ms_of_ns p.Analysis.pt_compare_ns) ) ])
                t.Analysis.ph_pairs) ) ]
 
-  let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress spec =
+  let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
+      spec =
     let apa = Elaborate.apa_of_spec spec in
     let report =
-      Analysis.tool ~meth ~max_states ~jobs ~prune ?progress
-        ~stakeholder:cfg.sv_stakeholder apa
+      Analysis.tool ~meth ~max_states ~jobs ~prune
+        ?reduce:(reduce_plan ~reduce spec apa)
+        ?progress ~stakeholder:cfg.sv_stakeholder apa
+    in
+    let reduction =
+      match report.Analysis.t_reduction with
+      | None -> []
+      | Some ri -> [ ("reduction", reduction_json ri) ]
     in
     let result =
       Json.Obj
-        [ ("summary", summary_of_lts report.Analysis.t_lts);
-          ("requirements", requirements_json report.Analysis.t_requirements);
-          ("timings", timings_json report.Analysis.t_timings) ]
+        ([ ("summary", summary_of_lts report.Analysis.t_lts);
+           ("requirements", requirements_json report.Analysis.t_requirements);
+           ("timings", timings_json report.Analysis.t_timings) ]
+        @ reduction)
     in
     (result, Fmt.str "%a@." Analysis.pp_tool_report report, 0)
 
@@ -281,12 +336,36 @@ module Exec = struct
     in
     (result, Buffer.contents b, 0)
 
-  let run_verify ~max_states ~jobs ~progress spec =
+  (* The POR-reduced graph is unsound for arbitrary properties, so
+     verify honours only the symmetry half of a reduction request:
+     [Sym_por] degrades to [Sym] and [Por] to no reduction.  The [Sym]
+     path model-checks the exact full graph rebuilt by
+     {!Analysis.unfolded} — identical verdicts, cheaper rule
+     matching. *)
+  let verify_reduce = function
+    | Some Sym.Sym_por -> Some Sym.Sym
+    | Some Sym.Por -> None
+    | k -> k
+
+  let run_verify ~max_states ~jobs ~progress ~reduce spec =
     let patterns = Elaborate.patterns_of_spec spec in
     if patterns = [] then
       raise (Usage_error "the specification declares no check");
     let apa = Elaborate.apa_of_spec spec in
-    let lts = explore_lts ~max_states ~jobs ~progress apa in
+    let lts, note =
+      match reduce_plan ~reduce spec apa with
+      | Some pl when Sym.canon_fn pl <> None -> (
+        try
+          let lts, _, _ = Analysis.unfolded ~max_states pl apa in
+          (lts, "note: symmetry-guided exploration (exact graph)\n")
+        with Sym.Unsupported reason ->
+          ( explore_lts ~max_states ~jobs ~progress apa,
+            Printf.sprintf "note: reduction fell back (%s)\n" reason ))
+      | Some _ ->
+        ( explore_lts ~max_states ~jobs ~progress apa,
+          "note: no reducible symmetry; explored unreduced\n" )
+      | None -> (explore_lts ~max_states ~jobs ~progress apa, "")
+    in
     let results =
       List.map (fun (d, p) -> (d, Pattern.check lts p)) patterns
     in
@@ -295,10 +374,11 @@ module Exec = struct
         (List.filter (fun (_, r) -> not r.Pattern.holds_) results)
     in
     let output =
-      String.concat ""
-        (List.map
-           (fun (d, r) -> Fmt.str "%-50s %a@." d Pattern.pp_result r)
-           results)
+      note
+      ^ String.concat ""
+          (List.map
+             (fun (d, r) -> Fmt.str "%-50s %a@." d Pattern.pp_result r)
+             results)
     in
     let result =
       Json.Obj
@@ -330,9 +410,13 @@ module Exec = struct
     | Check -> [ `Apa; `Checks; `Models ]
 
   let run cfg ~op ?(meth = Analysis.Abstract) ?(max_states = 1_000_000)
-      ?(jobs = 1) ?prune ?sos ?keep ?progress ?deadline_ns ?(cache = true)
-      ~file spec =
+      ?(jobs = 1) ?prune ?sos ?keep ?reduce ?progress ?deadline_ns
+      ?(cache = true) ~file spec =
     let prune = Option.value prune ~default:cfg.sv_prune in
+    (* the effective reduction is what runs AND what keys the cache:
+       verify ignores the POR half (unsound for arbitrary properties),
+       so a [por] verify request shares the unreduced entry *)
+    let reduce = match op with Verify -> verify_reduce reduce | _ -> reduce in
     let progress =
       match (progress, deadline_ns) with
       | (Some _ as p), _ -> p
@@ -342,12 +426,13 @@ module Exec = struct
     let compute () =
       try
         match op with
-        | Reach -> run_reach ~max_states ~jobs ~progress spec
+        | Reach -> run_reach ~max_states ~jobs ~progress ~reduce spec
         | Requirements ->
-          run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress spec
+          run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress
+            ~reduce spec
         | Analyze -> run_analyze ~sos spec
         | Abstract -> run_abstract ~keep ~max_states ~jobs ~progress spec
-        | Verify -> run_verify ~max_states ~jobs ~progress spec
+        | Verify -> run_verify ~max_states ~jobs ~progress ~reduce spec
         | Check -> run_check ~file spec
       with Lts.State_space_too_large n ->
         (* enrich with the structural growth hint while the spec is still
@@ -358,6 +443,34 @@ module Exec = struct
               (Fsa_check.Check.net_of_skeleton
                  (Elaborate.skeleton_of_spec spec))
           with _ -> ""
+        in
+        (* when the model carries unexploited symmetry, say so: the
+           reduction is often the difference between blowing the bound
+           and finishing (same guard: never mask the error) *)
+        let hint =
+          if reduce <> None then hint
+          else
+            hint
+            ^
+            try
+              let apa = Elaborate.apa_of_spec spec in
+              let sigs = Elaborate.guard_signatures spec in
+              let rep =
+                Sym.detect
+                  ~guard_sig:(fun r -> List.assoc_opt r sigs)
+                  apa
+              in
+              if
+                List.exists
+                  (fun o -> o.Sym.o_reducible)
+                  rep.Sym.r_orbits
+              then
+                Printf.sprintf
+                  "; symmetric instances detected (group order %.0f) — \
+                   retry with --reduce sym+por, see `fsa sym`"
+                  (Sym.group_order rep)
+              else ""
+            with _ -> ""
         in
         raise (Too_large (n, hint))
     in
@@ -379,14 +492,23 @@ module Exec = struct
          pruned request and vice versa *)
       let params =
         let ms = ("max_states", string_of_int max_states) in
+        (* [reduce] IS part of the key: reduced runs report quotient
+           statistics and reduction metadata, so their outcomes are not
+           interchangeable with unreduced ones (verify keys its
+           post-downgrade effective reduction, which is) *)
+        let rd =
+          match reduce with
+          | None -> []
+          | Some k -> [ ("reduce", Sym.kind_to_string k) ]
+        in
         match op with
-        | Reach -> [ ms ]
-        | Requirements -> [ ms; ("method", meth_string meth) ]
+        | Reach -> ms :: rd
+        | Requirements -> (ms :: rd) @ [ ("method", meth_string meth) ]
         | Analyze -> (
           match sos with Some s -> [ ("sos", s) ] | None -> [])
         | Abstract ->
           [ ms; ("keep", String.concat "," (Option.value keep ~default:[])) ]
-        | Verify -> [ ms ]
+        | Verify -> ms :: rd
         | Check -> []
       in
       let key = Store.cache_key ~digest ~kind:(op_to_string op) ~params in
@@ -662,9 +784,20 @@ let handle_request cfg ~trace_id req =
              (Printf.sprintf "unknown method %S (direct|abstract)" s))
       | None -> Analysis.Abstract
     in
+    let reduce =
+      match req_str req "reduce" with
+      | None -> None
+      | Some s -> (
+        match Sym.kind_of_string s with
+        | Some _ as k -> k
+        | None ->
+          raise
+            (Usage_error
+               (Printf.sprintf "unknown reduce %S (sym|por|sym+por)" s)))
+    in
     let outcome =
       Exec.run cfg ~op ~meth ~max_states ?prune:(req_bool req "prune")
-        ?sos:(req_str req "sos") ?keep:(req_keep req) ?deadline_ns
+        ?sos:(req_str req "sos") ?keep:(req_keep req) ?reduce ?deadline_ns
         ~cache:(Option.value (req_bool req "cache") ~default:true)
         ~file spec
     in

@@ -23,10 +23,12 @@
     (clamped to the server's budget), [method] ([direct]|[abstract],
     requirements only), [prune] (requirements only: skip dependence
     tests for statically independent action pairs — never changes the
-    result), [sos] (analyze), [keep] (list of action names, abstract
-    only), [cache] (set [false] to bypass the store for one request) and
-    [trace_id] (a client-chosen identifier for the request's trace; one
-    is generated when absent).
+    result), [reduce] ([sym]|[por]|[sym+por]: symmetry / partial-order
+    reduction on reach, requirements and verify; verify honours only
+    the symmetry half), [sos] (analyze), [keep] (list of action names,
+    abstract only), [cache] (set [false] to bypass the store for one
+    request) and [trace_id] (a client-chosen identifier for the
+    request's trace; one is generated when absent).
 
     Each response is a single line, in request order, echoing the
     request's trace id:
@@ -139,6 +141,7 @@ module Exec : sig
     ?prune:bool ->
     ?sos:string ->
     ?keep:string list ->
+    ?reduce:Fsa_sym.Sym.kind ->
     ?progress:Fsa_obs.Progress.t ->
     ?deadline_ns:int64 ->
     ?cache:bool ->
@@ -155,6 +158,14 @@ module Exec : sig
       the requirements path; it cannot change the result and is
       therefore not part of the cache key — a cached unpruned outcome
       serves a pruned request and vice versa.
+      [reduce] requests symmetry / partial-order reduction
+      ({!Fsa_sym.Sym}) on the reach, requirements and verify paths; it
+      {e is} part of the cache key, because reduced outcomes report
+      quotient statistics.  Verify downgrades the request to its
+      symmetry half first ([sym+por] to [sym], [por] to none): the
+      POR-reduced graph is unsound for arbitrary properties, and the
+      symmetry path model-checks the exact unfolded graph, so verify
+      verdicts never depend on the reduction.
       [deadline_ns] (absolute, {!Fsa_obs.Span.now_ns} clock) arms a
       cooperative timeout checked during exploration; it is only used
       when no [progress] reporter is supplied.

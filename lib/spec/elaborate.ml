@@ -189,15 +189,15 @@ let build_instance env inst =
             (term_of_sterm ~self ~loc:pt.pt_loc pt.pt_term))
         r.ru_puts
     in
-    let label _ = Action.make name in
-    (* omit trivial guards so [Apa.rule] records them as such — the
-       structural unboundedness certificate only applies to rules it can
-       prove unguarded *)
+    (* omit trivial guards and default labels so [Apa.rule] records them
+       as such — the structural unboundedness certificate only applies to
+       rules it can prove unguarded, and symmetry reduction to rules it
+       knows carry the default [Action.make name] label *)
     match r.ru_cond with
-    | C_true -> Apa.rule name ~takes ~puts ~label
+    | C_true -> Apa.rule name ~takes ~puts
     | _ ->
       let guard = compile_cond ~self ~loc:r.ru_loc r.ru_cond in
-      Apa.rule name ~takes ~puts ~guard ~label
+      Apa.rule name ~takes ~puts ~guard
   in
   Apa.make ~components:state_components
     ~rules:(List.map build_rule (rules_of_decl cd))
@@ -479,6 +479,26 @@ let rec canon_cond ~self ~loc = function
     Printf.sprintf "(or %s %s)" (canon_cond ~self ~loc a)
       (canon_cond ~self ~loc b)
   | C_not a -> Printf.sprintf "(not %s)" (canon_cond ~self ~loc a)
+
+(* Guard signatures for symmetry detection: like [canon_cond] but with
+   [self] replaced by a fixed placeholder symbol, so the (self-relative)
+   guards of two instances of the same component render identically. *)
+let guard_signatures spec =
+  let env = env_of_spec spec in
+  let self = Some (Term.sym "@self") in
+  List.concat_map
+    (fun inst ->
+      let cd, _, _, _ = instance_ctx env inst in
+      List.filter_map
+        (fun r ->
+          match r.ru_cond with
+          | C_true -> None
+          | c ->
+            Some
+              ( inst.in_name ^ "_" ^ r.ru_name,
+                canon_cond ~self ~loc:r.ru_loc c ))
+        (rules_of_decl cd))
+    env.instances
 
 let canon_apa env =
   let instances =

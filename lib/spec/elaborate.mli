@@ -77,6 +77,17 @@ val skeleton_of_spec : Ast.t -> skeleton
     identified as in {!apa_of_spec}.  Unlike {!apa_of_spec} it accepts a
     specification with no instances (the skeleton is then empty). *)
 
+val guard_signatures : Ast.t -> (string * string) list
+(** Canonical guard signatures of every non-trivially guarded rule, by
+    full APA rule name.  [self] is rendered as a fixed placeholder, so
+    two instances of the same component template get {e equal} strings
+    for their (self-relative) guards — the attestation {!Fsa_sym.detect}
+    needs to treat such guards as equivalent up to instance renaming.
+    Builtin predicate calls are included by name; their interpretations
+    are shared by all instances, so equal signatures still mean
+    equivalent guards provided the builtins are not sensitive to
+    instance identities flowing in as data. *)
+
 (** {1 Canonical model digests}
 
     Content addresses for the analysis cache ({!Fsa_store.Store}). *)

@@ -616,6 +616,32 @@ let independent_all net =
 
 let independent net ~min ~max = Lazy.force (independent_all net) min max
 
+(* Interference, the commutation-relevant relation for partial-order
+   reduction: two rules interfere when they touch a common state
+   component and the accesses do not commute.  Two reads of the same
+   component commute; so do two puts (sets union); every pairing
+   involving a consuming take (it competes for the element, or removes
+   what the other reads) and every put/take pairing (the put may enable
+   or feed the take) does not. *)
+let interferes r1 r2 =
+  let access r =
+    List.map
+      (fun (c, _, consume) -> (c, if consume then `Consume else `Read))
+      r.rs_takes
+    @ List.map (fun (c, _) -> (c, `Put)) r.rs_puts
+  in
+  List.exists
+    (fun (c1, a1) ->
+      List.exists
+        (fun (c2, a2) ->
+          String.equal c1 c2
+          &&
+          match (a1, a2) with
+          | `Read, `Read | `Put, `Put -> false
+          | `Consume, _ | _, `Consume | `Put, `Read | `Read, `Put -> true)
+        (access r2))
+    (access r1)
+
 (* ------------------------------------------------------------------ *)
 (* Report                                                              *)
 (* ------------------------------------------------------------------ *)

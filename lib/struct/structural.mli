@@ -164,6 +164,15 @@ val independent_all : net -> (string -> string -> bool) Lazy.t
     returned function answers {!independent} queries by cached
     reachability. *)
 
+val interferes : rule_sig -> rule_sig -> bool
+(** Do two rules touch a common state component with non-commuting
+    accesses?  Two reads commute, two puts commute (set union); any
+    pairing involving a consuming take, or a put against a take or
+    read, interferes.  Rules in different connected components of this
+    relation never influence each other's enabledness or effect —
+    {!Fsa_sym} builds its ample-set modules from exactly these
+    components. *)
+
 val pairs_pruned : Fsa_obs.Metrics.counter
 (** The process-wide [struct.pairs_pruned] counter, incremented by
     {!Fsa_core.Analysis} for every (min, max) pair skipped under

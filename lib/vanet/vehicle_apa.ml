@@ -66,6 +66,25 @@ let guard_in_range ~range p q subst =
   | Some tp, Some tq -> Geo.in_range ~range tp tq
   | (None | Some _), _ -> false
 
+(* Canonical signatures of the guard closures above, keyed by rule name,
+   for symmetry detection ([Fsa_sym.detect ~guard_sig]).  Every guard is
+   self-relative — [guard_not_self i] rejects the firing vehicle's own
+   identity, the position and range predicates never mention identities
+   at all — so two vehicles' guards for the same elementary automaton
+   are equivalent up to instance renaming and get equal signatures.
+   Valid for models built with a single radio range, which holds for all
+   the bundled scenarios. *)
+let guard_attest rule =
+  match String.index_opt rule '_' with
+  | None -> None
+  | Some i when String.length rule > 1 && rule.[0] = 'V' -> (
+    match String.sub rule (i + 1) (String.length rule - i - 1) with
+    | "send" -> Some "position(p)"
+    | "rec" -> Some "not_self(v)"
+    | "show" | "fwd" -> Some "position(q) && in_range(p, q)"
+    | _ -> None)
+  | Some _ -> None
+
 (* The elementary automata of vehicle [i].  [net_in] is the radio medium
    the vehicle listens on, [net_out] the one it transmits on; both default
    to a single shared "net". *)
@@ -76,14 +95,12 @@ let rules ?(net_in = "net") ?(net_out = "net") ?(range = Geo.default_range)
       (Printf.sprintf "V%d_sense" i)
       ~takes:[ Apa.take (esp i) (var "x") ]
       ~puts:[ Apa.put (bus i) (var "x") ]
-      ~label:(fun _ -> v_sense i)
   in
   let pos_rule =
     Apa.rule
       (Printf.sprintf "V%d_pos" i)
       ~takes:[ Apa.take (gps i) (var "p") ]
       ~puts:[ Apa.put (bus i) (var "p") ]
-      ~label:(fun _ -> v_pos i)
   in
   let send_rule =
     Apa.rule
@@ -91,7 +108,6 @@ let rules ?(net_in = "net") ?(net_out = "net") ?(range = Geo.default_range)
       ~takes:[ Apa.take (bus i) sw; Apa.take (bus i) (var "p") ]
       ~guard:(guard_position "p")
       ~puts:[ Apa.put net_out (cam (vehicle_id i) (var "p")) ]
-      ~label:(fun _ -> v_send i)
   in
   let rec_rule =
     Apa.rule
@@ -99,7 +115,6 @@ let rules ?(net_in = "net") ?(net_out = "net") ?(range = Geo.default_range)
       ~takes:[ Apa.take net_in (cam (var "v") (var "p")) ]
       ~guard:(guard_not_self i "v")
       ~puts:[ Apa.put (bus i) (Term.app "warn" [ var "p" ]) ]
-      ~label:(fun _ -> v_rec i)
   in
   let show_rule =
     Apa.rule
@@ -109,7 +124,6 @@ let rules ?(net_in = "net") ?(net_out = "net") ?(range = Geo.default_range)
           Apa.take (bus i) (var "q") ]
       ~guard:(fun s -> guard_position "q" s && guard_in_range ~range "p" "q" s)
       ~puts:[ Apa.put (hmi i) warn ]
-      ~label:(fun _ -> v_show i)
   in
   let fwd_rule =
     Apa.rule
@@ -119,7 +133,6 @@ let rules ?(net_in = "net") ?(net_out = "net") ?(range = Geo.default_range)
           Apa.take (bus i) (var "q") ]
       ~guard:(fun s -> guard_position "q" s && guard_in_range ~range "p" "q" s)
       ~puts:[ Apa.put net_out (cam (vehicle_id i) (var "p")) ]
-      ~label:(fun _ -> v_fwd i)
   in
   match role with
   | Full -> [ sense_rule; pos_rule; send_rule; rec_rule; show_rule; fwd_rule ]
@@ -162,8 +175,7 @@ let rsu ?(net_out = "net") ?(cam_init = [ Term.app "cam" [ Term.sym "RSU"; pos1 
     ~rules:
       [ Apa.rule "RSU_send"
           ~takes:[ Apa.take "rsu_out" (var "m") ]
-          ~puts:[ Apa.put net_out (var "m") ]
-          ~label:(fun _ -> Action.make "RSU_send") ]
+          ~puts:[ Apa.put net_out (var "m") ] ]
     "RSU"
 
 (* Fig. 2 as a tool-path instance: vehicle 1 receives a warning from the
@@ -203,14 +215,18 @@ let four_vehicles_shared_net () =
       vehicle ~role:Receiver ~gps_init:[ pos4 ] 4 ]
 
 (* [pairs k]: k independent warner/receiver pairs — the state space grows
-   as 13^k; used for scaling experiments. *)
-let pairs k =
+   as 13^k; used for scaling experiments.  [uniform] puts every pair at
+   the same two positions, making the pairs genuinely interchangeable
+   (the alternating default breaks symmetry through the gps contents). *)
+let pairs ?(uniform = false) k =
   if k < 1 then invalid_arg "Vehicle_apa.pairs";
   let cluster j = Printf.sprintf "net%d" j in
   let mk j =
     (* reuse the two in-range position pairs alternately: independence is
        enforced by the per-pair net component *)
-    let p_send, p_recv = if j mod 2 = 0 then (pos1, pos2) else (pos3, pos4) in
+    let p_send, p_recv =
+      if uniform || j mod 2 = 0 then (pos1, pos2) else (pos3, pos4)
+    in
     [ vehicle ~net_in:(cluster j) ~net_out:(cluster j) ~role:Warner
         ~esp_init:[ sw ] ~gps_init:[ p_send ]
         ((2 * j) + 1);

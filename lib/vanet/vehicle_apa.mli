@@ -63,8 +63,17 @@ val four_vehicles_shared_net : unit -> Apa.t
 (** The flawed single-medium variant of Fig. 8: receivers can consume
     messages they cannot process, leaving stuck deadlocks. *)
 
-val pairs : int -> Apa.t
-(** [pairs k]: k independent warner/receiver pairs (13^k states). *)
+val pairs : ?uniform:bool -> int -> Apa.t
+(** [pairs k]: k independent warner/receiver pairs (13^k states).
+    [uniform] (default [false]) places every pair at the same two
+    positions instead of alternating, so the pairs are interchangeable
+    for symmetry reduction. *)
+
+val guard_attest : string -> string option
+(** Canonical guard signatures of the vehicle rules, for
+    [Fsa_sym.Sym.detect ~guard_sig]: the guards are self-relative, so
+    instances of the same role carry equivalent guards.  Valid for
+    models built with a single radio range (all bundled scenarios). *)
 
 val chain : int -> Apa.t
 (** [chain n]: V1 warns, V2..V(n-1) forward hop by hop, Vn receives. *)
