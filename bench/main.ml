@@ -892,6 +892,72 @@ let bench_reduction () =
         fallback ok)
     systems
 
+(* Shared multi-pair abstraction engine: the tool path over the EVITA
+   fleet spec with the engine on and off.  Two gates: the rendered
+   requirement reports must be byte-identical (the engine is a pure
+   optimisation), and the shared pass must be at least 2x faster than
+   the legacy per-pair path — one erase/determinise/minimise over the
+   union alphabet instead of one per surviving pair. *)
+let bench_abstraction () =
+  let spec_path =
+    List.find_opt Sys.file_exists
+      [ "examples/specs/evita_fleet.fsa";
+        "../examples/specs/evita_fleet.fsa" ]
+  in
+  match spec_path with
+  | None ->
+    incr failures;
+    Fmt.pr "  %-24s evita_fleet.fsa not found@." "abstraction/evita-fleet";
+    "    \"evita-fleet\": {\"ok\": false, \"error\": \"spec not found\"}"
+  | Some path ->
+    let spec = Fsa_spec.Parser.parse_file path in
+    let apa = Fsa_spec.Elaborate.apa_of_spec spec in
+    let stakeholder = Fsa_requirements.Derive.default_stakeholder in
+    let time f =
+      let t0 = Fsa_obs.Span.now_ns () in
+      let r = f () in
+      (r, Int64.sub (Fsa_obs.Span.now_ns ()) t0)
+    in
+    let legacy, legacy_ns =
+      time (fun () -> Analysis.tool ~shared:false ~stakeholder apa)
+    in
+    let shared, shared_ns =
+      time (fun () -> Analysis.tool ~stakeholder apa)
+    in
+    let report r = Fmt.str "%a" Analysis.pp_tool_report r in
+    let identical = String.equal (report legacy) (report shared) in
+    let speedup =
+      if Int64.compare shared_ns 0L > 0 then
+        Int64.to_float legacy_ns /. Int64.to_float shared_ns
+      else 0.
+    in
+    let alphabet, dfa_states, early =
+      match shared.Analysis.t_timings.Analysis.ph_shared with
+      | Some s ->
+        (s.Analysis.sh_alphabet_size, s.Analysis.sh_dfa_states,
+         s.Analysis.sh_early_pairs)
+      | None -> (0, 0, 0)
+    in
+    let min_speedup = 2.0 in
+    let ok = identical && dfa_states > 0 && speedup >= min_speedup in
+    if not ok then incr failures;
+    Fmt.pr
+      "  %-24s legacy %a  shared %a  speedup %.2fx  quotient %d states  \
+       early %d  identical: %s@."
+      "abstraction/evita-fleet" Fsa_obs.Span.pp_dur legacy_ns
+      Fsa_obs.Span.pp_dur shared_ns speedup dfa_states early
+      (if ok then "OK"
+       else if not identical then "MISMATCH"
+       else if dfa_states = 0 then "NO-ENGINE"
+       else "SLOW");
+    Printf.sprintf
+      "    \"evita-fleet\": {\"legacy_wall_ns\": %Ld, \"shared_wall_ns\": \
+       %Ld, \"speedup\": %.3f, \"min_speedup\": %.2f, \"alphabet\": %d, \
+       \"quotient_states\": %d, \"early_pairs\": %d, \"reports_equal\": \
+       %b, \"ok\": %b}"
+      legacy_ns shared_ns speedup min_speedup alphabet dfa_states early
+      identical ok
+
 (* Observability overhead on the vanet pairs-4 exploration, three
    configurations interleaved (min-of-N keeps scheduler noise out):
 
@@ -1076,6 +1142,7 @@ let bench_json path =
   in
   let struct_rows = bench_struct () in
   let reduction_rows = bench_reduction () in
+  let abstraction_row = bench_abstraction () in
   let store_row = bench_store () in
   let obs_row = bench_obs () in
   let meta_row = bench_meta () in
@@ -1095,6 +1162,8 @@ let bench_json path =
       output_string oc (String.concat ",\n" struct_rows);
       output_string oc "\n  },\n  \"reduction\": {\n";
       output_string oc (String.concat ",\n" reduction_rows);
+      output_string oc "\n  },\n  \"abstraction\": {\n";
+      output_string oc abstraction_row;
       output_string oc "\n  },\n  \"store\": {\n";
       output_string oc store_row;
       output_string oc "\n  },\n  \"obs\": {\n";

@@ -167,6 +167,23 @@ let reduce_arg =
                  models with custom action labels fall back to unreduced \
                  exploration. See $(b,fsa sym) for the detected orbits.")
 
+let shared_arg =
+  Arg.(value
+       & vflag true
+           [ ( true,
+               info [ "shared-abstraction" ]
+                 ~doc:"Answer all (minimum, maximum) dependence pairs from \
+                       one shared abstraction of the behaviour (erase once \
+                       to the union alphabet of the surviving pairs, \
+                       minimise, project per pair). This is the default; \
+                       verdicts and requirements are identical to the \
+                       per-pair path." );
+             ( false,
+               info [ "no-shared-abstraction" ]
+                 ~doc:"Escape hatch: recompute the homomorphic image from \
+                       the full reachability graph for every pair (the \
+                       legacy per-pair path)." ) ])
+
 let cache_arg =
   Arg.(value & flag
        & info [ "cache" ]
@@ -200,10 +217,10 @@ let open_store ~cache ~no_cache ~cache_dir =
    config carries a store) and print its report; on a hit the marker
    goes to stderr so stdout stays byte-identical to a fresh run. *)
 let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
-    ?progress ~file spec =
+    ?shared ?progress ~file spec =
   match
     Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep
-      ?reduce ?progress ~file spec
+      ?reduce ?shared ?progress ~file spec
   with
   | outcome ->
     if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
@@ -285,8 +302,8 @@ let meth_conv =
   Arg.conv (parse, print)
 
 let requirements_cmd =
-  let run verbose spec_path meth max_states jobs prune reduce cache no_cache
-      cache_dir metrics_out trace_out =
+  let run verbose spec_path meth max_states jobs prune reduce shared cache
+      no_cache cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -297,7 +314,7 @@ let requirements_cmd =
     let progress = explore_progress spec_path in
     ignore
       (run_exec cfg ~op:Server.Exec.Requirements ~meth ~max_states ~jobs
-         ~prune ?reduce ~progress ~file:spec_path spec)
+         ~prune ?reduce ~shared ~progress ~file:spec_path spec)
   in
   let meth =
     Arg.(value & opt meth_conv Analysis.Abstract
@@ -310,8 +327,8 @@ let requirements_cmd =
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
     Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states $ jobs_arg
-          $ prune_arg $ reduce_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
-          $ metrics_out_arg $ trace_out_arg)
+          $ prune_arg $ reduce_arg $ shared_arg $ cache_arg $ no_cache_arg
+          $ cache_dir_arg $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa analyze (manual path over sos declarations)                  *)
@@ -353,42 +370,73 @@ let analyze_cmd =
 (* --------------------------------------------------------------- *)
 
 let abstract_cmd =
-  let run verbose spec_path keep jobs dot_out cache no_cache cache_dir =
+  let run verbose spec_path keep rename jobs dot_out cache no_cache cache_dir
+      =
     setup_logs verbose;
     let spec = load_spec spec_path in
     let apa =
       try Fsa_spec.Elaborate.apa_of_spec spec with
       | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
     in
-    (* validate the keep set before paying for the exploration *)
+    let rename_pairs =
+      List.map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i when i > 0 && i < String.length kv - 1 ->
+            ( String.sub kv 0 i,
+              String.sub kv (i + 1) (String.length kv - i - 1) )
+          | _ ->
+            die_usage (Printf.sprintf "bad rename %S (expected OLD=NEW)" kv))
+        rename
+    in
+    (* validate the keep set and rename map before paying for the
+       exploration: a non-injective rename map (FSA036) would silently
+       merge distinct actions and poison every dependence verdict *)
     (match
        Fsa_check.Check.keep_set ~file:spec_path
          ~alphabet:(Fsa_apa.Apa.rule_names apa) keep
+       @ Fsa_check.Check.rename_map ~file:spec_path ~alphabet:keep
+           rename_pairs
      with
     | [] -> ()
     | ds ->
       List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds;
       if Fsa_check.Diagnostic.has_errors ds then exit 1);
-    match dot_out with
-    | Some _ ->
-      (* the DOT export needs the automaton itself: bypass the cache *)
+    match (dot_out, rename_pairs) with
+    | Some _, _ | None, _ :: _ ->
+      (* DOT export needs the automaton itself and the cached executor
+         knows nothing of renamings: bypass the cache *)
       let lts = explore ~max_states:1_000_000 ~jobs apa in
       let actions = List.map Action.make keep in
-      let h = Hom.preserve actions in
+      let h =
+        match rename_pairs with
+        | [] -> Hom.preserve actions
+        | ps ->
+          Hom.compose
+            (Hom.rename
+               (List.map (fun (a, b) -> (Action.make a, Action.make b)) ps))
+            (Hom.preserve actions)
+      in
       let dfa = Hom.minimal_automaton h lts in
       Fmt.pr "minimal automaton: %s@." (Hom.describe_dfa dfa);
       Fmt.pr "homomorphism simple on this behaviour: %b@."
         (Hom.is_simple h lts);
       (match actions with
       | [ mn; mx ] ->
-        Fmt.pr "functional dependence %a -> %a: %b@." Action.pp mn Action.pp
-          mx
-          (Hom.depends_abstract lts ~min_action:mn ~max_action:mx)
+        (* the dependence verdict lives in the image: test the renamed
+           pair on the image automaton (labels outside the pair traverse
+           freely, exactly as erasing them would) *)
+        let img a = Option.value (h a) ~default:a in
+        Fmt.pr "functional dependence %a -> %a: %b@." Action.pp (img mn)
+          Action.pp (img mx)
+          (not
+             (Hom.dfa_has_target_before_avoid dfa ~avoid:(img mn)
+                ~target:(img mx)))
       | _ -> ());
       Option.iter
         (fun path -> write_or_print ~out:(Some path) (Hom.A.Dfa.dot dfa))
         dot_out
-    | None ->
+    | None, [] ->
       let store = open_store ~cache ~no_cache ~cache_dir in
       let cfg = Server.config ?store () in
       ignore
@@ -400,6 +448,14 @@ let abstract_cmd =
          & info [ "keep" ] ~docv:"ACTIONS"
              ~doc:"Comma-separated transition names the homomorphism preserves.")
   in
+  let rename =
+    Arg.(value & opt (list string) []
+         & info [ "rename" ] ~docv:"OLD=NEW,..."
+             ~doc:"Comma-separated renamings applied after $(b,--keep): the \
+                   homomorphism maps OLD to NEW instead of keeping it \
+                   unchanged. The map must stay injective on the kept \
+                   alphabet — merges are rejected as FSA036.")
+  in
   let dot_out =
     Arg.(value & opt (some string) None
          & info [ "dot" ] ~docv:"FILE" ~doc:"Write the minimal automaton as DOT.")
@@ -407,8 +463,8 @@ let abstract_cmd =
   Cmd.v
     (Cmd.info "abstract"
        ~doc:"Compute the minimal automaton of a homomorphic image (Sect. 5.5).")
-    Term.(const run $ verbose_arg $ spec_arg $ keep $ jobs_arg $ dot_out
-          $ cache_arg $ no_cache_arg $ cache_dir_arg)
+    Term.(const run $ verbose_arg $ spec_arg $ keep $ rename $ jobs_arg
+          $ dot_out $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa scenario                                                     *)

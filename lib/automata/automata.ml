@@ -759,4 +759,20 @@ module Make (L : LABEL) = struct
               Fmt.pf ppf "q%d --%a--> q%d" s L.pp l d))
         (transitions t)
   end
+
+  (* Project a DFA through an alphabetic homomorphism on its labels:
+     [None] turns the edge into an epsilon transition, [Some l'] relabels
+     it.  The result recognises the homomorphic image of the DFA's
+     language, so chaining [relabel] with subset construction and
+     minimisation answers any coarser abstraction from an
+     already-minimised intermediate automaton instead of from the
+     original behaviour — the basis of the shared multi-pair
+     abstraction engine. *)
+  let relabel (h : L.t -> L.t option) (dfa : Dfa.t) : Nfa.t =
+    let edges =
+      List.rev_map (fun (s, l, d) -> (s, h l, d)) (Dfa.transitions dfa)
+    in
+    Nfa.create ~nb_states:(Dfa.nb_states dfa)
+      ~start:(Int_set.singleton (Dfa.start dfa))
+      ~finals:(Dfa.finals dfa) ~edges
 end

@@ -100,4 +100,12 @@ module Make (L : LABEL) : sig
     val dot : ?name:string -> ?state_label:(int -> string) -> t -> string
     val pp : t Fmt.t
   end
+
+  val relabel : (L.t -> L.t option) -> Dfa.t -> Nfa.t
+  (** Project a DFA through an alphabetic homomorphism on its labels:
+      [None] erases the edge to an epsilon transition, [Some l']
+      relabels it.  The NFA recognises the image of the DFA's language,
+      so [Dfa.minimize (Dfa.determinize (relabel h dfa))] is the minimal
+      automaton of the coarser abstraction — computed from [dfa] instead
+      of from the original behaviour. *)
 end

@@ -681,3 +681,59 @@ let keep_set ?file ~alphabet names =
            automaton is a single state and every dependence verdict is \
            vacuous" ]
   else ds
+
+let rename_map ?file ~alphabet pairs =
+  (* first binding wins, mirroring the assoc-list semantics of
+     [Hom.rename] *)
+  let table =
+    List.fold_left
+      (fun m (x, y) -> if List.mem_assoc x m then m else (x, y) :: m)
+      [] pairs
+    |> List.rev
+  in
+  let unknown =
+    List.filter_map
+      (fun (x, _) ->
+        if List.mem x alphabet then None
+        else
+          Some
+            (D.error ?file ~code:"FSA022"
+               "homomorphism renames %s, which is not in the APA's action \
+                alphabet%s"
+               x (with_hint alphabet x)))
+      table
+  in
+  (* group sources by target; untouched alphabet actions count as
+     identity sources, so renaming [a] onto an existing action [b]
+     merges the two just as mapping both onto a third symbol would *)
+  let target x =
+    match List.assoc_opt x table with Some y -> y | None -> x
+  in
+  let sources =
+    List.sort_uniq String.compare (List.map fst table @ alphabet)
+  in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let t = target x in
+      let prev = try Hashtbl.find groups t with Not_found -> [] in
+      Hashtbl.replace groups t (x :: prev))
+    sources;
+  let collisions =
+    Hashtbl.fold
+      (fun t srcs acc ->
+        if List.length srcs > 1 then
+          (t, List.sort String.compare srcs) :: acc
+        else acc)
+      groups []
+    |> List.sort compare
+  in
+  unknown
+  @ List.map
+      (fun (t, srcs) ->
+        D.error ?file ~code:"FSA036"
+          "rename map is not injective: %s all map to %s; the merged image \
+           identifies behaviours the model distinguishes, so dependence \
+           verdicts read off it are meaningless"
+          (String.concat ", " srcs) t)
+      collisions

@@ -67,5 +67,17 @@ val keep_set :
 (** Validate a homomorphism keep set against the APA's action alphabet
     (FSA022 per unknown action, FSA023 when nothing at all is kept). *)
 
+val rename_map :
+  ?file:string ->
+  alphabet:string list ->
+  (string * string) list ->
+  Diagnostic.t list
+(** Validate a homomorphism rename map against the APA's action alphabet:
+    FSA022 per unknown source action, FSA036 per merge group of a
+    non-injective map (two or more distinct sources — including
+    untouched alphabet actions, which rename to themselves — ending up
+    on the same target).  Duplicate sources follow [Hom.rename]'s
+    first-binding-wins semantics before the check. *)
+
 val suggest : string -> string list -> string option
 (** Nearest candidate by edit distance, for "did you mean" hints. *)

@@ -100,12 +100,27 @@ type pair_timing = {
   pt_compare_ns : int64;
 }
 
+(* The shared engine's one-off cost and shape: what the per-pair
+   erase/determinise/minimise columns of [ph_pairs] no longer contain
+   when the shared path answered the pairs. *)
+type shared_timing = {
+  sh_alphabet_size : int;
+  sh_dfa_states : int;
+  sh_cached : bool;  (** the shared quotient came from the store *)
+  sh_early_pairs : int;  (** pairs decided during the single pass *)
+  sh_erase_ns : int64;
+  sh_determinise_ns : int64;
+  sh_minimise_ns : int64;
+  sh_early_ns : int64;
+}
+
 type phase_timings = {
   ph_explore_ns : int64;
   ph_min_max_ns : int64;
   ph_matrix_ns : int64;
   ph_derive_ns : int64;
   ph_pairs : pair_timing list;
+  ph_shared : shared_timing option;
 }
 
 (* What --reduce actually did: the size of the reduced exploration (the
@@ -129,6 +144,16 @@ type tool_report = {
   t_requirements : Auth.t list;
   t_timings : phase_timings;
   t_reduction : reduction_info option;
+}
+
+(* Hook for caching the shared intermediate quotient.  The store lives
+   above this library (lib/core does not depend on lib/store), so the
+   analysis takes the cache as a pair of callbacks; the server wires
+   them to [Fsa_store] entries keyed by spec digest + erased-alphabet
+   digest + engine version. *)
+type quotient_cache = {
+  qc_find : alphabet:Action.t list -> Hom.A.Dfa.t option;
+  qc_store : alphabet:Action.t list -> Hom.A.Dfa.t -> unit;
 }
 
 let dependence ~meth lts ~min_action ~max_action =
@@ -351,7 +376,8 @@ let unfolded ?(max_states = 1_000_000) pl apa =
   (Lts.of_graph ~name:(Apa.name apa) ~states edges, reps, rep_transitions)
 
 let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
-    ?(prune = false) ?reduce ?progress ~stakeholder apa =
+    ?(prune = false) ?reduce ?(shared = true) ?quotient_cache ?progress
+    ~stakeholder apa =
   Span.with_ ~cat:"core" "tool" @@ fun () ->
   let timed f =
     let t0 = Span.now_ns () in
@@ -425,9 +451,47 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
     else fun _ _ -> false
   in
   let pair_timings = ref [] in
+  let engine = ref None in
   let matrix, ph_matrix_ns =
     timed @@ fun () ->
     Span.with_ ~cat:"core" "tool.dependence_matrix" @@ fun () ->
+    (* Shared multi-pair engine (Abstract only): erase once to the
+       union alphabet of all surviving pairs, determinise/minimise the
+       shared image, then answer every pair from it.  Statically pruned
+       pairs contribute nothing to the alphabet — their verdict never
+       touches the automaton. *)
+    (match meth with
+    | Abstract when shared ->
+      let surviving_minima =
+        List.filter
+          (fun mn -> List.exists (fun mx -> not (pruned mn mx)) maxima)
+          minima
+      and surviving_maxima =
+        List.filter
+          (fun mx -> List.exists (fun mn -> not (pruned mn mx)) minima)
+          maxima
+      in
+      let alphabet =
+        Action.Set.union
+          (Action.Set.of_list surviving_minima)
+          (Action.Set.of_list surviving_maxima)
+      in
+      if not (Action.Set.is_empty alphabet) then begin
+        let alist = Action.Set.elements alphabet in
+        let dfa =
+          Option.bind quotient_cache (fun qc -> qc.qc_find ~alphabet:alist)
+        in
+        let e =
+          Hom.Shared.build ?dfa ~alphabet ~minima:surviving_minima
+            ~maxima:surviving_maxima lts
+        in
+        (match quotient_cache with
+        | Some qc when not (Hom.Shared.cached e) ->
+          qc.qc_store ~alphabet:alist (Hom.Shared.dfa e)
+        | _ -> ());
+        engine := Some e
+      end
+    | _ -> ());
     List.map
       (fun mx ->
         (mx,
@@ -448,7 +512,11 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
              end
              else begin
                let dep, dt =
-                 dependence_timed ~meth lts ~min_action:mn ~max_action:mx
+                 match !engine with
+                 | Some e ->
+                   Hom.Shared.depends_timed e ~min_action:mn ~max_action:mx
+                 | None ->
+                   dependence_timed ~meth lts ~min_action:mn ~max_action:mx
                in
                pair_timings :=
                  { pt_min = mn;
@@ -510,7 +578,21 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
         ph_min_max_ns;
         ph_matrix_ns;
         ph_derive_ns;
-        ph_pairs = List.rev !pair_timings };
+        ph_pairs = List.rev !pair_timings;
+        ph_shared =
+          Option.map
+            (fun e ->
+              let bt = Hom.Shared.timing e in
+              { sh_alphabet_size =
+                  Action.Set.cardinal (Hom.Shared.alphabet e);
+                sh_dfa_states = Hom.A.Dfa.nb_states (Hom.Shared.dfa e);
+                sh_cached = Hom.Shared.cached e;
+                sh_early_pairs = Hom.Shared.early_count e;
+                sh_erase_ns = bt.Hom.Shared.sb_erase_ns;
+                sh_determinise_ns = bt.Hom.Shared.sb_determinise_ns;
+                sh_minimise_ns = bt.Hom.Shared.sb_minimise_ns;
+                sh_early_ns = bt.Hom.Shared.sb_early_ns })
+            !engine };
     t_reduction }
 
 let pp_tool_report ppf r =

@@ -48,12 +48,31 @@ type pair_timing = {
     [Abstract] method; under [Direct] the whole BFS is accounted to
     [pt_compare_ns]. *)
 
+type shared_timing = {
+  sh_alphabet_size : int;  (** union alphabet of the surviving pairs *)
+  sh_dfa_states : int;  (** states of the shared minimal quotient *)
+  sh_cached : bool;  (** the shared quotient came from the store *)
+  sh_early_pairs : int;
+      (** pairs already decided independent during the single pass *)
+  sh_erase_ns : int64;
+  sh_determinise_ns : int64;
+  sh_minimise_ns : int64;
+  sh_early_ns : int64;
+}
+(** One-off cost and shape of the shared abstraction engine's build —
+    the work the per-pair [pt_erase_ns]/[pt_determinise_ns]/
+    [pt_minimise_ns] columns no longer contain when the shared path
+    answered the pairs (they are 0 there; only [pt_compare_ns] remains
+    genuinely per-pair). *)
+
 type phase_timings = {
   ph_explore_ns : int64;
   ph_min_max_ns : int64;
   ph_matrix_ns : int64;
   ph_derive_ns : int64;
   ph_pairs : pair_timing list;
+  ph_shared : shared_timing option;
+      (** [Some] iff the shared engine answered this run's pairs *)
 }
 (** Per-phase durations of one {!tool} run.  Always collected — the
     clock readings are negligible against the phases they measure — so
@@ -92,6 +111,17 @@ val dependence :
   min_action:Action.t ->
   max_action:Action.t ->
   bool
+
+type quotient_cache = {
+  qc_find : alphabet:Action.t list -> Fsa_hom.Hom.A.Dfa.t option;
+  qc_store : alphabet:Action.t list -> Fsa_hom.Hom.A.Dfa.t -> unit;
+}
+(** Hook for caching the shared intermediate quotient of {!tool}'s
+    shared abstraction engine.  The store lives above this library, so
+    the analysis takes the cache as callbacks; implementations must key
+    entries on the spec digest {e and} the erased-alphabet digest {e
+    and} an engine version, so per-pair-era entries never replay as
+    shared-pass results. *)
 
 val quotient :
   ?max_states:int ->
@@ -134,6 +164,8 @@ val tool :
   ?jobs:int ->
   ?prune:bool ->
   ?reduce:Fsa_sym.Sym.plan ->
+  ?shared:bool ->
+  ?quotient_cache:quotient_cache ->
   ?progress:Fsa_obs.Progress.t ->
   stakeholder:(Action.t -> Agent.t) ->
   Fsa_apa.Apa.t ->
@@ -153,6 +185,19 @@ val tool :
     token flow can never test dependent — and it is automatically
     disabled when the LTS is not labelled by plain rule names, so the
     report (matrix included) is identical with and without it.
+
+    [shared] (default [true], effective only under [Abstract]) answers
+    all surviving (min, max) pairs from one shared abstraction: erase
+    once to the union alphabet of their actions, determinise/minimise
+    that shared image, then decide each pair on the shared automaton
+    (and, on-the-fly, during the single pass over the graph where the
+    independent verdict is already witnessed).  Verdicts, requirement
+    reports and per-pair minimal automata are identical to the per-pair
+    path — [preserve {min, max}] factors through [preserve union] and
+    minimal DFAs are unique up to isomorphism.  [quotient_cache] lets
+    the caller persist/reuse the shared quotient across runs (see
+    {!quotient_cache}); a cache hit skips the erase/determinise/minimise
+    and early-decision work entirely.
 
     [reduce] applies a {!Fsa_sym.Sym.plan}.  A symmetry component is
     applied as quotient-then-{!unfolded}, so the derived requirements

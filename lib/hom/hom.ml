@@ -22,6 +22,8 @@ module Span = Fsa_obs.Span
 
 let m_minimal_automata = Metrics.counter "hom.minimal_automata"
 let m_dependence_tests = Metrics.counter "hom.dependence_tests"
+let m_shared_builds = Metrics.counter "hom.shared_builds"
+let m_early_decisions = Metrics.counter "hom.early_decisions"
 
 module Action_label = struct
   type t = Action.t
@@ -46,14 +48,58 @@ let preserve actions : t =
   let keep = Action.Set.of_list actions in
   fun a -> if Action.Set.mem a keep then Some a else None
 
-let rename assoc : t =
-  (* first binding wins, matching the order semantics of an assoc list *)
-  let table =
-    List.fold_left
-      (fun m (x, y) ->
-        if Action.Map.mem x m then m else Action.Map.add x y m)
-      Action.Map.empty assoc
+(* first binding wins, matching the order semantics of an assoc list *)
+let rename_table assoc =
+  List.fold_left
+    (fun m (x, y) -> if Action.Map.mem x m then m else Action.Map.add x y m)
+    Action.Map.empty assoc
+
+(* The merge groups of a non-injective rename map: every target two or
+   more distinct source actions end up on, with its sources.  A rename
+   map is applied pointwise, so such a merge silently identifies words
+   that the behaviour distinguishes — dependence verdicts read off the
+   merged image are meaningless.  Actions of [alphabet] the map leaves
+   untouched count as sources of themselves: renaming [a] onto an
+   existing action [b] merges the two just as surely as mapping both
+   onto a third symbol. *)
+let rename_collisions ?(alphabet = []) assoc =
+  let table = rename_table assoc in
+  let add_source tgt src m =
+    let srcs =
+      Option.value (Action.Map.find_opt tgt m) ~default:Action.Set.empty
+    in
+    Action.Map.add tgt (Action.Set.add src srcs) m
   in
+  let by_target =
+    Action.Map.fold (fun src tgt m -> add_source tgt src m) table
+      Action.Map.empty
+  in
+  let by_target =
+    List.fold_left
+      (fun m a -> if Action.Map.mem a table then m else add_source a a m)
+      by_target alphabet
+  in
+  Action.Map.fold
+    (fun tgt srcs acc ->
+      if Action.Set.cardinal srcs > 1 then
+        (tgt, Action.Set.elements srcs) :: acc
+      else acc)
+    by_target []
+  |> List.rev
+
+let rename assoc : t =
+  let table = rename_table assoc in
+  (* Within-map collisions are detectable without knowing the alphabet
+     and are always a bug: refuse them instead of silently merging the
+     sources (callers with an alphabet in hand should run
+     {!rename_collisions} first for the full check). *)
+  (match rename_collisions assoc with
+  | [] -> ()
+  | (tgt, srcs) :: _ ->
+    invalid_arg
+      (Fmt.str "Hom.rename: non-injective map merges %a into %a"
+         Fmt.(list ~sep:comma Action.pp)
+         srcs Action.pp tgt));
   fun a ->
     match Action.Map.find_opt a table with
     | Some y -> Some y
@@ -190,6 +236,241 @@ let dependence_matrix lts ~minima ~maxima =
          (fun mn -> (mn, depends_abstract lts ~min_action:mn ~max_action:mx))
          minima))
     maxima
+
+(* ------------------------------------------------------------------ *)
+(* Shared multi-pair abstraction engine                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Answering every (minimum, maximum) dependence pair from one pass over
+   the behaviour, instead of erasing/determinising/minimising the full
+   reachability graph once per pair.
+
+   Soundness: write U for the union alphabet of all surviving pairs and
+   h_U = preserve U, h_p = preserve {min, max} for a pair p with
+   {min, max} <= U.  Then h_p = h_p . h_U, so
+
+     h_p (L (lts)) = h_p (h_U (L (lts))) = h_p (L (shared_dfa)),
+
+   and the minimal automaton of a pair computed from [shared_dfa] is the
+   minimal automaton computed from the full behaviour (minimal DFAs are
+   unique up to isomorphism).  For the verdict itself not even the
+   per-pair projection is needed: in [dfa_has_target_before_avoid] a
+   label that is neither [avoid] nor [target] is traversed freely —
+   exactly what erasing it would do — so running the search directly on
+   the shared DFA returns the same answer as running it on the pair's
+   minimal automaton. *)
+
+module Pair_set = Set.Make (struct
+  type t = Action.t * Action.t
+
+  let compare (a1, b1) (a2, b2) =
+    match Action.compare a1 a2 with 0 -> Action.compare b1 b2 | c -> c
+end)
+
+module Shared = struct
+  type build_timing = {
+    sb_erase_ns : int64;
+    sb_determinise_ns : int64;
+    sb_minimise_ns : int64;
+    sb_early_ns : int64;
+  }
+
+  type engine = {
+    sh_alphabet : Action.Set.t;
+    sh_dfa : A.Dfa.t;
+    sh_cached : bool;
+    sh_timing : build_timing;
+    sh_early : Pair_set.t;
+  }
+
+  let zero_timing =
+    { sb_erase_ns = 0L;
+      sb_determinise_ns = 0L;
+      sb_minimise_ns = 0L;
+      sb_early_ns = 0L }
+
+  (* On-the-fly dependence evaluation during the single pass: a pair
+     (min, max) is already decided independent as soon as the pass
+     witnesses a path that reaches a [max]-labelled transition without
+     traversing [min] (the same condition [dfa_has_target_before_avoid]
+     searches for, evaluated on the graph instead of the quotient).  One
+     monotone bitset fixpoint decides every such pair at once:
+     avoid.(s) is the set of minima some path from the initial state to
+     [s] avoids entirely — seeded with all minima at the initial state,
+     propagated along each edge minus the edge's own label.  A pair
+     (mn, mx) is independent iff some mx-edge leaves a state whose
+     avoid-set contains mn.  The "dependent" direction is never decided
+     early: it is a property of all paths and needs the full image. *)
+  let early_pass ~minima ~maxima lts =
+    let mins = Array.of_list minima in
+    let k = Array.length mins in
+    if k = 0 || maxima = [] then Pair_set.empty
+    else begin
+      let min_index =
+        let m = ref Action.Map.empty in
+        Array.iteri (fun i a -> m := Action.Map.add a i !m) mins;
+        !m
+      in
+      let bits_per_word = 62 in
+      let words = (k + bits_per_word - 1) / bits_per_word in
+      let n = Lts.nb_states lts in
+      (* avoid is a flattened [n] x [words] bit matrix *)
+      let avoid = Array.make (n * words) 0 in
+      let full_word = (1 lsl bits_per_word) - 1 in
+      let last_mask =
+        let r = k mod bits_per_word in
+        if r = 0 then full_word else (1 lsl r) - 1
+      in
+      let init = Lts.initial lts in
+      for w = 0 to words - 1 do
+        avoid.((init * words) + w) <-
+          (if w = words - 1 then last_mask else full_word)
+      done;
+      let succ = Lts.succ lts in
+      let queue = Queue.create () in
+      let queued = Bytes.make n '\000' in
+      Queue.add init queue;
+      Bytes.set queued init '\001';
+      while not (Queue.is_empty queue) do
+        let s = Queue.pop queue in
+        Bytes.set queued s '\000';
+        List.iter
+          (fun tr ->
+            let d = tr.Lts.t_dst in
+            let label_bit = Action.Map.find_opt tr.Lts.t_label min_index in
+            let changed = ref false in
+            for w = 0 to words - 1 do
+              let contrib =
+                let v = avoid.((s * words) + w) in
+                match label_bit with
+                | Some b when b / bits_per_word = w ->
+                  v land lnot (1 lsl (b mod bits_per_word))
+                | _ -> v
+              in
+              let cur = avoid.((d * words) + w) in
+              let merged = cur lor contrib in
+              if merged <> cur then begin
+                avoid.((d * words) + w) <- merged;
+                changed := true
+              end
+            done;
+            if !changed && Bytes.get queued d = '\000' then begin
+              Bytes.set queued d '\001';
+              Queue.add d queue
+            end)
+          (succ s)
+      done;
+      let maxima_set = Action.Set.of_list maxima in
+      Lts.fold_transitions
+        (fun tr acc ->
+          if Action.Set.mem tr.Lts.t_label maxima_set then begin
+            let s = tr.Lts.t_src in
+            let acc = ref acc in
+            for i = 0 to k - 1 do
+              let w = i / bits_per_word and b = i mod bits_per_word in
+              if avoid.((s * words) + w) land (1 lsl b) <> 0 then
+                acc := Pair_set.add (mins.(i), tr.Lts.t_label) !acc
+            done;
+            !acc
+          end
+          else acc)
+        lts Pair_set.empty
+    end
+
+  (* Build the engine: erase the behaviour once to the union alphabet,
+     determinise and minimise the shared image, and run the on-the-fly
+     early-decision pass over the graph.  With [?dfa] (a cache hit for
+     the shared quotient) the graph is not walked at all — every pair is
+     then decided on the shared DFA, which returns the same verdicts. *)
+  let build ?dfa ~alphabet ~minima ~maxima lts =
+    Metrics.incr m_shared_builds;
+    match dfa with
+    | Some d ->
+      { sh_alphabet = alphabet;
+        sh_dfa = d;
+        sh_cached = true;
+        sh_timing = zero_timing;
+        sh_early = Pair_set.empty }
+    | None ->
+      Span.with_ ~cat:"hom" "hom.shared_build" @@ fun () ->
+      let h = preserve (Action.Set.elements alphabet) in
+      let t0 = Span.now_ns () in
+      let nfa = image_nfa h lts in
+      let t1 = Span.now_ns () in
+      let det = A.Dfa.determinize nfa in
+      let t2 = Span.now_ns () in
+      let d = A.Dfa.minimize det in
+      let t3 = Span.now_ns () in
+      let early = early_pass ~minima ~maxima lts in
+      let t4 = Span.now_ns () in
+      Metrics.incr ~by:(Pair_set.cardinal early) m_early_decisions;
+      Log.debug (fun m ->
+          m
+            "shared abstraction of %s: |alphabet|=%d, %d states, %d \
+             transitions, %d pairs decided early"
+            (Lts.name lts)
+            (Action.Set.cardinal alphabet)
+            (A.Dfa.nb_states d) (A.Dfa.nb_transitions d)
+            (Pair_set.cardinal early));
+      { sh_alphabet = alphabet;
+        sh_dfa = d;
+        sh_cached = false;
+        sh_timing =
+          { sb_erase_ns = Int64.sub t1 t0;
+            sb_determinise_ns = Int64.sub t2 t1;
+            sb_minimise_ns = Int64.sub t3 t2;
+            sb_early_ns = Int64.sub t4 t3 };
+        sh_early = early }
+
+  let alphabet e = e.sh_alphabet
+  let dfa e = e.sh_dfa
+  let cached e = e.sh_cached
+  let timing e = e.sh_timing
+  let early_count e = Pair_set.cardinal e.sh_early
+
+  let check_pair e ~min_action ~max_action =
+    if
+      not
+        (Action.Set.mem min_action e.sh_alphabet
+        && Action.Set.mem max_action e.sh_alphabet)
+    then
+      invalid_arg
+        (Fmt.str "Hom.Shared: pair (%a, %a) outside the shared alphabet"
+           Action.pp min_action Action.pp max_action)
+
+  let depends_timed e ~min_action ~max_action =
+    check_pair e ~min_action ~max_action;
+    Metrics.incr m_dependence_tests;
+    let t0 = Span.now_ns () in
+    let dep =
+      if Pair_set.mem (min_action, max_action) e.sh_early then false
+      else
+        not
+          (dfa_has_target_before_avoid e.sh_dfa ~avoid:min_action
+             ~target:max_action)
+    in
+    let t1 = Span.now_ns () in
+    ( dep,
+      (* the erase/determinise/minimise work happened once, in [build];
+         per-pair rows carry only the genuinely per-pair compare time *)
+      { dt_erase_ns = 0L;
+        dt_determinise_ns = 0L;
+        dt_minimise_ns = 0L;
+        dt_compare_ns = Int64.sub t1 t0 } )
+
+  let depends e ~min_action ~max_action =
+    fst (depends_timed e ~min_action ~max_action)
+
+  (* The pair's minimal automaton, projected from the shared quotient
+     instead of recomputed from the behaviour — isomorphic to
+     [minimal_automaton (preserve [min; max]) lts] by h_p = h_p . h_U
+     and uniqueness of the minimal DFA. *)
+  let minimal_automaton e ~min_action ~max_action =
+    check_pair e ~min_action ~max_action;
+    Metrics.incr m_minimal_automata;
+    let h = preserve [ min_action; max_action ] in
+    A.Dfa.minimize (A.Dfa.determinize (A.relabel h e.sh_dfa))
+end
 
 (* ------------------------------------------------------------------ *)
 (* Simplicity of homomorphisms                                          *)

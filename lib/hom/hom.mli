@@ -16,6 +16,26 @@ val preserve : Action.t list -> t
 (** Identity on the listed actions, erase everything else. *)
 
 val rename : (Action.t * Action.t) list -> t
+(** Pointwise renaming; actions outside the map are kept unchanged.
+    First binding wins for duplicate sources.
+
+    @raise Invalid_argument if the map itself is non-injective — two
+    distinct sources renamed onto the same target silently merge
+    behaviours and poison dependence verdicts.  Collisions with
+    untouched alphabet actions are not detectable here; run
+    {!rename_collisions} with the alphabet first. *)
+
+val rename_collisions :
+  ?alphabet:Action.t list ->
+  (Action.t * Action.t) list ->
+  (Action.t * Action.t list) list
+(** The merge groups of a rename map: every target that two or more
+    distinct sources end up on, with its sources (sorted).  With
+    [?alphabet], actions the map leaves untouched count as sources of
+    themselves, so renaming [a] onto an existing action [b] is reported
+    as the merge of [a] and [b].  Empty result = the map is injective on
+    the alphabet. *)
+
 val compose : t -> t -> t
 
 val erased : t -> Action.t list -> Action.t list
@@ -66,6 +86,68 @@ val dependence_matrix :
   maxima:Action.t list ->
   (Action.t * (Action.t * bool) list) list
 (** For each maximum, the dependence verdict against every minimum. *)
+
+module Pair_set : Set.S with type elt = Action.t * Action.t
+
+(** Shared multi-pair abstraction engine: erase the behaviour once to
+    the union alphabet of all surviving (minimum, maximum) pairs,
+    determinise/minimise that shared image, then answer every pair from
+    the shared automaton instead of re-walking the full graph per pair.
+    Sound because [preserve {min, max} = preserve {min, max} . preserve
+    union] for every pair inside the union alphabet, and minimal DFAs
+    are unique up to isomorphism — verdicts and exported minimal
+    automata are identical to the per-pair path. *)
+module Shared : sig
+  type build_timing = {
+    sb_erase_ns : int64;  (** building the shared image NFA *)
+    sb_determinise_ns : int64;
+    sb_minimise_ns : int64;
+    sb_early_ns : int64;  (** the on-the-fly early-decision pass *)
+  }
+
+  type engine
+
+  val build :
+    ?dfa:A.Dfa.t ->
+    alphabet:Action.Set.t ->
+    minima:Action.t list ->
+    maxima:Action.t list ->
+    Lts.t ->
+    engine
+  (** Build the shared quotient for [alphabet] (the union of all pair
+      actions) and run the early-decision pass for the given minima and
+      maxima.  [?dfa] injects a previously cached shared quotient: the
+      behaviour graph is then not walked at all (and no pair is decided
+      early — all verdicts come off the shared DFA, identically). *)
+
+  val alphabet : engine -> Action.Set.t
+  val dfa : engine -> A.Dfa.t
+  (** The shared minimal DFA — the cacheable intermediate quotient. *)
+
+  val cached : engine -> bool
+  val timing : engine -> build_timing
+
+  val early_count : engine -> int
+  (** Number of pairs the single pass already proved independent. *)
+
+  val depends : engine -> min_action:Action.t -> max_action:Action.t -> bool
+
+  val depends_timed :
+    engine ->
+    min_action:Action.t ->
+    max_action:Action.t ->
+    bool * dependence_timing
+  (** Per-pair verdict off the shared engine.  The returned timing rows
+      carry only the genuinely per-pair compare time; the shared
+      erase/determinise/minimise cost lives in {!timing}.
+      @raise Invalid_argument if the pair is outside the engine's
+      alphabet. *)
+
+  val minimal_automaton :
+    engine -> min_action:Action.t -> max_action:Action.t -> A.Dfa.t
+  (** The pair's minimal automaton, projected from the shared quotient —
+      isomorphic to [minimal_automaton (preserve [min; max]) lts]. *)
+end
 
 val is_simple : t -> Lts.t -> bool
 (** Weak continuation-closure check on the product of the behaviour with

@@ -219,39 +219,211 @@ module Exec = struct
 
   let ms_of_ns ns = Int64.to_float ns /. 1e6
 
+  (* Exact interpolated quantile over a small sample (the histogram
+     machinery in Fsa_obs is for streaming data; pair rows are a
+     finished list). *)
+  let quantile_of xs q =
+    match List.sort Float.compare xs with
+    | [] -> 0.
+    | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      let pos = q *. float_of_int (n - 1) in
+      let lo = max 0 (min (n - 1) (int_of_float (floor pos))) in
+      let hi = max 0 (min (n - 1) (int_of_float (ceil pos))) in
+      if lo = hi then a.(lo)
+      else a.(lo) +. ((pos -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+
+  (* Per-pair timing quantiles.  Statically pruned pairs never ran any
+     stage — their rows are all-zero placeholders — so they are
+     excluded from the aggregation: counting them drags every quantile
+     toward 0 and makes the dependence tests look cheaper than they
+     are. *)
+  let pair_quantiles pairs =
+    let live = List.filter (fun p -> not p.Analysis.pt_pruned) pairs in
+    let qobj xs =
+      Json.Obj
+        [ ("p50", Json.Float (quantile_of xs 0.5));
+          ("p90", Json.Float (quantile_of xs 0.9));
+          ("p99", Json.Float (quantile_of xs 0.99)) ]
+    in
+    let total p =
+      ms_of_ns
+        (Int64.add
+           (Int64.add p.Analysis.pt_erase_ns p.Analysis.pt_determinise_ns)
+           (Int64.add p.Analysis.pt_minimise_ns p.Analysis.pt_compare_ns))
+    in
+    Json.Obj
+      [ ("tested", Json.Int (List.length live));
+        ("pruned", Json.Int (List.length pairs - List.length live));
+        ("total_ms", qobj (List.map total live));
+        ( "compare_ms",
+          qobj (List.map (fun p -> ms_of_ns p.Analysis.pt_compare_ns) live)
+        ) ]
+
+  let shared_json (s : Analysis.shared_timing) =
+    Json.Obj
+      [ ("alphabet", Json.Int s.Analysis.sh_alphabet_size);
+        ("dfa_states", Json.Int s.Analysis.sh_dfa_states);
+        ("cached", Json.Bool s.Analysis.sh_cached);
+        ("early_pairs", Json.Int s.Analysis.sh_early_pairs);
+        ("erase_ms", Json.Float (ms_of_ns s.Analysis.sh_erase_ns));
+        ( "determinise_ms",
+          Json.Float (ms_of_ns s.Analysis.sh_determinise_ns) );
+        ("minimise_ms", Json.Float (ms_of_ns s.Analysis.sh_minimise_ns));
+        ("early_ms", Json.Float (ms_of_ns s.Analysis.sh_early_ns)) ]
+
   (* Per-phase wall-clock breakdown of a tool run.  Cached entries
      replay the timings of the run that produced them — they describe
      the analysis, not the serving. *)
   let timings_json (t : Analysis.phase_timings) =
     Json.Obj
-      [ ("explore_ms", Json.Float (ms_of_ns t.Analysis.ph_explore_ns));
-        ("min_max_ms", Json.Float (ms_of_ns t.Analysis.ph_min_max_ns));
-        ("matrix_ms", Json.Float (ms_of_ns t.Analysis.ph_matrix_ns));
-        ("derive_ms", Json.Float (ms_of_ns t.Analysis.ph_derive_ns));
-        ( "pairs",
+      ([ ("explore_ms", Json.Float (ms_of_ns t.Analysis.ph_explore_ns));
+         ("min_max_ms", Json.Float (ms_of_ns t.Analysis.ph_min_max_ns));
+         ("matrix_ms", Json.Float (ms_of_ns t.Analysis.ph_matrix_ns));
+         ("derive_ms", Json.Float (ms_of_ns t.Analysis.ph_derive_ns));
+         ( "pairs",
+           Json.List
+             (List.map
+                (fun p ->
+                  Json.Obj
+                    [ ("min", Json.Str (Action.to_string p.Analysis.pt_min));
+                      ("max", Json.Str (Action.to_string p.Analysis.pt_max));
+                      ("pruned", Json.Bool p.Analysis.pt_pruned);
+                      ( "erase_ms",
+                        Json.Float (ms_of_ns p.Analysis.pt_erase_ns) );
+                      ( "determinise_ms",
+                        Json.Float (ms_of_ns p.Analysis.pt_determinise_ns) );
+                      ( "minimise_ms",
+                        Json.Float (ms_of_ns p.Analysis.pt_minimise_ns) );
+                      ( "compare_ms",
+                        Json.Float (ms_of_ns p.Analysis.pt_compare_ns) ) ])
+                t.Analysis.ph_pairs) );
+         ("pair_quantiles", pair_quantiles t.Analysis.ph_pairs) ]
+      @
+      match t.Analysis.ph_shared with
+      | None -> []
+      | Some s -> [ ("shared", shared_json s) ])
+
+  (* ---- shared-quotient cache ------------------------------------ *)
+
+  (* Version stamp of the shared abstraction engine.  Part of every
+     abstract-method requirements key and of every quotient entry's
+     key, so entries written by a different engine generation (or by
+     the per-pair path) can never replay as shared-pass results. *)
+  let abstraction_engine = "shared-v1"
+
+  module Int_set = Fsa_automata.Automata.Int_set
+
+  let dfa_to_json dfa =
+    let module D = Hom.A.Dfa in
+    Json.Obj
+      [ ("states", Json.Int (D.nb_states dfa));
+        ("start", Json.Int (D.start dfa));
+        ( "finals",
           Json.List
             (List.map
-               (fun p ->
-                 Json.Obj
-                   [ ("min", Json.Str (Action.to_string p.Analysis.pt_min));
-                     ("max", Json.Str (Action.to_string p.Analysis.pt_max));
-                     ("pruned", Json.Bool p.Analysis.pt_pruned);
-                     ("erase_ms", Json.Float (ms_of_ns p.Analysis.pt_erase_ns));
-                     ( "determinise_ms",
-                       Json.Float (ms_of_ns p.Analysis.pt_determinise_ns) );
-                     ( "minimise_ms",
-                       Json.Float (ms_of_ns p.Analysis.pt_minimise_ns) );
-                     ( "compare_ms",
-                       Json.Float (ms_of_ns p.Analysis.pt_compare_ns) ) ])
-               t.Analysis.ph_pairs) ) ]
+               (fun i -> Json.Int i)
+               (Int_set.elements (D.finals dfa))) );
+        ( "edges",
+          Json.List
+            (List.map
+               (fun (s, l, d) ->
+                 Json.List
+                   [ Json.Int s; Json.Str (Action.to_string l); Json.Int d ])
+               (D.transitions dfa)) ) ]
+
+  (* Any malformed shape is [None] — a silent cache miss, matching the
+     store's corruption contract. *)
+  let dfa_of_json j =
+    let module D = Hom.A.Dfa in
+    match
+      ( Option.bind (Json.member "states" j) Json.to_int,
+        Option.bind (Json.member "start" j) Json.to_int,
+        Json.member "finals" j,
+        Json.member "edges" j )
+    with
+    | Some n, Some start, Some (Json.List finals), Some (Json.List edges)
+      when n >= 0 && start >= 0 && start < n -> (
+      try
+        let fins =
+          List.fold_left
+            (fun acc v ->
+              match Json.to_int v with
+              | Some i when i >= 0 && i < n -> Int_set.add i acc
+              | _ -> raise Exit)
+            Int_set.empty finals
+        in
+        let delta = Array.make n Hom.A.Lmap.empty in
+        List.iter
+          (fun e ->
+            match e with
+            | Json.List [ Json.Int s; Json.Str l; Json.Int d ]
+              when s >= 0 && s < n && d >= 0 && d < n -> (
+              match Action.of_string l with
+              | Ok a -> delta.(s) <- Hom.A.Lmap.add a d delta.(s)
+              | Error _ -> raise Exit)
+            | _ -> raise Exit)
+          edges;
+        Some (D.create ~nb_states:n ~start ~finals:fins ~delta)
+      with Exit -> None)
+    | _ -> None
+
+  (* Only cache when every alphabet action survives the string round
+     trip: an action [Action.of_string] cannot reconstruct exactly
+     would deserialise into a different DFA. *)
+  let alphabet_round_trips alphabet =
+    List.for_all
+      (fun a ->
+        match Action.of_string (Action.to_string a) with
+        | Ok a' -> Action.equal a a'
+        | Error _ -> false)
+      alphabet
+
+  (* The shared quotient depends only on the APA part of the spec, the
+     exploration bound, the effective reduction and the erased
+     alphabet, so its key is exactly those plus the engine version. *)
+  let quotient_cache st ~digest ~max_states ~reduce : Analysis.quotient_cache
+      =
+    let key ~alphabet =
+      let params =
+        [ ("engine", abstraction_engine);
+          ("max_states", string_of_int max_states);
+          ( "alphabet",
+            Store.digest_hex
+              (String.concat "\x00" (List.map Action.to_string alphabet)) )
+        ]
+        @
+        match reduce with
+        | None -> []
+        | Some k -> [ ("reduce", Sym.kind_to_string k) ]
+      in
+      Store.cache_key ~digest ~kind:"quotient" ~params
+    in
+    { Analysis.qc_find =
+        (fun ~alphabet ->
+          if not (alphabet_round_trips alphabet) then None
+          else
+            match Store.find st ~key:(key ~alphabet) with
+            | Some e -> dfa_of_json e.Store.e_result
+            | None -> None);
+      qc_store =
+        (fun ~alphabet dfa ->
+          if alphabet_round_trips alphabet then
+            Store.add st
+              { Store.e_key = key ~alphabet;
+                e_kind = "quotient";
+                e_result = dfa_to_json dfa;
+                e_output = "";
+                e_exit = 0 }) }
 
   let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
-      spec =
+      ~shared ?quotient_cache spec =
     let apa = Elaborate.apa_of_spec spec in
     let report =
       Analysis.tool ~meth ~max_states ~jobs ~prune
         ?reduce:(reduce_plan ~reduce spec apa)
-        ?progress ~stakeholder:cfg.sv_stakeholder apa
+        ~shared ?quotient_cache ?progress ~stakeholder:cfg.sv_stakeholder apa
     in
     let reduction =
       match report.Analysis.t_reduction with
@@ -410,8 +582,8 @@ module Exec = struct
     | Check -> [ `Apa; `Checks; `Models ]
 
   let run cfg ~op ?(meth = Analysis.Abstract) ?(max_states = 1_000_000)
-      ?(jobs = 1) ?prune ?sos ?keep ?reduce ?progress ?deadline_ns
-      ?(cache = true) ~file spec =
+      ?(jobs = 1) ?prune ?sos ?keep ?reduce ?(shared = true) ?progress
+      ?deadline_ns ?(cache = true) ~file spec =
     let prune = Option.value prune ~default:cfg.sv_prune in
     (* the effective reduction is what runs AND what keys the cache:
        verify ignores the POR half (unsound for arbitrary properties),
@@ -428,8 +600,20 @@ module Exec = struct
         match op with
         | Reach -> run_reach ~max_states ~jobs ~progress ~reduce spec
         | Requirements ->
+          (* the quotient cache shares the outcome store; a quotient
+             entry is useful exactly when the outcome itself missed
+             (different max_states, evicted outcome, …) *)
+          let quotient_cache =
+            match (meth, if cache then cfg.sv_store else None) with
+            | Analysis.Abstract, Some st when shared ->
+              Some
+                (quotient_cache st
+                   ~digest:(Elaborate.digest_of_spec ~parts:[ `Apa ] spec)
+                   ~max_states ~reduce)
+            | _ -> None
+          in
           run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress
-            ~reduce spec
+            ~reduce ~shared ?quotient_cache spec
         | Analyze -> run_analyze ~sos spec
         | Abstract -> run_abstract ~keep ~max_states ~jobs ~progress spec
         | Verify -> run_verify ~max_states ~jobs ~progress ~reduce spec
@@ -503,7 +687,17 @@ module Exec = struct
         in
         match op with
         | Reach -> ms :: rd
-        | Requirements -> (ms :: rd) @ [ ("method", meth_string meth) ]
+        | Requirements ->
+          (* the engine param keys shared-pass outcomes away from
+             per-pair (and pre-engine) ones: their timing sections
+             differ even though verdicts are identical *)
+          let engine =
+            match meth with
+            | Analysis.Direct -> "direct"
+            | Analysis.Abstract ->
+              if shared then abstraction_engine else "per-pair"
+          in
+          (ms :: rd) @ [ ("method", meth_string meth); ("engine", engine) ]
         | Analyze -> (
           match sos with Some s -> [ ("sos", s) ] | None -> [])
         | Abstract ->
@@ -797,7 +991,8 @@ let handle_request cfg ~trace_id req =
     in
     let outcome =
       Exec.run cfg ~op ~meth ~max_states ?prune:(req_bool req "prune")
-        ?sos:(req_str req "sos") ?keep:(req_keep req) ?reduce ?deadline_ns
+        ?sos:(req_str req "sos") ?keep:(req_keep req) ?reduce
+        ?shared:(req_bool req "shared") ?deadline_ns
         ~cache:(Option.value (req_bool req "cache") ~default:true)
         ~file spec
     in

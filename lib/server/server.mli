@@ -25,10 +25,14 @@
     tests for statically independent action pairs — never changes the
     result), [reduce] ([sym]|[por]|[sym+por]: symmetry / partial-order
     reduction on reach, requirements and verify; verify honours only
-    the symmetry half), [sos] (analyze), [keep] (list of action names,
-    abstract only), [cache] (set [false] to bypass the store for one
-    request) and [trace_id] (a client-chosen identifier for the
-    request's trace; one is generated when absent).
+    the symmetry half), [shared] (requirements only, default [true]:
+    answer all dependence pairs from the shared multi-pair abstraction
+    engine; [false] falls back to the legacy per-pair path — verdicts
+    and requirement reports are identical either way), [sos] (analyze),
+    [keep] (list of action names, abstract only), [cache] (set [false]
+    to bypass the store for one request) and [trace_id] (a
+    client-chosen identifier for the request's trace; one is generated
+    when absent).
 
     Each response is a single line, in request order, echoing the
     request's trace id:
@@ -142,6 +146,7 @@ module Exec : sig
     ?sos:string ->
     ?keep:string list ->
     ?reduce:Fsa_sym.Sym.kind ->
+    ?shared:bool ->
     ?progress:Fsa_obs.Progress.t ->
     ?deadline_ns:int64 ->
     ?cache:bool ->
@@ -166,6 +171,17 @@ module Exec : sig
       POR-reduced graph is unsound for arbitrary properties, and the
       symmetry path model-checks the exact unfolded graph, so verify
       verdicts never depend on the reduction.
+      [shared] (default [true]) answers all requirements dependence
+      pairs from the shared multi-pair abstraction engine
+      ({!Fsa_core.Analysis.tool}[ ~shared]); it is part of the
+      requirements cache key (as an ["engine"] param, together with the
+      engine version), because shared-pass and per-pair outcomes carry
+      different timing sections even though verdicts are identical.
+      With a store configured, the shared intermediate quotient itself
+      is cached under kind ["quotient"], keyed by the APA digest, the
+      erased-alphabet digest, [max_states], the effective reduction and
+      the engine version — a later run over the same model reuses the
+      minimised automaton without re-walking the graph.
       [deadline_ns] (absolute, {!Fsa_obs.Span.now_ns} clock) arms a
       cooperative timeout checked during exploration; it is only used
       when no [progress] reporter is supplied.

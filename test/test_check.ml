@@ -200,6 +200,35 @@ let test_keep_set () =
   Alcotest.(check bool) "partially known keeps the abstraction" false
     (has_code "FSA023" ds)
 
+let test_rename_map () =
+  let alphabet = [ "I_go"; "I_stop" ] in
+  (* renaming onto a fresh target is injective and clean *)
+  let ds = Check.rename_map ~alphabet [ ("I_go", "go") ] in
+  Alcotest.(check int) "injective rename is clean" 0 (List.length ds);
+  (* unknown source *)
+  let ds = Check.rename_map ~alphabet [ ("I_gone", "go") ] in
+  Alcotest.(check bool) "FSA022 for unknown source" true (has_code "FSA022" ds);
+  let d = find_code "FSA022" ds in
+  Alcotest.(check bool) "did-you-mean hint" true
+    (contains ~affix:"I_go" d.D.message);
+  (* renaming one action onto another alphabet action merges it with
+     that action's identity image *)
+  let ds = Check.rename_map ~alphabet [ ("I_go", "I_stop") ] in
+  Alcotest.(check bool) "FSA036 for merge with identity image" true
+    (has_code "FSA036" ds);
+  let d = find_code "FSA036" ds in
+  Alcotest.(check bool) "names both sources" true
+    (contains ~affix:"I_go" d.D.message
+    && contains ~affix:"I_stop" d.D.message);
+  (* two sources on one fresh target *)
+  let ds = Check.rename_map ~alphabet [ ("I_go", "x"); ("I_stop", "x") ] in
+  Alcotest.(check bool) "FSA036 for two sources on one target" true
+    (has_code "FSA036" ds);
+  (* duplicate bindings for one source follow first-binding-wins *)
+  let ds = Check.rename_map ~alphabet [ ("I_go", "x"); ("I_go", "y") ] in
+  Alcotest.(check bool) "duplicate source is not a merge" false
+    (has_code "FSA036" ds)
+
 let test_parse_failure_is_fsa000 () =
   let ds =
     Check.spec
@@ -323,6 +352,7 @@ let suite =
     Alcotest.test_case "unknown check action (FSA020)" `Quick test_check_unknown_action;
     Alcotest.test_case "vacuous check (FSA021)" `Quick test_check_vacuous;
     Alcotest.test_case "keep set (FSA022/FSA023)" `Quick test_keep_set;
+    Alcotest.test_case "rename map (FSA022/FSA036)" `Quick test_rename_map;
     Alcotest.test_case "elaboration failure (FSA000)" `Quick test_parse_failure_is_fsa000;
     Alcotest.test_case "did-you-mean suggestions" `Quick test_suggest;
     Alcotest.test_case "shipped examples are clean" `Quick test_examples_clean;

@@ -147,6 +147,34 @@ let test_identity_simple () =
   Alcotest.(check bool) "identity is always simple" true
     (Hom.is_simple Hom.identity (Lazy.force lts2))
 
+let test_rename_rejects_merges () =
+  let a = Action.make "a" and b = Action.make "b" and x = Action.make "x" in
+  (* an injective map is fine *)
+  Alcotest.(check bool) "injective rename maps" true
+    (Hom.rename [ (a, x) ] a = Some x);
+  (* two sources on one target is a merge, not a rename *)
+  Alcotest.(check bool) "non-injective map raises" true
+    (match Hom.rename [ (a, x); (b, x) ] a with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (match Hom.rename_collisions [ (a, x); (b, x) ] with
+  | [ (tgt, srcs) ] ->
+    Alcotest.(check bool) "collision target" true (Action.equal tgt x);
+    Alcotest.(check int) "two colliding sources" 2 (List.length srcs);
+    Alcotest.(check bool) "sources are a and b" true
+      (List.exists (Action.equal a) srcs && List.exists (Action.equal b) srcs)
+  | gs -> Alcotest.failf "expected one collision group, got %d" (List.length gs));
+  (* a rename onto an action the alphabet already contains collides
+     with that action's identity image *)
+  Alcotest.(check int) "identity collision found against the alphabet" 1
+    (List.length (Hom.rename_collisions ~alphabet:[ a; x ] [ (a, x) ]));
+  Alcotest.(check int) "injective against the alphabet is clean" 0
+    (List.length (Hom.rename_collisions ~alphabet:[ a; b ] [ (a, x) ]));
+  (* duplicate bindings for one source are first-binding-wins, not a
+     collision *)
+  Alcotest.(check int) "duplicate source is not a merge" 0
+    (List.length (Hom.rename_collisions [ (a, x); (a, b) ]))
+
 let test_rename_merges_actions () =
   (* renaming both sense actions to one abstract "sense" action *)
   let lts = Lazy.force lts4 in
@@ -185,5 +213,6 @@ let suite =
     Alcotest.test_case "pair homs are simple" `Quick test_simplicity_of_pair_homs;
     Alcotest.test_case "non-simple hom detected" `Quick test_non_simple_hom;
     Alcotest.test_case "identity simple" `Quick test_identity_simple;
+    Alcotest.test_case "rename rejects merges" `Quick test_rename_rejects_merges;
     Alcotest.test_case "rename merges actions" `Quick test_rename_merges_actions;
     Alcotest.test_case "dot output" `Quick test_dot_output ]
