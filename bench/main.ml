@@ -958,6 +958,96 @@ let bench_abstraction () =
       legacy_ns shared_ns speedup min_speedup alphabet dfa_states early
       identical ok
 
+(* Report-generation overhead: building the Fsa_report view (sos
+   mapping, one shared projection engine for the per-item automata, the
+   traceability matrix and both emissions) must stay marginal next to
+   the requirements run it annotates — the gate is 5% of the tool-path
+   wall time, with a small absolute allowance so a cache-warm tool run
+   cannot fail the harness on noise alone.  Emission must also be
+   deterministic: two builds over the same run agree byte-for-byte. *)
+let bench_report () =
+  let module R = Fsa_report.Report in
+  let spec_path =
+    List.find_opt Sys.file_exists
+      [ "examples/specs/evita_fleet.fsa";
+        "../examples/specs/evita_fleet.fsa" ]
+  in
+  match spec_path with
+  | None ->
+    incr failures;
+    Fmt.pr "  %-24s evita_fleet.fsa not found@." "report/evita-fleet";
+    "    \"evita-fleet\": {\"ok\": false, \"error\": \"spec not found\"}"
+  | Some path ->
+    let spec = Fsa_spec.Parser.parse_file path in
+    let apa = Fsa_spec.Elaborate.apa_of_spec spec in
+    let time f =
+      let t0 = Fsa_obs.Span.now_ns () in
+      let r = f () in
+      (r, Int64.sub (Fsa_obs.Span.now_ns ()) t0)
+    in
+    let tool, tool_ns =
+      time (fun () ->
+          Analysis.tool
+            ~stakeholder:Fsa_requirements.Derive.default_stakeholder apa)
+    in
+    let build () =
+      R.of_tool
+        ~origins:
+          (R.origins_of_skeleton (Fsa_spec.Elaborate.skeleton_of_spec spec))
+        ~soses:(Fsa_spec.Elaborate.sos_list spec)
+        ~alphabet:(Fsa_apa.Apa.rule_names apa)
+        ~digest:
+          (Fsa_spec.Elaborate.digest_of_spec ~parts:[ `Apa; `Models ] spec)
+        ~settings:
+          { R.sg_path = "tool";
+            sg_method = "abstract";
+            sg_engine = "shared-v1";
+            sg_reduce = "none";
+            sg_max_states = 1_000_000 }
+        tool
+    in
+    let r1, report_ns =
+      time (fun () ->
+          let r = build () in
+          ignore (R.to_json_string r);
+          ignore (R.to_markdown r);
+          r)
+    in
+    let r2 = build () in
+    let deterministic =
+      String.equal (R.to_json_string r1) (R.to_json_string r2)
+      && String.equal (R.to_markdown r1) (R.to_markdown r2)
+    in
+    let ratio =
+      if Int64.compare tool_ns 0L > 0 then
+        Int64.to_float report_ns /. Int64.to_float tool_ns
+      else 0.
+    in
+    let max_ratio = 0.05 in
+    let slack_ns = 50_000_000L in
+    let ok =
+      deterministic
+      && List.length r1.R.r_items > 0
+      && (ratio <= max_ratio || Int64.compare report_ns slack_ns <= 0)
+    in
+    if not ok then incr failures;
+    Fmt.pr
+      "  %-24s tool %a  report %a  ratio %.4f  items %d  deterministic: %s@."
+      "report/evita-fleet" Fsa_obs.Span.pp_dur tool_ns Fsa_obs.Span.pp_dur
+      report_ns ratio
+      (List.length r1.R.r_items)
+      (if ok then "OK"
+       else if not deterministic then "NONDETERMINISTIC"
+       else if r1.R.r_items = [] then "EMPTY"
+       else "SLOW");
+    Printf.sprintf
+      "    \"evita-fleet\": {\"tool_wall_ns\": %Ld, \"report_wall_ns\": \
+       %Ld, \"ratio\": %.5f, \"max_ratio\": %.2f, \"requirements\": %d, \
+       \"deterministic\": %b, \"ok\": %b}"
+      tool_ns report_ns ratio max_ratio
+      (List.length r1.R.r_items)
+      deterministic ok
+
 (* Observability overhead on the vanet pairs-4 exploration, three
    configurations interleaved (min-of-N keeps scheduler noise out):
 
@@ -1143,6 +1233,7 @@ let bench_json path =
   let struct_rows = bench_struct () in
   let reduction_rows = bench_reduction () in
   let abstraction_row = bench_abstraction () in
+  let report_row = bench_report () in
   let store_row = bench_store () in
   let obs_row = bench_obs () in
   let meta_row = bench_meta () in
@@ -1164,6 +1255,8 @@ let bench_json path =
       output_string oc (String.concat ",\n" reduction_rows);
       output_string oc "\n  },\n  \"abstraction\": {\n";
       output_string oc abstraction_row;
+      output_string oc "\n  },\n  \"report\": {\n";
+      output_string oc report_row;
       output_string oc "\n  },\n  \"store\": {\n";
       output_string oc store_row;
       output_string oc "\n  },\n  \"obs\": {\n";

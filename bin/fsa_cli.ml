@@ -94,6 +94,30 @@ let write_or_print ~out content =
       (* the message names the offending path *)
       or_die (Error msg))
 
+(* Atomic [--out] writes, matching the store's temp+rename convention: a
+   crash mid-write never leaves a truncated file at the target path, and
+   a concurrent reader sees either the old content or the new, never a
+   prefix. *)
+let write_atomic ~path content =
+  let tmp =
+    Filename.concat
+      (Filename.dirname path)
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  try
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    Sys.rename tmp path;
+    Fmt.epr "wrote %s@." path
+  with Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    or_die (Error msg)
+
+let write_out ~out content =
+  match out with None -> print_string content | Some path -> write_atomic ~path content
+
 (* Observability plumbing: either output flag switches the process-wide
    registry on; the dumps are written even if the command dies halfway
    through, so a long exploration that hits the state bound still leaves a
@@ -214,18 +238,15 @@ let open_store ~cache ~no_cache ~cache_dir =
     | exception Sys_error msg -> or_die (Error msg)
 
 (* Run one analysis through the shared executor (cache-aware when the
-   config carries a store) and print its report; on a hit the marker
-   goes to stderr so stdout stays byte-identical to a fresh run. *)
-let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
+   config carries a store), mapping analysis-level failures to the CLI's
+   exit-code conventions. *)
+let exec_or_die cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
     ?shared ?progress ~file spec =
   match
     Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep
       ?reduce ?shared ?progress ~file spec
   with
-  | outcome ->
-    if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
-    print_string outcome.Server.Exec.oc_output;
-    outcome
+  | outcome -> outcome
   | exception Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file loc msg
   | exception Server.Usage_error msg -> die_usage msg
   | exception Server.Too_large (n, hint) ->
@@ -233,6 +254,18 @@ let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
       (Error
          (Printf.sprintf "state space exceeds the bound of %d states%s" n
             hint))
+
+(* As above, and print the human report; on a hit the marker goes to
+   stderr so stdout stays byte-identical to a fresh run. *)
+let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
+    ?shared ?progress ~file spec =
+  let outcome =
+    exec_or_die cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
+      ?shared ?progress ~file spec
+  in
+  if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
+  print_string outcome.Server.Exec.oc_output;
+  outcome
 
 (* --------------------------------------------------------------- *)
 (* fsa reach                                                        *)
@@ -301,9 +334,15 @@ let meth_conv =
   in
   Arg.conv (parse, print)
 
+let out_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the structured JSON result to $(docv) (atomic \
+                 temp+rename write); the human report still goes to stdout.")
+
 let requirements_cmd =
-  let run verbose spec_path meth max_states jobs prune reduce shared cache
-      no_cache cache_dir metrics_out trace_out =
+  let run verbose spec_path meth max_states jobs prune reduce shared out
+      cache no_cache cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -312,9 +351,15 @@ let requirements_cmd =
       Server.config ?store ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
     in
     let progress = explore_progress spec_path in
-    ignore
-      (run_exec cfg ~op:Server.Exec.Requirements ~meth ~max_states ~jobs
-         ~prune ?reduce ~shared ~progress ~file:spec_path spec)
+    let outcome =
+      run_exec cfg ~op:Server.Exec.Requirements ~meth ~max_states ~jobs
+        ~prune ?reduce ~shared ~progress ~file:spec_path spec
+    in
+    Option.iter
+      (fun path ->
+        write_atomic ~path
+          (Fsa_store.Json.to_string outcome.Server.Exec.oc_result ^ "\n"))
+      out
   in
   let meth =
     Arg.(value & opt meth_conv Analysis.Abstract
@@ -327,8 +372,8 @@ let requirements_cmd =
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
     Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states $ jobs_arg
-          $ prune_arg $ reduce_arg $ shared_arg $ cache_arg $ no_cache_arg
-          $ cache_dir_arg $ metrics_out_arg $ trace_out_arg)
+          $ prune_arg $ reduce_arg $ shared_arg $ out_json_arg $ cache_arg
+          $ no_cache_arg $ cache_dir_arg $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa analyze (manual path over sos declarations)                  *)
@@ -370,8 +415,8 @@ let analyze_cmd =
 (* --------------------------------------------------------------- *)
 
 let abstract_cmd =
-  let run verbose spec_path keep rename jobs dot_out cache no_cache cache_dir
-      =
+  let run verbose spec_path keep rename jobs dot_out out cache no_cache
+      cache_dir =
     setup_logs verbose;
     let spec = load_spec spec_path in
     let apa =
@@ -402,6 +447,12 @@ let abstract_cmd =
     | ds ->
       List.iter (fun d -> Fmt.epr "%a@." Fsa_check.Diagnostic.pp d) ds;
       if Fsa_check.Diagnostic.has_errors ds then exit 1);
+    (* the structured JSON result exists only on the cached executor
+       path; the DOT/rename bypass renders directly *)
+    (match (out, dot_out, rename_pairs) with
+    | Some _, Some _, _ | Some _, None, _ :: _ ->
+      die_usage "--out cannot be combined with --dot or --rename"
+    | _ -> ());
     match (dot_out, rename_pairs) with
     | Some _, _ | None, _ :: _ ->
       (* DOT export needs the automaton itself and the cached executor
@@ -439,9 +490,15 @@ let abstract_cmd =
     | None, [] ->
       let store = open_store ~cache ~no_cache ~cache_dir in
       let cfg = Server.config ?store () in
-      ignore
-        (run_exec cfg ~op:Server.Exec.Abstract ~keep ~jobs ~file:spec_path
-           spec)
+      let outcome =
+        run_exec cfg ~op:Server.Exec.Abstract ~keep ~jobs ~file:spec_path
+          spec
+      in
+      Option.iter
+        (fun path ->
+          write_atomic ~path
+            (Fsa_store.Json.to_string outcome.Server.Exec.oc_result ^ "\n"))
+        out
   in
   let keep =
     Arg.(non_empty & opt (list string) []
@@ -464,7 +521,7 @@ let abstract_cmd =
     (Cmd.info "abstract"
        ~doc:"Compute the minimal automaton of a homomorphic image (Sect. 5.5).")
     Term.(const run $ verbose_arg $ spec_arg $ keep $ rename $ jobs_arg
-          $ dot_out $ cache_arg $ no_cache_arg $ cache_dir_arg)
+          $ dot_out $ out_json_arg $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa scenario                                                     *)
@@ -1036,36 +1093,63 @@ let monitor_cmd =
 (* --------------------------------------------------------------- *)
 
 let report_cmd =
-  let run verbose spec_path sos_name out =
+  let run verbose spec_path format sos_name out meth max_states jobs prune
+      reduce shared cache no_cache cache_dir metrics_out trace_out =
     setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
-    let sos =
-      try
-        match sos_name with
-        | Some name -> Fsa_spec.Elaborate.sos_of_spec spec name
-        | None -> (
-          match Fsa_spec.Elaborate.sos_list spec with
-          | [ sos ] -> sos
-          | [] -> die_usage "the specification declares no sos"
-          | _ -> die_usage "several sos declarations; pick one with --sos")
-      with
-      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
-      | Invalid_argument msg -> die_usage msg
+    let store = open_store ~cache ~no_cache ~cache_dir in
+    let cfg =
+      Server.config ?store ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder ()
     in
-    write_or_print ~out (Fsa_core.Report.markdown sos)
+    let progress = explore_progress spec_path in
+    let outcome =
+      exec_or_die cfg ~op:Server.Exec.Report ~meth ~max_states ~jobs ~prune
+        ?sos:sos_name ?reduce ~shared ~progress ~file:spec_path spec
+    in
+    if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
+    let content =
+      match format with
+      | `Md -> outcome.Server.Exec.oc_output
+      | `Json -> Fsa_store.Json.to_string outcome.Server.Exec.oc_result ^ "\n"
+    in
+    write_out ~out content
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("md", `Md); ("markdown", `Md); ("json", `Json) ]) `Md
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,md) (default) or $(b,json) (the \
+                   deterministic fsa-report/1 document).")
   in
   let sos_name =
     Arg.(value & opt (some string) None
-         & info [ "sos" ] ~docv:"NAME" ~doc:"The sos declaration to report on.")
+         & info [ "sos" ] ~docv:"NAME"
+             ~doc:"Report on the named sos declaration (manual path) \
+                   instead of the elaborated APA model.")
   in
   let out =
     Arg.(value & opt (some string) None
-         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+         & info [ "o"; "out"; "output" ] ~docv:"FILE"
+             ~doc:"Output file (atomic temp+rename write; stdout by \
+                   default).")
+  in
+  let meth =
+    Arg.(value & opt meth_conv Analysis.Abstract
+         & info [ "method" ] ~doc:"Dependence test: direct or abstract.")
+  in
+  let max_states =
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State bound.")
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Generate a complete Markdown analysis report for a functional model.")
-    Term.(const run $ verbose_arg $ spec_arg $ sos_name $ out)
+       ~doc:"Render the requirements report: stable SR-* identifiers, \
+             provenance, traceability matrix, coverage and verification \
+             tags (deterministic Markdown or JSON).")
+    Term.(const run $ verbose_arg $ spec_arg $ format $ sos_name $ out
+          $ meth $ max_states $ jobs_arg $ prune_arg $ reduce_arg
+          $ shared_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
+          $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa lint                                                         *)
@@ -1151,7 +1235,7 @@ let diff_cmd =
 (* fsa serve                                                        *)
 (* --------------------------------------------------------------- *)
 
-let op_names = "reach|requirements|analyze|abstract|verify|check"
+let op_names = "reach|requirements|analyze|abstract|verify|check|report"
 
 let serve_cmd =
   let run verbose socket workers timeout_ms max_states prune no_cache

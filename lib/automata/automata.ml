@@ -775,4 +775,88 @@ module Make (L : LABEL) = struct
     Nfa.create ~nb_states:(Dfa.nb_states dfa)
       ~start:(Int_set.singleton (Dfa.start dfa))
       ~finals:(Dfa.finals dfa) ~edges
+
+  (* Subset construction specialised to projecting an already
+     deterministic automaton: same language as
+     [Dfa.determinize (relabel h dfa)], but subsets are bitsets over the
+     source states instead of [Int_set], so the epsilon closures that
+     dominate the generic construction on a large source become linear
+     array walks.  This is what makes per-pair projections from a
+     many-thousand-state shared quotient cheap enough to run once per
+     derived requirement. *)
+  let project (h : L.t -> L.t option) (dfa : Dfa.t) : Dfa.t =
+    let n = Dfa.nb_states dfa in
+    (* per-state successors, split once into erased and relabelled *)
+    let eps = Array.make n [] in
+    let lab = Array.make n [] in
+    Array.iteri
+      (fun s m ->
+        Lmap.iter
+          (fun l d ->
+            match h l with
+            | None -> eps.(s) <- d :: eps.(s)
+            | Some l' -> lab.(s) <- (l', d) :: lab.(s))
+          m)
+      (Dfa.delta dfa);
+    let final = Array.make n false in
+    Int_set.iter (fun s -> final.(s) <- true) (Dfa.finals dfa);
+    let nbytes = (n + 7) / 8 in
+    (* epsilon closure of [seeds]: hashable bitset key, members, finality *)
+    let closure seeds =
+      let bits = Bytes.make nbytes '\000' in
+      let members = ref [] in
+      let is_final = ref false in
+      let rec visit s =
+        let i = s lsr 3 and m = 1 lsl (s land 7) in
+        let b = Char.code (Bytes.unsafe_get bits i) in
+        if b land m = 0 then begin
+          Bytes.unsafe_set bits i (Char.unsafe_chr (b lor m));
+          members := s :: !members;
+          if final.(s) then is_final := true;
+          List.iter visit eps.(s)
+        end
+      in
+      List.iter visit seeds;
+      (Bytes.unsafe_to_string bits, !members, !is_final)
+    in
+    let index : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let finals_acc = ref Int_set.empty in
+    let nb = ref 0 in
+    let queue = Queue.create () in
+    let intern (key, members, fin) =
+      match Hashtbl.find_opt index key with
+      | Some id -> id
+      | None ->
+        let id = !nb in
+        incr nb;
+        Hashtbl.add index key id;
+        if fin then finals_acc := Int_set.add id !finals_acc;
+        Queue.add (id, members) queue;
+        id
+    in
+    let start = intern (closure [ Dfa.start dfa ]) in
+    let delta_acc = ref [] in
+    while not (Queue.is_empty queue) do
+      let id, members = Queue.pop queue in
+      let seeds =
+        List.fold_left
+          (fun acc s ->
+            List.fold_left
+              (fun acc (l', d) ->
+                Lmap.update l'
+                  (function None -> Some [ d ] | Some ds -> Some (d :: ds))
+                  acc)
+              acc lab.(s))
+          Lmap.empty members
+      in
+      let trans =
+        Lmap.fold
+          (fun l' ds acc -> Lmap.add l' (intern (closure ds)) acc)
+          seeds Lmap.empty
+      in
+      delta_acc := (id, trans) :: !delta_acc
+    done;
+    let delta = Array.make !nb Lmap.empty in
+    List.iter (fun (id, m) -> delta.(id) <- m) !delta_acc;
+    Dfa.create ~nb_states:!nb ~start ~finals:!finals_acc ~delta
 end

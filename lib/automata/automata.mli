@@ -108,4 +108,13 @@ module Make (L : LABEL) : sig
       so [Dfa.minimize (Dfa.determinize (relabel h dfa))] is the minimal
       automaton of the coarser abstraction — computed from [dfa] instead
       of from the original behaviour. *)
+
+  val project : (L.t -> L.t option) -> Dfa.t -> Dfa.t
+  (** [project h dfa] accepts the same language as
+      [Dfa.determinize (relabel h dfa)], via a subset construction that
+      represents subsets as bitsets over the source states — linear-time
+      epsilon closures instead of the generic [Int_set] ones, which is
+      what keeps per-pair projections from a many-thousand-state shared
+      quotient cheap.  The result is deterministic but not minimal;
+      follow with {!Dfa.minimize}. *)
 end

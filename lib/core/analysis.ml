@@ -144,6 +144,7 @@ type tool_report = {
   t_requirements : Auth.t list;
   t_timings : phase_timings;
   t_reduction : reduction_info option;
+  t_engine : Hom.Shared.engine option;
 }
 
 (* Hook for caching the shared intermediate quotient.  The store lives
@@ -593,7 +594,13 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
                 sh_minimise_ns = bt.Hom.Shared.sb_minimise_ns;
                 sh_early_ns = bt.Hom.Shared.sb_early_ns })
             !engine };
-    t_reduction }
+    t_reduction;
+    t_engine = !engine }
+
+let matrix_pairs r =
+  List.concat_map
+    (fun (mx, row) -> List.map (fun (mn, dep) -> (mn, mx, dep)) row)
+    r.t_matrix
 
 let pp_tool_report ppf r =
   let pp_row ppf (mx, row) =

@@ -103,7 +103,16 @@ type tool_report = {
   t_requirements : Auth.t list;
   t_timings : phase_timings;
   t_reduction : reduction_info option;  (** [Some] iff [?reduce] given *)
+  t_engine : Fsa_hom.Hom.Shared.engine option;
+      (** the shared multi-pair engine that answered the dependence
+          queries, when one was built ([Abstract] method with [?shared]);
+          downstream layers reuse it to project per-pair minimal
+          automata without re-walking the graph *)
 }
+
+val matrix_pairs : tool_report -> (Action.t * Action.t * bool) list
+(** The dependence matrix flattened to [(min, max, dependent)] triples,
+    in matrix (row-major) order. *)
 
 val dependence :
   meth:dependence_method ->

@@ -275,12 +275,24 @@ module Shared = struct
     sb_early_ns : int64;
   }
 
+  (* Interned view of the shared quotient for per-pair projections:
+     letters as dense ids, per-state successors as flat arrays.  Built
+     once per engine on first use, after which each projection is a
+     bitset subset construction whose hot path compares ints only — no
+     [Action] comparisons, no per-pair edge re-classification. *)
+  type proj_index = {
+    px_ids : int Action.Map.t;  (* letter -> dense id *)
+    px_succ : (int * int) array array;  (* state -> [(letter id, dst)] *)
+    px_final : bool array;
+  }
+
   type engine = {
     sh_alphabet : Action.Set.t;
     sh_dfa : A.Dfa.t;
     sh_cached : bool;
     sh_timing : build_timing;
     sh_early : Pair_set.t;
+    mutable sh_proj : proj_index option;
   }
 
   let zero_timing =
@@ -390,7 +402,8 @@ module Shared = struct
         sh_dfa = d;
         sh_cached = true;
         sh_timing = zero_timing;
-        sh_early = Pair_set.empty }
+        sh_early = Pair_set.empty;
+        sh_proj = None }
     | None ->
       Span.with_ ~cat:"hom" "hom.shared_build" @@ fun () ->
       let h = preserve (Action.Set.elements alphabet) in
@@ -420,7 +433,8 @@ module Shared = struct
             sb_determinise_ns = Int64.sub t2 t1;
             sb_minimise_ns = Int64.sub t3 t2;
             sb_early_ns = Int64.sub t4 t3 };
-        sh_early = early }
+        sh_early = early;
+        sh_proj = None }
 
   let alphabet e = e.sh_alphabet
   let dfa e = e.sh_dfa
@@ -465,11 +479,117 @@ module Shared = struct
      instead of recomputed from the behaviour — isomorphic to
      [minimal_automaton (preserve [min; max]) lts] by h_p = h_p . h_U
      and uniqueness of the minimal DFA. *)
+  let proj_index e =
+    match e.sh_proj with
+    | Some px -> px
+    | None ->
+      let d = e.sh_dfa in
+      let module IS = Fsa_automata.Automata.Int_set in
+      let ids = ref Action.Map.empty in
+      let nb = ref 0 in
+      let id_of l =
+        match Action.Map.find_opt l !ids with
+        | Some i -> i
+        | None ->
+          let i = !nb in
+          incr nb;
+          ids := Action.Map.add l i !ids;
+          i
+      in
+      let succ =
+        Array.map
+          (fun m ->
+            Array.of_list
+              (A.Lmap.fold (fun l dst acc -> (id_of l, dst) :: acc) m []))
+          (A.Dfa.delta d)
+      in
+      let final = Array.make (A.Dfa.nb_states d) false in
+      IS.iter (fun s -> final.(s) <- true) (A.Dfa.finals d);
+      let px = { px_ids = !ids; px_succ = succ; px_final = final } in
+      e.sh_proj <- Some px;
+      px
+
+  (* The pair projection of the shared quotient, before minimisation:
+     the same subset construction as [A.project (preserve [min; max])]
+     but over the interned {!proj_index}, so the epsilon closures — the
+     per-pair hot path — compare dense letter ids instead of actions.
+     A pair letter absent from the quotient's transitions gets id [-1],
+     which matches no edge: exactly the semantics of an unexercised
+     letter. *)
+  let project_pair e ~min_action ~max_action =
+    let px = proj_index e in
+    let module IS = Fsa_automata.Automata.Int_set in
+    let lid a =
+      match Action.Map.find_opt a px.px_ids with Some i -> i | None -> -1
+    in
+    let mn = lid min_action and mx = lid max_action in
+    let n = Array.length px.px_succ in
+    let nbytes = (n + 7) / 8 in
+    let closure seeds =
+      let bits = Bytes.make nbytes '\000' in
+      let members = ref [] in
+      let is_final = ref false in
+      let rec visit s =
+        let i = s lsr 3 and m = 1 lsl (s land 7) in
+        let b = Char.code (Bytes.unsafe_get bits i) in
+        if b land m = 0 then begin
+          Bytes.unsafe_set bits i (Char.unsafe_chr (b lor m));
+          members := s :: !members;
+          if px.px_final.(s) then is_final := true;
+          let succ = px.px_succ.(s) in
+          for k = 0 to Array.length succ - 1 do
+            let l, dst = succ.(k) in
+            if l <> mn && l <> mx then visit dst
+          done
+        end
+      in
+      List.iter visit seeds;
+      (Bytes.unsafe_to_string bits, !members, !is_final)
+    in
+    let index : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let finals_acc = ref IS.empty in
+    let nb = ref 0 in
+    let queue = Queue.create () in
+    let intern (key, members, fin) =
+      match Hashtbl.find_opt index key with
+      | Some id -> id
+      | None ->
+        let id = !nb in
+        incr nb;
+        Hashtbl.add index key id;
+        if fin then finals_acc := IS.add id !finals_acc;
+        Queue.add (id, members) queue;
+        id
+    in
+    let start = intern (closure [ A.Dfa.start e.sh_dfa ]) in
+    let delta_acc = ref [] in
+    while not (Queue.is_empty queue) do
+      let id, members = Queue.pop queue in
+      let mn_seeds = ref [] and mx_seeds = ref [] in
+      List.iter
+        (fun s ->
+          let succ = px.px_succ.(s) in
+          for k = 0 to Array.length succ - 1 do
+            let l, dst = succ.(k) in
+            if l = mn then mn_seeds := dst :: !mn_seeds
+            else if l = mx then mx_seeds := dst :: !mx_seeds
+          done)
+        members;
+      let trans = ref A.Lmap.empty in
+      if !mn_seeds <> [] then
+        trans := A.Lmap.add min_action (intern (closure !mn_seeds)) !trans;
+      if !mx_seeds <> [] then
+        trans := A.Lmap.add max_action (intern (closure !mx_seeds)) !trans;
+      delta_acc := (id, !trans) :: !delta_acc
+    done;
+    let delta = Array.make !nb A.Lmap.empty in
+    List.iter (fun (id, m) -> delta.(id) <- m) !delta_acc;
+    A.Dfa.create ~nb_states:!nb ~start ~finals:!finals_acc ~delta
+
   let minimal_automaton e ~min_action ~max_action =
     check_pair e ~min_action ~max_action;
     Metrics.incr m_minimal_automata;
-    let h = preserve [ min_action; max_action ] in
-    A.Dfa.minimize (A.Dfa.determinize (A.relabel h e.sh_dfa))
+    A.Dfa.minimize (project_pair e ~min_action ~max_action)
 end
 
 (* ------------------------------------------------------------------ *)

@@ -25,6 +25,11 @@ type class_ =
 
 let pp_class ppf = function
   | Safety_critical -> Fmt.string ppf "safety-critical"
+  | Policy_induced [] ->
+    (* a model can induce a dependency through unannotated flows: keep
+       the rendering distinguishable from prose around it instead of
+       printing a dangling "…: " *)
+    Fmt.string ppf "policy-induced (unattributed)"
   | Policy_induced ps ->
     Fmt.pf ppf "policy-induced (availability): %a"
       Fmt.(list ~sep:comma string)

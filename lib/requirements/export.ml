@@ -120,8 +120,21 @@ let to_markdown ?classify reqs =
     (Auth.normalise reqs);
   Buffer.contents buf
 
+(* Atomic publish: write to a sibling temporary file, then rename into
+   place, so a concurrent reader never observes a truncated export. *)
 let write_file path content =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content)
+  let tmp =
+    Filename.temp_file
+      ~temp_dir:(Filename.dirname path)
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc content)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -15,3 +15,6 @@ val to_markdown :
   ?classify:(Auth.t -> Classify.class_) -> Auth.t list -> string
 
 val write_file : string -> string -> unit
+(** Atomic write: the content goes to a sibling temporary file which is
+    then renamed into place, so a concurrent reader never observes a
+    partially written export. *)

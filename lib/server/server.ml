@@ -31,6 +31,8 @@ module Elaborate = Fsa_spec.Elaborate
 module Parser = Fsa_spec.Parser
 module Loc = Fsa_spec.Loc
 module Sos = Fsa_model.Sos
+module Apa = Fsa_apa.Apa
+module Report = Fsa_report.Report
 module Json = Fsa_store.Json
 module Store = Fsa_store.Store
 module Metrics = Fsa_obs.Metrics
@@ -84,7 +86,7 @@ let h_latency =
 (* ------------------------------------------------------------------ *)
 
 module Exec = struct
-  type op = Reach | Requirements | Analyze | Abstract | Verify | Check
+  type op = Reach | Requirements | Analyze | Abstract | Verify | Check | Report
 
   let op_to_string = function
     | Reach -> "reach"
@@ -93,6 +95,7 @@ module Exec = struct
     | Abstract -> "abstract"
     | Verify -> "verify"
     | Check -> "check"
+    | Report -> "report"
 
   let op_of_string = function
     | "reach" -> Some Reach
@@ -101,6 +104,7 @@ module Exec = struct
     | "abstract" -> Some Abstract
     | "verify" -> Some Verify
     | "check" -> Some Check
+    | "report" -> Some Report
     | _ -> None
 
   type outcome = {
@@ -313,6 +317,13 @@ module Exec = struct
      the per-pair path) can never replay as shared-pass results. *)
   let abstraction_engine = "shared-v1"
 
+  (* Which engine actually answers dependence queries — part of the
+     requirements/report outcome keys and of the report settings. *)
+  let engine_string ~meth ~shared =
+    match meth with
+    | Analysis.Direct -> "direct"
+    | Analysis.Abstract -> if shared then abstraction_engine else "per-pair"
+
   module Int_set = Fsa_automata.Automata.Int_set
 
   let dfa_to_json dfa =
@@ -417,13 +428,44 @@ module Exec = struct
                 e_output = "";
                 e_exit = 0 }) }
 
-  let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
+  (* ---- requirement reports -------------------------------------- *)
+
+  let report_settings ~meth ~shared ~reduce ~max_states =
+    { Report.sg_path = "tool";
+      sg_method = meth_string meth;
+      sg_engine = engine_string ~meth ~shared;
+      sg_reduce =
+        (match reduce with None -> "none" | Some k -> Sym.kind_to_string k);
+      sg_max_states = max_states }
+
+  (* One tool-path run plus its Fsa_report view.  The report digest
+     covers APA *and* models: classification maps requirements onto the
+     declared functional models, so a model edit must change it even
+     when the APA part is untouched. *)
+  let tool_report_of cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
       ~shared ?quotient_cache spec =
     let apa = Elaborate.apa_of_spec spec in
-    let report =
+    let tr =
       Analysis.tool ~meth ~max_states ~jobs ~prune
         ?reduce:(reduce_plan ~reduce spec apa)
         ~shared ?quotient_cache ?progress ~stakeholder:cfg.sv_stakeholder apa
+    in
+    let rpt =
+      Report.of_tool
+        ~origins:(Report.origins_of_skeleton (Elaborate.skeleton_of_spec spec))
+        ~soses:(Elaborate.sos_list spec)
+        ~alphabet:(Apa.rule_names apa)
+        ~digest:(Elaborate.digest_of_spec ~parts:[ `Apa; `Models ] spec)
+        ~settings:(report_settings ~meth ~shared ~reduce ~max_states)
+        tr
+    in
+    (tr, rpt)
+
+  let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
+      ~shared ?quotient_cache spec =
+    let report, rpt =
+      tool_report_of cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
+        ~shared ?quotient_cache spec
     in
     let reduction =
       match report.Analysis.t_reduction with
@@ -434,15 +476,13 @@ module Exec = struct
       Json.Obj
         ([ ("summary", summary_of_lts report.Analysis.t_lts);
            ("requirements", requirements_json report.Analysis.t_requirements);
-           ("timings", timings_json report.Analysis.t_timings) ]
+           ("timings", timings_json report.Analysis.t_timings);
+           ("report", Report.to_json rpt) ]
         @ reduction)
     in
     (result, Fmt.str "%a@." Analysis.pp_tool_report report, 0)
 
-  (* The manual path keeps the paper's default stakeholder assignment
-     (driver for HMI actions): [sv_stakeholder] parameterises only the
-     tool path, mirroring the CLI. *)
-  let run_analyze ~sos spec =
+  let soses_of ~sos spec =
     let soses =
       match sos with
       | Some name -> (
@@ -452,6 +492,14 @@ module Exec = struct
     in
     if soses = [] then
       raise (Usage_error "the specification declares no sos");
+    soses
+
+  (* The manual path keeps the paper's default stakeholder assignment
+     (driver for HMI actions): [sv_stakeholder] parameterises only the
+     tool path, mirroring the CLI. *)
+  let run_analyze ~sos spec =
+    let soses = soses_of ~sos spec in
+    let digest = Elaborate.digest_of_spec ~parts:[ `Models ] spec in
     let reports = List.map (fun s -> (s, Analysis.manual s)) soses in
     let output =
       String.concat ""
@@ -468,10 +516,41 @@ module Exec = struct
                    Json.Obj
                      [ ("name", Json.Str (Sos.name s));
                        ( "requirements",
-                         requirements_json r.Analysis.m_requirements ) ])
+                         requirements_json r.Analysis.m_requirements );
+                       ( "report",
+                         Report.to_json (Report.of_manual ~digest s r) ) ])
                  reports) ) ]
     in
     (result, output, 0)
+
+  (* The report op renders the Fsa_report layer on its own: the tool
+     path when the spec elaborates instances (or the manual path for an
+     explicitly named sos), otherwise the manual path over the declared
+     functional models, mirroring [run_analyze]'s selection. *)
+  let run_report cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce ~shared
+      ~sos ?quotient_cache spec =
+    let manual soses =
+      let digest = Elaborate.digest_of_spec ~parts:[ `Models ] spec in
+      List.map (fun s -> Report.of_manual ~digest s (Analysis.manual s)) soses
+    in
+    let reports =
+      match sos with
+      | Some _ -> manual (soses_of ~sos spec)
+      | None ->
+        if (Elaborate.env_of_spec spec).Elaborate.instances <> [] then
+          let _, rpt =
+            tool_report_of cfg ~meth ~max_states ~jobs ~prune ~progress
+              ~reduce ~shared ?quotient_cache spec
+          in
+          [ rpt ]
+        else manual (soses_of ~sos spec)
+    in
+    match reports with
+    | [ r ] -> (Report.to_json r, Report.to_markdown r, 0)
+    | rs ->
+      ( Json.Obj [ ("reports", Json.List (List.map Report.to_json rs)) ],
+        String.concat "\n" (List.map Report.to_markdown rs),
+        0 )
 
   let run_abstract ~keep ~max_states ~jobs ~progress spec =
     let keep =
@@ -576,7 +655,11 @@ module Exec = struct
     (result, rendered, if D.has_errors ds then 1 else 0)
 
   let digest_parts = function
-    | Reach | Requirements | Abstract -> [ `Apa ]
+    | Reach | Abstract -> [ `Apa ]
+    (* requirements and report outcomes embed an Fsa_report view whose
+       classification maps onto the declared functional models, so both
+       must miss when the models change even if the APA part did not *)
+    | Requirements | Report -> [ `Apa; `Models ]
     | Verify -> [ `Apa; `Checks ]
     | Analyze -> [ `Models ]
     | Check -> [ `Apa; `Checks; `Models ]
@@ -596,28 +679,35 @@ module Exec = struct
       | None, None -> None
     in
     let compute () =
+      (* the quotient cache shares the outcome store; a quotient entry
+         is useful exactly when the outcome itself missed (different
+         max_states, evicted outcome, …) *)
+      let quotient_hook () =
+        match (meth, if cache then cfg.sv_store else None) with
+        | Analysis.Abstract, Some st when shared ->
+          Some
+            (quotient_cache st
+               ~digest:(Elaborate.digest_of_spec ~parts:[ `Apa ] spec)
+               ~max_states ~reduce)
+        | _ -> None
+      in
       try
         match op with
         | Reach -> run_reach ~max_states ~jobs ~progress ~reduce spec
         | Requirements ->
-          (* the quotient cache shares the outcome store; a quotient
-             entry is useful exactly when the outcome itself missed
-             (different max_states, evicted outcome, …) *)
-          let quotient_cache =
-            match (meth, if cache then cfg.sv_store else None) with
-            | Analysis.Abstract, Some st when shared ->
-              Some
-                (quotient_cache st
-                   ~digest:(Elaborate.digest_of_spec ~parts:[ `Apa ] spec)
-                   ~max_states ~reduce)
-            | _ -> None
-          in
           run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress
-            ~reduce ~shared ?quotient_cache spec
+            ~reduce ~shared
+            ?quotient_cache:(quotient_hook ())
+            spec
         | Analyze -> run_analyze ~sos spec
         | Abstract -> run_abstract ~keep ~max_states ~jobs ~progress spec
         | Verify -> run_verify ~max_states ~jobs ~progress ~reduce spec
         | Check -> run_check ~file spec
+        | Report ->
+          run_report cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
+            ~shared ~sos
+            ?quotient_cache:(quotient_hook ())
+            spec
       with Lts.State_space_too_large n ->
         (* enrich with the structural growth hint while the spec is still
            in scope; never let the hint computation mask the error *)
@@ -691,13 +781,14 @@ module Exec = struct
           (* the engine param keys shared-pass outcomes away from
              per-pair (and pre-engine) ones: their timing sections
              differ even though verdicts are identical *)
-          let engine =
-            match meth with
-            | Analysis.Direct -> "direct"
-            | Analysis.Abstract ->
-              if shared then abstraction_engine else "per-pair"
-          in
-          (ms :: rd) @ [ ("method", meth_string meth); ("engine", engine) ]
+          (ms :: rd)
+          @ [ ("method", meth_string meth);
+              ("engine", engine_string ~meth ~shared) ]
+        | Report ->
+          (ms :: rd)
+          @ [ ("method", meth_string meth);
+              ("engine", engine_string ~meth ~shared) ]
+          @ (match sos with Some s -> [ ("sos", s) ] | None -> [])
         | Analyze -> (
           match sos with Some s -> [ ("sos", s) ] | None -> [])
         | Abstract ->

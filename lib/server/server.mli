@@ -124,7 +124,7 @@ exception Too_large of int * string
 (** {1 Shared executor} *)
 
 module Exec : sig
-  type op = Reach | Requirements | Analyze | Abstract | Verify | Check
+  type op = Reach | Requirements | Analyze | Abstract | Verify | Check | Report
 
   val op_of_string : string -> op option
   val op_to_string : op -> string
@@ -182,6 +182,16 @@ module Exec : sig
       erased-alphabet digest, [max_states], the effective reduction and
       the engine version — a later run over the same model reuses the
       minimised automaton without re-walking the graph.
+      [Report] renders the {!Fsa_report.Report} view: the tool path
+      when the spec elaborates instances (or the manual path for an
+      explicitly named [sos]), otherwise the manual path over every
+      declared functional model.  Report outcomes are cached like
+      requirements ones (method/engine/reduce params, plus ["sos"] when
+      given) under the APA+models digest: the embedded classification
+      maps onto the declared functional models, so requirements and
+      report entries must miss when the models change even if the APA
+      part did not.  The requirements and analyze results embed the
+      same report under a ["report"] member.
       [deadline_ns] (absolute, {!Fsa_obs.Span.now_ns} clock) arms a
       cooperative timeout checked during exploration; it is only used
       when no [progress] reporter is supplied.

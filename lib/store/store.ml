@@ -19,7 +19,10 @@ let m_evictions = Metrics.counter "store.evictions"
    without blowing up the ring with full 32-char digests. *)
 let short_key key = if String.length key > 12 then String.sub key 0 12 else key
 
-let format_version = 1
+(* v2: requirements/analyze outcomes embed an Fsa_report view, and
+   requirements keys moved to the APA+models digest — v1 entries must
+   not replay into the new shapes. *)
+let format_version = 2
 
 type t = { st_dir : string; st_max_bytes : int }
 

@@ -210,6 +210,31 @@ let prop_hopcroft_equals_moore =
       let d = A.Dfa.determinize n in
       A.Dfa.isomorphic (A.Dfa.minimize d) (A.Dfa.minimize_moore d))
 
+(* The bitset projection agrees with the generic relabel/determinize
+   chain under every alphabetic homomorphism over {a,b}: keep both,
+   keep one and erase the other, rename, or erase both. *)
+let prop_project_equals_relabel =
+  let open QCheck2.Gen in
+  let gen =
+    let* n = gen_nfa in
+    let* h_idx = int_bound 4 in
+    return (n, h_idx)
+  in
+  let hom = function
+    | 0 -> fun l -> Some l
+    | 1 -> fun l -> if l = 'a' then Some 'a' else None
+    | 2 -> fun l -> if l = 'b' then Some 'b' else None
+    | 3 -> fun l -> Some (if l = 'a' then 'b' else 'a')
+    | _ -> fun _ -> None
+  in
+  QCheck2.Test.make ~name:"project agrees with determinize . relabel"
+    ~count:300 gen (fun (n, h_idx) ->
+      let d = A.Dfa.determinize n in
+      let h = hom h_idx in
+      let generic = A.Dfa.minimize (A.Dfa.determinize (A.relabel h d)) in
+      let fast = A.Dfa.minimize (A.project h d) in
+      A.Dfa.isomorphic generic fast)
+
 let suite =
   [ Alcotest.test_case "nfa accepts" `Quick test_nfa_accepts;
     Alcotest.test_case "eps closure" `Quick test_eps_closure;
@@ -226,4 +251,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_determinize_preserves;
     QCheck_alcotest.to_alcotest prop_minimize_preserves;
     QCheck_alcotest.to_alcotest prop_minimize_minimal;
-    QCheck_alcotest.to_alcotest prop_hopcroft_equals_moore ]
+    QCheck_alcotest.to_alcotest prop_hopcroft_equals_moore;
+    QCheck_alcotest.to_alcotest prop_project_equals_relabel ]

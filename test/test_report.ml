@@ -1,4 +1,6 @@
-(* Tests for spec check declarations and the Markdown report generator. *)
+(* Tests for spec check declarations, the Markdown report generator and
+   the Fsa_report requirements-report subsystem (stable SR-* ids,
+   golden cross-configuration bodies, coverage identities). *)
 
 module Parser = Fsa_spec.Parser
 module Elaborate = Fsa_spec.Elaborate
@@ -6,6 +8,11 @@ module Ast = Fsa_spec.Ast
 module Pattern = Fsa_mc.Pattern
 module Lts = Fsa_lts.Lts
 module Report = Fsa_core.Report
+module R = Fsa_report.Report
+module Analysis = Fsa_core.Analysis
+module Sym = Fsa_sym.Sym
+module Apa = Fsa_apa.Apa
+module Classify = Fsa_requirements.Classify
 module S = Fsa_vanet.Scenario
 module Evita = Fsa_vanet.Evita
 
@@ -188,6 +195,209 @@ let test_report_evita () =
     (contains md "Authenticity requirements (29)");
   Alcotest.(check bool) "driver stakeholder used" true (contains md "Driver")
 
+(* ------------------------------------------------------------------ *)
+(* Fsa_report: requirement reports                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pp_class_unattributed () =
+  Alcotest.(check string) "empty policy list renders explicitly"
+    "policy-induced (unattributed)"
+    (Fmt.str "%a" Classify.pp_class (Classify.Policy_induced []));
+  let s =
+    Fmt.str "%a" Classify.pp_class (Classify.Policy_induced [ "p1"; "p2" ])
+  in
+  Alcotest.(check bool) "attributed list names its policies" true
+    (contains s "policy-induced (availability): p1" && contains s "p2")
+
+(* Build a tool-path report the way the server does, parameterised by
+   engine and reduction. *)
+let build_report ?reduce ?(shared = true) spec =
+  let apa = Elaborate.apa_of_spec spec in
+  let sigs = Elaborate.guard_signatures spec in
+  let plan =
+    Option.map
+      (fun k -> Sym.plan ~guard_sig:(fun r -> List.assoc_opt r sigs) k apa)
+      reduce
+  in
+  let tr =
+    Analysis.tool ?reduce:plan ~shared
+      ~stakeholder:Fsa_vanet.Vehicle_apa.stakeholder apa
+  in
+  let rpt =
+    R.of_tool
+      ~origins:(R.origins_of_skeleton (Elaborate.skeleton_of_spec spec))
+      ~soses:(Elaborate.sos_list spec)
+      ~alphabet:(Apa.rule_names apa)
+      ~digest:(Elaborate.digest_of_spec ~parts:[ `Apa; `Models ] spec)
+      ~settings:
+        { R.sg_path = "tool";
+          sg_method = "abstract";
+          sg_engine = (if shared then "shared-v1" else "per-pair");
+          sg_reduce =
+            (match reduce with
+            | None -> "none"
+            | Some k -> Sym.kind_to_string k);
+          sg_max_states = 1_000_000 }
+      tr
+  in
+  (tr, rpt)
+
+let example_specs () =
+  match Test_check.spec_dir () with
+  | None -> []
+  | Some dir ->
+    List.filter_map
+      (fun path ->
+        match Parser.parse_file path with
+        | exception _ -> None
+        | spec -> (
+          match Elaborate.apa_of_spec spec with
+          | exception (Fsa_spec.Loc.Error _ | Invalid_argument _) -> None
+          | _ -> Some (Filename.basename path, spec)))
+      (Test_check.example_files dir)
+
+(* The report body (ids, digests, classes, scores, ranks, verification
+   tags, endpoints, action traceability) is invariant across the
+   abstraction engine and every reduction kind: golden byte-for-byte on
+   both emitters.  Settings/pair-statistics blocks legitimately differ,
+   which is exactly what [~body_only] excludes. *)
+let test_golden_across_configs () =
+  let specs = example_specs () in
+  Alcotest.(check bool) "at least one example spec" true (specs <> []);
+  List.iter
+    (fun (name, spec) ->
+      let _, base = build_report spec in
+      let base_json = R.to_json_string ~body_only:true base in
+      let base_md = R.to_markdown ~body_only:true base in
+      List.iter
+        (fun (reduce, shared) ->
+          let _, rpt = build_report ?reduce ~shared spec in
+          let label =
+            Printf.sprintf "%s/--reduce %s/%s" name
+              (match reduce with
+              | None -> "none"
+              | Some k -> Sym.kind_to_string k)
+              (if shared then "shared" else "legacy")
+          in
+          Alcotest.(check string)
+            (label ^ ": JSON body golden") base_json
+            (R.to_json_string ~body_only:true rpt);
+          Alcotest.(check string)
+            (label ^ ": Markdown body golden") base_md
+            (R.to_markdown ~body_only:true rpt);
+          let ranks = List.map (fun it -> it.R.it_rank) rpt.R.r_items in
+          Alcotest.(check (list int))
+            (label ^ ": ranks are a permutation of 1..n")
+            (List.init (List.length ranks) (fun i -> i + 1))
+            (List.sort compare ranks))
+        [ (None, false);
+          (Some Sym.Sym, true);
+          (Some Sym.Sym, false);
+          (Some Sym.Sym_por, true);
+          (Some Sym.Sym_por, false) ])
+    specs
+
+(* Two from-scratch runs over the same spec must agree byte-for-byte on
+   the *full* report, run-dependent blocks included. *)
+let test_full_report_deterministic () =
+  List.iter
+    (fun (name, spec) ->
+      let _, a = build_report spec in
+      let _, b = build_report spec in
+      Alcotest.(check string) (name ^ ": full JSON deterministic")
+        (R.to_json_string a) (R.to_json_string b);
+      Alcotest.(check string) (name ^ ": full Markdown deterministic")
+        (R.to_markdown a) (R.to_markdown b))
+    (List.filter
+       (fun (n, _) -> n = "two_vehicles.fsa" || n = "smart_grid.fsa")
+       (example_specs ()))
+
+let ids_and_digests rpt =
+  List.map (fun it -> (it.R.it_id, it.R.it_digest)) rpt.R.r_items
+
+(* SR ids survive reformatting (pretty-print round trip) and
+   declaration permutation: identity is content-derived, not
+   positional. *)
+let test_id_stability () =
+  let spec = Parser.parse_string Test_store.spec_text in
+  let _, base = build_report spec in
+  Alcotest.(check bool) "spec derives requirements" true
+    (base.R.r_items <> []);
+  let reformatted = Parser.parse_string (Fsa_spec.Pretty.to_string spec) in
+  let _, r1 = build_report reformatted in
+  Alcotest.(check (list (pair string string)))
+    "ids stable under reformatting" (ids_and_digests base)
+    (ids_and_digests r1);
+  let permuted = Parser.parse_string Test_store.spec_text_permuted in
+  let _, r2 = build_report permuted in
+  Alcotest.(check (list (pair string string)))
+    "ids stable under declaration permutation" (ids_and_digests base)
+    (ids_and_digests r2);
+  Alcotest.(check string) "model digest stable too" base.R.r_digest
+    r2.R.r_digest
+
+(* covered + uncovered = total, tested + pruned = total, dependent +
+   independent = total, and tested must reconcile with the analysis's
+   own non-pruned pair rows (what the server surfaces as
+   timings.pair_quantiles). *)
+let check_coverage_identities label (tr, rpt) =
+  let cov = rpt.R.r_coverage in
+  Alcotest.(check int) (label ^ ": covered + uncovered = total")
+    cov.R.cv_actions_total
+    (cov.R.cv_actions_covered + List.length cov.R.cv_actions_uncovered);
+  let p = cov.R.cv_pairs in
+  Alcotest.(check int) (label ^ ": tested + pruned = total") p.R.pc_total
+    (p.R.pc_tested + p.R.pc_pruned);
+  Alcotest.(check int) (label ^ ": dependent + independent = total")
+    p.R.pc_total
+    (p.R.pc_dependent + p.R.pc_independent);
+  let tested_rows =
+    List.length
+      (List.filter
+         (fun t -> not t.Analysis.pt_pruned)
+         tr.Analysis.t_timings.Analysis.ph_pairs)
+  in
+  Alcotest.(check int)
+    (label ^ ": tested matches the analysis pair rows")
+    tested_rows p.R.pc_tested;
+  Alcotest.(check int)
+    (label ^ ": every requirement is a dependent pair")
+    (List.length rpt.R.r_items)
+    p.R.pc_dependent
+
+let test_coverage_identities () =
+  List.iter
+    (fun (name, spec) ->
+      check_coverage_identities name (build_report spec))
+    (List.filter
+       (fun (n, _) -> n = "two_vehicles.fsa" || n = "four_vehicles.fsa")
+       (example_specs ()))
+
+(* The manual path: degenerate pair coverage, endpoints resolved through
+   the sos components, sequential ids. *)
+let test_manual_report () =
+  let sos = S.two_vehicles in
+  let mr = Analysis.manual sos in
+  let rpt = R.of_manual ~digest:"testdigest" sos mr in
+  Alcotest.(check (list string)) "sequential ids"
+    (List.mapi (fun i _ -> Printf.sprintf "SR-%04d" (i + 1)) rpt.R.r_items)
+    (List.map (fun it -> it.R.it_id) rpt.R.r_items);
+  let p = rpt.R.r_coverage.R.cv_pairs in
+  Alcotest.(check int) "tested = total" p.R.pc_total p.R.pc_tested;
+  Alcotest.(check int) "dependent = total" p.R.pc_total p.R.pc_dependent;
+  Alcotest.(check int) "nothing pruned" 0 p.R.pc_pruned;
+  Alcotest.(check int) "nothing independent" 0 p.R.pc_independent;
+  List.iter
+    (fun it ->
+      Alcotest.(check bool)
+        (it.R.it_id ^ ": endpoints attributed to components") true
+        (it.R.it_cause.R.ep_instance <> None
+        && it.R.it_effect.R.ep_instance <> None))
+    rpt.R.r_items;
+  Alcotest.(check string) "deterministic emission"
+    (R.to_json_string rpt)
+    (R.to_json_string (R.of_manual ~digest:"testdigest" sos mr))
+
 let suite =
   [ Alcotest.test_case "parse checks" `Quick test_parse_checks;
     Alcotest.test_case "check parse errors" `Quick test_parse_check_errors;
@@ -198,4 +408,13 @@ let suite =
     Alcotest.test_case "pretty preserves behaviour" `Quick test_pretty_preserves_behaviour;
     Alcotest.test_case "report content" `Quick test_report_two_vehicles;
     Alcotest.test_case "report options" `Quick test_report_options;
-    Alcotest.test_case "report on EVITA" `Quick test_report_evita ]
+    Alcotest.test_case "report on EVITA" `Quick test_report_evita;
+    Alcotest.test_case "pp_class unattributed" `Quick
+      test_pp_class_unattributed;
+    Alcotest.test_case "golden bodies across configs" `Quick
+      test_golden_across_configs;
+    Alcotest.test_case "full report deterministic" `Quick
+      test_full_report_deterministic;
+    Alcotest.test_case "SR ids stable" `Quick test_id_stability;
+    Alcotest.test_case "coverage identities" `Quick test_coverage_identities;
+    Alcotest.test_case "manual-path report" `Quick test_manual_report ]
