@@ -1003,6 +1003,7 @@ let bench_report () =
             sg_method = "abstract";
             sg_engine = "shared-v1";
             sg_reduce = "none";
+            sg_prune = "none";
             sg_max_states = 1_000_000 }
         tool
     in
@@ -1047,6 +1048,84 @@ let bench_report () =
       tool_ns report_ns ratio max_ratio
       (List.length r1.R.r_items)
       deterministic ok
+
+(* Flow-pruning overhead and soundness on the fleet spec: building the
+   guard-refined def-use graph and running the pruned dependence matrix
+   must (a) leave the requirements report byte-identical to the
+   unpruned run, (b) actually skip pairs (attributed "static-flow"),
+   and (c) cost at most 5% of the full requirements run — with the same
+   absolute allowance as the report gate, so a cache-warm tool run
+   cannot fail the harness on noise alone. *)
+let bench_flow () =
+  let module Flow = Fsa_flow.Flow in
+  let spec_path =
+    List.find_opt Sys.file_exists
+      [ "examples/specs/evita_fleet.fsa";
+        "../examples/specs/evita_fleet.fsa" ]
+  in
+  match spec_path with
+  | None ->
+    incr failures;
+    Fmt.pr "  %-24s evita_fleet.fsa not found@." "flow/evita-fleet";
+    "    \"evita-fleet\": {\"ok\": false, \"error\": \"spec not found\"}"
+  | Some path ->
+    let spec = Fsa_spec.Parser.parse_file path in
+    let apa = Fsa_spec.Elaborate.apa_of_spec spec in
+    let stakeholder = Fsa_requirements.Derive.default_stakeholder in
+    let time f =
+      let t0 = Fsa_obs.Span.now_ns () in
+      let r = f () in
+      (r, Int64.sub (Fsa_obs.Span.now_ns ()) t0)
+    in
+    let base, base_ns = time (fun () -> Analysis.tool ~stakeholder apa) in
+    let flow, flow_ns =
+      time (fun () ->
+          Flow.build
+            ~attribution:
+              (Fsa_check.Check.flow_attribution
+                 (Fsa_spec.Elaborate.skeleton_of_spec spec))
+            apa)
+    in
+    let pruned_run, pruned_ns =
+      time (fun () -> Analysis.tool ~flow ~stakeholder apa)
+    in
+    let render r = Fmt.str "%a" Analysis.pp_tool_report r in
+    let identical = String.equal (render base) (render pruned_run) in
+    let pruned =
+      List.length
+        (List.filter
+           (fun p ->
+             match p.Analysis.pt_pruned_by with
+             | Some by -> String.equal by "static-flow"
+             | None -> false)
+           pruned_run.Analysis.t_timings.Analysis.ph_pairs)
+    in
+    let ratio =
+      if Int64.compare base_ns 0L > 0 then
+        Int64.to_float flow_ns /. Int64.to_float base_ns
+      else 0.
+    in
+    let max_ratio = 0.05 in
+    let slack_ns = 50_000_000L in
+    let ok =
+      identical && pruned > 0
+      && (ratio <= max_ratio || Int64.compare flow_ns slack_ns <= 0)
+    in
+    if not ok then incr failures;
+    Fmt.pr
+      "  %-24s tool %a  flow %a  pruned tool %a  ratio %.4f  \
+       pairs pruned %d  identical: %s@."
+      "flow/evita-fleet" Fsa_obs.Span.pp_dur base_ns Fsa_obs.Span.pp_dur
+      flow_ns Fsa_obs.Span.pp_dur pruned_ns ratio pruned
+      (if ok then "OK"
+       else if not identical then "MISMATCH"
+       else if pruned = 0 then "NO-PRUNING"
+       else "SLOW");
+    Printf.sprintf
+      "    \"evita-fleet\": {\"tool_wall_ns\": %Ld, \"flow_wall_ns\": %Ld, \
+       \"pruned_tool_wall_ns\": %Ld, \"ratio\": %.5f, \"max_ratio\": %.2f, \
+       \"pairs_pruned\": %d, \"reports_equal\": %b, \"ok\": %b}"
+      base_ns flow_ns pruned_ns ratio max_ratio pruned identical ok
 
 (* Observability overhead on the vanet pairs-4 exploration, three
    configurations interleaved (min-of-N keeps scheduler noise out):
@@ -1234,6 +1313,7 @@ let bench_json path =
   let reduction_rows = bench_reduction () in
   let abstraction_row = bench_abstraction () in
   let report_row = bench_report () in
+  let flow_row = bench_flow () in
   let store_row = bench_store () in
   let obs_row = bench_obs () in
   let meta_row = bench_meta () in
@@ -1257,6 +1337,8 @@ let bench_json path =
       output_string oc abstraction_row;
       output_string oc "\n  },\n  \"report\": {\n";
       output_string oc report_row;
+      output_string oc "\n  },\n  \"flow\": {\n";
+      output_string oc flow_row;
       output_string oc "\n  },\n  \"store\": {\n";
       output_string oc store_row;
       output_string oc "\n  },\n  \"obs\": {\n";

@@ -170,6 +170,17 @@ let prune_arg =
                  Sound: the derived requirements are identical to an \
                  unpruned run.")
 
+let flow_arg =
+  Arg.(value & flag
+       & info [ "prune-flow" ]
+           ~doc:"Skip the dependence test for action pairs the static \
+                 information-flow analysis (taint reachability over the \
+                 guard-refined def-use graph, see $(b,fsa flow)) proves \
+                 independent. Sound: the derived requirements are \
+                 identical to an unpruned run; pairs only this analysis \
+                 prunes are attributed static-flow in the report \
+                 coverage.")
+
 let reduce_conv =
   let parse s =
     match Sym.kind_of_string s with
@@ -240,10 +251,10 @@ let open_store ~cache ~no_cache ~cache_dir =
 (* Run one analysis through the shared executor (cache-aware when the
    config carries a store), mapping analysis-level failures to the CLI's
    exit-code conventions. *)
-let exec_or_die cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
-    ?shared ?progress ~file spec =
+let exec_or_die cfg ~op ?meth ?max_states ?jobs ?prune ?flow ?sos ?keep
+    ?reduce ?shared ?progress ~file spec =
   match
-    Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep
+    Server.Exec.run cfg ~op ?meth ?max_states ?jobs ?prune ?flow ?sos ?keep
       ?reduce ?shared ?progress ~file spec
   with
   | outcome -> outcome
@@ -257,11 +268,11 @@ let exec_or_die cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
 
 (* As above, and print the human report; on a hit the marker goes to
    stderr so stdout stays byte-identical to a fresh run. *)
-let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
+let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?flow ?sos ?keep ?reduce
     ?shared ?progress ~file spec =
   let outcome =
-    exec_or_die cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
-      ?shared ?progress ~file spec
+    exec_or_die cfg ~op ?meth ?max_states ?jobs ?prune ?flow ?sos ?keep
+      ?reduce ?shared ?progress ~file spec
   in
   if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
   print_string outcome.Server.Exec.oc_output;
@@ -272,8 +283,8 @@ let run_exec cfg ~op ?meth ?max_states ?jobs ?prune ?sos ?keep ?reduce
 (* --------------------------------------------------------------- *)
 
 let reach_cmd =
-  let run verbose spec_path max_states jobs reduce dot_out cache no_cache
-      cache_dir metrics_out trace_out =
+  let run verbose spec_path max_states jobs flow reduce dot_out cache
+      no_cache cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -301,8 +312,10 @@ let reach_cmd =
       let store = open_store ~cache ~no_cache ~cache_dir in
       let cfg = Server.config ?store () in
       let progress = explore_progress spec_path in
+      (* reach has no dependence matrix, so --prune-flow cannot change
+         anything; accepted for symmetry with requirements *)
       ignore
-        (run_exec cfg ~op:Server.Exec.Reach ~max_states ~jobs ?reduce
+        (run_exec cfg ~op:Server.Exec.Reach ~max_states ~jobs ~flow ?reduce
            ~progress ~file:spec_path spec)
   in
   let max_states =
@@ -315,8 +328,8 @@ let reach_cmd =
   Cmd.v
     (Cmd.info "reach" ~doc:"Compute the reachability graph of a specification's APA model.")
     Term.(const run $ verbose_arg $ spec_arg $ max_states $ jobs_arg
-          $ reduce_arg $ dot_out $ cache_arg $ no_cache_arg $ cache_dir_arg
-          $ metrics_out_arg $ trace_out_arg)
+          $ flow_arg $ reduce_arg $ dot_out $ cache_arg $ no_cache_arg
+          $ cache_dir_arg $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa requirements                                                 *)
@@ -341,8 +354,8 @@ let out_json_arg =
                  temp+rename write); the human report still goes to stdout.")
 
 let requirements_cmd =
-  let run verbose spec_path meth max_states jobs prune reduce shared out
-      cache no_cache cache_dir metrics_out trace_out =
+  let run verbose spec_path meth max_states jobs prune flow reduce shared
+      out cache no_cache cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -353,7 +366,7 @@ let requirements_cmd =
     let progress = explore_progress spec_path in
     let outcome =
       run_exec cfg ~op:Server.Exec.Requirements ~meth ~max_states ~jobs
-        ~prune ?reduce ~shared ~progress ~file:spec_path spec
+        ~prune ~flow ?reduce ~shared ~progress ~file:spec_path spec
     in
     Option.iter
       (fun path ->
@@ -372,16 +385,17 @@ let requirements_cmd =
     (Cmd.info "requirements"
        ~doc:"Derive authenticity requirements from a specification's APA model (tool path).")
     Term.(const run $ verbose_arg $ spec_arg $ meth $ max_states $ jobs_arg
-          $ prune_arg $ reduce_arg $ shared_arg $ out_json_arg $ cache_arg
-          $ no_cache_arg $ cache_dir_arg $ metrics_out_arg $ trace_out_arg)
+          $ prune_arg $ flow_arg $ reduce_arg $ shared_arg $ out_json_arg
+          $ cache_arg $ no_cache_arg $ cache_dir_arg $ metrics_out_arg
+          $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa analyze (manual path over sos declarations)                  *)
 (* --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run verbose spec_path sos_name prune reduce cache no_cache cache_dir
-      metrics_out trace_out =
+  let run verbose spec_path sos_name prune flow reduce cache no_cache
+      cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -396,8 +410,8 @@ let analyze_cmd =
        reduction are no-ops here; the flags are accepted for symmetry
        with requirements *)
     ignore
-      (run_exec cfg ~op:Server.Exec.Analyze ?sos:sos_name ~prune ?reduce
-         ~file:spec_path spec)
+      (run_exec cfg ~op:Server.Exec.Analyze ?sos:sos_name ~prune ~flow
+         ?reduce ~file:spec_path spec)
   in
   let sos_name =
     Arg.(value & opt (some string) None
@@ -407,7 +421,7 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Derive authenticity requirements from functional models (manual path).")
     Term.(const run $ verbose_arg $ spec_arg $ sos_name $ prune_arg
-          $ reduce_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
+          $ flow_arg $ reduce_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
           $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
@@ -1011,17 +1025,67 @@ let sym_cmd =
           $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
+(* fsa flow (static information-flow analysis)                      *)
+(* --------------------------------------------------------------- *)
+
+let flow_cmd =
+  let run verbose spec_path format metrics_out trace_out =
+    setup_logs verbose;
+    with_obs ~metrics_out ~trace_out @@ fun () ->
+    let module Flow = Fsa_flow.Flow in
+    let spec = load_spec spec_path in
+    let graph =
+      try
+        let sk = Fsa_spec.Elaborate.skeleton_of_spec spec in
+        let apa = Fsa_spec.Elaborate.apa_of_spec spec in
+        Flow.build ~attribution:(Fsa_check.Check.flow_attribution sk) apa
+      with
+      | Fsa_spec.Loc.Error (loc, msg) -> die_loc ~file:spec_path loc msg
+      | Invalid_argument msg -> die_usage msg
+    in
+    if Flow.rules graph = [] then
+      die_usage
+        (Printf.sprintf "%s declares no rules to analyse" spec_path);
+    match format with
+    | `Json -> print_string (Flow.report_to_json (Flow.analyse graph))
+    | `Dot -> print_string (Flow.to_dot graph)
+    | `Text -> Fmt.pr "%a@." Flow.pp_report (Flow.analyse graph)
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json); ("dot", `Dot) ])
+             `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: text, json or dot (the def-use graph \
+                   with guard-killed edges).")
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Static information-flow analysis of a specification's APA \
+             model, without exploring the state space: the def-use flow \
+             graph over rules and state components, guard-killed edges, \
+             confidentiality leaks from protected components, \
+             unsanitized cross-instance flows, dead attack surface, \
+             unguarded flow cycles and the flow-independent action \
+             pairs behind $(b,--prune-flow).")
+    Term.(const run $ verbose_arg $ spec_arg $ format_arg $ metrics_out_arg
+          $ trace_out_arg)
+
+(* --------------------------------------------------------------- *)
 (* fsa verify (behavioural check declarations)                      *)
 (* --------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run verbose spec_path jobs reduce cache no_cache cache_dir =
+  let run verbose spec_path jobs flow reduce cache no_cache cache_dir =
     setup_logs verbose;
     let spec = load_spec spec_path in
     let store = open_store ~cache ~no_cache ~cache_dir in
     let cfg = Server.config ?store () in
+    (* verify has no dependence matrix either; the flag is accepted for
+       symmetry with requirements *)
     let outcome =
-      run_exec cfg ~op:Server.Exec.Verify ~jobs ?reduce ~file:spec_path spec
+      run_exec cfg ~op:Server.Exec.Verify ~jobs ~flow ?reduce
+        ~file:spec_path spec
     in
     if outcome.Server.Exec.oc_exit <> 0 then begin
       (match Fsa_store.Json.member "failed" outcome.Server.Exec.oc_result with
@@ -1036,8 +1100,8 @@ let verify_cmd =
        ~doc:"Evaluate a specification's check declarations against its \
              behaviour (explores the state space; see $(b,check) for the \
              static analysis).")
-    Term.(const run $ verbose_arg $ spec_arg $ jobs_arg $ reduce_arg
-          $ cache_arg $ no_cache_arg $ cache_dir_arg)
+    Term.(const run $ verbose_arg $ spec_arg $ jobs_arg $ flow_arg
+          $ reduce_arg $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa monitor                                                      *)
@@ -1094,7 +1158,7 @@ let monitor_cmd =
 
 let report_cmd =
   let run verbose spec_path format sos_name out meth max_states jobs prune
-      reduce shared cache no_cache cache_dir metrics_out trace_out =
+      flow reduce shared cache no_cache cache_dir metrics_out trace_out =
     setup_logs verbose;
     with_obs ~metrics_out ~trace_out @@ fun () ->
     let spec = load_spec spec_path in
@@ -1105,7 +1169,7 @@ let report_cmd =
     let progress = explore_progress spec_path in
     let outcome =
       exec_or_die cfg ~op:Server.Exec.Report ~meth ~max_states ~jobs ~prune
-        ?sos:sos_name ?reduce ~shared ~progress ~file:spec_path spec
+        ~flow ?sos:sos_name ?reduce ~shared ~progress ~file:spec_path spec
     in
     if outcome.Server.Exec.oc_cached then Fmt.epr "(cached)@.";
     let content =
@@ -1147,9 +1211,9 @@ let report_cmd =
              provenance, traceability matrix, coverage and verification \
              tags (deterministic Markdown or JSON).")
     Term.(const run $ verbose_arg $ spec_arg $ format $ sos_name $ out
-          $ meth $ max_states $ jobs_arg $ prune_arg $ reduce_arg
-          $ shared_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
-          $ metrics_out_arg $ trace_out_arg)
+          $ meth $ max_states $ jobs_arg $ prune_arg $ flow_arg
+          $ reduce_arg $ shared_arg $ cache_arg $ no_cache_arg
+          $ cache_dir_arg $ metrics_out_arg $ trace_out_arg)
 
 (* --------------------------------------------------------------- *)
 (* fsa lint                                                         *)
@@ -1479,7 +1543,8 @@ let main_cmd =
   Cmd.group info
     [ reach_cmd; requirements_cmd; analyze_cmd; abstract_cmd; scenario_cmd;
       dot_cmd; conf_cmd; simulate_cmd; export_cmd; refine_cmd; check_cmd;
-      struct_cmd; sym_cmd; verify_cmd; monitor_cmd; report_cmd; lint_cmd;
+      struct_cmd; sym_cmd; flow_cmd; verify_cmd; monitor_cmd; report_cmd;
+      lint_cmd;
       diff_cmd; serve_cmd; batch_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -35,6 +35,7 @@ let () =
           sg_method = "abstract";
           sg_engine = "shared-v1";
           sg_reduce = "none";
+          sg_prune = "none";
           sg_max_states = 1_000_000 }
       tool
   in

@@ -580,6 +580,113 @@ let pass_sym ?file ast add =
             else "por"))
 
 (* ------------------------------------------------------------------ *)
+(* Deep pass: information flow (FSA060-FSA065)                         *)
+(* ------------------------------------------------------------------ *)
+
+module Flow = Fsa_flow.Flow
+
+let flow_attribution sk =
+  let find n f =
+    List.find_map
+      (fun r -> if String.equal r.lr_name n then Some (f r) else None)
+      sk.sk_rules
+  in
+  { Flow.at_instance =
+      (fun n ->
+        match find n (fun r -> r.lr_instance) with
+        | Some "" | None -> None
+        | Some i -> Some i);
+    at_guard_vars = (fun n -> find n (fun r -> r.lr_guard_vars)) }
+
+(* Only the leak finding is a warning: protected material reaching a
+   cross-instance channel is wrong on any reading.  Guard-free boundary
+   crossings (FSA061) are advisory — broadcast topologies consume
+   unauthenticated channel data as a matter of design — as are the dead
+   surface, cycle, kill and independence summaries. *)
+let pass_flow ?file sk ast add =
+  match
+    try Some (Elab.apa_of_spec ast)
+    with Loc.Error _ | Invalid_argument _ -> None
+  with
+  | None -> ()
+  | Some apa ->
+    let g = Flow.build ~attribution:(flow_attribution sk) apa in
+    let rule_loc n =
+      List.find_map
+        (fun r -> if String.equal r.lr_name n then Some r.lr_loc else None)
+        sk.sk_rules
+    in
+    let comp_loc c =
+      List.find_map
+        (fun (c', _, loc) -> if String.equal c c' then Some loc else None)
+        sk.sk_components
+    in
+    List.iter
+      (fun l ->
+        let loc =
+          match l.Flow.lk_rules with
+          | r :: _ -> rule_loc r
+          | [] -> comp_loc l.Flow.lk_source
+        in
+        add
+          (D.warning ?file ?loc ~code:"FSA060"
+             "confidentiality leak: protected component %s flows into \
+              cross-instance channel %s via %s"
+             l.Flow.lk_source l.Flow.lk_channel
+             (if l.Flow.lk_rules = [] then "direct shared access"
+              else String.concat " -> " l.Flow.lk_rules)))
+      (Flow.leaks g);
+    List.iter
+      (fun (e : Flow.edge) ->
+        add
+          (D.info ?file ?loc:(rule_loc e.Flow.e_dst) ~code:"FSA061"
+             "unsanitized cross-instance flow: %s %s what %s puts into %s \
+              without any guard"
+             e.Flow.e_dst
+             (if e.Flow.e_consume then "consumes" else "reads")
+             e.Flow.e_src e.Flow.e_component))
+      (Flow.unsanitized g);
+    List.iter
+      (fun rl ->
+        add
+          (D.info ?file ?loc:(rule_loc rl) ~code:"FSA062"
+             "dead attack surface: %s is enabled on the initial state but \
+              no flow path leads from it to any output rule"
+             rl))
+      (Flow.dead_sources g);
+    List.iter
+      (fun c ->
+        add
+          (D.info ?file ?loc:(Option.bind (List.nth_opt c 0) rule_loc)
+             ~code:"FSA063"
+             "unguarded flow cycle: {%s} feed each other and none of them \
+              has a guard"
+             (String.concat ", " c)))
+      (Flow.unguarded_cycles g);
+    List.iter
+      (fun (k : Flow.kill) ->
+        add
+          (D.info ?file ?loc:(rule_loc k.Flow.k_dst) ~code:"FSA064"
+             "the guard of %s statically rejects every token %s puts into \
+              %s (forced bindings: %s)"
+             k.Flow.k_dst k.Flow.k_src k.Flow.k_component
+             (String.concat ", "
+                (List.map
+                   (fun (v, t) ->
+                     Printf.sprintf "%s = %s" v (Term.to_string t))
+                   k.Flow.k_bindings))))
+      (Flow.kills g);
+    let independent = Flow.independent_pairs g in
+    if independent > 0 then
+      add
+        (D.info ?file ~code:"FSA065"
+           "%d of %d ordered rule pairs are flow-independent (%d already \
+            at skeleton level): their functional dependence tests are \
+            skipped under --prune-flow"
+           independent (Flow.rule_pairs g)
+           (Flow.skeleton_independent_pairs g))
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -606,7 +713,8 @@ let spec ?file ?(deep = false) ?budget ast =
         pass_checks ?file ~alphabet ~dead env.checks add;
         if deep then begin
           pass_deep ?file ?budget sk add;
-          pass_sym ?file ast add
+          pass_sym ?file ast add;
+          pass_flow ?file sk ast add
         end
       with Loc.Error (loc, msg) ->
         add (D.error ?file ~loc ~code:"FSA000" "%s" msg));

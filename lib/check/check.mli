@@ -29,7 +29,13 @@
       {!Fsa_sym.Sym} over the elaborated APA — symmetry orbits, rejected
       candidate pairs, attested guards, interference modules and the
       predicted [--reduce] factor.  All advisory: asymmetric models are
-      fine, the pass reports what a reduction could exploit.
+      fine, the pass reports what a reduction could exploit;
+    - {b information flow} (FSA060–FSA065, [deep] only):
+      {!Fsa_flow.Flow} over the elaborated APA — confidentiality leaks
+      from protected components into cross-instance channels (FSA060, a
+      warning), plus advisory guard-free boundary crossings, dead attack
+      surface, unguarded flow cycles, guard-killed edges and the
+      flow-independence count behind [--prune-flow].
 
     The producible-shape fixpoint over-approximates reachability (guards
     are ignored and matched terms are never removed), so a rule it calls
@@ -56,6 +62,14 @@ val net_of_skeleton :
 (** The structural net of a located skeleton (initial contents, take and
     put signatures, guardedness) — what the deep pass and [fsa struct]
     analyse. *)
+
+val flow_attribution :
+  Fsa_spec.Elaborate.skeleton -> Fsa_flow.Flow.attribution
+(** Exact flow-graph attribution from a located skeleton: per-rule
+    elaborated instance and guard variable set — what lets
+    {!Fsa_flow.Flow.build} evaluate guards (kill-sets) and tell
+    cross-instance flows apart.  Callers without a spec fall back to
+    {!Fsa_flow.Flow.heuristic_attribution}. *)
 
 val apa : ?file:string -> Apa.t -> Diagnostic.t list
 (** The structural passes (dead rules, component usage) over a

@@ -160,7 +160,24 @@ let registry =
      "guard equivalence attested by syntactic signature only: symmetry \
       soundness assumes the guard builtins treat the instances alike");
     ("FSA058", Info,
-     "reduction available: the model qualifies for --reduce") ]
+     "reduction available: the model qualifies for --reduce");
+    ("FSA060", Warning,
+     "confidentiality leak: a protected component flows into a \
+      cross-instance channel");
+    ("FSA061", Info,
+     "unsanitized cross-instance flow: data crosses a system boundary \
+      into a rule with no guard");
+    ("FSA062", Info,
+     "dead attack surface: an initially enabled rule influences no \
+      output rule");
+    ("FSA063", Info,
+     "unguarded flow cycle: a feedback loop no guard ever checks");
+    ("FSA064", Info,
+     "guard-killed flow edges: statically decided guards sever token \
+      flows the net skeleton admits");
+    ("FSA065", Info,
+     "flow-independent action pairs beyond the skeleton baseline; \
+      --prune-flow skips their dependence tests") ]
 
 let describe code =
   List.find_map

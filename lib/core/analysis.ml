@@ -94,6 +94,9 @@ type pair_timing = {
   pt_min : Action.t;
   pt_max : Action.t;
   pt_pruned : bool;
+  pt_pruned_by : string option;
+      (* ["static"] (skeleton reachability) or ["static-flow"]
+         (guard-refined flow graph); [None] when tested *)
   pt_erase_ns : int64;
   pt_determinise_ns : int64;
   pt_minimise_ns : int64;
@@ -197,17 +200,17 @@ module Apa = Fsa_apa.Apa
 let default_labelled_rules apa =
   List.for_all (fun r -> r.Apa.r_default_label) (Apa.rules apa)
 
-let static_pruner ?indep apa lts =
+let rule_name_labelled apa lts =
   let rule_names = Apa.rule_names apa in
-  let default_labelled =
-    default_labelled_rules apa
-    || Action.Set.for_all
-         (fun a ->
-           Action.equal a (Action.make (Action.label a))
-           && List.mem (Action.label a) rule_names)
-         (Lts.alphabet lts)
-  in
-  if not default_labelled then fun _ _ -> false
+  default_labelled_rules apa
+  || Action.Set.for_all
+       (fun a ->
+         Action.equal a (Action.make (Action.label a))
+         && List.mem (Action.label a) rule_names)
+       (Lts.alphabet lts)
+
+let static_pruner ?indep apa lts =
+  if not (rule_name_labelled apa lts) then fun _ _ -> false
   else
     let indep =
       match indep with
@@ -219,6 +222,21 @@ let static_pruner ?indep apa lts =
       && Lazy.force indep (Action.label mn) (Action.label mx)
 
 let c_pairs_pruned = Structural.pairs_pruned
+
+module Flow = Fsa_flow.Flow
+
+(* Flow pruning ([--prune-flow]): the same soundness shape as
+   {!static_pruner} — rule-name labelling required, reachability over a
+   token-flow graph — but the graph is the guard-refined one of
+   {!Fsa_flow.Flow}, a subgraph of the skeleton's, so it can only prune
+   more pairs, never fewer, and the argument carries over verbatim
+   (see the soundness note in [lib/flow/flow.mli]). *)
+let flow_pruner flow apa lts =
+  if not (rule_name_labelled apa lts) then fun _ _ -> false
+  else
+    fun mn mx ->
+      (not (Action.equal mn mx))
+      && Flow.independent flow ~min:(Action.label mn) ~max:(Action.label mx)
 
 (* ------------------------------------------------------------------ *)
 (* Reduced exploration (--reduce)                                      *)
@@ -377,7 +395,7 @@ let unfolded ?(max_states = 1_000_000) pl apa =
   (Lts.of_graph ~name:(Apa.name apa) ~states edges, reps, rep_transitions)
 
 let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
-    ?(prune = false) ?reduce ?(shared = true) ?quotient_cache ?progress
+    ?(prune = false) ?flow ?reduce ?(shared = true) ?quotient_cache ?progress
     ~stakeholder apa =
   Span.with_ ~cat:"core" "tool" @@ fun () ->
   let timed f =
@@ -444,13 +462,26 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
         in
         (Action.Set.elements (Lts.minima lts), Action.Set.elements maxima))
   in
-  let pruned =
+  let struct_pruned =
     if prune || por_active then
       static_pruner
         ?indep:(Option.map (fun pl -> pl.Sym.pl_indep) eff_reduce)
         apa lts
     else fun _ _ -> false
   in
+  let flow_pruned =
+    match flow with
+    | Some g -> flow_pruner g apa lts
+    | None -> fun _ _ -> false
+  in
+  (* Attribution order matters only for reporting: a pair both pruners
+     decide is credited to the cheaper skeleton argument. *)
+  let pruned_by mn mx =
+    if struct_pruned mn mx then Some "static"
+    else if flow_pruned mn mx then Some "static-flow"
+    else None
+  in
+  let pruned mn mx = pruned_by mn mx <> None in
   let pair_timings = ref [] in
   let engine = ref None in
   let matrix, ph_matrix_ns =
@@ -498,20 +529,23 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
         (mx,
          List.map
            (fun mn ->
-             if pruned mn mx then begin
-               Fsa_obs.Metrics.incr c_pairs_pruned;
+             match pruned_by mn mx with
+             | Some by ->
+               (if String.equal by "static-flow" then
+                  Fsa_obs.Metrics.incr Flow.pairs_pruned
+                else Fsa_obs.Metrics.incr c_pairs_pruned);
                pair_timings :=
                  { pt_min = mn;
                    pt_max = mx;
                    pt_pruned = true;
+                   pt_pruned_by = Some by;
                    pt_erase_ns = 0L;
                    pt_determinise_ns = 0L;
                    pt_minimise_ns = 0L;
                    pt_compare_ns = 0L }
                  :: !pair_timings;
                (mn, false)
-             end
-             else begin
+             | None ->
                let dep, dt =
                  match !engine with
                  | Some e ->
@@ -523,13 +557,13 @@ let tool ?(meth = Abstract) ?(max_states = 1_000_000) ?(jobs = 1)
                  { pt_min = mn;
                    pt_max = mx;
                    pt_pruned = false;
+                   pt_pruned_by = None;
                    pt_erase_ns = dt.Hom.dt_erase_ns;
                    pt_determinise_ns = dt.Hom.dt_determinise_ns;
                    pt_minimise_ns = dt.Hom.dt_minimise_ns;
                    pt_compare_ns = dt.Hom.dt_compare_ns }
                  :: !pair_timings;
-               (mn, dep)
-             end)
+               (mn, dep))
            minima))
       maxima
   in

@@ -38,6 +38,10 @@ type pair_timing = {
   pt_min : Action.t;
   pt_max : Action.t;
   pt_pruned : bool;  (** skipped by static pruning, all stages 0 *)
+  pt_pruned_by : string option;
+      (** which static argument settled the pair: ["static"] (skeleton
+          token reachability, [?prune]) or ["static-flow"] (the
+          guard-refined flow graph, [?flow]); [None] when tested *)
   pt_erase_ns : int64;
   pt_determinise_ns : int64;
   pt_minimise_ns : int64;
@@ -172,6 +176,7 @@ val tool :
   ?max_states:int ->
   ?jobs:int ->
   ?prune:bool ->
+  ?flow:Fsa_flow.Flow.t ->
   ?reduce:Fsa_sym.Sym.plan ->
   ?shared:bool ->
   ?quotient_cache:quotient_cache ->
@@ -194,6 +199,15 @@ val tool :
     token flow can never test dependent — and it is automatically
     disabled when the LTS is not labelled by plain rule names, so the
     report (matrix included) is identical with and without it.
+
+    [flow] supplies a {!Fsa_flow.Flow} graph of the same model and
+    additionally skips every pair that graph proves flow-independent
+    ([--prune-flow]).  The refined graph is a subgraph of the skeleton's
+    (guards can only sever edges), so the same soundness argument
+    applies and the report stays identical; pairs the skeleton argument
+    does not already settle are attributed ["static-flow"] in
+    {!pair_timing.pt_pruned_by} and counted in the [flow.pairs_pruned]
+    metric.  The same rule-name labelling gate applies.
 
     [shared] (default [true], effective only under [Abstract]) answers
     all surviving (min, max) pairs from one shared abstraction: erase

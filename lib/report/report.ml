@@ -112,6 +112,7 @@ type pair_coverage = {
   pc_total : int;
   pc_tested : int;
   pc_pruned : int;
+  pc_pruned_flow : int;
   pc_dependent : int;
   pc_independent : int;
 }
@@ -128,6 +129,7 @@ type settings = {
   sg_method : string;
   sg_engine : string;
   sg_reduce : string;
+  sg_prune : string;
   sg_max_states : int;
 }
 
@@ -398,6 +400,7 @@ let of_tool ?origins ?(soses = []) ?alphabet ~digest ~settings
       { pc_total = total;
         pc_tested = total;
         pc_pruned = 0;
+        pc_pruned_flow = 0;
         pc_dependent = dependent;
         pc_independent = total - dependent }
     | rows ->
@@ -406,6 +409,15 @@ let of_tool ?origins ?(soses = []) ?alphabet ~digest ~settings
         List.length
           (List.filter (fun p -> p.Analysis.pt_pruned) rows)
       in
+      let pruned_flow =
+        List.length
+          (List.filter
+             (fun p ->
+               match p.Analysis.pt_pruned_by with
+               | Some by -> String.equal by "static-flow"
+               | None -> false)
+             rows)
+      in
       let dependent =
         List.length
           (List.filter (fun (_, _, d) -> d) (Analysis.matrix_pairs tr))
@@ -413,6 +425,7 @@ let of_tool ?origins ?(soses = []) ?alphabet ~digest ~settings
       { pc_total = total;
         pc_tested = total - pruned;
         pc_pruned = pruned;
+        pc_pruned_flow = pruned_flow;
         pc_dependent = dependent;
         pc_independent = total - dependent }
   in
@@ -486,6 +499,7 @@ let of_manual ~digest sos (mr : Analysis.manual_report) =
     { pc_total = chi;
       pc_tested = chi;
       pc_pruned = 0;
+      pc_pruned_flow = 0;
       pc_dependent = chi;
       pc_independent = 0 }
   in
@@ -495,6 +509,7 @@ let of_manual ~digest sos (mr : Analysis.manual_report) =
         sg_method = "manual";
         sg_engine = "manual";
         sg_reduce = "none";
+        sg_prune = "none";
         sg_max_states = 0 };
     r_items = items;
     r_actions = universe;
@@ -568,6 +583,7 @@ let to_json ?(body_only = false) r =
               ("method", Json.Str r.r_settings.sg_method);
               ("engine", Json.Str r.r_settings.sg_engine);
               ("reduce", Json.Str r.r_settings.sg_reduce);
+              ("prune", Json.Str r.r_settings.sg_prune);
               ("max_states", Json.Int r.r_settings.sg_max_states) ] ) ]
   in
   let cov = r.r_coverage in
@@ -579,6 +595,7 @@ let to_json ?(body_only = false) r =
             [ ("total", Json.Int cov.cv_pairs.pc_total);
               ("tested", Json.Int cov.cv_pairs.pc_tested);
               ("pruned", Json.Int cov.cv_pairs.pc_pruned);
+              ("pruned_flow", Json.Int cov.cv_pairs.pc_pruned_flow);
               ("dependent", Json.Int cov.cv_pairs.pc_dependent);
               ("independent", Json.Int cov.cv_pairs.pc_independent) ] ) ]
   in
@@ -650,9 +667,11 @@ let to_markdown ?(body_only = false) r =
   pf "# Security requirements report\n\n";
   pf "- model digest: `%s`\n" r.r_digest;
   if not body_only then begin
-    pf "- path: %s; method: %s; engine: %s; reduce: %s; max states: %d\n"
+    pf "- path: %s; method: %s; engine: %s; reduce: %s; prune: %s; \
+        max states: %d\n"
       r.r_settings.sg_path r.r_settings.sg_method r.r_settings.sg_engine
-      r.r_settings.sg_reduce r.r_settings.sg_max_states;
+      r.r_settings.sg_reduce r.r_settings.sg_prune
+      r.r_settings.sg_max_states;
     match r.r_graph with
     | Some (states, transitions) ->
       pf "- reachability graph: %d states, %d transitions\n" states
@@ -718,8 +737,11 @@ let to_markdown ?(body_only = false) r =
     | [] -> ""
     | us -> Printf.sprintf "; uncovered: %s" (String.concat ", " us));
   if not body_only then
-    pf "- pairs: %d total = %d tested + %d pruned; %d dependent, %d \
+    pf "- pairs: %d total = %d tested + %d pruned%s; %d dependent, %d \
         independent\n"
       cov.cv_pairs.pc_total cov.cv_pairs.pc_tested cov.cv_pairs.pc_pruned
+      (if cov.cv_pairs.pc_pruned_flow > 0 then
+         Printf.sprintf " (%d static-flow)" cov.cv_pairs.pc_pruned_flow
+       else "")
       cov.cv_pairs.pc_dependent cov.cv_pairs.pc_independent;
   Buffer.contents b

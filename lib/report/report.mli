@@ -103,7 +103,11 @@ type item = {
 type pair_coverage = {
   pc_total : int;  (** (min, max) pairs of the dependence matrix *)
   pc_tested : int;  (** pairs whose dependence was actually tested *)
-  pc_pruned : int;  (** pairs skipped by static pruning *)
+  pc_pruned : int;  (** pairs skipped by static pruning (any kind) *)
+  pc_pruned_flow : int;
+      (** the subset of [pc_pruned] attributed ["static-flow"]: skipped
+          by {!Fsa_flow.Flow} taint reachability ([--prune-flow]) and
+          not already caught by the structural pruner *)
   pc_dependent : int;  (** pairs that derived a requirement *)
   pc_independent : int;  (** [pc_total - pc_dependent] *)
 }
@@ -123,6 +127,9 @@ type settings = {
   sg_method : string;  (** ["abstract"], ["direct"] or ["manual"] *)
   sg_engine : string;  (** ["shared-v1"], ["per-pair"], ["direct"], ["manual"] *)
   sg_reduce : string;  (** ["none"], ["sym"], ["por"] or ["sym+por"] *)
+  sg_prune : string;
+      (** ["none"], ["static"], ["flow"] or ["static+flow"] — which
+          sound pruners skipped dependence tests *)
   sg_max_states : int;
 }
 (** What produced the report.  Settings (and the other run-dependent

@@ -37,6 +37,7 @@ module Json = Fsa_store.Json
 module Store = Fsa_store.Store
 module Metrics = Fsa_obs.Metrics
 module Structural = Fsa_struct.Structural
+module Flow = Fsa_flow.Flow
 module Sym = Fsa_sym.Sym
 module Span = Fsa_obs.Span
 module Recorder = Fsa_obs.Recorder
@@ -294,6 +295,10 @@ module Exec = struct
                     [ ("min", Json.Str (Action.to_string p.Analysis.pt_min));
                       ("max", Json.Str (Action.to_string p.Analysis.pt_max));
                       ("pruned", Json.Bool p.Analysis.pt_pruned);
+                      ( "pruned_by",
+                        match p.Analysis.pt_pruned_by with
+                        | Some by -> Json.Str by
+                        | None -> Json.Null );
                       ( "erase_ms",
                         Json.Float (ms_of_ns p.Analysis.pt_erase_ns) );
                       ( "determinise_ms",
@@ -430,23 +435,43 @@ module Exec = struct
 
   (* ---- requirement reports -------------------------------------- *)
 
-  let report_settings ~meth ~shared ~reduce ~max_states =
+  let prune_string ~prune ~flow =
+    match (prune, flow) with
+    | false, false -> "none"
+    | true, false -> "static"
+    | false, true -> "flow"
+    | true, true -> "static+flow"
+
+  let report_settings ~meth ~shared ~reduce ~prune ~flow ~max_states =
     { Report.sg_path = "tool";
       sg_method = meth_string meth;
       sg_engine = engine_string ~meth ~shared;
       sg_reduce =
         (match reduce with None -> "none" | Some k -> Sym.kind_to_string k);
+      sg_prune = prune_string ~prune ~flow;
       sg_max_states = max_states }
 
   (* One tool-path run plus its Fsa_report view.  The report digest
      covers APA *and* models: classification maps requirements onto the
      declared functional models, so a model edit must change it even
      when the APA part is untouched. *)
-  let tool_report_of cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
-      ~shared ?quotient_cache spec =
+  let tool_report_of cfg ~meth ~max_states ~jobs ~prune ~flow ~progress
+      ~reduce ~shared ?quotient_cache spec =
     let apa = Elaborate.apa_of_spec spec in
+    (* the flow graph is rebuilt per request: it is cheap (no state
+       space) and its attribution needs the located skeleton *)
+    let flow_graph =
+      if not flow then None
+      else
+        Some
+          (Flow.build
+             ~attribution:
+               (Fsa_check.Check.flow_attribution
+                  (Elaborate.skeleton_of_spec spec))
+             apa)
+    in
     let tr =
-      Analysis.tool ~meth ~max_states ~jobs ~prune
+      Analysis.tool ~meth ~max_states ~jobs ~prune ?flow:flow_graph
         ?reduce:(reduce_plan ~reduce spec apa)
         ~shared ?quotient_cache ?progress ~stakeholder:cfg.sv_stakeholder apa
     in
@@ -456,16 +481,17 @@ module Exec = struct
         ~soses:(Elaborate.sos_list spec)
         ~alphabet:(Apa.rule_names apa)
         ~digest:(Elaborate.digest_of_spec ~parts:[ `Apa; `Models ] spec)
-        ~settings:(report_settings ~meth ~shared ~reduce ~max_states)
+        ~settings:
+          (report_settings ~meth ~shared ~reduce ~prune ~flow ~max_states)
         tr
     in
     (tr, rpt)
 
-  let run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
-      ~shared ?quotient_cache spec =
+  let run_requirements cfg ~meth ~max_states ~jobs ~prune ~flow ~progress
+      ~reduce ~shared ?quotient_cache spec =
     let report, rpt =
-      tool_report_of cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
-        ~shared ?quotient_cache spec
+      tool_report_of cfg ~meth ~max_states ~jobs ~prune ~flow ~progress
+        ~reduce ~shared ?quotient_cache spec
     in
     let reduction =
       match report.Analysis.t_reduction with
@@ -527,8 +553,8 @@ module Exec = struct
      path when the spec elaborates instances (or the manual path for an
      explicitly named sos), otherwise the manual path over the declared
      functional models, mirroring [run_analyze]'s selection. *)
-  let run_report cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce ~shared
-      ~sos ?quotient_cache spec =
+  let run_report cfg ~meth ~max_states ~jobs ~prune ~flow ~progress ~reduce
+      ~shared ~sos ?quotient_cache spec =
     let manual soses =
       let digest = Elaborate.digest_of_spec ~parts:[ `Models ] spec in
       List.map (fun s -> Report.of_manual ~digest s (Analysis.manual s)) soses
@@ -539,7 +565,7 @@ module Exec = struct
       | None ->
         if (Elaborate.env_of_spec spec).Elaborate.instances <> [] then
           let _, rpt =
-            tool_report_of cfg ~meth ~max_states ~jobs ~prune ~progress
+            tool_report_of cfg ~meth ~max_states ~jobs ~prune ~flow ~progress
               ~reduce ~shared ?quotient_cache spec
           in
           [ rpt ]
@@ -665,8 +691,8 @@ module Exec = struct
     | Check -> [ `Apa; `Checks; `Models ]
 
   let run cfg ~op ?(meth = Analysis.Abstract) ?(max_states = 1_000_000)
-      ?(jobs = 1) ?prune ?sos ?keep ?reduce ?(shared = true) ?progress
-      ?deadline_ns ?(cache = true) ~file spec =
+      ?(jobs = 1) ?prune ?(flow = false) ?sos ?keep ?reduce ?(shared = true)
+      ?progress ?deadline_ns ?(cache = true) ~file spec =
     let prune = Option.value prune ~default:cfg.sv_prune in
     (* the effective reduction is what runs AND what keys the cache:
        verify ignores the POR half (unsound for arbitrary properties),
@@ -695,7 +721,7 @@ module Exec = struct
         match op with
         | Reach -> run_reach ~max_states ~jobs ~progress ~reduce spec
         | Requirements ->
-          run_requirements cfg ~meth ~max_states ~jobs ~prune ~progress
+          run_requirements cfg ~meth ~max_states ~jobs ~prune ~flow ~progress
             ~reduce ~shared
             ?quotient_cache:(quotient_hook ())
             spec
@@ -704,8 +730,8 @@ module Exec = struct
         | Verify -> run_verify ~max_states ~jobs ~progress ~reduce spec
         | Check -> run_check ~file spec
         | Report ->
-          run_report cfg ~meth ~max_states ~jobs ~prune ~progress ~reduce
-            ~shared ~sos
+          run_report cfg ~meth ~max_states ~jobs ~prune ~flow ~progress
+            ~reduce ~shared ~sos
             ?quotient_cache:(quotient_hook ())
             spec
       with Lts.State_space_too_large n ->
@@ -775,6 +801,13 @@ module Exec = struct
           | None -> []
           | Some k -> [ ("reduce", Sym.kind_to_string k) ]
         in
+        (* [flow] IS part of the requirements/report keys, unlike
+           [prune]: verdicts cannot change, but flow-pruned outcomes
+           attribute pairs ("pruned_by", settings, coverage) that
+           pre-flow entries — including any written before the member
+           existed — do not carry, so the two must never replay for
+           each other *)
+        let fl = ("flow", if flow then "static-flow" else "none") in
         match op with
         | Reach -> ms :: rd
         | Requirements ->
@@ -783,11 +816,11 @@ module Exec = struct
              differ even though verdicts are identical *)
           (ms :: rd)
           @ [ ("method", meth_string meth);
-              ("engine", engine_string ~meth ~shared) ]
+              ("engine", engine_string ~meth ~shared); fl ]
         | Report ->
           (ms :: rd)
           @ [ ("method", meth_string meth);
-              ("engine", engine_string ~meth ~shared) ]
+              ("engine", engine_string ~meth ~shared); fl ]
           @ (match sos with Some s -> [ ("sos", s) ] | None -> [])
         | Analyze -> (
           match sos with Some s -> [ ("sos", s) ] | None -> [])
@@ -1082,7 +1115,8 @@ let handle_request cfg ~trace_id req =
     in
     let outcome =
       Exec.run cfg ~op ~meth ~max_states ?prune:(req_bool req "prune")
-        ?sos:(req_str req "sos") ?keep:(req_keep req) ?reduce
+        ?flow:(req_bool req "flow") ?sos:(req_str req "sos")
+        ?keep:(req_keep req) ?reduce
         ?shared:(req_bool req "shared") ?deadline_ns
         ~cache:(Option.value (req_bool req "cache") ~default:true)
         ~file spec

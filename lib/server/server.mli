@@ -143,6 +143,7 @@ module Exec : sig
     ?max_states:int ->
     ?jobs:int ->
     ?prune:bool ->
+    ?flow:bool ->
     ?sos:string ->
     ?keep:string list ->
     ?reduce:Fsa_sym.Sym.kind ->
@@ -163,6 +164,15 @@ module Exec : sig
       the requirements path; it cannot change the result and is
       therefore not part of the cache key — a cached unpruned outcome
       serves a pruned request and vice versa.
+      [flow] (default [false], request member ["flow"]) additionally
+      prunes with {!Fsa_flow.Flow} taint reachability on the
+      requirements and report paths; pairs it skips that static pruning
+      did not are attributed ["static-flow"] in the report coverage and
+      the per-pair ["pruned_by"] timing member.  Unlike [prune], [flow]
+      {e is} part of the requirements/report cache keys (a ["flow"]
+      param): verdicts cannot change, but flow-pruned outcomes carry
+      attribution that pre-flow entries lack, so the two never replay
+      for each other.
       [reduce] requests symmetry / partial-order reduction
       ({!Fsa_sym.Sym}) on the reach, requirements and verify paths; it
       {e is} part of the cache key, because reduced outcomes report

@@ -319,7 +319,8 @@ let test_registry_complete () =
       "FSA007"; "FSA010"; "FSA011"; "FSA020"; "FSA021"; "FSA022"; "FSA023";
       "FSA030"; "FSA031"; "FSA032"; "FSA033"; "FSA034"; "FSA035";
       "FSA040"; "FSA041"; "FSA042"; "FSA043"; "FSA044"; "FSA045"; "FSA046";
-      "FSA047"; "FSA048" ];
+      "FSA047"; "FSA048";
+      "FSA060"; "FSA061"; "FSA062"; "FSA063"; "FSA064"; "FSA065" ];
   (* lint codes map into the registry *)
   List.iter
     (fun w ->

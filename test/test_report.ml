@@ -237,6 +237,7 @@ let build_report ?reduce ?(shared = true) spec =
             (match reduce with
             | None -> "none"
             | Some k -> Sym.kind_to_string k);
+          sg_prune = "none";
           sg_max_states = 1_000_000 }
       tr
   in
